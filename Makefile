@@ -1,0 +1,29 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all test race bench experiments soak fmt vet cover
+
+all: vet test
+
+test:
+	go test ./...
+
+race:
+	go test -race ./internal/asyncnet/ ./internal/coord/ ./internal/pathexpr/ ./internal/memory/ .
+
+bench:
+	go test -bench=. -benchmem ./...
+
+experiments:
+	go run ./cmd/experiments
+
+soak:
+	go run ./cmd/check -rounds 200
+
+fmt:
+	gofmt -w .
+
+vet:
+	go vet ./...
+
+cover:
+	go test -cover ./internal/...

@@ -1,0 +1,128 @@
+// Command check is a correctness soak: it runs randomized programs on the
+// combining machine across configurations, seeds and operation families,
+// and verifies every execution with the Theorem 4.2 serializability
+// checker and the linearizability checker.  It is the long-running version
+// of the test suite's E4, intended for overnight confidence runs.
+//
+// Usage: check [-rounds 50] [-procs 16] [-ops 20] [-addrs 4] [-seed 1] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+
+	combining "combining"
+)
+
+func main() {
+	var (
+		rounds  = flag.Int("rounds", 50, "randomized executions per configuration")
+		procs   = flag.Int("procs", 16, "processors (power of two)")
+		ops     = flag.Int("ops", 20, "operations per processor")
+		addrs   = flag.Int("addrs", 4, "shared addresses (smaller = hotter)")
+		seed    = flag.Uint64("seed", 1, "base seed")
+		verbose = flag.Bool("v", false, "log every execution")
+	)
+	flag.Parse()
+
+	configs := []struct {
+		name string
+		cfg  combining.NetConfig
+	}{
+		{"no-combining", combining.NetConfig{Procs: *procs, WaitBufCap: 0}},
+		{"partial-1", combining.NetConfig{Procs: *procs, WaitBufCap: 1}},
+		{"partial-4", combining.NetConfig{Procs: *procs, WaitBufCap: 4}},
+		{"full", combining.NetConfig{Procs: *procs, WaitBufCap: combining.Unbounded}},
+		{"full+reversal", combining.NetConfig{Procs: *procs, WaitBufCap: combining.Unbounded, AllowReversal: true}},
+		{"radix-4", combining.NetConfig{Procs: *procs, Radix: 4, WaitBufCap: combining.Unbounded}},
+	}
+
+	checked, failed := 0, 0
+	for _, c := range configs {
+		if c.cfg.Radix == 4 && !isPow(*procs, 4) {
+			continue
+		}
+		for r := 0; r < *rounds; r++ {
+			rng := rand.New(rand.NewPCG(*seed+uint64(r), 1234))
+			progs := randomPrograms(rng, *procs, *ops, *addrs)
+			m := combining.NewMachine(c.cfg, progs)
+			if !m.Run(10_000_000) {
+				fmt.Printf("FAIL %s round %d: machine did not complete\n", c.name, r)
+				failed++
+				continue
+			}
+			final := map[combining.Addr]combining.Word{}
+			for a := 0; a < *addrs; a++ {
+				final[combining.Addr(a)] = m.Sim().Memory().Peek(combining.Addr(a))
+			}
+			checked++
+			if err := combining.CheckM2WithFinal(m.History(), nil, final); err != nil {
+				fmt.Printf("FAIL %s round %d: %v\n", c.name, r, err)
+				failed++
+				continue
+			}
+			if err := combining.CheckLinearizable(m.TimedHistory(), nil, final); err != nil {
+				fmt.Printf("FAIL %s round %d (linearizability): %v\n", c.name, r, err)
+				failed++
+				continue
+			}
+			if *verbose {
+				st := m.Sim().Stats()
+				fmt.Printf("ok   %s round %d: %d ops, %d combines\n", c.name, r, st.Issued, st.Combines)
+			}
+		}
+		fmt.Printf("%-14s %d executions verified\n", c.name, *rounds)
+	}
+	fmt.Printf("\n%d executions checked, %d failures\n", checked, failed)
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func isPow(n, k int) bool {
+	for n > 1 {
+		if n%k != 0 {
+			return false
+		}
+		n /= k
+	}
+	return n == 1
+}
+
+func randomPrograms(rng *rand.Rand, procs, ops, addrs int) [][]combining.Instr {
+	progs := make([][]combining.Instr, procs)
+	family := rng.IntN(4)
+	for p := range progs {
+		for i := 0; i < ops; i++ {
+			addr := combining.Addr(rng.IntN(addrs))
+			var op combining.Mapping
+			switch {
+			case family == 3:
+				v := int64(rng.IntN(100))
+				choices := []combining.Mapping{
+					combining.FELoad(), combining.FEStoreSet(v),
+					combining.FEStoreIfClearSet(v), combining.FELoadClear(),
+					combining.StoreOf(v), combining.Load{},
+				}
+				op = choices[rng.IntN(len(choices))]
+			case rng.IntN(3) == 0:
+				op = combining.Load{}
+			case rng.IntN(2) == 0:
+				switch family {
+				case 0:
+					op = combining.FetchAdd(int64(rng.IntN(19) - 9))
+				case 1:
+					op = combining.Bool{A: rng.Uint64(), B: rng.Uint64()}
+				default:
+					op = combining.Affine{A: int64(rng.IntN(5) - 2), B: int64(rng.IntN(50))}
+				}
+			default:
+				op = combining.SwapOf(int64(rng.IntN(100)))
+			}
+			progs[p] = append(progs[p], combining.RMW(addr, op))
+		}
+	}
+	return progs
+}

@@ -1,0 +1,112 @@
+// Command combsim runs hot-spot sweeps on the cycle-accurate combining
+// network simulator (experiment E8/E9) and prints a table or CSV.
+//
+// Usage:
+//
+//	combsim [-n 64] [-rate 0.6] [-cycles 4000] [-window 4] [-seed 1]
+//	        [-h 0,0.0625,0.125,0.25] [-queue 4] [-csv]
+//	        [-topology omega|hypercube|bus]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	combining "combining"
+)
+
+func main() {
+	var (
+		n      = flag.Int("n", 64, "processors (power of two)")
+		rate   = flag.Float64("rate", 0.6, "per-cycle issue probability")
+		cycles = flag.Int("cycles", 4000, "cycles per point")
+		window = flag.Int("window", 4, "outstanding requests per processor")
+		seed   = flag.Uint64("seed", 1, "workload seed")
+		hList  = flag.String("h", "0,0.0625,0.125,0.25", "comma-separated hot fractions")
+		queue  = flag.Int("queue", 4, "switch output queue capacity")
+		csv    = flag.Bool("csv", false, "emit CSV instead of a table")
+		topo   = flag.String("topology", "omega", "omega, hypercube, or bus")
+	)
+	flag.Parse()
+
+	var hs []float64
+	for _, s := range strings.Split(*hList, ",") {
+		h, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "combsim: bad hot fraction %q: %v\n", s, err)
+			os.Exit(2)
+		}
+		hs = append(hs, h)
+	}
+
+	type point struct {
+		bandwidth, latency, coldLatency float64
+		combines                        int64
+	}
+	injectors := func(h float64) []combining.Injector {
+		inj := make([]combining.Injector, *n)
+		for p := 0; p < *n; p++ {
+			inj[p] = combining.NewStochastic(p, *n, combining.TrafficConfig{
+				Rate: *rate, HotFraction: h, Window: *window,
+			}, *seed)
+		}
+		return inj
+	}
+	run := func(h float64, comb bool) point {
+		waitCap := 0
+		if comb {
+			waitCap = combining.Unbounded
+		}
+		switch *topo {
+		case "omega":
+			cfg := combining.NetConfig{Procs: *n, QueueCap: *queue, WaitBufCap: waitCap}
+			sim := combining.NewSim(cfg, injectors(h))
+			sim.Run(*cycles)
+			st := sim.Stats()
+			return point{st.Bandwidth(), st.MeanLatency(), st.ColdMeanLatency(), st.Combines}
+		case "hypercube":
+			cfg := combining.CubeConfig{Nodes: *n, QueueCap: *queue, WaitBufCap: waitCap}
+			sim := combining.NewCubeSim(cfg, injectors(h))
+			sim.Run(*cycles)
+			st := sim.Stats()
+			return point{st.Bandwidth(), st.MeanLatency(), 0, st.Combines}
+		case "bus":
+			cfg := combining.BusConfig{Procs: *n, Banks: 8, QueueCap: *queue, WaitBufCap: waitCap}
+			sim := combining.NewBusSim(cfg, injectors(h))
+			sim.Run(*cycles)
+			st := sim.Stats()
+			return point{st.Bandwidth(), st.MeanLatency(), 0, st.Combines}
+		default:
+			fmt.Fprintf(os.Stderr, "combsim: unknown topology %q\n", *topo)
+			os.Exit(2)
+			return point{}
+		}
+	}
+
+	if *csv {
+		fmt.Println("n,h,combining,bandwidth,mean_latency,cold_latency,combines,limit")
+	} else {
+		fmt.Printf("topology=%s N=%d rate=%.2f window=%d queue=%d cycles=%d\n\n",
+			*topo, *n, *rate, *window, *queue, *cycles)
+		fmt.Println("   h     comb |  ops/cycle   latency   cold-lat   combines |  limit")
+		fmt.Println("-------------+--------------------------------------------+-------")
+	}
+	for _, h := range hs {
+		for _, comb := range []bool{false, true} {
+			pt := run(h, comb)
+			limit := combining.AsymptoticHotBandwidth(*n, h)
+			if *csv {
+				fmt.Printf("%d,%g,%v,%.4f,%.2f,%.2f,%d,%.4f\n",
+					*n, h, comb, pt.bandwidth, pt.latency,
+					pt.coldLatency, pt.combines, limit)
+			} else {
+				fmt.Printf(" %6.4f  %-4v |  %9.2f  %8.1f  %9.1f  %9d | %6.2f\n",
+					h, comb, pt.bandwidth, pt.latency,
+					pt.coldLatency, pt.combines, limit)
+			}
+		}
+	}
+}

@@ -1,0 +1,54 @@
+// Command prefixdemo runs the Section 6 asynchronous prefix tree and
+// reports its operation counts against the paper's formulas
+// (experiment E7).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+
+	combining "combining"
+)
+
+func main() {
+	n := flag.Int("n", 16, "number of leaves")
+	show := flag.Bool("show", false, "print the prefixes")
+	flag.Parse()
+
+	rng := rand.New(rand.NewPCG(1, 9))
+	vals := make([]int64, *n)
+	for i := range vals {
+		vals[i] = int64(rng.IntN(90) + 10)
+	}
+
+	prefixes, total, ops := combining.RunPrefixTree(combining.IntAdd(), vals)
+	if *show {
+		fmt.Println("  i   val   exclusive prefix")
+		for i, v := range vals {
+			fmt.Printf("%3d  %4d   %6d\n", i, v, prefixes[i])
+		}
+	}
+	fmt.Printf("n = %d leaves, total (at the superoot) = %d\n", *n, total)
+	fmt.Printf("multiplications: %d total, %d nontrivial\n", ops.Total, ops.Nontrivial)
+	fmt.Printf("paper formulas:  %d total (2n−2), %d nontrivial (2n−2−⌈lg n⌉)\n",
+		2*(*n-1), combining.PaperNontrivial(*n))
+
+	s := combining.AnalyzePrefix(*n)
+	fmt.Printf("synchronized makespan: %d cycles; paper: 2⌈lg n⌉−2 = %d\n",
+		s.Makespan, combining.PaperCycles(*n))
+
+	pow2 := *n > 0 && *n&(*n-1) == 0
+	if pow2 && (ops.Total != int64(2*(*n-1)) ||
+		ops.Nontrivial != int64(combining.PaperNontrivial(*n)) ||
+		s.Makespan != combining.PaperCycles(*n)) {
+		fmt.Fprintln(os.Stderr, "prefixdemo: MISMATCH against the paper's counts")
+		os.Exit(1)
+	}
+	if pow2 {
+		fmt.Println("counts match the paper ✓")
+	} else {
+		fmt.Println("(exact count formulas apply to power-of-two n)")
+	}
+}

@@ -1,0 +1,152 @@
+// Command tables prints the composition tables of Section 5, derived from
+// the mapping implementations, and checks them against the tables printed
+// in the paper (experiments T1, T2, T3).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	combining "combining"
+)
+
+func opName(m combining.Mapping) string {
+	switch v := m.(type) {
+	case combining.Load:
+		return "load"
+	case combining.Const:
+		if v.NeedOld {
+			return "swap"
+		}
+		return "store"
+	default:
+		return m.String()
+	}
+}
+
+func main() {
+	ok := true
+
+	fmt.Println("Section 5.1 — combining loads, stores, and swaps")
+	fmt.Println("(rows: first request; columns: second request)")
+	lssOps := []struct {
+		name string
+		mk   func() combining.Mapping
+	}{
+		{"load", func() combining.Mapping { return combining.Load{} }},
+		{"store", func() combining.Mapping { return combining.StoreOf(1) }},
+		{"swap", func() combining.Mapping { return combining.SwapOf(2) }},
+	}
+	wantT1 := [3][3]string{
+		{"load", "swap", "swap"},
+		{"store", "store", "store"},
+		{"swap", "swap", "swap"},
+	}
+	fmt.Printf("%8s |", "")
+	for _, g := range lssOps {
+		fmt.Printf(" %-6s", g.name)
+	}
+	fmt.Println()
+	for i, f := range lssOps {
+		fmt.Printf("%8s |", f.name)
+		for j, g := range lssOps {
+			h, _ := combining.Compose(f.mk(), g.mk())
+			got := opName(h)
+			mark := ""
+			if got != wantT1[i][j] {
+				mark, ok = "  <-- MISMATCH", false
+			}
+			fmt.Printf(" %-6s%s", got, mark)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nSection 5.1 — with order reversal (* marks a reversed pair)")
+	wantT2 := [3][3]string{
+		{"load", "store*", "swap"},
+		{"store", "store", "store"},
+		{"swap", "store*", "swap"},
+	}
+	fmt.Printf("%8s |", "")
+	for _, g := range lssOps {
+		fmt.Printf(" %-7s", g.name)
+	}
+	fmt.Println()
+	for i, f := range lssOps {
+		fmt.Printf("%8s |", f.name)
+		for j, g := range lssOps {
+			a := combining.NewRequest(1, 0, f.mk(), 0)
+			b := combining.NewRequest(2, 0, g.mk(), 1)
+			comb, rec, _ := combining.Combine(a, b, combining.Policy{AllowReversal: true})
+			got := opName(comb.Op)
+			if rec.Reversed {
+				got += "*"
+			}
+			mark := ""
+			if got != wantT2[i][j] {
+				mark, ok = "  <-- MISMATCH", false
+			}
+			fmt.Printf(" %-7s%s", got, mark)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nSection 5.3 — the four unary Boolean operations")
+	bNames := []string{"load", "clear", "set", "comp"}
+	bMk := []combining.Mapping{
+		combining.BoolOf(combining.BLoad),
+		combining.BoolOf(combining.BClear),
+		combining.BoolOf(combining.BSet),
+		combining.BoolOf(combining.BComp),
+	}
+	wantT3 := [4][4]string{
+		{"load", "clear", "set", "comp"},
+		{"clear", "clear", "set", "set"},
+		{"set", "clear", "set", "clear"},
+		{"comp", "clear", "set", "load"},
+	}
+	fmt.Printf("%8s |", "")
+	for _, n := range bNames {
+		fmt.Printf(" %-6s", n)
+	}
+	fmt.Println()
+	for i := range bMk {
+		fmt.Printf("%8s |", bNames[i])
+		for j := range bMk {
+			h, _ := combining.Compose(bMk[i], bMk[j])
+			got := h.String()
+			mark := ""
+			if got != wantT3[i][j] {
+				mark, ok = "  <-- MISMATCH", false
+			}
+			fmt.Printf(" %-6s%s", got, mark)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nSection 5.5 — closure of the full/empty operations")
+	feOps := []combining.Mapping{
+		combining.FELoad(),
+		combining.FELoadClear(),
+		combining.FEStoreSet(1),
+		combining.FEStoreIfClearSet(1),
+		combining.FEStoreClear(1),
+		combining.FEStoreIfClearClear(1),
+	}
+	for _, f := range feOps {
+		for _, g := range feOps {
+			if _, okC := combining.Compose(f, g); !okC {
+				fmt.Printf("  %v ∘ %v failed to combine  <-- MISMATCH\n", f, g)
+				ok = false
+			}
+		}
+	}
+	fmt.Printf("  all %d×%d compositions stay within the six-operation semigroup ✓\n",
+		len(feOps), len(feOps))
+
+	if !ok {
+		fmt.Fprintln(os.Stderr, "tables: MISMATCH against the paper")
+		os.Exit(1)
+	}
+	fmt.Println("\nall tables match the paper ✓")
+}

@@ -1,0 +1,455 @@
+// Package combining is a library reproduction of
+//
+//	Kruskal, Rudolph, Snir.  Efficient Synchronization on Multiprocessors
+//	with Shared Memory.  PODC 1986 / ACM TOPLAS 10(4), 1988.
+//
+// It provides the paper's read-modify-write formalism and every tractable
+// mapping family of Section 5; the memory-request combining mechanism of
+// Section 4 with its correctness machinery (Lemma 4.1 bookkeeping and the
+// Theorem 4.2 serializability checkers); two complete combining-network
+// engines — a cycle-accurate Omega-network simulator for the hot-spot
+// experiments and an asynchronous goroutine-per-switch network for running
+// real concurrent programs — plus the Section 7 variants (hypercube, bus
+// FIFO); the Section 6 parallel-prefix tree; and the classic fetch-and-add
+// coordination algorithms built on top.
+//
+// The facade re-exports the stable API from the internal packages; see
+// DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record.
+package combining
+
+import (
+	"combining/internal/asyncnet"
+	"combining/internal/busnet"
+	"combining/internal/coord"
+	"combining/internal/core"
+	"combining/internal/hypercube"
+	"combining/internal/machine"
+	"combining/internal/memory"
+	"combining/internal/model"
+	"combining/internal/network"
+	"combining/internal/pathexpr"
+	"combining/internal/prefix"
+	"combining/internal/rmw"
+	"combining/internal/serial"
+	"combining/internal/word"
+)
+
+// ---- Words and identifiers (internal/word) ----
+
+// Word is one shared-memory cell: a 64-bit value plus a state tag.
+type Word = word.Word
+
+// Tag is the synchronization state of a tagged cell (full/empty bit or
+// automaton state).
+type Tag = word.Tag
+
+// Addr names a shared-memory cell.
+type Addr = word.Addr
+
+// ProcID identifies a processor.
+type ProcID = word.ProcID
+
+// ReqID identifies a request.
+type ReqID = word.ReqID
+
+// Full/empty tags.
+const (
+	Empty = word.Empty
+	Full  = word.Full
+)
+
+// W builds an untagged word; WT builds a tagged one.
+var (
+	W  = word.W
+	WT = word.WT
+)
+
+// ---- The RMW formalism (internal/rmw) ----
+
+// Mapping is the updating transformation f of RMW(X, f).
+type Mapping = rmw.Mapping
+
+// Mapping families.
+type (
+	// Load is the identity mapping (a load).
+	Load = rmw.Load
+	// Const is the constant mapping I_v (store or swap).
+	Const = rmw.Const
+	// Assoc is fetch-and-θ for associative θ.
+	Assoc = rmw.Assoc
+	// Bool is the Boolean bit-vector family (x AND a) XOR b.
+	Bool = rmw.Bool
+	// Affine is x → ax+b over wrapping integers.
+	Affine = rmw.Affine
+	// Moebius is x → (ax+b)/(cx+d) over float64.
+	Moebius = rmw.Moebius
+	// Table is a data-level synchronization state table.
+	Table = rmw.Table
+	// BoolUnary names one of the four unary Boolean operations.
+	BoolUnary = rmw.BoolUnary
+)
+
+// The four unary Boolean operations of Section 5.3.
+const (
+	BLoad  = rmw.BLoad
+	BClear = rmw.BClear
+	BSet   = rmw.BSet
+	BComp  = rmw.BComp
+)
+
+// Mapping constructors and composition.
+var (
+	StoreOf  = rmw.StoreOf
+	SwapOf   = rmw.SwapOf
+	FetchAdd = rmw.FetchAdd
+	FetchOr  = rmw.FetchOr
+	FetchAnd = rmw.FetchAnd
+	FetchXor = rmw.FetchXor
+	FetchMin = rmw.FetchMin
+	FetchMax = rmw.FetchMax
+
+	TestAndSet = rmw.TestAndSet
+	BoolOf     = rmw.BoolOf
+
+	ComposeBoolUnary = rmw.ComposeBoolUnary
+
+	FELoad              = rmw.FELoad
+	FELoadClear         = rmw.FELoadClear
+	FEStoreSet          = rmw.FEStoreSet
+	FEStoreIfClearSet   = rmw.FEStoreIfClearSet
+	FEStoreClear        = rmw.FEStoreClear
+	FEStoreIfClearClear = rmw.FEStoreIfClearClear
+	FELoadIfSetClear    = rmw.FELoadIfSetClear
+	FEStoreIfClear      = rmw.FEStoreIfClear
+	FEStoreIfSet        = rmw.FEStoreIfSet
+
+	NewTable     = rmw.NewTable
+	PartialStore = rmw.PartialStore
+	StoreByte    = rmw.StoreByte
+
+	// Compose returns f∘g — f then g — per the Section 4.2 rule, and
+	// whether the pair is combinable.
+	Compose = rmw.Compose
+	// ComposeAll folds Compose over a chain.
+	ComposeAll = rmw.ComposeAll
+	// Combinable reports whether two mappings can combine.
+	Combinable = rmw.Combinable
+	// NeedsValue reports whether a reply must carry the old value.
+	NeedsValue = rmw.NeedsValue
+
+	// EncodeMapping and DecodeMapping are the wire encoding.
+	EncodeMapping = rmw.Encode
+	DecodeMapping = rmw.Decode
+)
+
+// ---- The combining mechanism (internal/core) ----
+
+// Request is a memory request message ⟨id, addr, f⟩.
+type Request = core.Request
+
+// Reply is a reply message ⟨id, val⟩.
+type Reply = core.Reply
+
+// Record is a wait-buffer entry created by a combine.
+type Record = core.Record
+
+// Policy configures combining (order reversal).
+type Policy = core.Policy
+
+// Combining primitives.
+var (
+	// NewRequest builds a fresh request.
+	NewRequest = core.NewRequest
+	// Combine merges two requests per Section 4.2.
+	Combine = core.Combine
+	// Decombine splits a reply using a wait-buffer record.
+	Decombine = core.Decombine
+	// Execute performs a memory-side RMW on a cell.
+	Execute = core.Execute
+	// SerialReplies is the serial reference semantics of Lemma 4.1.
+	SerialReplies = core.SerialReplies
+)
+
+// Unbounded is the wait-buffer capacity for unlimited combining.
+const Unbounded = core.Unbounded
+
+// ---- Memory modules (internal/memory) ----
+
+// MemModule is one FIFO memory module.
+type MemModule = memory.Module
+
+// MemArray is an interleaved bank of modules.
+type MemArray = memory.Array
+
+// QueueingMemory is the Section 5.5 queueing alternative: conditional
+// full/empty operations park at the controller instead of returning
+// negative acknowledgments.
+type QueueingMemory = memory.QueueingModule
+
+// NewMemModule, NewMemArray and NewQueueingMemory construct memory.
+var (
+	NewMemModule      = memory.NewModule
+	NewMemArray       = memory.NewArray
+	NewQueueingMemory = memory.NewQueueingModule
+)
+
+// ---- Cycle-accurate network machine (internal/network) ----
+
+// NetConfig parameterizes the Omega-network simulator.
+type NetConfig = network.Config
+
+// NetStats aggregates a simulation run.
+type NetStats = network.Stats
+
+// Sim is the cycle-driven machine.
+type Sim = network.Sim
+
+// Injector supplies traffic for one processor port.
+type Injector = network.Injector
+
+// Injection is one offered request.
+type Injection = network.Injection
+
+// Stochastic is the hot-spot workload injector.
+type Stochastic = network.Stochastic
+
+// TrafficConfig describes the hot-spot workload.
+type TrafficConfig = network.TrafficConfig
+
+// HotspotResult is one sweep point.
+type HotspotResult = network.HotspotResult
+
+// NetEvent is one simulator trace event; NetTraceLog collects them.
+type (
+	NetEvent    = network.Event
+	NetTraceLog = network.TraceLog
+)
+
+// Permutation traffic patterns for network baselines.
+type Permutation = network.Permutation
+
+// Classic permutation patterns and runner.
+var (
+	IdentityPerm    = network.IdentityPerm
+	BitReversePerm  = network.BitReversePerm
+	TransposePerm   = network.TransposePerm
+	ShiftPerm       = network.ShiftPerm
+	RunPermutation  = network.RunPermutation
+	NewPermInjector = network.NewPermInjector
+)
+
+// TraceEntry is one parsed request of the replay trace format;
+// ReplayInjector feeds a trace slice into an engine.
+type (
+	TraceEntry     = network.TraceEntry
+	ReplayInjector = network.ReplayInjector
+)
+
+// Trace replay: parse/write the trace format and build injectors.
+var (
+	ParseTrace         = network.ParseTrace
+	WriteTrace         = network.WriteTrace
+	NewReplayInjectors = network.NewReplayInjectors
+)
+
+// Network simulator constructors and helpers.
+var (
+	NewSim                 = network.NewSim
+	NewStochastic          = network.NewStochastic
+	RunHotspot             = network.RunHotspot
+	RunHotspotTraffic      = network.RunHotspotTraffic
+	AsymptoticHotBandwidth = network.AsymptoticHotBandwidth
+)
+
+// Analytic performance model (Kruskal & Snir 1983).
+var (
+	// KruskalSnirWait is the per-stage queueing delay of a buffered
+	// banyan under uniform load.
+	KruskalSnirWait = model.KruskalSnirWait
+	// PredictUniformLatency is the closed-form round-trip prediction.
+	PredictUniformLatency = model.UniformLatency
+	// SaturationLoad is the offered load at which a hot spot saturates.
+	SaturationLoad = model.SaturationLoad
+)
+
+// ---- Programs, fences, histories (internal/machine, internal/serial) ----
+
+// Machine runs instruction streams on the simulated network.
+type Machine = machine.Machine
+
+// Instr is one program instruction.
+type Instr = machine.Instr
+
+// M1Machine is the Section 3.2 central-FIFO memory, sequentially
+// consistent by construction.
+type M1Machine = machine.M1Machine
+
+// MachineEngine is any transport programs can run on.
+type MachineEngine = machine.Engine
+
+// Program builders.
+var (
+	NewMachine          = machine.New
+	NewM1               = machine.NewM1
+	NewMachineInjectors = machine.NewInjectors
+	RMW                 = machine.RMW
+	Fence               = machine.Fence
+)
+
+// History is a record of completed operations.
+type History = serial.History
+
+// HistOp is one completed operation.
+type HistOp = serial.Op
+
+// TimedHistory carries issue/completion timestamps for the
+// linearizability checker.
+type TimedHistory = serial.TimedHistory
+
+// TimedOp is an operation with its observation interval.
+type TimedOp = serial.TimedOp
+
+// Consistency checkers.
+var (
+	// CheckM2 verifies per-location serializability (Theorem 4.2).
+	CheckM2 = serial.CheckM2
+	// CheckM2WithFinal additionally explains the final memory contents.
+	CheckM2WithFinal = serial.CheckM2WithFinal
+	// SeqConsistent decides full sequential consistency (small
+	// histories).
+	SeqConsistent = serial.SeqConsistent
+	// CheckLinearizable verifies per-location linearizability against
+	// real-time operation intervals.
+	CheckLinearizable = serial.CheckLinearizable
+)
+
+// ---- Asynchronous combining network (internal/asyncnet) ----
+
+// AsyncConfig parameterizes the goroutine network.
+type AsyncConfig = asyncnet.Config
+
+// AsyncNet is a running asynchronous combining network.
+type AsyncNet = asyncnet.Net
+
+// AsyncPort is one processor's connection; AsyncPending is a pipelined
+// in-flight request handle.
+type (
+	AsyncPort    = asyncnet.Port
+	AsyncPending = asyncnet.Pending
+)
+
+// NewAsyncNet starts an asynchronous network.
+var NewAsyncNet = asyncnet.New
+
+// ---- Coordination primitives (internal/coord) ----
+
+// SharedMemory hands out per-participant views of shared cells.
+type SharedMemory = coord.Memory
+
+// SharedCell is one shared integer cell.
+type SharedCell = coord.Cell
+
+// Coordination types.
+type (
+	// Counter is a shared ticket counter.
+	Counter = coord.Counter
+	// Barrier is a reusable N-party barrier.
+	Barrier = coord.Barrier
+	// Semaphore is a counting semaphore.
+	Semaphore = coord.Semaphore
+	// RWLock is the fetch-and-add readers–writers lock.
+	RWLock = coord.RWLock
+	// FAAQueue is the bounded MPMC fetch-and-add queue.
+	FAAQueue = coord.Queue
+	// BitLock is the Section 5.3 multiple-locking word.
+	BitLock = coord.BitLock
+	// SoftBarrier is the software combining tree — the algorithmic
+	// fallback when the network does not combine.
+	SoftBarrier = coord.SoftBarrier
+	// PortMemory adapts an asyncnet port to SharedMemory.
+	PortMemory = coord.PortMemory
+)
+
+// Coordination constructors.
+var (
+	NewNativeMemory = coord.NewNative
+	NewCounter      = coord.NewCounter
+	NewBarrier      = coord.NewBarrier
+	NewSemaphore    = coord.NewSemaphore
+	NewRWLock       = coord.NewRWLock
+	NewFAAQueue     = coord.NewQueue
+	NewBitLock      = coord.NewBitLock
+	NewSoftBarrier  = coord.NewSoftBarrier
+)
+
+// ---- Parallel prefix (internal/prefix) ----
+
+// Monoid supplies an associative operation for prefix computation.
+type Monoid[T any] = prefix.Monoid[T]
+
+// PrefixSchedule is the synchronized analysis result.
+type PrefixSchedule = prefix.Schedule
+
+// Prefix computations.
+var (
+	IntAdd          = prefix.IntAdd
+	AnalyzePrefix   = prefix.Analyze
+	PaperNontrivial = prefix.PaperNontrivial
+	PaperCycles     = prefix.PaperCycles
+)
+
+// RunPrefixTree executes the asynchronous Section 6 tree.
+func RunPrefixTree[T any](m Monoid[T], vals []T) (prefixes []T, total T, ops prefix.OpCount) {
+	return prefix.RunTree(m, vals)
+}
+
+// Sklansky computes inclusive prefixes with the minimum-depth circuit.
+func Sklansky[T any](m Monoid[T], vals []T) ([]T, prefix.Circuit) {
+	return prefix.Sklansky(m, vals)
+}
+
+// BrentKung computes inclusive prefixes with the size-frugal circuit.
+func BrentKung[T any](m Monoid[T], vals []T) ([]T, prefix.Circuit) {
+	return prefix.BrentKung(m, vals)
+}
+
+// LadnerFischer computes inclusive prefixes with the LF(k) circuit family
+// cited by Section 6, interpolating depth against size.
+func LadnerFischer[T any](m Monoid[T], vals []T, k int) ([]T, prefix.Circuit) {
+	return prefix.LadnerFischer(m, vals, k)
+}
+
+// ---- Path expressions (internal/pathexpr) ----
+
+// PathGuard is a compiled path expression.
+type PathGuard = pathexpr.Guard
+
+// CompilePath compiles a path expression into combinable guard mappings.
+var CompilePath = pathexpr.Compile
+
+// ---- Section 7 variants ----
+
+// CubeConfig parameterizes the hypercube machine.
+type CubeConfig = hypercube.Config
+
+// CubeSim is the cycle-driven hypercube.
+type CubeSim = hypercube.Sim
+
+// CubeStats summarizes a hypercube run.
+type CubeStats = hypercube.Stats
+
+// NewCubeSim builds the hypercube machine.
+var NewCubeSim = hypercube.NewSim
+
+// BusConfig parameterizes the bus machine.
+type BusConfig = busnet.Config
+
+// BusSim is the cycle-driven bus machine.
+type BusSim = busnet.Sim
+
+// BusStats summarizes a bus run.
+type BusStats = busnet.Stats
+
+// NewBusSim builds the bus machine.
+var NewBusSim = busnet.NewSim

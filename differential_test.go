@@ -1,0 +1,192 @@
+package combining_test
+
+// Differential testing across every engine in the repository: the same
+// workload — each of N processors applies fetch-and-add(2^p) K times to
+// one hot cell — runs on the M1 central-FIFO machine, the cycle-accurate
+// Omega network (combining, partial, none, reversal), the asynchronous
+// goroutine network, the hypercube, and the bus FIFO.  Every engine must
+// produce the same final value and a reply multiset that witnesses some
+// serialization; Theorem 4.2 says combining changes neither.
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	combining "combining"
+)
+
+const (
+	diffProcs = 8
+	diffPer   = 4
+	diffAddr  = combining.Addr(5)
+)
+
+// checkSerialization verifies the replies to unit fetch-and-adds are the
+// exact set {0, …, total−1}.
+func checkSerialization(t *testing.T, engine string, replies []int64, final int64) {
+	t.Helper()
+	total := diffProcs * diffPer
+	if final != int64(total) {
+		t.Fatalf("%s: final %d, want %d", engine, final, total)
+	}
+	if len(replies) != total {
+		t.Fatalf("%s: %d replies, want %d", engine, len(replies), total)
+	}
+	sorted := append([]int64{}, replies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i, v := range sorted {
+		if v != int64(i) {
+			t.Fatalf("%s: replies are not a serialization (position %d holds %d)", engine, i, v)
+		}
+	}
+}
+
+func diffPrograms() [][]combining.Instr {
+	progs := make([][]combining.Instr, diffProcs)
+	for p := 0; p < diffProcs; p++ {
+		for i := 0; i < diffPer; i++ {
+			progs[p] = append(progs[p], combining.RMW(diffAddr, combining.FetchAdd(1)))
+		}
+	}
+	return progs
+}
+
+func repliesOf(m *combining.Machine) []int64 {
+	var out []int64
+	for p := 0; p < diffProcs; p++ {
+		for i := 0; i < diffPer; i++ {
+			out = append(out, m.Proc(p).Reply(i).Val)
+		}
+	}
+	return out
+}
+
+func TestDifferentialEngines(t *testing.T) {
+	// M1 central FIFO.
+	t.Run("m1", func(t *testing.T) {
+		m := combining.NewM1(diffPrograms())
+		if !m.Run(10000) {
+			t.Fatal("did not complete")
+		}
+		var replies []int64
+		for p := 0; p < diffProcs; p++ {
+			for i := 0; i < diffPer; i++ {
+				replies = append(replies, m.Reply(p, i).Val)
+			}
+		}
+		checkSerialization(t, "m1", replies, m.Peek(diffAddr).Val)
+	})
+
+	// Omega network machine across combining configurations.
+	for _, cfg := range []struct {
+		name string
+		net  combining.NetConfig
+	}{
+		{"omega-none", combining.NetConfig{Procs: diffProcs, WaitBufCap: 0}},
+		{"omega-partial", combining.NetConfig{Procs: diffProcs, WaitBufCap: 1}},
+		{"omega-full", combining.NetConfig{Procs: diffProcs, WaitBufCap: combining.Unbounded}},
+		{"omega-reversal", combining.NetConfig{Procs: diffProcs, WaitBufCap: combining.Unbounded, AllowReversal: true}},
+	} {
+		t.Run(cfg.name, func(t *testing.T) {
+			m := combining.NewMachine(cfg.net, diffPrograms())
+			if !m.Run(100000) {
+				t.Fatal("did not complete")
+			}
+			checkSerialization(t, cfg.name, repliesOf(m),
+				m.Sim().Memory().Peek(diffAddr).Val)
+			if err := combining.CheckLinearizable(m.TimedHistory(), nil, nil); err != nil {
+				t.Errorf("%s: %v", cfg.name, err)
+			}
+		})
+	}
+
+	// Asynchronous goroutine network.
+	t.Run("asyncnet", func(t *testing.T) {
+		net := combining.NewAsyncNet(combining.AsyncConfig{Procs: diffProcs, Combining: true})
+		defer net.Close()
+		replies := make([][]int64, diffProcs)
+		var wg sync.WaitGroup
+		for p := 0; p < diffProcs; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				port := net.Port(p)
+				for i := 0; i < diffPer; i++ {
+					replies[p] = append(replies[p], port.FetchAdd(diffAddr, 1))
+				}
+			}(p)
+		}
+		wg.Wait()
+		var all []int64
+		for _, rs := range replies {
+			all = append(all, rs...)
+		}
+		checkSerialization(t, "asyncnet", all, net.Memory().Peek(diffAddr).Val)
+	})
+
+	// Hypercube and bus (script injectors).
+	t.Run("hypercube", func(t *testing.T) {
+		inj, collect := scriptFleet()
+		sim := combining.NewCubeSim(combining.CubeConfig{Nodes: diffProcs, WaitBufCap: combining.Unbounded}, inj)
+		if !sim.Drain(10000) {
+			t.Fatal("did not drain")
+		}
+		checkSerialization(t, "hypercube", collect(), sim.Memory().Peek(diffAddr).Val)
+	})
+	t.Run("bus", func(t *testing.T) {
+		inj, collect := scriptFleet()
+		sim := combining.NewBusSim(combining.BusConfig{Procs: diffProcs, Banks: 4, WaitBufCap: combining.Unbounded}, inj)
+		if !sim.Drain(10000) {
+			t.Fatal("did not drain")
+		}
+		checkSerialization(t, "bus", collect(), sim.Memory().Peek(diffAddr).Val)
+	})
+}
+
+// scriptFleet builds per-processor scripted injectors for the engines that
+// take raw injectors, and a collector for their replies.
+func scriptFleet() ([]combining.Injector, func() []int64) {
+	inj := make([]combining.Injector, diffProcs)
+	scripts := make([]*diffScript, diffProcs)
+	id := 1
+	for p := 0; p < diffProcs; p++ {
+		scripts[p] = &diffScript{}
+		for i := 0; i < diffPer; i++ {
+			scripts[p].script = append(scripts[p].script, combining.Injection{
+				Req: combining.NewRequest(combining.ReqID(id), diffAddr,
+					combining.FetchAdd(1), combining.ProcID(p)),
+			})
+			id++
+		}
+		inj[p] = scripts[p]
+	}
+	return inj, func() []int64 {
+		var out []int64
+		for _, s := range scripts {
+			for _, r := range s.replies {
+				out = append(out, r.Val.Val)
+			}
+		}
+		return out
+	}
+}
+
+type diffScript struct {
+	script  []combining.Injection
+	next    int
+	replies []combining.Reply
+}
+
+func (s *diffScript) Next(int64) (combining.Injection, bool) {
+	if s.next >= len(s.script) {
+		return combining.Injection{}, false
+	}
+	inj := s.script[s.next]
+	s.next++
+	return inj, true
+}
+
+func (s *diffScript) Deliver(rep combining.Reply, _ int64) {
+	s.replies = append(s.replies, rep)
+}

@@ -1,0 +1,3 @@
+module combining
+
+go 1.23

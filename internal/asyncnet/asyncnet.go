@@ -1,0 +1,408 @@
+// Package asyncnet is an asynchronous, goroutine-per-switch implementation
+// of the combining Omega network: the same topology, routing and combining
+// rules as the cycle-accurate simulator (internal/network), but driven by
+// real concurrency — each switch is a process communicating over channels,
+// and each processor port is a calling goroutine that blocks for its reply.
+//
+// Where the cycle simulator measures queueing phenomena, this engine
+// exercises the combining mechanism under genuine nondeterministic
+// interleavings (and under the race detector), and it lets real programs —
+// the fetch-and-add coordination algorithms of internal/coord, the
+// producer/consumer full/empty examples — run against a combining shared
+// memory.  Dataflow synchronization replaces the global clock, exactly the
+// move Section 6 makes for the parallel-prefix tree.
+package asyncnet
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync"
+
+	"combining/internal/core"
+	"combining/internal/memory"
+	"combining/internal/rmw"
+	"combining/internal/word"
+)
+
+// fwdMsg is a request in flight with its path header.
+type fwdMsg struct {
+	req  core.Request
+	path []uint8
+}
+
+// revMsg is a reply in flight.
+type revMsg struct {
+	rep  core.Reply
+	path []uint8
+}
+
+// Config parameterizes the asynchronous network.
+type Config struct {
+	// Procs is N, a power of two ≥ 2.
+	Procs int
+	// Combining enables request combining at the switches.
+	Combining bool
+	// AllowReversal enables the Section 5.1 order-reversal optimization.
+	AllowReversal bool
+	// Window bounds outstanding requests per port (default 8).
+	Window int
+	// ChanCap is the per-link channel capacity.  It defaults to
+	// Procs·Window, which bounds total in-flight messages below any
+	// single channel's capacity, so switch sends never block
+	// indefinitely and the processes cannot deadlock.
+	ChanCap int
+}
+
+// Net is a running asynchronous combining network.
+type Net struct {
+	cfg      Config
+	n, k     int
+	mem      *memory.Array
+	switches [][]*aswitch
+	ports    []*Port
+
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	// combines counts combine events across switches (atomic not needed:
+	// summed after Close or read approximately).
+	mu       sync.Mutex
+	combines int64
+}
+
+// aswitch is one switch process.
+type aswitch struct {
+	net          *Net
+	stage, index int
+
+	fwdIn [2]chan fwdMsg
+	revIn chan revMsg // replies from the memory side
+
+	// Downstream targets, wired by New.
+	fwdOut [2]func(fwdMsg) // send toward memory
+	revOut [2]func(revMsg) // send toward processors
+
+	wait *core.WaitBuffer[arec]
+	pol  core.Policy
+}
+
+// arec is the wait-buffer record with the second request's path.
+type arec struct {
+	core.Record
+	pathSecond []uint8
+}
+
+// Port is one processor's connection to the network.  A Port may pipeline
+// up to the configured window of outstanding requests (RMWAsync) and is
+// not safe for concurrent use; run one goroutine per port.
+type Port struct {
+	net         *Net
+	proc        word.ProcID
+	ids         *word.IDGen
+	reply       chan revMsg
+	window      int
+	outstanding int
+	buffered    map[word.ReqID]word.Word
+}
+
+// New starts the network's switch goroutines.
+func New(cfg Config) *Net {
+	if cfg.Procs < 2 || cfg.Procs&(cfg.Procs-1) != 0 {
+		panic(fmt.Sprintf("asyncnet: Procs must be a power of two ≥ 2, got %d", cfg.Procs))
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 8
+	}
+	if cfg.ChanCap <= 0 {
+		cfg.ChanCap = cfg.Procs * cfg.Window
+	}
+	n := cfg.Procs
+	k := bits.TrailingZeros(uint(n))
+	net := &Net{
+		cfg:  cfg,
+		n:    n,
+		k:    k,
+		mem:  memory.NewArray(n),
+		done: make(chan struct{}),
+	}
+	waitCap := 0
+	if cfg.Combining {
+		waitCap = core.Unbounded
+	}
+	pol := core.Policy{AllowReversal: cfg.AllowReversal}
+
+	net.switches = make([][]*aswitch, k)
+	for s := range net.switches {
+		net.switches[s] = make([]*aswitch, n/2)
+		for i := range net.switches[s] {
+			sw := &aswitch{
+				net:   net,
+				stage: s,
+				index: i,
+				revIn: make(chan revMsg, cfg.ChanCap),
+				wait:  core.NewWaitBuffer[arec](waitCap),
+				pol:   pol,
+			}
+			sw.fwdIn[0] = make(chan fwdMsg, cfg.ChanCap)
+			sw.fwdIn[1] = make(chan fwdMsg, cfg.ChanCap)
+			net.switches[s][i] = sw
+		}
+	}
+
+	// Ports and their reply channels.
+	net.ports = make([]*Port, n)
+	for p := 0; p < n; p++ {
+		net.ports[p] = &Port{
+			net:      net,
+			proc:     word.ProcID(p),
+			ids:      word.Partition(p, n),
+			reply:    make(chan revMsg, cfg.ChanCap),
+			window:   cfg.Window,
+			buffered: make(map[word.ReqID]word.Word),
+		}
+	}
+
+	// Wire the topology: stage s switch i output line (2i+b) shuffles
+	// into stage s+1; the last stage feeds memory inline and sends the
+	// reply back into its own revIn.
+	for s := 0; s < k; s++ {
+		for i := 0; i < n/2; i++ {
+			sw := net.switches[s][i]
+			for b := 0; b < 2; b++ {
+				outLine := i<<1 | b
+				if s == k-1 {
+					mod := outLine
+					sw.fwdOut[b] = func(m fwdMsg) {
+						rep := net.mem.Module(mod).Do(m.req)
+						sw.revIn <- revMsg{rep: rep, path: m.path}
+					}
+				} else {
+					nextLine := net.shuffle(outLine)
+					next := net.switches[s+1][nextLine>>1]
+					inPort := uint8(nextLine & 1)
+					target := next.fwdIn[nextLine&1]
+					sw.fwdOut[b] = func(m fwdMsg) {
+						m.path = append(m.path, inPort)
+						target <- m
+					}
+				}
+			}
+			// Reverse wiring: replies leaving input port p of stage s.
+			for p := 0; p < 2; p++ {
+				inLine := i<<1 | p
+				if s == 0 {
+					port := net.ports[net.unshuffle(inLine)]
+					sw.revOut[p] = func(r revMsg) { port.reply <- r }
+				} else {
+					prevLine := net.unshuffle(inLine)
+					prev := net.switches[s-1][prevLine>>1]
+					sw.revOut[p] = func(r revMsg) { prev.revIn <- r }
+				}
+			}
+			net.wg.Add(1)
+			go sw.run()
+		}
+	}
+	return net
+}
+
+func (n *Net) shuffle(line int) int   { return (line<<1 | line>>(n.k-1)) & (n.n - 1) }
+func (n *Net) unshuffle(line int) int { return (line>>1 | (line&1)<<(n.k-1)) & (n.n - 1) }
+
+// Close shuts the switch goroutines down.  All ports must be idle (no
+// outstanding requests).
+func (n *Net) Close() {
+	close(n.done)
+	n.wg.Wait()
+}
+
+// Memory exposes the module array for initialization and inspection; use
+// only while no requests are in flight.
+func (n *Net) Memory() *memory.Array { return n.mem }
+
+// Combines reports combine events so far.
+func (n *Net) Combines() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+
+	return n.combines
+}
+
+func (n *Net) addCombines(c int64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+
+	n.combines += c
+}
+
+// Port returns processor p's port.
+func (n *Net) Port(p int) *Port { return n.ports[p] }
+
+// RMW issues RMW(addr, op) through the network and blocks for the old
+// value.
+func (p *Port) RMW(addr word.Addr, op rmw.Mapping) word.Word {
+	return p.RMWAsync(addr, op).Wait()
+}
+
+// Pending is a handle to an in-flight pipelined request.
+type Pending struct {
+	port *Port
+	id   word.ReqID
+}
+
+// RMWAsync issues the request without waiting for its reply — the
+// processor-side pipelining of Section 3.2 (condition M2 still holds: the
+// network is non-overtaking per location, but accesses to different
+// locations may complete out of order, exactly the behaviour Collier's
+// example exploits).  When the port's window is full, it first absorbs
+// one outstanding reply.
+func (p *Port) RMWAsync(addr word.Addr, op rmw.Mapping) *Pending {
+	for p.outstanding >= p.window {
+		r := <-p.reply
+		p.buffered[r.rep.ID] = r.rep.Val
+		p.outstanding--
+	}
+	id := p.ids.NextPartitioned(p.net.n)
+	req := core.NewRequest(id, addr, op, p.proc)
+	line := p.net.shuffle(int(p.proc))
+	sw := p.net.switches[0][line>>1]
+	sw.fwdIn[line&1] <- fwdMsg{req: req, path: []uint8{uint8(line & 1)}}
+	p.outstanding++
+	return &Pending{port: p, id: id}
+}
+
+// Wait blocks for the request's old value.  Replies arriving out of order
+// are buffered for their own handles.
+func (h *Pending) Wait() word.Word {
+	p := h.port
+	if v, ok := p.buffered[h.id]; ok {
+		delete(p.buffered, h.id)
+		return v
+	}
+	for {
+		r := <-p.reply
+		p.outstanding--
+		if r.rep.ID == h.id {
+			return r.rep.Val
+		}
+		if _, dup := p.buffered[r.rep.ID]; dup {
+			panic(fmt.Sprintf("asyncnet: duplicate reply %v", r.rep))
+		}
+		p.buffered[r.rep.ID] = r.rep.Val
+	}
+}
+
+// Fence drains every outstanding reply — the RP3 fence on the
+// asynchronous machine.
+func (p *Port) Fence() {
+	for p.outstanding > 0 {
+		r := <-p.reply
+		p.buffered[r.rep.ID] = r.rep.Val
+		p.outstanding--
+	}
+}
+
+// FetchAdd is a convenience wrapper.
+func (p *Port) FetchAdd(addr word.Addr, delta int64) int64 {
+	return p.RMW(addr, rmw.FetchAdd(delta)).Val
+}
+
+// run is the switch process: it batches simultaneously available requests,
+// combines what it can, forwards the rest, and decombines replies.
+func (sw *aswitch) run() {
+	defer sw.net.wg.Done()
+	for {
+		select {
+		case <-sw.net.done:
+			return
+		case m := <-sw.fwdIn[0]:
+			sw.handleFwd(m)
+		case m := <-sw.fwdIn[1]:
+			sw.handleFwd(m)
+		case r := <-sw.revIn:
+			sw.handleRev(r)
+		}
+	}
+}
+
+// handleFwd drains whatever else is immediately available on the input
+// channels — the asynchronous analogue of requests meeting in a queue —
+// combines same-address batches, and forwards the survivors.
+func (sw *aswitch) handleFwd(first fwdMsg) {
+	batch := []fwdMsg{first}
+	// Drain twice with a scheduling point between: a burst of requests
+	// from concurrently released goroutines arrives within a few
+	// scheduler quanta, and the yield lets the stragglers land so they
+	// can combine — the asynchronous analogue of messages meeting in a
+	// switch queue.
+	for round := 0; round < 2; round++ {
+		for drained := true; drained; {
+			select {
+			case m := <-sw.fwdIn[0]:
+				batch = append(batch, m)
+			case m := <-sw.fwdIn[1]:
+				batch = append(batch, m)
+			default:
+				drained = false
+			}
+		}
+		if round == 0 {
+			runtime.Gosched()
+		}
+	}
+	var combined int64
+	var out []fwdMsg
+	for _, m := range batch {
+		merged := false
+		if sw.wait.CanPush() {
+			// Combine only with the most recent same-address message,
+			// preserving per-location arrival order (M2.3).
+			for i := len(out) - 1; i >= 0; i-- {
+				if out[i].req.Addr != m.req.Addr {
+					continue
+				}
+				c, rec, ok := core.Combine(out[i].req, m.req, sw.pol)
+				if !ok {
+					break
+				}
+				firstMsg, secondMsg := out[i], m
+				if rec.ID1 != firstMsg.req.ID {
+					firstMsg, secondMsg = m, out[i]
+				}
+				if !sw.wait.Push(rec.ID1, arec{Record: rec, pathSecond: secondMsg.path}) {
+					break
+				}
+				out[i] = fwdMsg{req: c, path: firstMsg.path}
+				combined++
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			out = append(out, m)
+		}
+	}
+	if combined > 0 {
+		sw.net.addCombines(combined)
+	}
+	for _, m := range out {
+		dst := sw.net.mem.HomeOf(m.req.Addr)
+		port := dst >> (sw.net.k - 1 - sw.stage) & 1
+		sw.fwdOut[port](m)
+	}
+}
+
+// handleRev decombines a reply against the wait buffer (repeatedly, for
+// k-way combines) and routes the results toward the processors.
+func (sw *aswitch) handleRev(r revMsg) {
+	if rec, ok := sw.wait.Pop(r.rep.ID); ok {
+		r1, r2 := core.Decombine(rec.Record, r.rep)
+		sw.handleRev(revMsg{rep: r1, path: r.path})
+		sw.handleRev(revMsg{rep: r2, path: rec.pathSecond})
+		return
+	}
+	port := r.path[sw.stage]
+	r.path = r.path[:sw.stage]
+	sw.revOut[port](r)
+}

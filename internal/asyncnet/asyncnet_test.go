@@ -1,0 +1,223 @@
+package asyncnet
+
+import (
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"testing"
+
+	"combining/internal/rmw"
+	"combining/internal/serial"
+	"combining/internal/word"
+)
+
+// TestAsyncFAASerialization (experiment E10, asynchronous engine): N ports
+// hammer one cell with unit fetch-and-adds from real goroutines; the
+// replies must be exactly {0, …, N·R−1} — a serialization witness — and
+// the final value exact.
+func TestAsyncFAASerialization(t *testing.T) {
+	for _, combining := range []bool{false, true} {
+		const n, rounds = 16, 50
+		net := New(Config{Procs: n, Combining: combining})
+		const hot = word.Addr(3)
+		replies := make([][]int64, n)
+		var wg sync.WaitGroup
+		for p := 0; p < n; p++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				port := net.Port(p)
+				for r := 0; r < rounds; r++ {
+					replies[p] = append(replies[p], port.FetchAdd(hot, 1))
+				}
+			}()
+		}
+		wg.Wait()
+		if got := net.Memory().Peek(hot).Val; got != n*rounds {
+			t.Fatalf("combining=%v: final value %d, want %d", combining, got, n*rounds)
+		}
+		var all []int64
+		for _, rs := range replies {
+			all = append(all, rs...)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		for i, v := range all {
+			if v != int64(i) {
+				t.Fatalf("combining=%v: replies are not a permutation of 0..%d (position %d holds %d)",
+					combining, n*rounds-1, i, v)
+			}
+		}
+		t.Logf("combining=%v: %d combines", combining, net.Combines())
+		if !combining && net.Combines() != 0 {
+			t.Errorf("combining disabled but %d combines happened", net.Combines())
+		}
+		net.Close()
+	}
+}
+
+// TestAsyncCombiningOccurs checks the batching switch actually combines
+// under a sustained hot burst.
+func TestAsyncCombiningOccurs(t *testing.T) {
+	const n, rounds = 32, 200
+	net := New(Config{Procs: n, Combining: true})
+	defer net.Close()
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			port := net.Port(p)
+			for r := 0; r < rounds; r++ {
+				port.FetchAdd(0, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if net.Memory().Peek(0).Val != n*rounds {
+		t.Fatal("final value wrong")
+	}
+	t.Logf("combines: %d of %d requests", net.Combines(), n*rounds)
+	if net.Combines() == 0 {
+		t.Error("no combining under a 6400-request hot burst")
+	}
+}
+
+// TestAsyncTheorem42 runs random mixed programs from concurrent goroutines
+// and feeds the observed history to the Theorem 4.2 checker.
+func TestAsyncTheorem42(t *testing.T) {
+	const n, ops = 8, 60
+	const addrSpace = 4
+	for _, combining := range []bool{false, true} {
+		net := New(Config{Procs: n, Combining: combining, AllowReversal: combining})
+		hists := make([]*serial.History, n)
+		var wg sync.WaitGroup
+		for p := 0; p < n; p++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rng := rand.New(rand.NewPCG(uint64(p), 42))
+				h := &serial.History{}
+				port := net.Port(p)
+				for i := 0; i < ops; i++ {
+					addr := word.Addr(rng.IntN(addrSpace))
+					var op rmw.Mapping
+					switch rng.IntN(4) {
+					case 0:
+						op = rmw.Load{}
+					case 1:
+						op = rmw.StoreOf(int64(p*1000 + i))
+					case 2:
+						op = rmw.SwapOf(int64(p*1000 + i))
+					default:
+						op = rmw.FetchAdd(int64(rng.IntN(9) - 4))
+					}
+					old := port.RMW(addr, op)
+					h.Add(serial.Op{
+						Proc: word.ProcID(p), Seq: i, Addr: addr, Op: op, Reply: old,
+					})
+				}
+				hists[p] = h
+			}()
+		}
+		wg.Wait()
+		merged := &serial.History{}
+		for _, h := range hists {
+			for _, op := range h.Ops() {
+				merged.Add(op)
+			}
+		}
+		final := make(map[word.Addr]word.Word)
+		for a := word.Addr(0); a < addrSpace; a++ {
+			final[a] = net.Memory().Peek(a)
+		}
+		if err := serial.CheckM2WithFinal(merged, nil, final); err != nil {
+			t.Errorf("combining=%v: %v", combining, err)
+		}
+		net.Close()
+	}
+}
+
+// TestAsyncFullEmpty runs a producer/consumer pair over a full/empty cell
+// (Section 5.5 busy-waiting style: a failed conditional operation is
+// retried).
+func TestAsyncFullEmpty(t *testing.T) {
+	const items = 100
+	net := New(Config{Procs: 4, Combining: true})
+	defer net.Close()
+	const cell = word.Addr(2)
+
+	var got []int64
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // producer on port 0
+		defer wg.Done()
+		port := net.Port(0)
+		for i := int64(1); i <= items; i++ {
+			for {
+				old := port.RMW(cell, rmw.FEStoreIfClearSet(i))
+				if old.Tag == word.Empty {
+					break // store succeeded
+				}
+			}
+		}
+	}()
+	go func() { // consumer on port 3
+		defer wg.Done()
+		port := net.Port(3)
+		for len(got) < items {
+			old := port.RMW(cell, rmw.FELoadIfSetClear())
+			if old.Tag == word.Full {
+				got = append(got, old.Val)
+			}
+		}
+	}()
+	wg.Wait()
+	if len(got) != items {
+		t.Fatalf("consumer got %d items, want %d", len(got), items)
+	}
+	for i, v := range got {
+		if v != int64(i+1) {
+			t.Fatalf("item %d = %d, want %d (FIFO through the cell)", i, v, i+1)
+		}
+	}
+	if tag := net.Memory().Peek(cell).Tag; tag != word.Empty {
+		t.Errorf("cell ends %v, want empty", tag)
+	}
+}
+
+// TestAsyncDistinctAddresses checks routing under concurrency: each port
+// owns one address and must never see another port's values.
+func TestAsyncDistinctAddresses(t *testing.T) {
+	const n, ops = 16, 80
+	net := New(Config{Procs: n, Combining: true})
+	defer net.Close()
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			port := net.Port(p)
+			addr := word.Addr(p)
+			last := int64(0)
+			for i := 1; i <= ops; i++ {
+				v := int64(p*10000 + i)
+				old := port.RMW(addr, rmw.SwapOf(v))
+				if old.Val != last {
+					t.Errorf("port %d: swap returned %d, want %d", p, old.Val, last)
+					return
+				}
+				last = v
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestAsyncConfigValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad proc count accepted")
+		}
+	}()
+	New(Config{Procs: 3})
+}

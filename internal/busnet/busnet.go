@@ -1,0 +1,262 @@
+// Package busnet models the last architecture of Section 7: "Combining
+// can also be used on machines where multiple processors are connected to
+// a shared memory by a bus.  The shared memory is often heavily
+// interleaved; thus it achieves high, but uneven, throughput.  A FIFO
+// buffer is often used to decouple memory from the shared bus.  Combining
+// in this queue will improve the memory throughput by reducing conflicting
+// accesses to the same memory bank."
+//
+// The machine: processors arbitrate for a bus carrying one request per
+// cycle into a central FIFO; the FIFO head dispatches to an interleaved
+// bank when that bank is idle (head-of-line blocking on a busy bank is
+// precisely the conflict combining removes); replies decombine against the
+// FIFO's wait buffer and return to the issuing processor.
+package busnet
+
+import (
+	"fmt"
+
+	"combining/internal/core"
+	"combining/internal/memory"
+	"combining/internal/network"
+	"combining/internal/rmw"
+	"combining/internal/word"
+)
+
+// Config parameterizes the bus machine.
+type Config struct {
+	// Procs is the number of processors (any count ≥ 1).
+	Procs int
+	// Banks is the number of interleaved memory banks (≥ 1).
+	Banks int
+	// QueueCap bounds the decoupling FIFO (default 8).
+	QueueCap int
+	// WaitBufCap bounds the FIFO's wait buffer (0 disables combining).
+	WaitBufCap int
+	// BankService is cycles per memory operation (default 4 — banks are
+	// slower than the bus, which is why they are interleaved).
+	BankService int
+	// AllowReversal enables the Section 5.1 optimization.
+	AllowReversal bool
+}
+
+type qmsg struct {
+	req   core.Request
+	src   int
+	issue int64
+	hot   bool
+}
+
+type brec struct {
+	core.Record
+	src2   int
+	issue2 int64
+	hot2   bool
+}
+
+// Stats summarizes a run.
+type Stats struct {
+	Cycles     int64
+	Issued     int64
+	Completed  int64
+	LatencySum int64
+	Combines   int64
+	BankOps    int64
+	// HOLBlocked counts cycles the FIFO head was stalled on a busy bank.
+	HOLBlocked int64
+}
+
+// MeanLatency is the average round trip in cycles.
+func (s Stats) MeanLatency() float64 {
+	if s.Completed == 0 {
+		return 0
+	}
+	return float64(s.LatencySum) / float64(s.Completed)
+}
+
+// Bandwidth is completed operations per cycle.
+func (s Stats) Bandwidth() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Completed) / float64(s.Cycles)
+}
+
+// Sim is the cycle-driven bus machine.
+type Sim struct {
+	cfg     Config
+	mem     *memory.Array
+	inj     []network.Injector
+	pending []*qmsg
+	queue   []qmsg
+	wait    *core.WaitBuffer[brec]
+	meta    map[word.ReqID]qmsg
+	pol     core.Policy
+
+	cycle int64
+	stats Stats
+}
+
+// NewSim builds the machine.
+func NewSim(cfg Config, inj []network.Injector) *Sim {
+	if cfg.Procs < 1 || cfg.Banks < 1 {
+		panic("busnet: need at least one processor and one bank")
+	}
+	if len(inj) != cfg.Procs {
+		panic(fmt.Sprintf("busnet: %d injectors for %d processors", len(inj), cfg.Procs))
+	}
+	if cfg.QueueCap == 0 {
+		cfg.QueueCap = 8
+	}
+	if cfg.BankService == 0 {
+		cfg.BankService = 4
+	}
+	return &Sim{
+		cfg:     cfg,
+		mem:     memory.NewArray(cfg.Banks, memory.WithServiceTime(cfg.BankService)),
+		inj:     inj,
+		pending: make([]*qmsg, cfg.Procs),
+		wait:    core.NewWaitBuffer[brec](cfg.WaitBufCap),
+		meta:    make(map[word.ReqID]qmsg),
+		pol:     core.Policy{AllowReversal: cfg.AllowReversal},
+	}
+}
+
+// Memory exposes the banks.
+func (s *Sim) Memory() *memory.Array { return s.mem }
+
+// Stats snapshots the counters.
+func (s *Sim) Stats() Stats { return s.stats }
+
+// InFlight counts requests in the machine.
+func (s *Sim) InFlight() int {
+	n := len(s.queue) + s.wait.Len() + len(s.meta)
+	for _, p := range s.pending {
+		if p != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Step advances one cycle: bank completions return (and decombine), the
+// FIFO head dispatches, and one processor wins the bus.
+func (s *Sim) Step() {
+	s.cycle++
+	s.stats.Cycles++
+
+	// Bank completions.
+	for b := 0; b < s.cfg.Banks; b++ {
+		rep, ok := s.mem.Module(b).Tick()
+		if !ok {
+			continue
+		}
+		m, found := s.meta[rep.ID]
+		if !found {
+			panic(fmt.Sprintf("busnet: reply %v without metadata", rep))
+		}
+		delete(s.meta, rep.ID)
+		s.deliver(rep, m.src, m.issue)
+	}
+
+	// Dispatch the FIFO head when its bank is idle.
+	if len(s.queue) > 0 {
+		head := s.queue[0]
+		bank := s.mem.HomeOf(head.req.Addr)
+		if s.mem.Module(bank).QueueLen() == 0 {
+			copy(s.queue, s.queue[1:])
+			s.queue = s.queue[:len(s.queue)-1]
+			s.meta[head.req.ID] = head
+			s.mem.Module(bank).Enqueue(head.req)
+			s.stats.BankOps++
+		} else {
+			s.stats.HOLBlocked++
+		}
+	}
+
+	// Bus arbitration: round-robin; one request enters the FIFO.
+	for off := 0; off < s.cfg.Procs; off++ {
+		p := (off + int(s.cycle)) % s.cfg.Procs
+		if s.pending[p] == nil {
+			inj, ok := s.inj[p].Next(s.cycle)
+			if !ok {
+				continue
+			}
+			s.pending[p] = &qmsg{req: inj.Req, src: p, issue: s.cycle, hot: inj.Hot}
+			s.stats.Issued++
+		}
+		if s.enqueue(*s.pending[p]) {
+			s.pending[p] = nil
+			break // the bus carries one request per cycle
+		}
+	}
+}
+
+// deliver routes a reply (and its decombined fan-out) back to processors.
+func (s *Sim) deliver(rep core.Reply, src int, issue int64) {
+	if rec, ok := s.wait.Pop(rep.ID); ok {
+		r1, r2 := core.Decombine(rec.Record, rep)
+		s.deliver(r1, src, issue)
+		s.deliver(r2, rec.src2, rec.issue2)
+		return
+	}
+	s.stats.Completed++
+	s.stats.LatencySum += s.cycle - issue
+	s.inj[src].Deliver(rep, s.cycle)
+}
+
+// enqueue inserts a request into the FIFO, combining with the most recent
+// same-address entry when possible.
+func (s *Sim) enqueue(m qmsg) bool {
+	for i := len(s.queue) - 1; i >= 0; i-- {
+		queued := &s.queue[i]
+		if queued.req.Addr != m.req.Addr {
+			continue
+		}
+		if !rmw.Combinable(queued.req.Op, m.req.Op) || !s.wait.CanPush() {
+			break
+		}
+		combined, rec, ok := core.Combine(queued.req, m.req, s.pol)
+		if !ok {
+			break
+		}
+		first, second := *queued, m
+		if rec.ID1 != first.req.ID {
+			first, second = m, *queued
+		}
+		if !s.wait.Push(rec.ID1, brec{
+			Record: rec,
+			src2:   second.src,
+			issue2: second.issue,
+			hot2:   second.hot,
+		}) {
+			break
+		}
+		*queued = qmsg{req: combined, src: first.src, issue: first.issue, hot: first.hot}
+		s.stats.Combines++
+		return true
+	}
+	if len(s.queue) >= s.cfg.QueueCap {
+		return false
+	}
+	s.queue = append(s.queue, m)
+	return true
+}
+
+// Run advances the machine.
+func (s *Sim) Run(cycles int) {
+	for i := 0; i < cycles; i++ {
+		s.Step()
+	}
+}
+
+// Drain runs until the machine is empty, up to the bound.
+func (s *Sim) Drain(maxCycles int) bool {
+	for i := 0; i < maxCycles; i++ {
+		s.Step()
+		if s.InFlight() == 0 {
+			return true
+		}
+	}
+	return s.InFlight() == 0
+}

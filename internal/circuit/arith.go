@@ -1,0 +1,202 @@
+package circuit
+
+// Word-level arithmetic circuits for the Section 5 families.
+//
+// The Kogge–Stone adder computes its carries by a *parallel prefix* over
+// (generate, propagate) pairs under the associative "carry operator"
+//
+//	(g, p) ∘ (g′, p′) = (g′ ∨ (p′ ∧ g), p′ ∧ p)
+//
+// — the same computation the combining tree of Section 6 performs, here
+// realizing the paper's NC condition for fetch-and-add: composing two
+// mappings is one w-bit addition in O(w log w) gates and O(log w) depth.
+
+// gp is a (generate, propagate) pair.
+type gp struct{ g, p Wire }
+
+// carryOp is the associative carry operator: left is the less-significant
+// segment.
+func carryOp(b *Builder, left, right gp) gp {
+	return gp{
+		g: b.Or(right.g, b.And(right.p, left.g)),
+		p: b.And(right.p, left.p),
+	}
+}
+
+// AddKoggeStone returns x + y (mod 2^w) with log-depth carries.
+func AddKoggeStone(b *Builder, x, y Bus) Bus {
+	w := len(x)
+	if len(y) != w {
+		panic("circuit: bus width mismatch")
+	}
+	// Bitwise generate/propagate.
+	pre := make([]gp, w)
+	for i := 0; i < w; i++ {
+		pre[i] = gp{g: b.And(x[i], y[i]), p: b.Xor(x[i], y[i])}
+	}
+	// Kogge–Stone prefix: after the pass with span s, pref[i] covers
+	// bits [i−2s+1, i].
+	pref := make([]gp, w)
+	copy(pref, pre)
+	for span := 1; span < w; span <<= 1 {
+		next := make([]gp, w)
+		copy(next, pref)
+		for i := span; i < w; i++ {
+			next[i] = carryOp(b, pref[i-span], pref[i])
+		}
+		pref = next
+	}
+	// carry into bit i is pref[i-1].g; sum = p ⊕ carry.
+	out := make(Bus, w)
+	out[0] = pre[0].p
+	for i := 1; i < w; i++ {
+		out[i] = b.Xor(pre[i].p, pref[i-1].g)
+	}
+	return out
+}
+
+// AddRipple returns x + y (mod 2^w) with a linear carry chain, the
+// size-minimal baseline the tests compare against.
+func AddRipple(b *Builder, x, y Bus) Bus {
+	w := len(x)
+	out := make(Bus, w)
+	carry := b.False()
+	for i := 0; i < w; i++ {
+		s := b.Xor(x[i], y[i])
+		out[i] = b.Xor(s, carry)
+		carry = b.Or(b.And(x[i], y[i]), b.And(s, carry))
+	}
+	return out
+}
+
+// Negate returns −x (two's complement).
+func Negate(b *Builder, x Bus) Bus {
+	inv := make(Bus, len(x))
+	for i := range x {
+		inv[i] = b.Not(x[i])
+	}
+	return AddKoggeStone(b, inv, b.ConstBus(1, len(x)))
+}
+
+// csa is a carry-save (3:2) compressor: returns sum and carry buses with
+// x+y+z = sum + 2·carry, in constant depth.
+func csa(b *Builder, x, y, z Bus) (Bus, Bus) {
+	w := len(x)
+	sum := make(Bus, w)
+	carry := make(Bus, w)
+	carry[0] = b.False()
+	for i := 0; i < w; i++ {
+		sum[i] = b.Xor(b.Xor(x[i], y[i]), z[i])
+		if i+1 < w {
+			maj := b.Or(b.Or(b.And(x[i], y[i]), b.And(x[i], z[i])), b.And(y[i], z[i]))
+			carry[i+1] = maj
+		}
+	}
+	return sum, carry
+}
+
+// MulWallace returns x·y (mod 2^w): partial products reduced by a
+// 3:2-compressor tree (logarithmic depth) and a final Kogge–Stone add.
+func MulWallace(b *Builder, x, y Bus) Bus {
+	w := len(x)
+	// Partial products: row i is (x ∧ y[i]) << i, truncated to w bits.
+	rows := make([]Bus, 0, w)
+	for i := 0; i < w; i++ {
+		row := make(Bus, w)
+		for j := 0; j < w; j++ {
+			if j < i {
+				row[j] = b.False()
+			} else {
+				row[j] = b.And(x[j-i], y[i])
+			}
+		}
+		rows = append(rows, row)
+	}
+	// Reduce three rows to two until only two remain.
+	for len(rows) > 2 {
+		var next []Bus
+		i := 0
+		for ; i+2 < len(rows); i += 3 {
+			s, c := csa(b, rows[i], rows[i+1], rows[i+2])
+			next = append(next, s, c)
+		}
+		next = append(next, rows[i:]...)
+		rows = next
+	}
+	if len(rows) == 1 {
+		return rows[0]
+	}
+	return AddKoggeStone(b, rows[0], rows[1])
+}
+
+// BoolComposeCircuit builds the Section 5.3 composition
+// (A, B) = (a₁∧a₂, (b₁∧a₂)⊕b₂) — constant depth, linear size.
+func BoolComposeCircuit(b *Builder, a1, b1, a2, b2 Bus) (Bus, Bus) {
+	w := len(a1)
+	ca := make(Bus, w)
+	cb := make(Bus, w)
+	for i := 0; i < w; i++ {
+		ca[i] = b.And(a1[i], a2[i])
+		cb[i] = b.Xor(b.And(b1[i], a2[i]), b2[i])
+	}
+	return ca, cb
+}
+
+// BoolApplyCircuit builds (x∧a)⊕b — depth 2.
+func BoolApplyCircuit(b *Builder, x, a, bb Bus) Bus {
+	w := len(x)
+	out := make(Bus, w)
+	for i := 0; i < w; i++ {
+		out[i] = b.Xor(b.And(x[i], a[i]), bb[i])
+	}
+	return out
+}
+
+// AffineComposeCircuit builds the Section 5.4 composition
+// (a₂·a₁, a₂·b₁ + b₂): "two multiplications and one addition".
+func AffineComposeCircuit(b *Builder, a1, b1, a2, b2 Bus) (Bus, Bus) {
+	return MulWallace(b, a2, a1), AddKoggeStone(b, MulWallace(b, a2, b1), b2)
+}
+
+// LessThan returns a single wire that is 1 when x < y as unsigned
+// integers, computed from the borrow of x − y in log depth: reuse the
+// carry prefix on (generate, propagate) pairs of the subtraction.
+func LessThan(b *Builder, x, y Bus) Wire {
+	w := len(x)
+	// Compute the borrow chain of x − y:
+	//   borrow_{i+1} = (¬x_i ∧ y_i) ∨ ((¬x_i ∨ y_i) ∧ borrow_i)
+	// which is the carry recurrence with generate g_i = ¬x_i ∧ y_i and
+	// propagate p_i = ¬x_i ∨ y_i, so the same prefix network applies;
+	// x < y exactly when the final borrow is 1.
+	pre := make([]gp, w)
+	for i := 0; i < w; i++ {
+		nx := b.Not(x[i])
+		pre[i] = gp{g: b.And(nx, y[i]), p: b.Or(nx, y[i])}
+	}
+	pref := make([]gp, w)
+	copy(pref, pre)
+	for span := 1; span < w; span <<= 1 {
+		next := make([]gp, w)
+		copy(next, pref)
+		for i := span; i < w; i++ {
+			next[i] = carryOp(b, pref[i-span], pref[i])
+		}
+		pref = next
+	}
+	return pref[w-1].g
+}
+
+// MinMax returns (min, max) of x and y as unsigned integers: one log-depth
+// comparison plus a mux per bit — the composition circuit for the
+// fetch-and-min and fetch-and-max families of Section 5.2.
+func MinMax(b *Builder, x, y Bus) (Bus, Bus) {
+	w := len(x)
+	xLess := LessThan(b, x, y)
+	minOut := make(Bus, w)
+	maxOut := make(Bus, w)
+	for i := 0; i < w; i++ {
+		minOut[i] = b.Mux(xLess, x[i], y[i])
+		maxOut[i] = b.Mux(xLess, y[i], x[i])
+	}
+	return minOut, maxOut
+}

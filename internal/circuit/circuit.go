@@ -1,0 +1,253 @@
+// Package circuit makes Section 5's formal tractability condition (2)
+// concrete: "the computation of φ(f∘g) from φ(f) and φ(g), and the
+// computation of f(a) from φ(f) and a are in the class NC; i.e., they can
+// be computed by circuits of small size and depth, where small means size
+// w^O(1) and depth log^O(1) w."
+//
+// It provides a small combinational-circuit builder (AND/OR/XOR/NOT gates
+// over wires), word-level buses, and the arithmetic the mapping families
+// need: a Kogge–Stone adder whose carry chain is literally a parallel
+// prefix over (generate, propagate) pairs — the same computation the
+// combining tree performs in Section 6 — and a Wallace-tree multiplier.
+// The tests measure actual gate counts and depths for each family's
+// composition circuit and check the NC bounds quantitatively.
+package circuit
+
+import "fmt"
+
+// Wire identifies one signal in a Builder.
+type Wire int32
+
+// gateKind discriminates gate types.
+type gateKind uint8
+
+const (
+	gConst0 gateKind = iota + 1
+	gConst1
+	gInput
+	gNot
+	gAnd
+	gOr
+	gXor
+)
+
+type gate struct {
+	kind gateKind
+	a, b Wire
+}
+
+// Builder accumulates a combinational circuit.
+type Builder struct {
+	gates  []gate
+	inputs []Wire
+}
+
+// NewBuilder returns an empty circuit with the two constants predefined.
+func NewBuilder() *Builder {
+	b := &Builder{}
+	b.gates = append(b.gates, gate{kind: gConst0}, gate{kind: gConst1})
+	return b
+}
+
+// False and True are the constant wires.
+func (b *Builder) False() Wire { return 0 }
+
+// True is the constant-1 wire.
+func (b *Builder) True() Wire { return 1 }
+
+// Input adds a primary input.
+func (b *Builder) Input() Wire {
+	w := b.add(gate{kind: gInput})
+	b.inputs = append(b.inputs, w)
+	return w
+}
+
+// Inputs reports the number of primary inputs.
+func (b *Builder) Inputs() int { return len(b.inputs) }
+
+func (b *Builder) add(g gate) Wire {
+	b.gates = append(b.gates, g)
+	return Wire(len(b.gates) - 1)
+}
+
+// Not returns ¬a.
+func (b *Builder) Not(a Wire) Wire {
+	switch a {
+	case 0:
+		return 1
+	case 1:
+		return 0
+	}
+	return b.add(gate{kind: gNot, a: a})
+}
+
+// And returns a∧c with constant folding.
+func (b *Builder) And(a, c Wire) Wire {
+	if a == 0 || c == 0 {
+		return 0
+	}
+	if a == 1 {
+		return c
+	}
+	if c == 1 {
+		return a
+	}
+	return b.add(gate{kind: gAnd, a: a, b: c})
+}
+
+// Or returns a∨c with constant folding.
+func (b *Builder) Or(a, c Wire) Wire {
+	if a == 1 || c == 1 {
+		return 1
+	}
+	if a == 0 {
+		return c
+	}
+	if c == 0 {
+		return a
+	}
+	return b.add(gate{kind: gOr, a: a, b: c})
+}
+
+// Xor returns a⊕c with constant folding.
+func (b *Builder) Xor(a, c Wire) Wire {
+	if a == 0 {
+		return c
+	}
+	if c == 0 {
+		return a
+	}
+	if a == 1 {
+		return b.Not(c)
+	}
+	if c == 1 {
+		return b.Not(a)
+	}
+	return b.add(gate{kind: gXor, a: a, b: c})
+}
+
+// Mux returns sel ? t : f.
+func (b *Builder) Mux(sel, t, f Wire) Wire {
+	return b.Or(b.And(sel, t), b.And(b.Not(sel), f))
+}
+
+// Eval computes all wire values for an input assignment (in Input order).
+func (b *Builder) Eval(inputs []bool) []bool {
+	if len(inputs) != len(b.inputs) {
+		panic(fmt.Sprintf("circuit: %d inputs supplied, %d declared", len(inputs), len(b.inputs)))
+	}
+	vals := make([]bool, len(b.gates))
+	in := 0
+	for i, g := range b.gates {
+		switch g.kind {
+		case gConst0:
+			vals[i] = false
+		case gConst1:
+			vals[i] = true
+		case gInput:
+			vals[i] = inputs[in]
+			in++
+		case gNot:
+			vals[i] = !vals[g.a]
+		case gAnd:
+			vals[i] = vals[g.a] && vals[g.b]
+		case gOr:
+			vals[i] = vals[g.a] || vals[g.b]
+		case gXor:
+			vals[i] = vals[g.a] != vals[g.b]
+		}
+	}
+	return vals
+}
+
+// Cost is the measured complexity of a set of outputs.
+type Cost struct {
+	// Size counts AND/OR/XOR/NOT gates in the cone of the outputs.
+	Size int
+	// Depth is the longest gate path from any input/constant.
+	Depth int
+}
+
+// CostOf measures size and depth of the cone feeding the outputs.
+func (b *Builder) CostOf(outs []Wire) Cost {
+	depth := make([]int, len(b.gates))
+	seen := make([]bool, len(b.gates))
+	size := 0
+	var visit func(w Wire) int
+	visit = func(w Wire) int {
+		if seen[w] {
+			return depth[w]
+		}
+		seen[w] = true
+		g := b.gates[w]
+		d := 0
+		switch g.kind {
+		case gConst0, gConst1, gInput:
+			d = 0
+		case gNot:
+			d = visit(g.a) + 1
+			size++
+		default:
+			da, db := visit(g.a), visit(g.b)
+			d = max(da, db) + 1
+			size++
+		}
+		depth[w] = d
+		return d
+	}
+	maxD := 0
+	for _, o := range outs {
+		if d := visit(o); d > maxD {
+			maxD = d
+		}
+	}
+	return Cost{Size: size, Depth: maxD}
+}
+
+// Bus is a little-endian group of wires forming a machine word.
+type Bus []Wire
+
+// InputBus declares w fresh input bits.
+func (b *Builder) InputBus(w int) Bus {
+	bus := make(Bus, w)
+	for i := range bus {
+		bus[i] = b.Input()
+	}
+	return bus
+}
+
+// ConstBus encodes a constant.
+func (b *Builder) ConstBus(v uint64, w int) Bus {
+	bus := make(Bus, w)
+	for i := range bus {
+		if v>>i&1 == 1 {
+			bus[i] = b.True()
+		} else {
+			bus[i] = b.False()
+		}
+	}
+	return bus
+}
+
+// BusValue decodes a bus from an evaluation.
+func BusValue(vals []bool, bus Bus) uint64 {
+	var v uint64
+	for i, w := range bus {
+		if vals[w] {
+			v |= 1 << i
+		}
+	}
+	return v
+}
+
+// SetBusInputs writes a value into an input assignment slice.
+func (b *Builder) SetBusInputs(assign []bool, bus Bus, v uint64) {
+	// Map wire→input index.
+	idx := make(map[Wire]int, len(b.inputs))
+	for i, w := range b.inputs {
+		idx[w] = i
+	}
+	for i, w := range bus {
+		assign[idx[w]] = v>>i&1 == 1
+	}
+}

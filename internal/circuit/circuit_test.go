@@ -1,0 +1,276 @@
+package circuit
+
+import (
+	"math/bits"
+	"math/rand/v2"
+	"testing"
+)
+
+func evalBinop(t *testing.T, w int, build func(b *Builder, x, y Bus) Bus, ref func(x, y uint64) uint64, trials int, seed uint64) Cost {
+	t.Helper()
+	b := NewBuilder()
+	x := b.InputBus(w)
+	y := b.InputBus(w)
+	out := build(b, x, y)
+	cost := b.CostOf(out)
+	rng := rand.New(rand.NewPCG(seed, 77))
+	mask := ^uint64(0)
+	if w < 64 {
+		mask = 1<<w - 1
+	}
+	for i := 0; i < trials; i++ {
+		xv := rng.Uint64() & mask
+		yv := rng.Uint64() & mask
+		assign := make([]bool, b.Inputs())
+		b.SetBusInputs(assign, x, xv)
+		b.SetBusInputs(assign, y, yv)
+		vals := b.Eval(assign)
+		if got, want := BusValue(vals, out), ref(xv, yv)&mask; got != want {
+			t.Fatalf("w=%d x=%#x y=%#x: got %#x, want %#x", w, xv, yv, got, want)
+		}
+	}
+	return cost
+}
+
+func TestAdderCorrect(t *testing.T) {
+	for _, w := range []int{1, 2, 8, 16, 64} {
+		evalBinop(t, w, AddKoggeStone, func(x, y uint64) uint64 { return x + y }, 300, uint64(w))
+		evalBinop(t, w, AddRipple, func(x, y uint64) uint64 { return x + y }, 300, uint64(w)+1)
+	}
+}
+
+func TestAdderExhaustiveSmall(t *testing.T) {
+	const w = 4
+	b := NewBuilder()
+	x := b.InputBus(w)
+	y := b.InputBus(w)
+	out := AddKoggeStone(b, x, y)
+	for xv := uint64(0); xv < 16; xv++ {
+		for yv := uint64(0); yv < 16; yv++ {
+			assign := make([]bool, b.Inputs())
+			b.SetBusInputs(assign, x, xv)
+			b.SetBusInputs(assign, y, yv)
+			if got := BusValue(b.Eval(assign), out); got != (xv+yv)&15 {
+				t.Fatalf("%d+%d = %d", xv, yv, got)
+			}
+		}
+	}
+}
+
+func TestMultiplierCorrect(t *testing.T) {
+	for _, w := range []int{2, 4, 8, 16, 64} {
+		evalBinop(t, w, MulWallace, func(x, y uint64) uint64 { return x * y }, 200, uint64(w)+9)
+	}
+}
+
+func TestNegate(t *testing.T) {
+	const w = 16
+	b := NewBuilder()
+	x := b.InputBus(w)
+	out := Negate(b, x)
+	for _, v := range []uint64{0, 1, 7, 0xffff, 0x8000} {
+		assign := make([]bool, b.Inputs())
+		b.SetBusInputs(assign, x, v)
+		if got := BusValue(b.Eval(assign), out); got != (-v)&0xffff {
+			t.Fatalf("-%d = %d", v, got)
+		}
+	}
+}
+
+// TestNCFetchAdd is the paper's tractability condition (2) for
+// fetch-and-add, measured: composing two mappings (one addition) takes
+// O(w log w) gates at O(log w) depth.
+func TestNCFetchAdd(t *testing.T) {
+	for _, w := range []int{16, 32, 64} {
+		b := NewBuilder()
+		x := b.InputBus(w)
+		y := b.InputBus(w)
+		out := AddKoggeStone(b, x, y)
+		c := b.CostOf(out)
+		lg := bits.Len(uint(w - 1))
+		t.Logf("w=%d: compose(fetch-add) size=%d depth=%d (lg w = %d)", w, c.Size, c.Depth, lg)
+		if c.Depth > 2*lg+4 {
+			t.Errorf("w=%d: adder depth %d not O(log w)", w, c.Depth)
+		}
+		if c.Size > 8*w*lg {
+			t.Errorf("w=%d: adder size %d not O(w log w)", w, c.Size)
+		}
+		// And strictly shallower than the ripple baseline at scale.
+		br := NewBuilder()
+		xr := br.InputBus(w)
+		yr := br.InputBus(w)
+		cr := br.CostOf(AddRipple(br, xr, yr))
+		if w >= 32 && c.Depth >= cr.Depth {
+			t.Errorf("w=%d: Kogge–Stone depth %d not below ripple %d", w, c.Depth, cr.Depth)
+		}
+	}
+}
+
+// TestNCBool: the Boolean family composes in constant depth, linear size.
+func TestNCBool(t *testing.T) {
+	const w = 64
+	b := NewBuilder()
+	a1, b1 := b.InputBus(w), b.InputBus(w)
+	a2, b2 := b.InputBus(w), b.InputBus(w)
+	ca, cb := BoolComposeCircuit(b, a1, b1, a2, b2)
+	c := b.CostOf(append(append(Bus{}, ca...), cb...))
+	t.Logf("w=%d: compose(bool) size=%d depth=%d", w, c.Size, c.Depth)
+	if c.Depth > 2 {
+		t.Errorf("Boolean composition depth %d, want ≤ 2", c.Depth)
+	}
+	if c.Size > 3*w {
+		t.Errorf("Boolean composition size %d, want ≤ 3w", c.Size)
+	}
+	// Semantics against the rmw mask algebra.
+	rng := rand.New(rand.NewPCG(3, 5))
+	for i := 0; i < 200; i++ {
+		va1, vb1, va2, vb2 := rng.Uint64(), rng.Uint64(), rng.Uint64(), rng.Uint64()
+		assign := make([]bool, b.Inputs())
+		b.SetBusInputs(assign, a1, va1)
+		b.SetBusInputs(assign, b1, vb1)
+		b.SetBusInputs(assign, a2, va2)
+		b.SetBusInputs(assign, b2, vb2)
+		vals := b.Eval(assign)
+		if got := BusValue(vals, ca); got != va1&va2 {
+			t.Fatalf("A: got %#x, want %#x", got, va1&va2)
+		}
+		if got := BusValue(vals, cb); got != vb1&va2^vb2 {
+			t.Fatalf("B: got %#x, want %#x", got, vb1&va2^vb2)
+		}
+	}
+}
+
+// TestNCAffine: the affine family composes with two Wallace multipliers
+// and one log-depth addition — polynomial size, polylog depth.
+func TestNCAffine(t *testing.T) {
+	const w = 16 // multiplier circuits get large; 16 bits demonstrates the shape
+	b := NewBuilder()
+	a1, b1 := b.InputBus(w), b.InputBus(w)
+	a2, b2 := b.InputBus(w), b.InputBus(w)
+	ca, cb := AffineComposeCircuit(b, a1, b1, a2, b2)
+	c := b.CostOf(append(append(Bus{}, ca...), cb...))
+	lg := bits.Len(uint(w - 1))
+	t.Logf("w=%d: compose(affine) size=%d depth=%d (lg w = %d)", w, c.Size, c.Depth, lg)
+	if c.Depth > 10*lg {
+		t.Errorf("affine composition depth %d not O(log w)", c.Depth)
+	}
+	if c.Size > 20*w*w {
+		t.Errorf("affine composition size %d not O(w²)", c.Size)
+	}
+	// Semantics: (a₂a₁, a₂b₁+b₂) mod 2^w.
+	rng := rand.New(rand.NewPCG(7, 9))
+	mask := uint64(1)<<w - 1
+	for i := 0; i < 100; i++ {
+		va1, vb1 := rng.Uint64()&mask, rng.Uint64()&mask
+		va2, vb2 := rng.Uint64()&mask, rng.Uint64()&mask
+		assign := make([]bool, b.Inputs())
+		b.SetBusInputs(assign, a1, va1)
+		b.SetBusInputs(assign, b1, vb1)
+		b.SetBusInputs(assign, a2, va2)
+		b.SetBusInputs(assign, b2, vb2)
+		vals := b.Eval(assign)
+		if got := BusValue(vals, ca); got != va2*va1&mask {
+			t.Fatalf("A: got %#x, want %#x", got, va2*va1&mask)
+		}
+		if got := BusValue(vals, cb); got != (va2*vb1+vb2)&mask {
+			t.Fatalf("B: got %#x, want %#x", got, (va2*vb1+vb2)&mask)
+		}
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	b := NewBuilder()
+	x := b.Input()
+	if b.And(x, b.False()) != b.False() {
+		t.Error("x∧0 must fold to 0")
+	}
+	if b.Or(x, b.True()) != b.True() {
+		t.Error("x∨1 must fold to 1")
+	}
+	if b.Xor(x, b.False()) != x {
+		t.Error("x⊕0 must fold to x")
+	}
+	if b.Not(b.Not(x)) == x {
+		t.Log("double negation not folded (acceptable)")
+	}
+	// Mux sanity.
+	y := b.Input()
+	m := b.Mux(b.True(), x, y)
+	if m != x {
+		// Mux(1,x,y) = Or(And(1,x), And(0,y)) = Or(x, 0) = x.
+		t.Errorf("Mux(1,x,y) = %d, want %d", m, x)
+	}
+}
+
+func TestCostOfSharedCone(t *testing.T) {
+	// Shared subcircuits are counted once.
+	b := NewBuilder()
+	x, y := b.Input(), b.Input()
+	s := b.And(x, y)
+	o1 := b.Xor(s, x)
+	o2 := b.Or(s, y)
+	c := b.CostOf(Bus{o1, o2})
+	if c.Size != 3 {
+		t.Errorf("size %d, want 3 (shared AND counted once)", c.Size)
+	}
+	if c.Depth != 2 {
+		t.Errorf("depth %d, want 2", c.Depth)
+	}
+}
+
+func TestLessThan(t *testing.T) {
+	const w = 8
+	b := NewBuilder()
+	x := b.InputBus(w)
+	y := b.InputBus(w)
+	lt := LessThan(b, x, y)
+	for xv := uint64(0); xv < 256; xv += 7 {
+		for yv := uint64(0); yv < 256; yv += 11 {
+			assign := make([]bool, b.Inputs())
+			b.SetBusInputs(assign, x, xv)
+			b.SetBusInputs(assign, y, yv)
+			got := b.Eval(assign)[lt]
+			if got != (xv < yv) {
+				t.Fatalf("LessThan(%d, %d) = %v", xv, yv, got)
+			}
+		}
+	}
+}
+
+// TestNCMinMax: the fetch-and-min/max composition circuit is O(w log w)
+// size at O(log w) depth, like the adder.
+func TestNCMinMax(t *testing.T) {
+	const w = 64
+	b := NewBuilder()
+	x := b.InputBus(w)
+	y := b.InputBus(w)
+	mn, mx := MinMax(b, x, y)
+	c := b.CostOf(append(append(Bus{}, mn...), mx...))
+	lg := bits.Len(uint(w - 1))
+	t.Logf("w=%d: compose(fetch-and-min/max) size=%d depth=%d (lg w = %d)", w, c.Size, c.Depth, lg)
+	if c.Depth > 2*lg+6 {
+		t.Errorf("min/max depth %d not O(log w)", c.Depth)
+	}
+	if c.Size > 10*w*lg {
+		t.Errorf("min/max size %d not O(w log w)", c.Size)
+	}
+	// Semantics.
+	rng := rand.New(rand.NewPCG(9, 9))
+	for i := 0; i < 200; i++ {
+		xv, yv := rng.Uint64(), rng.Uint64()
+		assign := make([]bool, b.Inputs())
+		b.SetBusInputs(assign, x, xv)
+		b.SetBusInputs(assign, y, yv)
+		vals := b.Eval(assign)
+		wantMin, wantMax := xv, yv
+		if yv < xv {
+			wantMin, wantMax = yv, xv
+		}
+		if got := BusValue(vals, mn); got != wantMin {
+			t.Fatalf("min(%d,%d) = %d", xv, yv, got)
+		}
+		if got := BusValue(vals, mx); got != wantMax {
+			t.Fatalf("max(%d,%d) = %d", xv, yv, got)
+		}
+	}
+}

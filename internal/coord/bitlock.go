@@ -1,0 +1,52 @@
+package coord
+
+import (
+	"combining/internal/word"
+)
+
+// BitLock is the "multiple locking" application of Section 5.3: a word of
+// up to 64 locks manipulated by bit-vector Boolean RMW operations.  A
+// caller acquires an arbitrary *set* of locks in one combinable
+// fetch-and-OR — all or nothing — and releases them with one
+// fetch-and-AND.  Because the Boolean mask family combines, simultaneous
+// acquisitions of disjoint lock sets merge into a single memory access.
+type BitLock struct {
+	c Cell
+}
+
+// NewBitLock binds a lock word to a cell (all locks initially free).
+func NewBitLock(m Memory, addr word.Addr) *BitLock {
+	return &BitLock{c: m.Cell(addr)}
+}
+
+// TryAcquire attempts to take every lock in mask at once.  It succeeds
+// only if all were free; on partial conflict it releases what it grabbed
+// and reports false.
+func (l *BitLock) TryAcquire(mask uint64) bool {
+	old := uint64(l.c.FetchOr(int64(mask)))
+	if old&mask == 0 {
+		return true
+	}
+	// Some requested locks were held: release exactly the ones this
+	// call actually flipped (requested and previously clear).
+	grabbed := mask &^ old
+	if grabbed != 0 {
+		l.c.FetchAndMask(^int64(grabbed))
+	}
+	return false
+}
+
+// Acquire busy-waits until the whole mask is taken.
+func (l *BitLock) Acquire(mask uint64) {
+	for !l.TryAcquire(mask) {
+		spin()
+	}
+}
+
+// Release frees every lock in mask.
+func (l *BitLock) Release(mask uint64) {
+	l.c.FetchAndMask(^int64(mask))
+}
+
+// Held reports the currently held lock bits (advisory).
+func (l *BitLock) Held() uint64 { return uint64(l.c.Load()) }

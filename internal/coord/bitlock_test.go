@@ -1,0 +1,94 @@
+package coord
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBitLockBasic(t *testing.T) {
+	l := NewBitLock(NewNative(), 0)
+	if !l.TryAcquire(0b0011) {
+		t.Fatal("free locks must acquire")
+	}
+	if l.TryAcquire(0b0110) {
+		t.Fatal("overlapping set must fail")
+	}
+	if got := l.Held(); got != 0b0011 {
+		t.Fatalf("held = %#b after failed overlap, want 0b0011 (undo leaked)", got)
+	}
+	if !l.TryAcquire(0b1100) {
+		t.Fatal("disjoint set must acquire")
+	}
+	l.Release(0b0011)
+	if got := l.Held(); got != 0b1100 {
+		t.Fatalf("held = %#b, want 0b1100", got)
+	}
+	l.Release(0b1100)
+	if l.Held() != 0 {
+		t.Fatal("locks leaked")
+	}
+}
+
+// TestBitLockMutualExclusion: concurrent owners of overlapping masks never
+// coexist, across both substrates.
+func TestBitLockMutualExclusion(t *testing.T) {
+	for _, s := range substrates(t) {
+		t.Run(s.name, func(t *testing.T) {
+			// Participant id wants locks {id mod 4, (id+1) mod 4} — all
+			// neighbouring pairs overlap.
+			var mu sync.Mutex
+			owner := map[uint]int{} // bit → current owner
+			s.run(t, func(id int, mem Memory) {
+				l := NewBitLock(mem, 50)
+				mask := uint64(1)<<(id%4) | uint64(1)<<((id+1)%4)
+				for i := 0; i < 10; i++ {
+					l.Acquire(mask)
+					mu.Lock()
+					for b := uint(0); b < 4; b++ {
+						if mask>>b&1 == 1 {
+							if prev, held := owner[b]; held {
+								t.Errorf("bit %d owned by both %d and %d", b, prev, id)
+							}
+							owner[b] = id
+						}
+					}
+					mu.Unlock()
+					mu.Lock()
+					for b := uint(0); b < 4; b++ {
+						if mask>>b&1 == 1 {
+							delete(owner, b)
+						}
+					}
+					mu.Unlock()
+					l.Release(mask)
+				}
+			})
+		})
+	}
+}
+
+// TestBitLockAllOrNothing: a failed multi-lock acquisition leaves no
+// residue even under contention.
+func TestBitLockAllOrNothing(t *testing.T) {
+	mem := NewNative()
+	l := NewBitLock(mem, 0)
+	l.Acquire(0b10) // bit 1 held by the test
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l2 := NewBitLock(mem, 0)
+			for j := 0; j < 100; j++ {
+				if l2.TryAcquire(0b11) { // overlaps the held bit: must fail
+					t.Error("acquired a held lock")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := l.Held(); got != 0b10 {
+		t.Fatalf("held = %#b, want 0b10 (failed acquires leaked bits)", got)
+	}
+}

@@ -1,0 +1,88 @@
+package coord
+
+import (
+	"combining/internal/word"
+)
+
+// SoftBarrier is a software combining tree (Yew, Tzeng & Lawrie's
+// response to this paper's hardware mechanism): when the network does not
+// combine, the *algorithm* spreads the hot spot over a tree of counter
+// cells with bounded fan-in, so no single cell takes more than fanIn
+// concurrent fetch-and-adds.  The last arriver at each node climbs; the
+// processor that reaches the root releases everyone by bumping the
+// per-tree generation cell.
+//
+// It is the ablation partner of Barrier: with hardware combining the flat
+// fetch-and-add barrier is optimal (the network forms the tree); without
+// it, the software tree removes the serialization at the cost of lg n
+// memory round trips for the last arriver.
+type SoftBarrier struct {
+	n     int
+	fanIn int
+	// nodes[l][i] is the arrival counter of node i at level l (level 0
+	// holds the leaves).
+	nodes [][]Cell
+	gen   Cell
+	// widths[l] is the participant count feeding level l.
+	widths []int
+}
+
+// NewSoftBarrier builds a participant's view of the tree for n parties
+// with the given fan-in (≥ 2).  Cells are allocated from base; the layout
+// is identical for every participant.
+func NewSoftBarrier(m Memory, base word.Addr, n, fanIn int) *SoftBarrier {
+	if n < 1 {
+		panic("coord: barrier needs at least one participant")
+	}
+	if fanIn < 2 {
+		panic("coord: combining tree needs fan-in ≥ 2")
+	}
+	b := &SoftBarrier{n: n, fanIn: fanIn, gen: m.Cell(base)}
+	addr := base + 1
+	for width := n; ; width = (width + fanIn - 1) / fanIn {
+		level := make([]Cell, (width+fanIn-1)/fanIn)
+		for i := range level {
+			level[i] = m.Cell(addr)
+			addr++
+		}
+		b.nodes = append(b.nodes, level)
+		b.widths = append(b.widths, width)
+		if len(level) == 1 {
+			break
+		}
+	}
+	return b
+}
+
+// groupSize returns how many arrivals node i at level l must collect.
+func (b *SoftBarrier) groupSize(l, i int) int64 {
+	width := b.widths[l]
+	size := b.fanIn
+	if (i+1)*b.fanIn > width {
+		size = width - i*b.fanIn
+	}
+	return int64(size)
+}
+
+// Await blocks participant id until all n have arrived.
+func (b *SoftBarrier) Await(id int) {
+	g := b.gen.Load()
+	pos := id
+	for l := 0; l < len(b.nodes); l++ {
+		node := pos / b.fanIn
+		// The fetch-and-add on a tree node is contended by at most
+		// fanIn participants — the whole point of the tree.
+		if b.nodes[l][node].FetchAdd(1) != b.groupSize(l, node)-1 {
+			// Not the last arriver here: wait for the release.
+			for b.gen.Load() == g {
+				spin()
+			}
+			return
+		}
+		// Last arriver: reset this node for the next phase and climb.
+		b.nodes[l][node].FetchAdd(-b.groupSize(l, node))
+		pos = node
+	}
+	// Reached the top: release everyone.
+	b.gen.FetchAdd(1)
+}

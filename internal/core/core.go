@@ -1,0 +1,198 @@
+// Package core implements the paper's central contribution: the memory
+// request combining mechanism of Section 4.
+//
+// A memory request message is ⟨id, addr, f⟩.  When two requests to the same
+// address meet, they are replaced by the single message ⟨id₁, addr, f∘g⟩,
+// and the tuple (id₁, id₂, f) is saved in a wait buffer.  When the reply
+// ⟨id₁, val⟩ returns, the saved record is popped and the two replies
+// ⟨id₁, val⟩ and ⟨id₂, f(val)⟩ are generated — Figure 1 of the paper.
+//
+// The package is transport-agnostic: both the cycle-accurate network
+// simulator (internal/network) and the asynchronous goroutine network
+// (internal/asyncnet) drive their switches with these primitives, and the
+// correctness experiments exercise them directly over arbitrary combining
+// trees (Lemma 4.1, Theorem 4.2).
+package core
+
+import (
+	"fmt"
+
+	"combining/internal/rmw"
+	"combining/internal/word"
+)
+
+// Request is a memory request message ⟨id, addr, f⟩ plus the metadata the
+// combining rules need: the set of issuing processors it represents (the
+// order-reversal optimization must never reorder two requests from the same
+// processor) and, when Lemma 4.1 bookkeeping is enabled, the ordered list
+// of original requests it represents.
+type Request struct {
+	ID   word.ReqID
+	Addr word.Addr
+	Op   rmw.Mapping
+
+	// Srcs is the sorted set of processors whose requests this message
+	// represents.  A fresh request has exactly one entry.
+	Srcs []word.ProcID
+
+	// Reps is the representation list of Lemma 4.1: the original
+	// requests, in serialization order.  It is carried only when the
+	// issuing machine enables debug bookkeeping; production transports
+	// leave it nil.
+	Reps []Leaf
+}
+
+// Leaf records one original (uncombined) processor request inside a
+// representation list.
+type Leaf struct {
+	ID  word.ReqID
+	Src word.ProcID
+	Op  rmw.Mapping
+}
+
+// NewRequest builds a fresh (uncombined) request message.
+func NewRequest(id word.ReqID, addr word.Addr, op rmw.Mapping, src word.ProcID) Request {
+	return Request{ID: id, Addr: addr, Op: op, Srcs: []word.ProcID{src}}
+}
+
+// WithReps returns a copy of the request carrying its own representation
+// leaf, enabling Lemma 4.1 bookkeeping through every later combine.
+func (r Request) WithReps() Request {
+	if len(r.Srcs) != 1 {
+		panic("core: WithReps on an already-combined request")
+	}
+	r.Reps = []Leaf{{ID: r.ID, Src: r.Srcs[0], Op: r.Op}}
+	return r
+}
+
+// String renders the message in the paper's ⟨id, addr, f⟩ form.
+func (r Request) String() string {
+	return fmt.Sprintf("⟨%d, @%d, %s⟩", r.ID, r.Addr, r.Op)
+}
+
+// Reply is a reply message ⟨id, val⟩.
+type Reply struct {
+	ID  word.ReqID
+	Val word.Word
+}
+
+// String renders the reply.
+func (p Reply) String() string { return fmt.Sprintf("⟨%d, %s⟩", p.ID, p.Val) }
+
+// Record is the wait-buffer entry saved when two requests combine: the two
+// ids and the first request's mapping, which synthesizes the second reply.
+// Transports attach their own routing state (which port each original
+// request arrived on) via the Port fields.
+type Record struct {
+	ID1, ID2 word.ReqID
+	F        rmw.Mapping
+	// Reversed notes that the combiner applied the Section 5.1
+	// order-reversal optimization, i.e. the request that arrived second
+	// was serialized first.  It affects only diagnostics; decombining is
+	// identical.
+	Reversed bool
+	// Port1 and Port2 record transport routing state for the two
+	// replies (input-port indexes in the network switches).
+	Port1, Port2 int
+}
+
+// Policy configures a combiner.
+type Policy struct {
+	// AllowReversal enables the Section 5.1 optimization: serialize the
+	// later request first when that turns the combined message into a
+	// plain store (saving the returned value).  Reversal is suppressed
+	// when the two messages share a represented processor, which would
+	// reorder a processor's own requests.
+	AllowReversal bool
+}
+
+// Combine attempts to combine request a (serialized first) with request b.
+// On success it returns the combined message and the wait-buffer record.
+// Combining fails — and the transport must forward the requests separately,
+// which is always correct ("partial combining") — when the addresses
+// differ or the mapping families do not compose.
+func Combine(a, b Request, pol Policy) (Request, Record, bool) {
+	if a.Addr != b.Addr {
+		return Request{}, Record{}, false
+	}
+	first, second, reversed := a, b, false
+	if pol.AllowReversal && !sharesSource(a, b) && shouldReverse(a.Op, b.Op) {
+		first, second, reversed = b, a, true
+	}
+	op, ok := rmw.Compose(first.Op, second.Op)
+	if !ok {
+		return Request{}, Record{}, false
+	}
+	combined := Request{
+		ID:   first.ID,
+		Addr: a.Addr,
+		Op:   op,
+		Srcs: mergeSrcs(a.Srcs, b.Srcs),
+	}
+	if a.Reps != nil || b.Reps != nil {
+		combined.Reps = append(append([]Leaf{}, first.Reps...), second.Reps...)
+	}
+	rec := Record{ID1: first.ID, ID2: second.ID, F: first.Op, Reversed: reversed}
+	return combined, rec, true
+}
+
+// shouldReverse reports whether serializing b before a strictly reduces
+// reply traffic: the reversed combination is a plain store (no value
+// returns through the network) while the natural order is not.
+func shouldReverse(fa, fb rmw.Mapping) bool {
+	natural, ok1 := rmw.Compose(fa, fb)
+	reversedOp, ok2 := rmw.Compose(fb, fa)
+	if !ok1 || !ok2 {
+		return false
+	}
+	return rmw.NeedsValue(natural) && !rmw.NeedsValue(reversedOp)
+}
+
+// sharesSource reports whether the two messages represent requests from a
+// common processor.  Srcs slices are sorted, so this is a linear merge.
+func sharesSource(a, b Request) bool {
+	i, j := 0, 0
+	for i < len(a.Srcs) && j < len(b.Srcs) {
+		switch {
+		case a.Srcs[i] == b.Srcs[j]:
+			return true
+		case a.Srcs[i] < b.Srcs[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+// mergeSrcs merges two sorted processor sets.
+func mergeSrcs(a, b []word.ProcID) []word.ProcID {
+	out := make([]word.ProcID, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		default:
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// Decombine splits the reply to a combined request back into the replies to
+// the two requests it was built from: ⟨id₁, val⟩ and ⟨id₂, f(val)⟩.
+func Decombine(rec Record, reply Reply) (Reply, Reply) {
+	if reply.ID != rec.ID1 {
+		panic(fmt.Sprintf("core: decombining reply %v against record for id %d", reply, rec.ID1))
+	}
+	return Reply{ID: rec.ID1, Val: reply.Val},
+		Reply{ID: rec.ID2, Val: rec.F.Apply(reply.Val)}
+}

@@ -1,0 +1,276 @@
+package core
+
+import (
+	"testing"
+
+	"combining/internal/rmw"
+	"combining/internal/word"
+)
+
+// TestFigure1 walks through Figure 1 of the paper: two fetch-and-add
+// requests meet at a switch, combine, reach memory as one message, and the
+// reply decombines into the two replies a serial execution would produce.
+func TestFigure1(t *testing.T) {
+	a := NewRequest(1, 100, rmw.FetchAdd(3), 0)
+	b := NewRequest(2, 100, rmw.FetchAdd(5), 1)
+
+	combined, rec, ok := Combine(a, b, Policy{})
+	if !ok {
+		t.Fatal("requests to the same address must combine")
+	}
+	if combined.ID != a.ID {
+		t.Errorf("combined message carries id %d, want the first request's id %d", combined.ID, a.ID)
+	}
+	// f∘g must be fetch-and-add of 8.
+	if got := combined.Op.Apply(word.W(0)).Val; got != 8 {
+		t.Errorf("combined mapping adds %d, want 8", got)
+	}
+
+	cell := word.W(10)
+	reply := Execute(&cell, combined)
+	if cell.Val != 18 {
+		t.Errorf("memory after combined request = %d, want 18", cell.Val)
+	}
+
+	ra, rb := Decombine(rec, reply)
+	if ra.ID != 1 || ra.Val.Val != 10 {
+		t.Errorf("first reply = %v, want ⟨1, 10⟩", ra)
+	}
+	if rb.ID != 2 || rb.Val.Val != 13 {
+		t.Errorf("second reply = %v, want ⟨2, 13⟩ (= f(10))", rb)
+	}
+}
+
+func TestCombineAddressMismatch(t *testing.T) {
+	a := NewRequest(1, 100, rmw.FetchAdd(3), 0)
+	b := NewRequest(2, 101, rmw.FetchAdd(5), 1)
+	if _, _, ok := Combine(a, b, Policy{}); ok {
+		t.Fatal("requests to different addresses must not combine")
+	}
+}
+
+func TestCombineForeignFamilies(t *testing.T) {
+	a := NewRequest(1, 100, rmw.FetchAdd(3), 0)
+	b := NewRequest(2, 100, rmw.FetchMin(5), 1)
+	if _, _, ok := Combine(a, b, Policy{}); ok {
+		t.Fatal("uncombinable mappings must be forwarded separately")
+	}
+}
+
+func TestCombineMergesSources(t *testing.T) {
+	a := NewRequest(1, 9, rmw.FetchAdd(1), 4)
+	b := NewRequest(2, 9, rmw.FetchAdd(1), 2)
+	ab, _, _ := Combine(a, b, Policy{})
+	c := NewRequest(3, 9, rmw.FetchAdd(1), 3)
+	abc, _, _ := Combine(ab, c, Policy{})
+	want := []word.ProcID{2, 3, 4}
+	if len(abc.Srcs) != len(want) {
+		t.Fatalf("Srcs = %v, want %v", abc.Srcs, want)
+	}
+	for i, s := range want {
+		if abc.Srcs[i] != s {
+			t.Fatalf("Srcs = %v, want %v", abc.Srcs, want)
+		}
+	}
+}
+
+// TestTableLoadStoreSwapReversed reproduces the second 3×3 table of
+// Section 5.1 (experiment T2): with order reversal enabled, combining a
+// store behind a load or swap reverses the pair so the combined message is
+// a plain store and no value returns through the network.
+func TestTableLoadStoreSwapReversed(t *testing.T) {
+	mk := map[string]func() rmw.Mapping{
+		"load":  func() rmw.Mapping { return rmw.Load{} },
+		"store": func() rmw.Mapping { return rmw.StoreOf(11) },
+		"swap":  func() rmw.Mapping { return rmw.SwapOf(22) },
+	}
+	want := map[[2]string]struct {
+		op       string
+		reversed bool
+	}{
+		{"load", "load"}:   {"load", false},
+		{"load", "store"}:  {"store", true},
+		{"load", "swap"}:   {"swap", false},
+		{"store", "load"}:  {"store", false},
+		{"store", "store"}: {"store", false},
+		{"store", "swap"}:  {"store", false},
+		{"swap", "load"}:   {"swap", false},
+		{"swap", "store"}:  {"store", true},
+		{"swap", "swap"}:   {"swap", false},
+	}
+	opName := func(m rmw.Mapping) string {
+		switch v := m.(type) {
+		case rmw.Load:
+			return "load"
+		case rmw.Const:
+			if v.NeedOld {
+				return "swap"
+			}
+			return "store"
+		}
+		return "?"
+	}
+	for pair, exp := range want {
+		a := NewRequest(1, 5, mk[pair[0]](), 0)
+		b := NewRequest(2, 5, mk[pair[1]](), 1)
+		combined, rec, ok := Combine(a, b, Policy{AllowReversal: true})
+		if !ok {
+			t.Fatalf("%s+%s must combine", pair[0], pair[1])
+		}
+		if got := opName(combined.Op); got != exp.op {
+			t.Errorf("%s+%s → %s, want %s", pair[0], pair[1], got, exp.op)
+		}
+		if rec.Reversed != exp.reversed {
+			t.Errorf("%s+%s reversed=%v, want %v", pair[0], pair[1], rec.Reversed, exp.reversed)
+		}
+		// Whatever the order chosen, decombined replies must match a
+		// serial execution in that order.
+		cell := word.W(77)
+		serialCell := cell
+		first, second := a, b
+		if rec.Reversed {
+			first, second = b, a
+		}
+		wantReplies, _ := SerialReplies(serialCell, []rmw.Mapping{first.Op, second.Op})
+		reply := Execute(&cell, combined)
+		r1, r2 := Decombine(rec, reply)
+		if r1.ID != first.ID || r1.Val != wantReplies[0] {
+			t.Errorf("%s+%s first reply %v, want ⟨%d, %v⟩", pair[0], pair[1], r1, first.ID, wantReplies[0])
+		}
+		if r2.ID != second.ID || r2.Val != wantReplies[1] {
+			t.Errorf("%s+%s second reply %v, want ⟨%d, %v⟩", pair[0], pair[1], r2, second.ID, wantReplies[1])
+		}
+	}
+}
+
+// TestReversalSameSourceGuard: "reversing operations is clearly wrong when
+// successive requests of the same processor are combined" (Section 5.1).
+func TestReversalSameSourceGuard(t *testing.T) {
+	a := NewRequest(1, 5, rmw.Load{}, 3)
+	b := NewRequest(2, 5, rmw.StoreOf(9), 3) // same processor
+	combined, rec, ok := Combine(a, b, Policy{AllowReversal: true})
+	if !ok {
+		t.Fatal("must combine")
+	}
+	if rec.Reversed {
+		t.Fatal("reversed two requests from the same processor")
+	}
+	// The load must see the value before its own store.
+	cell := word.W(42)
+	reply := Execute(&cell, combined)
+	r1, _ := Decombine(rec, reply)
+	if r1.Val.Val != 42 {
+		t.Errorf("load reply = %d, want 42 (pre-store value)", r1.Val.Val)
+	}
+	if cell.Val != 9 {
+		t.Errorf("final cell = %d, want 9", cell.Val)
+	}
+
+	// The guard must also apply transitively through combined messages.
+	c := NewRequest(3, 5, rmw.StoreOf(1), 7)
+	cd, _, _ := Combine(c, NewRequest(4, 5, rmw.Load{}, 3), Policy{})
+	_, rec2, ok := Combine(NewRequest(5, 5, rmw.Load{}, 3), cd, Policy{AllowReversal: true})
+	if !ok {
+		t.Fatal("must combine")
+	}
+	if rec2.Reversed {
+		t.Error("reversed across a combined message sharing processor 3")
+	}
+}
+
+func TestWaitBuffer(t *testing.T) {
+	t.Run("lifo-per-id", func(t *testing.T) {
+		b := NewWaitBuffer[Record](Unbounded)
+		r1 := Record{ID1: 1, ID2: 2, F: rmw.FetchAdd(1)}
+		r2 := Record{ID1: 1, ID2: 3, F: rmw.FetchAdd(2)}
+		if !b.Push(r1.ID1, r1) || !b.Push(r2.ID1, r2) {
+			t.Fatal("pushes must succeed")
+		}
+		got, ok := b.Pop(1)
+		if !ok || got.ID2 != 3 {
+			t.Fatalf("first pop = %+v, want the most recent record (ID2=3)", got)
+		}
+		got, ok = b.Pop(1)
+		if !ok || got.ID2 != 2 {
+			t.Fatalf("second pop = %+v, want the older record (ID2=2)", got)
+		}
+		if _, ok := b.Pop(1); ok {
+			t.Fatal("third pop must miss")
+		}
+		if b.Len() != 0 {
+			t.Fatalf("Len = %d, want 0", b.Len())
+		}
+	})
+	t.Run("capacity", func(t *testing.T) {
+		b := NewWaitBuffer[Record](2)
+		for i := 0; i < 2; i++ {
+			id := word.ReqID(i + 1)
+			if !b.Push(id, Record{ID1: id, ID2: 100, F: rmw.Load{}}) {
+				t.Fatalf("push %d must succeed", i)
+			}
+		}
+		if b.Push(9, Record{ID1: 9, ID2: 100, F: rmw.Load{}}) {
+			t.Fatal("push beyond capacity must fail")
+		}
+		if b.Rejections != 1 || b.Combines != 2 {
+			t.Fatalf("stats: rejections=%d combines=%d", b.Rejections, b.Combines)
+		}
+		b.Pop(1)
+		if !b.CanPush() {
+			t.Fatal("pop must free capacity")
+		}
+	})
+	t.Run("disabled", func(t *testing.T) {
+		b := NewWaitBuffer[Record](0)
+		if b.Push(1, Record{ID1: 1, ID2: 2, F: rmw.Load{}}) {
+			t.Fatal("capacity-0 buffer must reject all combines")
+		}
+	})
+}
+
+func TestValueSlots(t *testing.T) {
+	cases := []struct {
+		m         rmw.Mapping
+		req, resp int
+	}{
+		{rmw.Load{}, 0, 1},
+		{rmw.StoreOf(1), 1, 0},
+		{rmw.SwapOf(1), 1, 1},
+		{rmw.FetchAdd(1), 1, 1},
+		{rmw.Bool{A: 1, B: 2}, 2, 1},
+		{rmw.FEStoreIfClearSet(1), 1, 1},
+		{rmw.FELoadClear(), 0, 1},
+	}
+	for _, tc := range cases {
+		if got := ValueSlots(tc.m); got != tc.req {
+			t.Errorf("ValueSlots(%v) = %d, want %d", tc.m, got, tc.req)
+		}
+		if got := ReplyValueSlots(tc.m); got != tc.resp {
+			t.Errorf("ReplyValueSlots(%v) = %d, want %d", tc.m, got, tc.resp)
+		}
+	}
+}
+
+// TestTrafficNeverIncreases is the combining half of experiment E11: for
+// every pair in the load/store/swap family (with reversal enabled and the
+// requests from distinct processors), the combined request carries no more
+// value slots than the two originals together, and likewise for replies.
+func TestTrafficNeverIncreases(t *testing.T) {
+	ops := []rmw.Mapping{rmw.Load{}, rmw.StoreOf(4), rmw.SwapOf(6)}
+	for _, fa := range ops {
+		for _, fb := range ops {
+			a := NewRequest(1, 0, fa, 0)
+			b := NewRequest(2, 0, fb, 1)
+			combined, _, ok := Combine(a, b, Policy{AllowReversal: true})
+			if !ok {
+				t.Fatalf("%v+%v must combine", fa, fb)
+			}
+			if got, lim := ValueSlots(combined.Op), ValueSlots(fa)+ValueSlots(fb); got > lim {
+				t.Errorf("%v+%v: combined request carries %d slots > %d", fa, fb, got, lim)
+			}
+			if got, lim := ReplyValueSlots(combined.Op), ReplyValueSlots(fa)+ReplyValueSlots(fb); got > lim {
+				t.Errorf("%v+%v: combined reply carries %d slots > %d", fa, fb, got, lim)
+			}
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"combining/internal/rmw"
+	"combining/internal/word"
+)
+
+// TestQuickCombineDecombine: for arbitrary fetch-and-add pairs and initial
+// values, the combine/execute/decombine cycle equals serial execution —
+// the property-based form of Figure 1.
+func TestQuickCombineDecombine(t *testing.T) {
+	prop := func(av, bv, init int64, srcA, srcB uint8, reversal bool) bool {
+		a := NewRequest(1, 7, rmw.FetchAdd(av), word.ProcID(srcA))
+		b := NewRequest(2, 7, rmw.FetchAdd(bv), word.ProcID(srcB))
+		comb, rec, ok := Combine(a, b, Policy{AllowReversal: reversal})
+		if !ok {
+			return false
+		}
+		cell := word.W(init)
+		reply := Execute(&cell, comb)
+		r1, r2 := Decombine(rec, reply)
+		// Identify each original's reply by id.
+		byID := map[word.ReqID]word.Word{r1.ID: r1.Val, r2.ID: r2.Val}
+		first, second := a, b
+		if rec.Reversed {
+			first, second = b, a
+		}
+		serial, final := SerialReplies(word.W(init), []rmw.Mapping{first.Op, second.Op})
+		return byID[first.ID] == serial[0] && byID[second.ID] == serial[1] && cell == final
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickReversalNeverSameSource: across random sources, reversal is
+// applied only for distinct-processor pairs.
+func TestQuickReversalNeverSameSource(t *testing.T) {
+	rng := rand.New(rand.NewPCG(51, 52))
+	for i := 0; i < 5000; i++ {
+		srcA := word.ProcID(rng.IntN(4))
+		srcB := word.ProcID(rng.IntN(4))
+		a := NewRequest(1, 7, rmw.Load{}, srcA)
+		b := NewRequest(2, 7, rmw.StoreOf(int64(i)), srcB)
+		_, rec, ok := Combine(a, b, Policy{AllowReversal: true})
+		if !ok {
+			t.Fatal("must combine")
+		}
+		if rec.Reversed && srcA == srcB {
+			t.Fatalf("reversed a same-source pair (src %d)", srcA)
+		}
+		if !rec.Reversed && srcA != srcB {
+			t.Fatalf("missed a profitable reversal for distinct sources")
+		}
+	}
+}
+
+// TestQuickWaitBufferBalance: pushes and pops balance for arbitrary
+// interleavings; Len never goes negative and capacity is never exceeded.
+func TestQuickWaitBufferBalance(t *testing.T) {
+	rng := rand.New(rand.NewPCG(53, 54))
+	for trial := 0; trial < 300; trial++ {
+		cap := rng.IntN(5) // 0..4
+		b := NewWaitBuffer[int](cap)
+		live := map[word.ReqID]int{} // id → records held
+		var ids []word.ReqID
+		for step := 0; step < 200; step++ {
+			if rng.IntN(2) == 0 {
+				id := word.ReqID(rng.IntN(8) + 1)
+				if b.Push(id, step) {
+					live[id]++
+					ids = append(ids, id)
+				} else if b.Len() < cap {
+					t.Fatal("push rejected below capacity")
+				}
+			} else if len(ids) > 0 {
+				id := ids[rng.IntN(len(ids))]
+				_, ok := b.Pop(id)
+				if ok != (live[id] > 0) {
+					t.Fatalf("pop(%d) ok=%v but %d records live", id, ok, live[id])
+				}
+				if ok {
+					live[id]--
+				}
+			}
+			if b.Len() > cap {
+				t.Fatalf("Len %d exceeds capacity %d", b.Len(), cap)
+			}
+			sum := 0
+			for _, n := range live {
+				sum += n
+			}
+			if b.Len() != sum {
+				t.Fatalf("Len %d but %d live records tracked", b.Len(), sum)
+			}
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"combining/internal/rmw"
+	"combining/internal/word"
+)
+
+// Serial reference semantics.  Lemma 4.1 and Theorem 4.2 state that a
+// combining memory system behaves as if the represented requests executed
+// consecutively at memory; these helpers compute that reference behaviour.
+
+// Execute performs one memory-side RMW on a cell (Section 2's "memory-side"
+// implementation): the old value is captured, the mapping applied, and the
+// old value returned as the reply.
+func Execute(cell *word.Word, req Request) Reply {
+	old := *cell
+	*cell = req.Op.Apply(old)
+	return Reply{ID: req.ID, Val: old}
+}
+
+// SerialReplies executes the mappings consecutively starting from initial
+// and returns the value each would see (the reply to each request) plus the
+// final memory content.
+func SerialReplies(initial word.Word, ops []rmw.Mapping) ([]word.Word, word.Word) {
+	replies := make([]word.Word, len(ops))
+	cur := initial
+	for i, op := range ops {
+		replies[i] = cur
+		cur = op.Apply(cur)
+	}
+	return replies, cur
+}
+
+// ValueSlots counts the 64-bit data payloads a request message carries for
+// the given mapping — the quantity the Section 5.1/5.5 traffic argument
+// bounds.  Loads carry none; stores, swaps and fetch-and-θ carry one; the
+// two-mask and affine families carry two; Möbius carries four; a state
+// table carries its distinct store values.
+func ValueSlots(m rmw.Mapping) int {
+	switch v := m.(type) {
+	case rmw.Load:
+		return 0
+	case rmw.Const:
+		return 1
+	case rmw.Assoc:
+		return 1
+	case rmw.Bool:
+		return 2
+	case rmw.Affine:
+		return 2
+	case rmw.Moebius:
+		return 4
+	case rmw.Table:
+		return len(v.StoreValues())
+	default:
+		// Conservative: charge the full encoding.
+		return (m.EncodedBits() + 63) / 64
+	}
+}
+
+// ReplyValueSlots counts the data payloads the reply to a request carries:
+// one, unless the request is a plain store acknowledged without a value.
+func ReplyValueSlots(m rmw.Mapping) int {
+	if rmw.NeedsValue(m) {
+		return 1
+	}
+	return 0
+}

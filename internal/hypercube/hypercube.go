@@ -1,0 +1,381 @@
+// Package hypercube implements combining on a direct-connection machine,
+// per Section 7: "the mechanisms described in this paper can be easily
+// adopted for use by direct connection machines, such as the cosmic cube,
+// where the processors themselves act like network switches and the local
+// memories at each node are all viewed as part of a distributed, shared
+// memory."
+//
+// The machine is a store-and-forward binary d-cube: each node hosts a
+// processor, one interleaved slice of shared memory, and a router with one
+// bounded FIFO output queue per dimension.  Requests route e-cube
+// (ascending dimension order); replies descend the dimensions, which
+// retraces the request path node for node — satisfying the paper's "only
+// major restriction", that replies return via the same route — so the
+// per-node wait buffers see every reply whose request they combined.
+package hypercube
+
+import (
+	"fmt"
+	"math/bits"
+
+	"combining/internal/core"
+	"combining/internal/memory"
+	"combining/internal/network"
+	"combining/internal/rmw"
+	"combining/internal/word"
+)
+
+// Config parameterizes the cube.
+type Config struct {
+	// Nodes is N = 2^d, d ≥ 1.
+	Nodes int
+	// QueueCap bounds each per-dimension forward queue (default 4).
+	QueueCap int
+	// WaitBufCap bounds each node's wait buffer (0 disables combining).
+	WaitBufCap int
+	// AllowReversal enables the Section 5.1 optimization.
+	AllowReversal bool
+	// MemService is the local memory service time (default 1).
+	MemService int
+}
+
+type fwdM struct {
+	req   core.Request
+	src   int // source node, for reply routing
+	issue int64
+	hot   bool
+	moved int64 // last cycle this message hopped
+}
+
+type revM struct {
+	rep   core.Reply
+	dst   int // destination node (the requester)
+	issue int64
+	hot   bool
+	moved int64
+}
+
+type hrec struct {
+	core.Record
+	dst2   int
+	issue2 int64
+	hot2   bool
+}
+
+type node struct {
+	out  [][]fwdM // per-dimension forward queues (bounded)
+	rout [][]revM // per-dimension reverse queues (unbounded)
+	// memQ is the combining FIFO in front of the node's local memory —
+	// the Section 7 suggestion: all dimensions' traffic for this node's
+	// memory converges here, so this queue is where a hot spot combines
+	// hardest.
+	memQ []fwdM
+	wait *core.WaitBuffer[hrec]
+}
+
+// Stats summarizes a run.
+type Stats struct {
+	Cycles     int64
+	Issued     int64
+	Completed  int64
+	LatencySum int64
+	Combines   int64
+	MemOps     int64
+}
+
+// MeanLatency is average round-trip cycles.
+func (s Stats) MeanLatency() float64 {
+	if s.Completed == 0 {
+		return 0
+	}
+	return float64(s.LatencySum) / float64(s.Completed)
+}
+
+// Bandwidth is completed operations per cycle.
+func (s Stats) Bandwidth() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Completed) / float64(s.Cycles)
+}
+
+// Sim is the cycle-driven hypercube machine.
+type Sim struct {
+	cfg     Config
+	n, d    int
+	nodes   []*node
+	mem     *memory.Array
+	inj     []network.Injector
+	pending []*fwdM
+	meta    map[word.ReqID]fwdM
+	pol     core.Policy
+
+	cycle int64
+	stats Stats
+}
+
+// NewSim builds the machine with one injector per node.
+func NewSim(cfg Config, inj []network.Injector) *Sim {
+	if cfg.Nodes < 2 || cfg.Nodes&(cfg.Nodes-1) != 0 {
+		panic(fmt.Sprintf("hypercube: Nodes must be a power of two ≥ 2, got %d", cfg.Nodes))
+	}
+	if len(inj) != cfg.Nodes {
+		panic("hypercube: one injector per node required")
+	}
+	if cfg.QueueCap == 0 {
+		cfg.QueueCap = 4
+	}
+	if cfg.MemService == 0 {
+		cfg.MemService = 1
+	}
+	n := cfg.Nodes
+	d := bits.TrailingZeros(uint(n))
+	s := &Sim{
+		cfg:     cfg,
+		n:       n,
+		d:       d,
+		mem:     memory.NewArray(n, memory.WithServiceTime(cfg.MemService)),
+		inj:     inj,
+		pending: make([]*fwdM, n),
+		meta:    make(map[word.ReqID]fwdM),
+		pol:     core.Policy{AllowReversal: cfg.AllowReversal},
+	}
+	s.nodes = make([]*node, n)
+	for i := range s.nodes {
+		s.nodes[i] = &node{
+			out:  make([][]fwdM, d),
+			rout: make([][]revM, d),
+			wait: core.NewWaitBuffer[hrec](cfg.WaitBufCap),
+		}
+	}
+	return s
+}
+
+// Memory exposes the distributed shared memory.
+func (s *Sim) Memory() *memory.Array { return s.mem }
+
+// homeOf returns the node owning an address.
+func (s *Sim) homeOf(addr word.Addr) int { return s.mem.HomeOf(addr) }
+
+// fwdDim returns the next dimension to correct en route to dst (ascending
+// e-cube), or -1 at the destination.
+func fwdDim(cur, dst int) int {
+	diff := cur ^ dst
+	if diff == 0 {
+		return -1
+	}
+	return bits.TrailingZeros(uint(diff))
+}
+
+// revDim returns the next dimension on the reply path (descending), or -1.
+func revDim(cur, dst int) int {
+	diff := cur ^ dst
+	if diff == 0 {
+		return -1
+	}
+	return bits.Len(uint(diff)) - 1
+}
+
+// Step advances one cycle.
+func (s *Sim) Step() {
+	s.cycle++
+	s.stats.Cycles++
+	s.drainReverse()
+	s.tickMemory()
+	s.drainForward()
+	s.injectAll()
+}
+
+// Run advances the given number of cycles.
+func (s *Sim) Run(cycles int) {
+	for i := 0; i < cycles; i++ {
+		s.Step()
+	}
+}
+
+// Stats snapshots the run counters.
+func (s *Sim) Stats() Stats { return s.stats }
+
+// InFlight counts requests anywhere in the machine.
+func (s *Sim) InFlight() int {
+	n := 0
+	for _, p := range s.pending {
+		if p != nil {
+			n++
+		}
+	}
+	for _, nd := range s.nodes {
+		for dim := 0; dim < s.d; dim++ {
+			n += len(nd.out[dim]) + len(nd.rout[dim])
+		}
+		n += len(nd.memQ)
+		n += nd.wait.Len()
+	}
+	for i := 0; i < s.n; i++ {
+		n += s.mem.Module(i).QueueLen()
+	}
+	return n
+}
+
+// Drain runs until empty or the bound is hit, reporting success.
+func (s *Sim) Drain(maxCycles int) bool {
+	for i := 0; i < maxCycles; i++ {
+		s.Step()
+		if s.InFlight() == 0 {
+			return true
+		}
+	}
+	return s.InFlight() == 0
+}
+
+// arriveFwd lands a request at node cur: into the memory combining queue
+// when home, otherwise into the output queue of its next dimension,
+// combining when possible.  Reports false when the target queue is full.
+func (s *Sim) arriveFwd(cur int, m fwdM) bool {
+	home := s.homeOf(m.req.Addr)
+	dim := fwdDim(cur, home)
+	nd := s.nodes[cur]
+	var q *[]fwdM
+	if dim < 0 {
+		q = &nd.memQ
+	} else {
+		q = &nd.out[dim]
+	}
+	for i := len(*q) - 1; i >= 0; i-- {
+		queued := &(*q)[i]
+		if queued.req.Addr != m.req.Addr {
+			continue
+		}
+		if !rmw.Combinable(queued.req.Op, m.req.Op) || !nd.wait.CanPush() {
+			break
+		}
+		combined, rec, ok := core.Combine(queued.req, m.req, s.pol)
+		if !ok {
+			break
+		}
+		first, second := *queued, m
+		if rec.ID1 != first.req.ID {
+			first, second = m, *queued
+		}
+		if !nd.wait.Push(rec.ID1, hrec{
+			Record: rec,
+			dst2:   second.src,
+			issue2: second.issue,
+			hot2:   second.hot,
+		}) {
+			break
+		}
+		*queued = fwdM{req: combined, src: first.src, issue: first.issue, hot: first.hot, moved: queued.moved}
+		s.stats.Combines++
+		return true
+	}
+	if dim >= 0 && len(*q) >= s.cfg.QueueCap {
+		return false
+	}
+	m.moved = s.cycle
+	*q = append(*q, m)
+	return true
+}
+
+// arriveRev lands a reply at node cur: decombine against the wait buffer,
+// deliver when home, otherwise queue on the next reverse dimension.
+func (s *Sim) arriveRev(cur int, r revM) {
+	if rec, ok := s.nodes[cur].wait.Pop(r.rep.ID); ok {
+		r1, r2 := core.Decombine(rec.Record, r.rep)
+		s.arriveRev(cur, revM{rep: r1, dst: r.dst, issue: r.issue, hot: r.hot})
+		s.arriveRev(cur, revM{rep: r2, dst: rec.dst2, issue: rec.issue2, hot: rec.hot2})
+		return
+	}
+	dim := revDim(cur, r.dst)
+	if dim < 0 {
+		s.stats.Completed++
+		s.stats.LatencySum += s.cycle - r.issue
+		s.inj[cur].Deliver(r.rep, s.cycle)
+		return
+	}
+	r.moved = s.cycle
+	s.nodes[cur].rout[dim] = append(s.nodes[cur].rout[dim], r)
+}
+
+func (s *Sim) drainReverse() {
+	for i, nd := range s.nodes {
+		for dim := 0; dim < s.d; dim++ {
+			q := nd.rout[dim]
+			if len(q) == 0 || q[0].moved == s.cycle {
+				continue
+			}
+			r := q[0]
+			copy(q, q[1:])
+			nd.rout[dim] = q[:len(q)-1]
+			s.arriveRev(i^(1<<dim), r)
+		}
+	}
+}
+
+func (s *Sim) tickMemory() {
+	for i := 0; i < s.n; i++ {
+		// Feed the module from the combining queue one request at a
+		// time, so requests stay combinable until the moment service
+		// starts.
+		nd := s.nodes[i]
+		if len(nd.memQ) > 0 && s.mem.Module(i).QueueLen() == 0 {
+			m := nd.memQ[0]
+			copy(nd.memQ, nd.memQ[1:])
+			nd.memQ = nd.memQ[:len(nd.memQ)-1]
+			s.meta[m.req.ID] = m
+			s.mem.Module(i).Enqueue(m.req)
+			s.stats.MemOps++
+		}
+		rep, ok := s.mem.Module(i).Tick()
+		if !ok {
+			continue
+		}
+		m, found := s.meta[rep.ID]
+		if !found {
+			panic(fmt.Sprintf("hypercube: reply %v without metadata", rep))
+		}
+		delete(s.meta, rep.ID)
+		s.arriveRev(i, revM{rep: rep, dst: m.src, issue: m.issue, hot: m.hot})
+	}
+}
+
+func (s *Sim) drainForward() {
+	rot := int(s.cycle)
+	for off := range s.nodes {
+		i := (off + rot) % s.n
+		nd := s.nodes[i]
+		for dd := 0; dd < s.d; dd++ {
+			dim := (dd + rot) % s.d
+			q := nd.out[dim]
+			if len(q) == 0 || q[0].moved == s.cycle {
+				continue
+			}
+			m := q[0]
+			if !s.arriveFwd(i^(1<<dim), m) {
+				continue
+			}
+			q = nd.out[dim] // arriveFwd may not alias; re-read
+			copy(q, q[1:])
+			nd.out[dim] = q[:len(q)-1]
+		}
+	}
+}
+
+func (s *Sim) injectAll() {
+	rot := int(s.cycle)
+	for off := 0; off < s.n; off++ {
+		i := (off + rot) % s.n
+		if s.pending[i] == nil {
+			inj, ok := s.inj[i].Next(s.cycle)
+			if !ok {
+				continue
+			}
+			m := fwdM{req: inj.Req, src: i, issue: s.cycle, hot: inj.Hot}
+			s.pending[i] = &m
+			s.stats.Issued++
+		}
+		if s.arriveFwd(i, *s.pending[i]) {
+			s.pending[i] = nil
+		}
+	}
+}

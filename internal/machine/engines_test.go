@@ -1,0 +1,102 @@
+package machine
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"combining/internal/busnet"
+	"combining/internal/core"
+	"combining/internal/hypercube"
+	"combining/internal/memory"
+	"combining/internal/network"
+	"combining/internal/rmw"
+	"combining/internal/serial"
+	"combining/internal/word"
+)
+
+// Theorem 4.2 for the Section 7 transports: the same program machinery
+// (data dependencies, fences, timed histories) runs on the hypercube and
+// the bus, and every execution passes the serializability and
+// linearizability checkers.
+
+type enginePeek interface {
+	Engine
+	Memory() *memory.Array
+}
+
+func runOnEngine(t *testing.T, build func([]network.Injector) enginePeek, seed uint64) {
+	t.Helper()
+	const n, ops, addrSpace = 8, 15, 3
+	rng := rand.New(rand.NewPCG(seed, 5))
+	progs := make([][]Instr, n)
+	for p := range progs {
+		for i := 0; i < ops; i++ {
+			addr := word.Addr(rng.IntN(addrSpace))
+			var op rmw.Mapping
+			switch rng.IntN(4) {
+			case 0:
+				op = rmw.Load{}
+			case 1:
+				op = rmw.StoreOf(int64(rng.IntN(100)))
+			case 2:
+				op = rmw.SwapOf(int64(rng.IntN(100)))
+			default:
+				op = rmw.FetchAdd(int64(rng.IntN(9) - 4))
+			}
+			progs[p] = append(progs[p], RMW(addr, op))
+		}
+	}
+	m, inj := NewInjectors(progs)
+	eng := build(inj)
+	m.BindEngine(eng)
+	if !m.Run(100000) {
+		t.Fatal("programs did not complete")
+	}
+	final := map[word.Addr]word.Word{}
+	for a := word.Addr(0); a < addrSpace; a++ {
+		final[a] = eng.Memory().Peek(a)
+	}
+	if err := serial.CheckM2WithFinal(m.History(), nil, final); err != nil {
+		t.Errorf("seed %d: %v", seed, err)
+	}
+	if err := serial.CheckLinearizable(m.TimedHistory(), nil, final); err != nil {
+		t.Errorf("seed %d: linearizability: %v", seed, err)
+	}
+}
+
+func TestTheorem42OnHypercube(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		runOnEngine(t, func(inj []network.Injector) enginePeek {
+			return hypercube.NewSim(hypercube.Config{Nodes: 8, WaitBufCap: core.Unbounded}, inj)
+		}, seed)
+	}
+}
+
+func TestTheorem42OnBus(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		runOnEngine(t, func(inj []network.Injector) enginePeek {
+			return busnet.NewSim(busnet.Config{Procs: 8, Banks: 4, WaitBufCap: core.Unbounded}, inj)
+		}, seed)
+	}
+}
+
+// TestFenceOnHypercube: the fence semantics carry to other transports.
+func TestFenceOnHypercube(t *testing.T) {
+	progs := [][]Instr{
+		{RMW(0, rmw.StoreOf(1)), Fence(), RMW(1, rmw.StoreOf(2))},
+		nil, nil, nil, nil, nil, nil, nil,
+	}
+	m, inj := NewInjectors(progs)
+	eng := hypercube.NewSim(hypercube.Config{Nodes: 8, WaitBufCap: core.Unbounded}, inj)
+	m.BindEngine(eng)
+	if !m.Run(10000) {
+		t.Fatal("did not complete")
+	}
+	p := m.Proc(0)
+	if p.DoneCycle(2) <= p.DoneCycle(0) {
+		t.Fatal("fenced access completed before the fence's predecessor")
+	}
+	if eng.Memory().Peek(0).Val != 1 || eng.Memory().Peek(1).Val != 2 {
+		t.Fatal("stores lost")
+	}
+}

@@ -1,0 +1,168 @@
+package machine
+
+import (
+	"fmt"
+
+	"combining/internal/rmw"
+	"combining/internal/serial"
+	"combining/internal/word"
+)
+
+// M1Machine models the stronger memory of Section 3.2: "The memory
+// receives a sequential stream of requests from the processors; this
+// stream is obtained by merging the serial streams of requests generated
+// by individual processors…  The requests are processed in the order they
+// appear in this stream."  Condition (M1) is sufficient to enforce
+// sequential consistency, at the price of a central controller — which is
+// exactly why large machines settle for (M2) plus fences.
+//
+// The machine runs the same Instr programs as the network Machine, so the
+// Collier litmus test can be executed under both models and compared: the
+// M1 machine can never produce the non-SC outcome, with or without
+// fences.
+type M1Machine struct {
+	progs [][]Instr
+	procs []*m1proc
+	fifo  []m1req
+	mem   map[word.Addr]word.Word
+	hist  serial.TimedHistory
+	cycle int64
+}
+
+type m1proc struct {
+	next        int
+	outstanding int
+	replies     []word.Word
+	done        []bool
+	issueSeq    int
+}
+
+type m1req struct {
+	proc    int
+	instr   int
+	seq     int
+	addr    word.Addr
+	op      rmw.Mapping
+	issueAt int64
+}
+
+// NewM1 builds an M1 machine over the programs.
+func NewM1(programs [][]Instr) *M1Machine {
+	m := &M1Machine{
+		progs: programs,
+		mem:   make(map[word.Addr]word.Word),
+	}
+	for _, prog := range programs {
+		m.procs = append(m.procs, &m1proc{
+			replies: make([]word.Word, len(prog)),
+			done:    make([]bool, len(prog)),
+		})
+	}
+	return m
+}
+
+// Poke initializes a memory cell.
+func (m *M1Machine) Poke(addr word.Addr, w word.Word) { m.mem[addr] = w }
+
+// Peek reads a memory cell.
+func (m *M1Machine) Peek(addr word.Addr) word.Word { return m.mem[addr] }
+
+// Reply returns processor p's reply to instruction i.
+func (m *M1Machine) Reply(p, i int) word.Word { return m.procs[p].replies[i] }
+
+// History returns the untimed execution history.
+func (m *M1Machine) History() *serial.History { return m.hist.History() }
+
+// step advances one cycle: serve the FIFO head, then let each processor
+// (in rotating order) append at most one request to the stream.
+func (m *M1Machine) step() {
+	m.cycle++
+	// The central controller processes the stream in order, one
+	// request per cycle.
+	if len(m.fifo) > 0 {
+		r := m.fifo[0]
+		copy(m.fifo, m.fifo[1:])
+		m.fifo = m.fifo[:len(m.fifo)-1]
+		cell := m.mem[r.addr]
+		old := cell
+		m.mem[r.addr] = r.op.Apply(cell)
+		p := m.procs[r.proc]
+		p.replies[r.instr] = old
+		p.done[r.instr] = true
+		p.outstanding--
+		m.hist.Add(serial.TimedOp{
+			Op: serial.Op{
+				Proc:  word.ProcID(r.proc),
+				Seq:   r.seq,
+				Addr:  r.addr,
+				Op:    r.op,
+				Reply: old,
+			},
+			IssueAt: r.issueAt,
+			DoneAt:  m.cycle,
+		})
+	}
+	// Processors issue (pipelined; fences and data dependencies as in
+	// the network machine).
+	for off := range m.procs {
+		pi := (off + int(m.cycle)) % len(m.procs)
+		p := m.procs[pi]
+		prog := m.progs[pi]
+		for p.next < len(prog) && prog[p.next].Fence {
+			if p.outstanding > 0 {
+				break
+			}
+			p.next++
+		}
+		if p.next >= len(prog) || prog[p.next].Fence {
+			continue
+		}
+		in := prog[p.next]
+		if m.cycle < in.MinCycle {
+			continue
+		}
+		ready := true
+		for _, dep := range in.After {
+			ready = ready && p.done[dep]
+		}
+		if !ready {
+			continue
+		}
+		addr := in.Addr
+		if in.DynAddr != nil {
+			addr = in.DynAddr(p.replies)
+		}
+		op := in.Op
+		if in.DynOp != nil {
+			op = in.DynOp(p.replies)
+		}
+		idx := p.next
+		p.next++
+		p.outstanding++
+		p.issueSeq++
+		m.fifo = append(m.fifo, m1req{
+			proc: pi, instr: idx, seq: p.issueSeq,
+			addr: addr, op: op, issueAt: m.cycle,
+		})
+	}
+}
+
+// Run steps the machine until all programs complete or maxCycles pass.
+func (m *M1Machine) Run(maxCycles int) bool {
+	for c := 0; c < maxCycles; c++ {
+		m.step()
+		done := true
+		for pi, p := range m.procs {
+			done = done && p.next >= len(m.progs[pi]) && p.outstanding == 0
+		}
+		if done {
+			return true
+		}
+	}
+	return false
+}
+
+// String summarizes the machine state (diagnostics).
+func (m *M1Machine) String() string {
+	return fmt.Sprintf("M1{procs=%d fifo=%d cycle=%d}", len(m.procs), len(m.fifo), m.cycle)
+}

@@ -1,0 +1,206 @@
+package memory
+
+import (
+	"sync"
+	"testing"
+
+	"combining/internal/core"
+	"combining/internal/rmw"
+	"combining/internal/word"
+)
+
+func req(id word.ReqID, addr word.Addr, op rmw.Mapping) core.Request {
+	return core.NewRequest(id, addr, op, word.ProcID(id))
+}
+
+func TestModuleDo(t *testing.T) {
+	m := NewModule()
+	r1 := m.Do(req(1, 10, rmw.FetchAdd(5)))
+	if r1.Val.Val != 0 {
+		t.Errorf("first reply = %v, want 0", r1.Val)
+	}
+	r2 := m.Do(req(2, 10, rmw.FetchAdd(3)))
+	if r2.Val.Val != 5 {
+		t.Errorf("second reply = %v, want 5", r2.Val)
+	}
+	if got := m.Peek(10).Val; got != 8 {
+		t.Errorf("cell = %d, want 8", got)
+	}
+	if m.Served != 2 {
+		t.Errorf("Served = %d, want 2", m.Served)
+	}
+}
+
+func TestModuleFIFOOrder(t *testing.T) {
+	m := NewModule()
+	// Three requests to one location: the replies must reflect arrival
+	// order (condition M2).
+	for i := 0; i < 3; i++ {
+		m.Enqueue(req(word.ReqID(i+1), 7, rmw.FetchAdd(10)))
+	}
+	var replies []core.Reply
+	for cycle := 0; cycle < 10; cycle++ {
+		if rep, ok := m.Tick(); ok {
+			replies = append(replies, rep)
+		}
+	}
+	if len(replies) != 3 {
+		t.Fatalf("got %d replies, want 3", len(replies))
+	}
+	for i, rep := range replies {
+		if rep.ID != word.ReqID(i+1) {
+			t.Errorf("reply %d has id %d, want %d (FIFO)", i, rep.ID, i+1)
+		}
+		if rep.Val.Val != int64(10*i) {
+			t.Errorf("reply %d = %v, want %d", i, rep.Val, 10*i)
+		}
+	}
+}
+
+func TestModuleServiceTime(t *testing.T) {
+	m := NewModule(WithServiceTime(3))
+	m.Enqueue(req(1, 0, rmw.Load{}))
+	m.Enqueue(req(2, 0, rmw.Load{}))
+	var done []int
+	for cycle := 1; cycle <= 8; cycle++ {
+		if _, ok := m.Tick(); ok {
+			done = append(done, cycle)
+		}
+	}
+	if len(done) != 2 || done[0] != 3 || done[1] != 6 {
+		t.Fatalf("completions at cycles %v, want [3 6]", done)
+	}
+	if m.BusyCycles != 6 {
+		t.Errorf("BusyCycles = %d, want 6", m.BusyCycles)
+	}
+}
+
+func TestModuleConcurrentDo(t *testing.T) {
+	// The module is a monitor: concurrent fetch-and-adds must all be
+	// atomic, so the final value is exact and replies are distinct.
+	m := NewModule()
+	const n = 64
+	var wg sync.WaitGroup
+	replies := make([]core.Reply, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			replies[i] = m.Do(req(word.ReqID(i+1), 3, rmw.FetchAdd(1)))
+		}()
+	}
+	wg.Wait()
+	if got := m.Peek(3).Val; got != n {
+		t.Fatalf("cell = %d, want %d", got, n)
+	}
+	seen := make(map[int64]bool, n)
+	for _, rep := range replies {
+		if seen[rep.Val.Val] {
+			t.Fatalf("duplicate fetch-and-add reply %d", rep.Val.Val)
+		}
+		seen[rep.Val.Val] = true
+	}
+}
+
+func TestArrayInterleaving(t *testing.T) {
+	a := NewArray(4)
+	for addr := word.Addr(0); addr < 16; addr++ {
+		a.Do(req(word.ReqID(addr+1), addr, rmw.StoreOf(int64(addr*100))))
+	}
+	for addr := word.Addr(0); addr < 16; addr++ {
+		if got := a.Peek(addr).Val; got != int64(addr*100) {
+			t.Errorf("cell %d = %d, want %d", addr, got, addr*100)
+		}
+	}
+	// Uniform addresses spread evenly across modules.
+	for i := 0; i < 4; i++ {
+		if got := a.Module(i).Served; got != 4 {
+			t.Errorf("module %d served %d, want 4", i, got)
+		}
+	}
+	if a.TotalServed() != 16 {
+		t.Errorf("TotalServed = %d, want 16", a.TotalServed())
+	}
+	if a.HomeOf(5) != 1 || a.HomeOf(8) != 0 {
+		t.Error("HomeOf must be low-order interleaving")
+	}
+}
+
+// TestQueueCombineCount verifies the |i − j| + 1 message count of
+// Section 5.5 across a sweep of load/store mixes.
+func TestQueueCombineCount(t *testing.T) {
+	for i := 0; i <= 6; i++ { // loads
+		for j := 0; j <= 6; j++ { // stores
+			var ops []QOp
+			id := word.ReqID(1)
+			for k := 0; k < i; k++ {
+				ops = append(ops, QOp{Kind: QLoad, ID: id})
+				id++
+			}
+			for k := 0; k < j; k++ {
+				ops = append(ops, QOp{Kind: QStore, ID: id, V: int64(100 + k)})
+				id++
+			}
+			msgs := CombineQueue(ops)
+			want := abs(i-j) + 1
+			if i == 0 && j == 0 {
+				want = 0
+			} else if i == 0 || j == 0 {
+				want = max(i, j) // nothing pairs
+			}
+			if len(msgs) != want {
+				t.Errorf("i=%d j=%d: %d messages, want %d", i, j, len(msgs), want)
+			}
+		}
+	}
+}
+
+// TestQueueCombineSemantics checks that the fused chain behaves like the
+// serial execution of its pairs: each consumer receives its producer's
+// value and the cell ends empty.
+func TestQueueCombineSemantics(t *testing.T) {
+	ops := []QOp{
+		{Kind: QLoad, ID: 1},
+		{Kind: QStore, ID: 2, V: 10},
+		{Kind: QLoad, ID: 3},
+		{Kind: QStore, ID: 4, V: 20},
+	}
+	msgs := CombineQueue(ops)
+	if len(msgs) != 1 {
+		t.Fatalf("%d messages, want 1 fused chain", len(msgs))
+	}
+	chain := msgs[0]
+	if len(chain.Ops) != 4 {
+		t.Fatalf("chain represents %d ops, want 4", len(chain.Ops))
+	}
+	// Execute serially per the chain order and via the fused mapping;
+	// both from an empty cell.
+	cell := word.WT(0, word.Empty)
+	serial := cell
+	consumerGot := make(map[word.ReqID]int64)
+	for _, op := range chain.Ops {
+		old := serial
+		serial = op.Mapping().Apply(serial)
+		if op.Kind == QLoad {
+			consumerGot[op.ID] = old.Val
+		}
+	}
+	fused := chain.Combined.Apply(cell)
+	if fused != serial {
+		t.Fatalf("fused effect %v != serial effect %v", fused, serial)
+	}
+	if serial.Tag != word.Empty {
+		t.Errorf("cell ends %v, want empty", serial.Tag)
+	}
+	// Consumers 1 and 3 must have received 10 and 20 in chain order.
+	if consumerGot[1] != 10 || consumerGot[3] != 20 {
+		t.Errorf("consumers got %v, want 1→10, 3→20", consumerGot)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

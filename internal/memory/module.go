@@ -1,0 +1,146 @@
+// Package memory implements the shared-memory modules of Section 3: each
+// module is a FIFO server that accepts RMW request messages, executes them
+// atomically memory-side (Section 2's preferred implementation), and
+// returns the old value.  A module satisfies conditions (M2.1)–(M2.3) by
+// construction: it processes one request at a time in arrival order.
+//
+// The package offers two driving styles for the two network engines:
+//
+//   - Cycle-driven (Enqueue/Tick): the cycle-accurate simulator feeds
+//     requests and collects replies on a clock, with a configurable service
+//     time per request.
+//   - Direct (Do): the asynchronous goroutine network calls Do, which
+//     executes the request under the module's mutex — the module acts as a
+//     monitor, which is exactly "memory is locked only during the execution
+//     of the update operation".
+package memory
+
+import (
+	"sync"
+
+	"combining/internal/core"
+	"combining/internal/word"
+)
+
+// Module is one memory module: a bank of cells plus a FIFO request queue.
+type Module struct {
+	mu sync.Mutex
+
+	cells map[word.Addr]word.Word
+
+	// queue is the cycle-driven request FIFO.
+	queue []core.Request
+	// serviceTime is cycles per request (≥ 1).
+	serviceTime int
+	// busy counts remaining cycles of the in-flight request.
+	busy    int
+	current core.Request
+
+	// Served counts completed requests.
+	Served int64
+	// BusyCycles counts cycles the module spent serving.
+	BusyCycles int64
+}
+
+// Option configures a Module.
+type Option func(*Module)
+
+// WithServiceTime sets the cycles each request occupies the module.
+func WithServiceTime(cycles int) Option {
+	return func(m *Module) {
+		if cycles < 1 {
+			panic("memory: service time must be at least 1 cycle")
+		}
+		m.serviceTime = cycles
+	}
+}
+
+// NewModule returns an empty module; all cells read as the zero word.
+func NewModule(opts ...Option) *Module {
+	m := &Module{
+		cells:       make(map[word.Addr]word.Word),
+		serviceTime: 1,
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}
+
+// Peek reads a cell without a memory operation (test/diagnostic use).
+func (m *Module) Peek(addr word.Addr) word.Word {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	return m.cells[addr]
+}
+
+// Poke sets a cell directly (initialization use).
+func (m *Module) Poke(addr word.Addr, w word.Word) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	m.cells[addr] = w
+}
+
+// Do executes one request immediately and atomically, returning its reply.
+// It is safe for concurrent use; the module's lock is held only for the
+// read-modify-write itself.
+func (m *Module) Do(req core.Request) core.Reply {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	return m.execLocked(req)
+}
+
+func (m *Module) execLocked(req core.Request) core.Reply {
+	cell := m.cells[req.Addr]
+	reply := core.Execute(&cell, req)
+	m.cells[req.Addr] = cell
+	m.Served++
+	return reply
+}
+
+// Enqueue appends a request to the module's FIFO (cycle-driven mode).
+func (m *Module) Enqueue(req core.Request) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	m.queue = append(m.queue, req)
+}
+
+// QueueLen reports pending requests, including the one in service.
+func (m *Module) QueueLen() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	n := len(m.queue)
+	if m.busy > 0 {
+		n++
+	}
+	return n
+}
+
+// Tick advances the module one cycle.  It returns a completed reply, if
+// any, and ok reporting whether a reply was produced this cycle.  With
+// service time s, a request completes s cycles after it starts service.
+func (m *Module) Tick() (core.Reply, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	if m.busy == 0 {
+		if len(m.queue) == 0 {
+			return core.Reply{}, false
+		}
+		m.current = m.queue[0]
+		copy(m.queue, m.queue[1:])
+		m.queue = m.queue[:len(m.queue)-1]
+		m.busy = m.serviceTime
+	}
+	m.BusyCycles++
+	m.busy--
+	if m.busy > 0 {
+		return core.Reply{}, false
+	}
+	return m.execLocked(m.current), true
+}

@@ -1,0 +1,139 @@
+package memory
+
+import (
+	"sync"
+
+	"combining/internal/core"
+	"combining/internal/rmw"
+	"combining/internal/word"
+)
+
+// QueueingModule implements the alternative synchronization mechanism at
+// the end of Section 5.5: instead of returning a negative acknowledgment,
+// "queue a request at memory until it is executable".  Producers
+// (store-and-set-if-clear) and consumers (load-and-clear-if-set) of a
+// full/empty cell are matched by the memory controller itself: an
+// inapplicable request parks in a per-cell wait queue and executes the
+// moment its enabling operation arrives, so callers never busy-wait.
+//
+// The paper's caveat is real and preserved: "unless some time-out
+// mechanism is available at the memory controller, the hardware may
+// deadlock" — a machine full of parked consumers makes no progress, which
+// the tests demonstrate with a bounded wait.
+type QueueingModule struct {
+	mu    sync.Mutex
+	cells map[word.Addr]word.Word
+	// parked holds requests waiting for the cell to change, per address,
+	// in arrival order.
+	parked map[word.Addr][]parkedReq
+
+	// Served counts executed requests; Parked counts requests that had
+	// to wait at least once.
+	Served int64
+	Parked int64
+}
+
+type parkedReq struct {
+	req  core.Request
+	done chan core.Reply
+}
+
+// NewQueueingModule returns an empty queueing memory.
+func NewQueueingModule() *QueueingModule {
+	return &QueueingModule{
+		cells:  make(map[word.Addr]word.Word),
+		parked: make(map[word.Addr][]parkedReq),
+	}
+}
+
+// Peek reads a cell directly.
+func (m *QueueingModule) Peek(addr word.Addr) word.Word {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	return m.cells[addr]
+}
+
+// Poke initializes a cell.  Parked requests are not re-evaluated; use it
+// only before issuing traffic.
+func (m *QueueingModule) Poke(addr word.Addr, w word.Word) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	m.cells[addr] = w
+}
+
+// PendingAt reports how many requests are parked on a cell.
+func (m *QueueingModule) PendingAt(addr word.Addr) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	return len(m.parked[addr])
+}
+
+// Do executes the request, blocking the caller until it is executable.
+// Non-conditional operations (anything that does not Fail in the cell's
+// current state) execute immediately.
+func (m *QueueingModule) Do(req core.Request) core.Reply {
+	m.mu.Lock()
+	if m.applicable(req) && len(m.parked[req.Addr]) == 0 {
+		rep := m.execLocked(req)
+		m.mu.Unlock()
+		return rep
+	}
+	// Park in arrival order: even an applicable request must wait
+	// behind earlier parked ones, or the per-location FIFO of
+	// condition M2 would be violated... except that a strictly FIFO
+	// discipline deadlocks immediately (a parked consumer blocks the
+	// producer that would wake it).  The controller therefore serves
+	// parked requests in arrival order *among the applicable*, which
+	// is exactly the alternating load/store service the paper
+	// describes.
+	done := make(chan core.Reply, 1)
+	m.parked[req.Addr] = append(m.parked[req.Addr], parkedReq{req: req, done: done})
+	m.Parked++
+	m.drainLocked(req.Addr)
+	m.mu.Unlock()
+	return <-done
+}
+
+// applicable reports whether the request's mapping succeeds in the cell's
+// current state.
+func (m *QueueingModule) applicable(req core.Request) bool {
+	t, ok := req.Op.(rmw.Table)
+	if !ok {
+		return true
+	}
+	return !t.Failed(m.cells[req.Addr].Tag)
+}
+
+func (m *QueueingModule) execLocked(req core.Request) core.Reply {
+	cell := m.cells[req.Addr]
+	rep := core.Execute(&cell, req)
+	m.cells[req.Addr] = cell
+	m.Served++
+	return rep
+}
+
+// drainLocked repeatedly executes the first applicable parked request on
+// the cell until none is applicable — the alternating producer/consumer
+// service of Section 5.5.
+func (m *QueueingModule) drainLocked(addr word.Addr) {
+	for {
+		queue := m.parked[addr]
+		fired := false
+		for i, p := range queue {
+			if !m.applicable(p.req) {
+				continue
+			}
+			rep := m.execLocked(p.req)
+			m.parked[addr] = append(append([]parkedReq{}, queue[:i]...), queue[i+1:]...)
+			p.done <- rep
+			fired = true
+			break
+		}
+		if !fired {
+			return
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package memory
+
+import (
+	"combining/internal/rmw"
+	"combining/internal/word"
+)
+
+// Queueing synchronization (end of Section 5.5).  Instead of returning a
+// negative acknowledgment, a full/empty memory can queue a request until it
+// is executable.  Accesses at a location then execute as a sequence of
+// alternating stores (producers, store-and-set-if-clear) and loads
+// (consumers, load-and-clear-if-set).
+//
+// The paper observes that a set of i loads and j stores can be combined
+// into |i − j| + 1 operations: min(i, j) producer/consumer pairs fuse —
+// transitively, into a single alternating chain — and the excess |i − j|
+// requests stay queued and uncombined.
+
+// QKind distinguishes the two queueing operations.
+type QKind uint8
+
+const (
+	// QLoad is the consumer operation load-and-clear-if-set.
+	QLoad QKind = iota + 1
+	// QStore is the producer operation store-and-set-if-clear.
+	QStore
+)
+
+// QOp is one queued request at a full/empty location.
+type QOp struct {
+	Kind QKind
+	ID   word.ReqID
+	V    int64 // producer payload
+}
+
+// Mapping returns the RMW mapping the operation denotes.
+func (q QOp) Mapping() rmw.Mapping {
+	if q.Kind == QLoad {
+		return rmw.FELoadIfSetClear()
+	}
+	return rmw.FEStoreIfClearSet(q.V)
+}
+
+// QueueMessage is one message after queue combining: a maximal alternating
+// producer/consumer chain fused into a single combined operation, or a
+// single uncombined excess request.
+type QueueMessage struct {
+	// Ops lists the original requests this message represents, in
+	// serialization order.
+	Ops []QOp
+	// Combined is the fused mapping, equal to the composition of the
+	// Ops' mappings.
+	Combined rmw.Mapping
+}
+
+// CombineQueue fuses a batch of queueing requests into the minimum number
+// of messages: every producer cancels a consumer (in either arrival order —
+// a waiting consumer is satisfied by the next producer), so min(i, j) pairs
+// chain together with the excess left over.  The returned messages carry
+// their represented requests so callers can decombine replies.
+//
+// The first message is the fused alternating chain (when any pair exists);
+// the rest are the excess requests.  len(result) == |i − j| + 1 whenever
+// both kinds are present, matching the paper's count.
+func CombineQueue(ops []QOp) []QueueMessage {
+	var loads, stores []QOp
+	for _, op := range ops {
+		if op.Kind == QLoad {
+			loads = append(loads, op)
+		} else {
+			stores = append(stores, op)
+		}
+	}
+	pairs := min(len(loads), len(stores))
+	var msgs []QueueMessage
+	if pairs > 0 {
+		// Fuse pairs into one alternating chain: store then load, so
+		// each consumer sees the value its producer deposited.
+		chain := make([]QOp, 0, 2*pairs)
+		for k := 0; k < pairs; k++ {
+			chain = append(chain, stores[k], loads[k])
+		}
+		msgs = append(msgs, fuse(chain))
+	}
+	for _, op := range loads[pairs:] {
+		msgs = append(msgs, fuse([]QOp{op}))
+	}
+	for _, op := range stores[pairs:] {
+		msgs = append(msgs, fuse([]QOp{op}))
+	}
+	if len(msgs) == 0 {
+		return nil
+	}
+	return msgs
+}
+
+func fuse(chain []QOp) QueueMessage {
+	maps := make([]rmw.Mapping, len(chain))
+	for i, op := range chain {
+		maps[i] = op.Mapping()
+	}
+	combined, ok := rmw.ComposeAll(maps...)
+	if !ok {
+		panic("memory: queueing operations must compose")
+	}
+	return QueueMessage{Ops: chain, Combined: combined}
+}

@@ -1,0 +1,64 @@
+// Package model provides closed-form performance predictions for the
+// simulated machine, from the authors' own analytic work: Kruskal & Snir,
+// "The Performance of Multistage Interconnection Networks for
+// Multiprocessors" (IEEE Trans. Computers, 1983) — the companion analysis
+// to this paper's architecture.  The tests validate the simulator against
+// the formulas, closing the loop between the theory and the instrument.
+package model
+
+// KruskalSnirWait is the mean queueing delay per stage of a buffered
+// banyan network of k×k switches under uniform random traffic with
+// offered load p per input per cycle (0 ≤ p < 1):
+//
+//	W(p, k) = p·(1 − 1/k) / (2·(1 − p))
+//
+// — the central result of the 1983 analysis: contention cost grows
+// hyperbolically in the load.  Per stage the wait grows mildly with k
+// (each output merges k independent streams, approaching the Poisson-like
+// p/(2(1−p)) as k → ∞), but the depth shrinks as log_k n, so the total
+// queueing cost of the network falls with radix.
+func KruskalSnirWait(p float64, k int) float64 {
+	if p < 0 || p >= 1 {
+		panic("model: load must be in [0, 1)")
+	}
+	if k < 2 {
+		panic("model: radix must be ≥ 2")
+	}
+	return p * (1 - 1/float64(k)) / (2 * (1 - p))
+}
+
+// Stages returns log_k n, the network depth.
+func Stages(n, k int) int {
+	s := 0
+	for v := 1; v < n; v *= k {
+		s++
+	}
+	return s
+}
+
+// UniformLatency predicts the mean round-trip time under uniform traffic:
+// the zero-load pipeline time plus the Kruskal–Snir queueing delay per
+// forward stage.
+//
+// The zero-load term counts the simulator's fixed pipeline: one cycle per
+// forward hop (stages + the injection hop), one memory service cycle, one
+// cycle per reverse hop, and one delivery cycle.
+func UniformLatency(n, k int, p float64) float64 {
+	stages := Stages(n, k)
+	zeroLoad := float64(stages+1) + 1 + float64(stages) + 1
+	return zeroLoad + float64(stages)*KruskalSnirWait(p, k)
+}
+
+// HotspotBandwidth is the saturation limit for a fraction h of references
+// to one module (the Pfister–Norton asymptote the hot-spot experiments
+// compare against): the hot module serves one request per cycle and
+// receives fraction h + (1−h)/n of all traffic.
+func HotspotBandwidth(n int, h float64) float64 {
+	return 1 / (h + (1-h)/float64(n))
+}
+
+// SaturationLoad is the offered per-input load at which the hot module
+// saturates: n·p·(h + (1−h)/n) = 1.
+func SaturationLoad(n int, h float64) float64 {
+	return 1 / (float64(n)*h + (1 - h))
+}

@@ -1,0 +1,123 @@
+package network
+
+import (
+	"testing"
+
+	"combining/internal/core"
+	"combining/internal/rmw"
+	"combining/internal/word"
+)
+
+// Structural invariants of the simulator, checked every cycle under load:
+// request conservation, queue capacity, wait-buffer/representation
+// accounting, and path-header sanity.
+
+func TestInvariantsUnderLoad(t *testing.T) {
+	const n = 32
+	const cycles = 1500
+	for _, waitCap := range []int{0, 1, core.Unbounded} {
+		inj := make([]Injector, n)
+		stoch := make([]*Stochastic, n)
+		for p := 0; p < n; p++ {
+			stoch[p] = NewStochastic(p, n, TrafficConfig{Rate: 0.9, HotFraction: 0.4, Window: 8}, 31)
+			inj[p] = stoch[p]
+		}
+		sim := NewSim(Config{Procs: n, QueueCap: 3, WaitBufCap: waitCap}, inj)
+		for c := 0; c < cycles; c++ {
+			sim.Step()
+			st := sim.stats
+			// Conservation: issued = completed + in flight.
+			if got := st.Completed + int64(sim.InFlight()); got != st.Issued {
+				t.Fatalf("waitCap=%d cycle %d: %d issued but %d completed+inflight",
+					waitCap, c, st.Issued, got)
+			}
+			// Queue capacity respected everywhere.
+			for s, stage := range sim.stages {
+				for i, sw := range stage {
+					for port := 0; port < 2; port++ {
+						if len(sw.outQ[port]) > 3 {
+							t.Fatalf("waitCap=%d: stage %d switch %d port %d queue %d > cap 3",
+								waitCap, s, i, port, len(sw.outQ[port]))
+						}
+					}
+				}
+			}
+		}
+		// Drain and re-check conservation at quiescence.
+		for _, s := range stoch {
+			s.cfg.Rate = 0
+		}
+		if !sim.Drain(50000) {
+			t.Fatalf("waitCap=%d: did not drain", waitCap)
+		}
+		st := sim.Stats()
+		if st.Completed != st.Issued {
+			t.Fatalf("waitCap=%d: completed %d != issued %d after drain", waitCap, st.Completed, st.Issued)
+		}
+		// All wait buffers must be empty at quiescence.
+		for _, stage := range sim.stages {
+			for _, sw := range stage {
+				if sw.wait.Len() != 0 {
+					t.Fatalf("waitCap=%d: wait buffer holds %d records after drain", waitCap, sw.wait.Len())
+				}
+			}
+		}
+	}
+}
+
+// TestPathHeadersConsistent: every request that reaches memory carries a
+// path header with exactly one entry per stage, each a valid port bit.
+func TestPathHeadersConsistent(t *testing.T) {
+	const n = 16
+	inj := make([]Injector, n)
+	for p := 0; p < n; p++ {
+		inj[p] = NewStochastic(p, n, TrafficConfig{Rate: 0.8, HotFraction: 0.3, Window: 4}, 33)
+	}
+	sim := NewSim(Config{Procs: n, WaitBufCap: core.Unbounded}, inj)
+	k := sim.k
+	for c := 0; c < 500; c++ {
+		sim.Step()
+		for id, m := range sim.meta {
+			if len(m.path) != k {
+				t.Fatalf("request %d at memory has %d path entries, want %d", id, len(m.path), k)
+			}
+			for _, p := range m.path {
+				if p > 1 {
+					t.Fatalf("request %d has port %d in its path", id, p)
+				}
+			}
+		}
+	}
+}
+
+// TestRepresentationConservation: with Lemma 4.1 bookkeeping enabled at
+// the injector level, the number of original requests represented by all
+// in-flight messages plus completions equals issues.  Source sets are the
+// cheap proxy the simulator always carries: the sum of |Srcs| over
+// in-flight forward messages plus wait-buffer records plus replies counts
+// every absorbed request exactly once.
+func TestRepresentationConservation(t *testing.T) {
+	const n = 16
+	inj, scripts := emptyInjectors(n)
+	const hot = word.Addr(3)
+	id := 1
+	for p := 0; p < n; p++ {
+		for r := 0; r < 3; r++ {
+			scripts[p].script = append(scripts[p].script, Injection{
+				Req: core.NewRequest(word.ReqID(id), hot, rmw.FetchAdd(1), word.ProcID(p)),
+			})
+			id++
+		}
+	}
+	sim := NewSim(Config{Procs: n, WaitBufCap: core.Unbounded}, inj)
+	if !sim.Drain(5000) {
+		t.Fatal("did not drain")
+	}
+	total := 0
+	for _, s := range scripts {
+		total += len(s.replies)
+	}
+	if total != 3*n {
+		t.Fatalf("delivered %d replies, want %d", total, 3*n)
+	}
+}

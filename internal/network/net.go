@@ -1,0 +1,494 @@
+package network
+
+import (
+	"fmt"
+
+	"combining/internal/core"
+	"combining/internal/memory"
+	"combining/internal/rmw"
+	"combining/internal/word"
+)
+
+// Config parameterizes a simulated machine: N processors, an Omega network
+// of log_k N stages of k×k combining switches, and N interleaved memory
+// modules.
+type Config struct {
+	// Procs is N, a power of Radix ≥ Radix.
+	Procs int
+	// Radix is the switch degree k (default 2, the paper's concrete
+	// design; 4 or 8 trade stages for per-switch contention).
+	Radix int
+	// QueueCap bounds each switch forward output queue; this finite
+	// buffering is what produces tree saturation under hot spots.
+	// Values ≤ 0 mean unbounded.  Default 4.
+	QueueCap int
+	// WaitBufCap bounds each switch's wait buffer: 0 disables combining
+	// entirely, core.Unbounded removes the limit, and small positive
+	// values give partial combining (ablation A1).
+	WaitBufCap int
+	// AllowReversal enables the Section 5.1 order-reversal optimization.
+	AllowReversal bool
+	// BuggyLoadForwarding enables the *incorrect* optimization Section
+	// 5.1 warns against: when a load meets a queued store to the same
+	// address, the load is answered immediately with the store's value
+	// while the store continues to memory.  The load can then be
+	// satisfied before the store occurs in memory, breaking
+	// serializability; experiment E3 demonstrates the failure.
+	BuggyLoadForwarding bool
+	// MemService is the memory module service time in cycles (default 1).
+	MemService int
+	// Trace, when non-nil, observes every inject/combine/memory/
+	// decombine/deliver event (see trace.go).  Tracing a long run is
+	// expensive; it is meant for audits and walkthroughs.
+	Trace func(Event)
+}
+
+func (c *Config) fill() {
+	if c.Radix == 0 {
+		c.Radix = 2
+	}
+	if c.Radix < 2 {
+		panic(fmt.Sprintf("network: Radix must be ≥ 2, got %d", c.Radix))
+	}
+	if c.Procs < c.Radix || !isPowerOf(c.Procs, c.Radix) {
+		panic(fmt.Sprintf("network: Procs must be a power of Radix %d ≥ %d, got %d",
+			c.Radix, c.Radix, c.Procs))
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = 4
+	}
+	if c.MemService == 0 {
+		c.MemService = 1
+	}
+}
+
+// isPowerOf reports whether n is a positive power of k.
+func isPowerOf(n, k int) bool {
+	for n > 1 {
+		if n%k != 0 {
+			return false
+		}
+		n /= k
+	}
+	return n == 1
+}
+
+// Stats aggregates one simulation run.
+type Stats struct {
+	Cycles    int64
+	Issued    int64
+	Completed int64
+
+	// Latency sums, split by traffic class for the tree-saturation
+	// experiment (E9).
+	LatencySum     int64
+	HotCompleted   int64
+	HotLatencySum  int64
+	ColdCompleted  int64
+	ColdLatencySum int64
+
+	// Combines counts combine events across all switches; Rejects counts
+	// combines refused because a wait buffer was full.
+	Combines int64
+	Rejects  int64
+
+	// MaxOutQueue is the deepest forward queue observed.
+	MaxOutQueue int
+
+	// LatBuckets is a power-of-two latency histogram: bucket i counts
+	// completions with latency in [2^i, 2^(i+1)) cycles (bucket 0 holds
+	// 0–1).  Percentile interpolates it.
+	LatBuckets [16]int64
+
+	// Traffic accounting (E11): link traversals and value slots moved,
+	// in each direction.
+	FwdHops, RevHops     int64
+	FwdSlots, RevSlots   int64
+	MemRequests, MemAcks int64
+}
+
+// Percentile returns the approximate q-quantile (0 < q ≤ 1) of the
+// round-trip latency from the power-of-two histogram, interpolating
+// within the bucket.
+func (s Stats) Percentile(q float64) float64 {
+	if s.Completed == 0 {
+		return 0
+	}
+	target := q * float64(s.Completed)
+	var cum float64
+	for i, c := range s.LatBuckets {
+		next := cum + float64(c)
+		if next >= target && c > 0 {
+			lo := float64(int64(1) << i)
+			if i == 0 {
+				lo = 0
+			}
+			hi := float64(int64(1) << (i + 1))
+			frac := (target - cum) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+		cum = next
+	}
+	return float64(int64(1) << len(s.LatBuckets))
+}
+
+// MeanLatency returns average round-trip cycles over completed requests.
+func (s Stats) MeanLatency() float64 {
+	if s.Completed == 0 {
+		return 0
+	}
+	return float64(s.LatencySum) / float64(s.Completed)
+}
+
+// ColdMeanLatency returns the mean latency of non-hot traffic.
+func (s Stats) ColdMeanLatency() float64 {
+	if s.ColdCompleted == 0 {
+		return 0
+	}
+	return float64(s.ColdLatencySum) / float64(s.ColdCompleted)
+}
+
+// HotMeanLatency returns the mean latency of hot-spot traffic.
+func (s Stats) HotMeanLatency() float64 {
+	if s.HotCompleted == 0 {
+		return 0
+	}
+	return float64(s.HotLatencySum) / float64(s.HotCompleted)
+}
+
+// Bandwidth returns completed memory operations per cycle.
+func (s Stats) Bandwidth() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Completed) / float64(s.Cycles)
+}
+
+// Injection is one request offered by an injector, tagged for metrics.
+type Injection struct {
+	Req core.Request
+	Hot bool
+}
+
+// Injector supplies traffic for one processor port and consumes replies.
+// Implementations need not be safe for concurrent use; the simulator calls
+// them from a single goroutine.
+type Injector interface {
+	// Next offers the next request at the given cycle.  ok=false means
+	// the processor has nothing to issue this cycle.  A request returned
+	// by Next is guaranteed to be injected (possibly stalled for queue
+	// space first); Next is not called again until then.
+	Next(cycle int64) (Injection, bool)
+	// Deliver hands a completed reply back.
+	Deliver(rep core.Reply, cycle int64)
+}
+
+// Sim is the cycle-driven machine: processors (injectors), the forward and
+// reverse Omega network, and the memory modules.
+type Sim struct {
+	cfg    Config
+	n      int // processors
+	k      int // stages
+	radix  int // switch degree
+	stages [][]*switchNode
+	mem    *memory.Array
+	inj    []Injector
+
+	// pending holds a request accepted from an injector but not yet
+	// admitted into stage 0 (backpressure at the processor port).
+	pending []*fwdMsg
+	// meta preserves message metadata across the memory module, which
+	// only transports core requests.
+	meta map[word.ReqID]fwdMsg
+
+	cycle int64
+	stats Stats
+}
+
+// NewSim builds a machine; injectors must supply exactly cfg.Procs entries.
+func NewSim(cfg Config, inj []Injector) *Sim {
+	cfg.fill()
+	if len(inj) != cfg.Procs {
+		panic(fmt.Sprintf("network: %d injectors for %d processors", len(inj), cfg.Procs))
+	}
+	n := cfg.Procs
+	radix := cfg.Radix
+	k := 0
+	for v := 1; v < n; v *= radix {
+		k++
+	}
+	pol := core.Policy{AllowReversal: cfg.AllowReversal}
+	stages := make([][]*switchNode, k)
+	for s := range stages {
+		stages[s] = make([]*switchNode, n/radix)
+		for i := range stages[s] {
+			stages[s][i] = newSwitch(s, i, radix, cfg.QueueCap, cfg.WaitBufCap, pol, cfg.BuggyLoadForwarding)
+		}
+	}
+	s := &Sim{
+		cfg:     cfg,
+		n:       n,
+		k:       k,
+		radix:   radix,
+		stages:  stages,
+		mem:     memory.NewArray(n, memory.WithServiceTime(cfg.MemService)),
+		inj:     inj,
+		pending: make([]*fwdMsg, n),
+		meta:    make(map[word.ReqID]fwdMsg),
+	}
+	if cfg.Trace != nil {
+		for _, stage := range stages {
+			for _, sw := range stage {
+				sw.trace = cfg.Trace
+				sw.cycleRef = &s.cycle
+			}
+		}
+	}
+	return s
+}
+
+// Memory exposes the module array (for initialization and inspection).
+func (s *Sim) Memory() *memory.Array { return s.mem }
+
+// Cycle returns the current cycle number.
+func (s *Sim) Cycle() int64 { return s.cycle }
+
+// shuffle is the perfect k-shuffle on n lines: rotate the base-radix line
+// index left by one digit.
+func (s *Sim) shuffle(line int) int {
+	return (line*s.radix)%s.n + line*s.radix/s.n
+}
+
+// unshuffle is the inverse permutation (rotate right one digit).
+func (s *Sim) unshuffle(line int) int {
+	return line/s.radix + (line%s.radix)*(s.n/s.radix)
+}
+
+// outPortFor selects the switch output port at a stage by destination-tag
+// routing: stage s examines base-radix digit k−1−s of the destination
+// module.
+func (s *Sim) outPortFor(stage int, dst int) int {
+	d := dst
+	for i := 0; i < s.k-1-stage; i++ {
+		d /= s.radix
+	}
+	return d % s.radix
+}
+
+// destModule is the home module of an address.
+func (s *Sim) destModule(addr word.Addr) int { return s.mem.HomeOf(addr) }
+
+// Step advances the machine one cycle.
+func (s *Sim) Step() {
+	s.cycle++
+	s.stats.Cycles++
+	s.drainReverse()
+	s.tickMemory()
+	s.drainForward()
+	s.injectAll()
+}
+
+// Run advances the machine the given number of cycles.
+func (s *Sim) Run(cycles int) {
+	for i := 0; i < cycles; i++ {
+		s.Step()
+	}
+}
+
+// drainReverse moves one reply per reverse link per cycle, destination side
+// first so each reply advances at most one hop per cycle.  Switch and port
+// order rotate with the cycle so contending streams share a downstream
+// queue fairly (round-robin arbitration, as in real switches).
+func (s *Sim) drainReverse() {
+	rot := int(s.cycle)
+	for stage := 0; stage < s.k; stage++ {
+		for si := range s.stages[stage] {
+			sw := s.stages[stage][(si+rot)%len(s.stages[stage])]
+			for pi := 0; pi < s.radix; pi++ {
+				port := (pi + rot) % s.radix
+				if len(sw.revQ[port]) == 0 {
+					continue
+				}
+				r := sw.popRev(port)
+				s.stats.RevHops++
+				s.stats.RevSlots += int64(r.slots)
+				inLine := sw.index*s.radix + port
+				if stage == 0 {
+					proc := s.unshuffle(inLine)
+					s.deliver(proc, r)
+					continue
+				}
+				prevLine := s.unshuffle(inLine)
+				prev := s.stages[stage-1][prevLine/s.radix]
+				prev.acceptReply(r)
+			}
+		}
+	}
+}
+
+func (s *Sim) deliver(proc int, r revMsg) {
+	lat := s.cycle - r.issueCycle
+	s.stats.Completed++
+	s.stats.LatencySum += lat
+	b := 0
+	for v := lat; v > 1 && b < len(s.stats.LatBuckets)-1; v >>= 1 {
+		b++
+	}
+	s.stats.LatBuckets[b]++
+	if r.hot {
+		s.stats.HotCompleted++
+		s.stats.HotLatencySum += lat
+	} else {
+		s.stats.ColdCompleted++
+		s.stats.ColdLatencySum += lat
+	}
+	if s.cfg.Trace != nil {
+		s.cfg.Trace(Event{Cycle: s.cycle, Kind: EvDeliver,
+			ID: r.rep.ID, Stage: -1, Switch: proc})
+	}
+	s.inj[proc].Deliver(r.rep, s.cycle)
+}
+
+// tickMemory advances every module and feeds completed replies into the
+// reverse side of the last stage.
+func (s *Sim) tickMemory() {
+	for mod := 0; mod < s.n; mod++ {
+		rep, ok := s.mem.Module(mod).Tick()
+		if !ok {
+			continue
+		}
+		s.stats.MemAcks++
+		m, found := s.meta[rep.ID]
+		if !found {
+			panic(fmt.Sprintf("network: reply %v with no request metadata", rep))
+		}
+		delete(s.meta, rep.ID)
+		if s.cfg.Trace != nil {
+			s.cfg.Trace(Event{Cycle: s.cycle, Kind: EvMemServe,
+				ID: rep.ID, Addr: m.req.Addr, Stage: -1, Switch: mod})
+		}
+		sw := s.stages[s.k-1][mod/s.radix]
+		sw.acceptReply(revMsg{
+			rep:        rep,
+			path:       m.path,
+			issueCycle: m.issueCycle,
+			hot:        m.hot,
+			slots:      boolSlots(rmw.NeedsValue(m.req.Op)),
+		})
+	}
+}
+
+// drainForward moves one request per forward link per cycle, memory side
+// first, with round-robin switch/port arbitration as in drainReverse.
+func (s *Sim) drainForward() {
+	rot := int(s.cycle)
+	for stage := s.k - 1; stage >= 0; stage-- {
+		for si := range s.stages[stage] {
+			sw := s.stages[stage][(si+rot)%len(s.stages[stage])]
+			for pi := 0; pi < s.radix; pi++ {
+				port := (pi + rot) % s.radix
+				if len(sw.outQ[port]) == 0 {
+					continue
+				}
+				m := sw.outQ[port][0]
+				outLine := sw.index*s.radix + port
+				if stage == s.k-1 {
+					// The link into module outLine.
+					sw.popFwd(port)
+					s.stats.FwdHops++
+					s.stats.FwdSlots += int64(core.ValueSlots(m.req.Op))
+					s.stats.MemRequests++
+					s.meta[m.req.ID] = m
+					s.mem.Module(outLine).Enqueue(m.req)
+					continue
+				}
+				nextLine := s.shuffle(outLine)
+				next := s.stages[stage+1][nextLine/s.radix]
+				dst := s.destModule(m.req.Addr)
+				if next.tryAccept(m, s.outPortFor(stage+1, dst), uint8(nextLine%s.radix), &s.stats) {
+					sw.popFwd(port)
+					s.stats.FwdHops++
+					s.stats.FwdSlots += int64(core.ValueSlots(m.req.Op))
+				}
+			}
+		}
+	}
+}
+
+// injectAll offers each processor's next request to stage 0, in rotating
+// order so no processor port permanently outranks another.
+func (s *Sim) injectAll() {
+	rot := int(s.cycle)
+	for pi := 0; pi < s.n; pi++ {
+		proc := (pi + rot) % s.n
+		if s.pending[proc] == nil {
+			inj, ok := s.inj[proc].Next(s.cycle)
+			if !ok {
+				continue
+			}
+			m := fwdMsg{req: inj.Req, issueCycle: s.cycle, hot: inj.Hot}
+			s.pending[proc] = &m
+			s.stats.Issued++
+			if s.cfg.Trace != nil {
+				s.cfg.Trace(Event{Cycle: s.cycle, Kind: EvInject,
+					ID: inj.Req.ID, Addr: inj.Req.Addr, Stage: -1, Switch: proc})
+			}
+		}
+		m := s.pending[proc]
+		line := s.shuffle(proc)
+		sw := s.stages[0][line/s.radix]
+		dst := s.destModule(m.req.Addr)
+		if sw.tryAccept(*m, s.outPortFor(0, dst), uint8(line%s.radix), &s.stats) {
+			s.pending[proc] = nil
+			s.stats.FwdHops++
+			s.stats.FwdSlots += int64(core.ValueSlots(m.req.Op))
+		}
+	}
+}
+
+// Stats snapshots the run statistics, folding in per-switch counters.
+func (s *Sim) Stats() Stats {
+	st := s.stats
+	for _, stage := range s.stages {
+		for _, sw := range stage {
+			st.Rejects += sw.wait.Rejections
+		}
+	}
+	return st
+}
+
+// InFlight reports requests somewhere in the machine: pending at the
+// injection port, queued in switches, in memory, or replies in transit.
+func (s *Sim) InFlight() int {
+	n := 0
+	for _, p := range s.pending {
+		if p != nil {
+			n++
+		}
+	}
+	for _, stage := range s.stages {
+		for _, sw := range stage {
+			for port := 0; port < s.radix; port++ {
+				n += len(sw.outQ[port]) + len(sw.revQ[port])
+			}
+			n += sw.wait.Len()
+		}
+	}
+	for mod := 0; mod < s.n; mod++ {
+		n += s.mem.Module(mod).QueueLen()
+	}
+	return n
+}
+
+// Drain runs the machine until no requests remain in flight (injectors
+// willing, i.e. they stop offering traffic), up to the given cycle bound.
+// It reports whether the machine fully drained.
+func (s *Sim) Drain(maxCycles int) bool {
+	for i := 0; i < maxCycles; i++ {
+		s.Step()
+		if s.InFlight() == 0 {
+			return true
+		}
+	}
+	return s.InFlight() == 0
+}

@@ -1,0 +1,77 @@
+package network
+
+import (
+	"testing"
+
+	"combining/internal/word"
+)
+
+// TestPermutationBlocking pins the classic Omega-network facts: identity
+// and shift permutations route conflict-free; bit-reverse and transpose
+// collide on internal links and deliver roughly √N-scaled bandwidth.
+func TestPermutationBlocking(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	const cycles = 3000
+	bw := func(n int, p Permutation) float64 {
+		return RunPermutation(n, p, cycles).Bandwidth()
+	}
+	for _, n := range []int{64, 256} {
+		id, sh := bw(n, IdentityPerm), bw(n, ShiftPerm)
+		br, tr := bw(n, BitReversePerm), bw(n, TransposePerm)
+		t.Logf("n=%d: identity %.2f, shift %.2f, bit-reverse %.2f, transpose %.2f", n, id, sh, br, tr)
+		if id < 0.95*sh || id > 1.05*sh {
+			t.Errorf("n=%d: identity (%.2f) and shift (%.2f) should both be conflict-free", n, id, sh)
+		}
+		if id < 2*br {
+			t.Errorf("n=%d: identity %.2f not ≥2× bit-reverse %.2f (blocking missing)", n, id, br)
+		}
+		if br < 0.9*tr || br > 1.1*tr {
+			t.Errorf("n=%d: bit-reverse %.2f and transpose %.2f should collide equally", n, br, tr)
+		}
+	}
+	// Conflict-free traffic scales nearly linearly in N; blocked traffic
+	// sub-linearly (≈ √N for bit reversal).
+	id64, id256 := bw(64, IdentityPerm), bw(256, IdentityPerm)
+	br64, br256 := bw(64, BitReversePerm), bw(256, BitReversePerm)
+	if id256/id64 < 2.5 {
+		t.Errorf("identity scaling %.2f×, want near-linear (≥2.5× for 4× procs)", id256/id64)
+	}
+	if br256/br64 > 2.5 {
+		t.Errorf("bit-reverse scaling %.2f×, want sub-linear (≤2.5× for 4× procs)", br256/br64)
+	}
+}
+
+// TestPermutationCorrect: every permutation request completes and lands
+// on its own module.
+func TestPermutationCorrect(t *testing.T) {
+	const n = 16
+	inj := make([]Injector, n)
+	pis := make([]*PermInjector, n)
+	for p := 0; p < n; p++ {
+		pis[p] = NewPermInjector(p, n, BitReversePerm, 2)
+		inj[p] = pis[p]
+	}
+	sim := NewSim(Config{Procs: n, WaitBufCap: 0}, inj)
+	sim.Run(500)
+	// Stop and drain.
+	for _, pi := range pis {
+		pi.window = 0
+	}
+	if !sim.Drain(5000) {
+		t.Fatal("did not drain")
+	}
+	st := sim.Stats()
+	if st.Completed != st.Issued {
+		t.Fatalf("completed %d of %d", st.Completed, st.Issued)
+	}
+	// Each module's counter equals the requests its (unique) source sent.
+	var total int64
+	for p := 0; p < n; p++ {
+		total += sim.Memory().Peek(word.Addr(BitReversePerm(p, n))).Val
+	}
+	if total != st.Completed {
+		t.Fatalf("module counters sum to %d, want %d", total, st.Completed)
+	}
+}

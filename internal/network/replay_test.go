@@ -1,0 +1,121 @@
+package network
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"combining/internal/core"
+	"combining/internal/rmw"
+	"combining/internal/word"
+)
+
+const sampleTrace = `# a tiny trace: four processors hammer cell 5, plus private traffic
+0 0 5 add 1
+0 1 5 add 1
+0 2 5 add 1
+0 3 5 add 1
+2 0 8 store 42
+3 1 8 load
+5 2 5 add 10
+5 3 9 swap 7
+`
+
+func TestParseTrace(t *testing.T) {
+	entries, err := ParseTrace(strings.NewReader(sampleTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 8 {
+		t.Fatalf("%d entries, want 8", len(entries))
+	}
+	if entries[4].Cycle != 2 || entries[4].Proc != 0 || entries[4].Addr != 8 {
+		t.Fatalf("entry 4 = %+v", entries[4])
+	}
+	if _, ok := entries[5].Op.(rmw.Load); !ok {
+		t.Fatalf("entry 5 op = %v, want load", entries[5].Op)
+	}
+}
+
+func TestParseTraceErrors(t *testing.T) {
+	for _, bad := range []string{
+		"1 2 3",             // too few fields
+		"x 0 5 add 1",       // bad cycle
+		"0 0 5 frob 1",      // unknown op
+		"0 0 5 add notanum", // bad argument
+	} {
+		if _, err := ParseTrace(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseTrace(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	entries, err := ParseTrace(strings.NewReader(sampleTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, entries); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(entries) {
+		t.Fatalf("round trip lost entries: %d vs %d", len(again), len(entries))
+	}
+	for i := range entries {
+		a, b := entries[i], again[i]
+		if a.Cycle != b.Cycle || a.Proc != b.Proc || a.Addr != b.Addr {
+			t.Fatalf("entry %d changed: %+v vs %+v", i, a, b)
+		}
+		for _, x := range []word.Word{word.W(0), word.W(13)} {
+			if a.Op.Apply(x) != b.Op.Apply(x) {
+				t.Fatalf("entry %d op changed semantics", i)
+			}
+		}
+	}
+}
+
+// TestReplayThroughMachine: the sample trace replays deterministically
+// and the final memory matches the serial expectation.
+func TestReplayThroughMachine(t *testing.T) {
+	for _, waitCap := range []int{0, core.Unbounded} {
+		entries, err := ParseTrace(strings.NewReader(sampleTrace))
+		if err != nil {
+			t.Fatal(err)
+		}
+		inj, reps, err := NewReplayInjectors(entries, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim := NewSim(Config{Procs: 4, WaitBufCap: waitCap}, inj)
+		if !sim.Drain(5000) {
+			t.Fatal("did not drain")
+		}
+		for p, r := range reps {
+			if !r.Done() {
+				t.Fatalf("proc %d trace incomplete", p)
+			}
+		}
+		if got := sim.Memory().Peek(5).Val; got != 14 {
+			t.Fatalf("cell 5 = %d, want 14 (4 adds of 1 + one add of 10)", got)
+		}
+		if got := sim.Memory().Peek(8).Val; got != 42 {
+			t.Fatalf("cell 8 = %d, want 42", got)
+		}
+		if got := sim.Memory().Peek(9).Val; got != 7 {
+			t.Fatalf("cell 9 = %d, want 7", got)
+		}
+	}
+}
+
+// TestReplayOutOfRangeProc rejects malformed traces.
+func TestReplayOutOfRangeProc(t *testing.T) {
+	entries := []TraceEntry{{Proc: 9, Addr: 0, Op: rmw.Load{}}}
+	if _, _, err := NewReplayInjectors(entries, 4); err == nil {
+		t.Fatal("out-of-range proc accepted")
+	}
+}

@@ -1,0 +1,208 @@
+package network
+
+import (
+	"combining/internal/core"
+	"combining/internal/rmw"
+	"combining/internal/word"
+)
+
+// switchNode is one 2×2 combining switch.  Forward traffic enters on two
+// input ports and leaves through two output FIFO queues; combining happens
+// when an arriving request finds a queued request for the same address in
+// its output queue.  Reverse traffic (replies) enters from the memory side,
+// is decombined against the wait buffer, and leaves through two reverse
+// FIFO queues toward the processors.
+type switchNode struct {
+	stage, index int
+
+	outQ   [][]fwdMsg // one forward FIFO per output port (radix k)
+	revQ   [][]revMsg // one reverse FIFO per input port
+	wait   *core.WaitBuffer[netRecord]
+	pol    core.Policy
+	outCap int // forward queue capacity; <= 0 means unbounded
+	// buggyForward enables the incorrect early-reply optimization of
+	// Section 5.1 (Config.BuggyLoadForwarding).
+	buggyForward bool
+	// trace, when non-nil, observes combine/decombine/reject events;
+	// cycleRef supplies the current cycle for event timestamps.
+	trace    func(Event)
+	cycleRef *int64
+
+	// CombinedHere counts requests absorbed by combining at this switch.
+	CombinedHere int64
+}
+
+func newSwitch(stage, index, radix, outCap, waitCap int, pol core.Policy, buggyForward bool) *switchNode {
+	return &switchNode{
+		stage:        stage,
+		index:        index,
+		outQ:         make([][]fwdMsg, radix),
+		revQ:         make([][]revMsg, radix),
+		outCap:       outCap,
+		wait:         core.NewWaitBuffer[netRecord](waitCap),
+		pol:          pol,
+		buggyForward: buggyForward,
+	}
+}
+
+// tryAccept routes a forward message into the output queue for outPort,
+// stamping the input port into the path header.  It first attempts to
+// combine with a queued request to the same address; failing that it
+// appends to the queue if space remains.  It reports false when the
+// message cannot be accepted this cycle (the upstream holds it).
+func (sw *switchNode) tryAccept(m fwdMsg, outPort int, inPort uint8, st *Stats) bool {
+	m.path = append(m.path, inPort)
+	q := &sw.outQ[outPort]
+	if sw.buggyForward {
+		if _, isLoad := m.req.Op.(rmw.Load); isLoad {
+			for i := range *q {
+				queued := (*q)[i]
+				c, isConst := queued.req.Op.(rmw.Const)
+				if !isConst || queued.req.Addr != m.req.Addr {
+					continue
+				}
+				// Answer the load NOW with the store's value, while
+				// the store is still on its way to memory — the
+				// incorrect optimization.  The synthesized reply
+				// descends from this switch along the load's path.
+				sw.acceptReply(revMsg{
+					rep:        core.Reply{ID: m.req.ID, Val: word.W(c.V)},
+					path:       m.path,
+					issueCycle: m.issueCycle,
+					hot:        m.hot,
+					slots:      1,
+				})
+				return true
+			}
+		}
+	}
+	// Only the LAST queued request for the address is a legal combining
+	// partner.  Combining attaches the arrival's effect to the partner's
+	// queue position, so pairing with an earlier entry would serialize
+	// the arrival ahead of any same-address request queued between them
+	// — overtaking that the per-location FIFO condition (M2.3) forbids.
+	// (With an unbounded wait buffer the situation cannot arise: any two
+	// same-address combinable entries would already have merged.)
+	for i := len(*q) - 1; i >= 0; i-- {
+		queued := &(*q)[i]
+		if queued.req.Addr != m.req.Addr {
+			continue
+		}
+		if !rmw.Combinable(queued.req.Op, m.req.Op) {
+			break
+		}
+		if !sw.wait.CanPush() {
+			// A full wait buffer forfeits the combine; count the
+			// missed opportunity for the partial-combining ablation.
+			sw.wait.Rejections++
+			if sw.trace != nil {
+				sw.trace(Event{Cycle: *sw.cycleRef, Kind: EvCombineReject,
+					ID: m.req.ID, Addr: m.req.Addr, Stage: sw.stage, Switch: sw.index})
+			}
+			break
+		}
+		combined, rec, ok := core.Combine(queued.req, m.req, sw.pol)
+		if !ok {
+			break
+		}
+		// The message whose id the combined request carries is the
+		// one serialized first; the other's routing state goes into
+		// the wait-buffer record.
+		first, second := *queued, m
+		if rec.ID1 != first.req.ID {
+			first, second = m, *queued
+		}
+		nr := netRecord{
+			Record:     rec,
+			pathSecond: second.path,
+			issue2:     second.issueCycle,
+			hot2:       second.hot,
+			needs1:     rmw.NeedsValue(first.req.Op),
+			needs2:     rmw.NeedsValue(second.req.Op),
+		}
+		if !sw.wait.Push(rec.ID1, nr) {
+			break // full despite CanPush: cannot happen single-threaded
+		}
+		*queued = fwdMsg{
+			req:        combined,
+			path:       first.path,
+			issueCycle: first.issueCycle,
+			hot:        first.hot,
+		}
+		sw.CombinedHere++
+		st.Combines++
+		if sw.trace != nil {
+			sw.trace(Event{Cycle: *sw.cycleRef, Kind: EvCombine,
+				ID: rec.ID1, ID2: rec.ID2, Addr: m.req.Addr,
+				Stage: sw.stage, Switch: sw.index})
+		}
+		return true
+	}
+	if sw.outCap > 0 && len(*q) >= sw.outCap {
+		return false
+	}
+	*q = append(*q, m)
+	if n := len(*q); n > st.MaxOutQueue {
+		st.MaxOutQueue = n
+	}
+	return true
+}
+
+// acceptReply processes a reply arriving from the memory side: it pops this
+// stage's port from the path header, undoes every combine recorded here for
+// the id (LIFO, possibly several for k-way combining), and places the
+// resulting replies in the reverse queues.  Reverse queues are unbounded —
+// the decombining fan-out restores exactly the messages combining removed,
+// so total reverse traffic never exceeds the uncombined load.
+func (sw *switchNode) acceptReply(r revMsg) {
+	if rec, ok := sw.wait.Pop(r.rep.ID); ok {
+		r1, r2 := core.Decombine(rec.Record, r.rep)
+		if sw.trace != nil {
+			sw.trace(Event{Cycle: *sw.cycleRef, Kind: EvDecombine,
+				ID: r1.ID, ID2: r2.ID, Stage: sw.stage, Switch: sw.index})
+		}
+		sw.acceptReply(revMsg{
+			rep:        r1,
+			path:       r.path,
+			issueCycle: r.issueCycle,
+			hot:        r.hot,
+			slots:      boolSlots(rec.needs1),
+		})
+		sw.acceptReply(revMsg{
+			rep:        r2,
+			path:       rec.pathSecond,
+			issueCycle: rec.issue2,
+			hot:        rec.hot2,
+			slots:      boolSlots(rec.needs2),
+		})
+		return
+	}
+	port := r.path[sw.stage]
+	r.path = r.path[:sw.stage]
+	sw.revQ[port] = append(sw.revQ[port], r)
+}
+
+func boolSlots(needs bool) int {
+	if needs {
+		return 1
+	}
+	return 0
+}
+
+// popFwd removes and returns the head of the forward queue for port.
+func (sw *switchNode) popFwd(port int) fwdMsg {
+	q := sw.outQ[port]
+	m := q[0]
+	copy(q, q[1:])
+	sw.outQ[port] = q[:len(q)-1]
+	return m
+}
+
+// popRev removes and returns the head of the reverse queue for port.
+func (sw *switchNode) popRev(port int) revMsg {
+	q := sw.revQ[port]
+	m := q[0]
+	copy(q, q[1:])
+	sw.revQ[port] = q[:len(q)-1]
+	return m
+}

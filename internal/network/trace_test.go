@@ -1,0 +1,104 @@
+package network
+
+import (
+	"testing"
+
+	"combining/internal/core"
+	"combining/internal/rmw"
+	"combining/internal/word"
+)
+
+// TestTraceAudit: the event stream is internally consistent — every
+// injection is eventually delivered, every combine is undone by exactly
+// one decombine at the same switch, and memory sees exactly the
+// uncombined residue.
+func TestTraceAudit(t *testing.T) {
+	const n = 16
+	log := &TraceLog{}
+	inj, scripts := emptyInjectors(n)
+	id := 1
+	for p := 0; p < n; p++ {
+		for r := 0; r < 3; r++ {
+			scripts[p].script = append(scripts[p].script, Injection{
+				Req: core.NewRequest(word.ReqID(id), 5, rmw.FetchAdd(1), word.ProcID(p)),
+			})
+			id++
+		}
+	}
+	sim := NewSim(Config{Procs: n, WaitBufCap: core.Unbounded, Trace: log.Record}, inj)
+	if !sim.Drain(5000) {
+		t.Fatal("did not drain")
+	}
+
+	injects := log.Count(EvInject)
+	delivers := log.Count(EvDeliver)
+	combines := log.Count(EvCombine)
+	decombines := log.Count(EvDecombine)
+	memServes := log.Count(EvMemServe)
+	t.Logf("injects=%d delivers=%d combines=%d decombines=%d memory=%d",
+		injects, delivers, combines, decombines, memServes)
+
+	if injects != 3*n || delivers != 3*n {
+		t.Fatalf("injects %d / delivers %d, want %d each", injects, delivers, 3*n)
+	}
+	if combines != decombines {
+		t.Fatalf("%d combines but %d decombines", combines, decombines)
+	}
+	// Conservation: every request either reached memory or was absorbed
+	// by a combine.
+	if memServes+combines != injects {
+		t.Fatalf("memory %d + combines %d != injects %d", memServes, combines, injects)
+	}
+	// Each combine is undone at the switch that performed it.
+	type key struct {
+		stage, sw int
+		id1, id2  word.ReqID
+	}
+	open := map[key]int{}
+	for _, e := range log.Events {
+		switch e.Kind {
+		case EvCombine:
+			open[key{e.Stage, e.Switch, e.ID, e.ID2}]++
+		case EvDecombine:
+			k := key{e.Stage, e.Switch, e.ID, e.ID2}
+			if open[k] == 0 {
+				t.Fatalf("decombine without matching combine: %v", e)
+			}
+			open[k]--
+		}
+	}
+	for k, c := range open {
+		if c != 0 {
+			t.Fatalf("combine never undone: %+v ×%d", k, c)
+		}
+	}
+	// Events are time-ordered.
+	for i := 1; i < len(log.Events); i++ {
+		if log.Events[i].Cycle < log.Events[i-1].Cycle {
+			t.Fatal("trace events out of cycle order")
+		}
+	}
+}
+
+// TestTraceRejects: a zero-capacity wait buffer logs rejects, never
+// combines.
+func TestTraceRejects(t *testing.T) {
+	const n = 8
+	log := &TraceLog{}
+	inj, scripts := emptyInjectors(n)
+	for p := 0; p < n; p++ {
+		scripts[p].script = []Injection{{
+			Req: core.NewRequest(word.ReqID(p+1), 5, rmw.FetchAdd(1), word.ProcID(p)),
+		}}
+	}
+	sim := NewSim(Config{Procs: n, WaitBufCap: 0, Trace: log.Record}, inj)
+	if !sim.Drain(2000) {
+		t.Fatal("did not drain")
+	}
+	if log.Count(EvCombine) != 0 {
+		t.Fatal("combining with zero-capacity buffer")
+	}
+	if log.Count(EvCombineReject) == 0 {
+		t.Fatal("aligned burst produced no reject events")
+	}
+}

@@ -1,0 +1,148 @@
+package network
+
+import (
+	"math/rand/v2"
+
+	"combining/internal/core"
+	"combining/internal/rmw"
+	"combining/internal/word"
+)
+
+// TrafficConfig describes the synthetic hot-spot workload of Pfister &
+// Norton [20], which the paper's introduction builds on: each processor
+// issues requests at a given rate; a fraction h of them target one hot
+// address and the rest are uniform over the address space.
+type TrafficConfig struct {
+	// Rate is the per-cycle issue probability while under the window.
+	Rate float64
+	// HotFraction is h, the fraction of requests directed at HotAddr.
+	HotFraction float64
+	// HotAddr is the hot-spot location.
+	HotAddr word.Addr
+	// Window bounds outstanding requests per processor (default 4 —
+	// processors pipeline accesses, Section 3.2).
+	Window int
+	// AddrSpace sizes the uniform address range (default 64·N).
+	AddrSpace word.Addr
+	// MakeOp builds the operation for a request; nil means
+	// fetch-and-add(1), the Ultracomputer hot-spot operation.
+	MakeOp func(rng *rand.Rand, hot bool) rmw.Mapping
+}
+
+// Stochastic is the workload injector for one processor.
+type Stochastic struct {
+	proc        word.ProcID
+	cfg         TrafficConfig
+	rng         *rand.Rand
+	ids         *word.IDGen
+	nprocs      int
+	outstanding int
+
+	// Hot and Cold count issued requests by class.
+	Hot, Cold int64
+}
+
+var _ Injector = (*Stochastic)(nil)
+
+// NewStochastic builds the injector for processor proc of nprocs.
+func NewStochastic(proc, nprocs int, cfg TrafficConfig, seed uint64) *Stochastic {
+	if cfg.Window <= 0 {
+		cfg.Window = 4
+	}
+	if cfg.AddrSpace == 0 {
+		cfg.AddrSpace = word.Addr(64 * nprocs)
+	}
+	return &Stochastic{
+		proc:   word.ProcID(proc),
+		cfg:    cfg,
+		rng:    rand.New(rand.NewPCG(seed, uint64(proc)*0x9e3779b97f4a7c15+1)),
+		ids:    word.Partition(proc, nprocs),
+		nprocs: nprocs,
+	}
+}
+
+// Next draws the next request per the Bernoulli issue process.
+func (s *Stochastic) Next(cycle int64) (Injection, bool) {
+	if s.outstanding >= s.cfg.Window {
+		return Injection{}, false
+	}
+	if s.rng.Float64() >= s.cfg.Rate {
+		return Injection{}, false
+	}
+	hot := s.rng.Float64() < s.cfg.HotFraction
+	addr := s.cfg.HotAddr
+	if !hot {
+		addr = word.Addr(s.rng.Int64N(int64(s.cfg.AddrSpace)))
+		if addr == s.cfg.HotAddr {
+			addr++
+		}
+	}
+	var op rmw.Mapping = rmw.FetchAdd(1)
+	if s.cfg.MakeOp != nil {
+		op = s.cfg.MakeOp(s.rng, hot)
+	}
+	if hot {
+		s.Hot++
+	} else {
+		s.Cold++
+	}
+	s.outstanding++
+	id := s.ids.NextPartitioned(s.nprocs)
+	return Injection{Req: core.NewRequest(id, addr, op, s.proc), Hot: hot}, true
+}
+
+// Deliver releases a window slot.
+func (s *Stochastic) Deliver(core.Reply, int64) {
+	s.outstanding--
+}
+
+// HotspotResult is one point of the hot-spot sweep (experiment E8/E9).
+type HotspotResult struct {
+	Procs       int
+	HotFraction float64
+	Combining   bool
+	Stats       Stats
+}
+
+// RunHotspot runs one hot-spot simulation: nprocs processors, issue rate,
+// hot fraction h, for the given number of cycles.  combining selects an
+// unbounded wait buffer versus none.
+func RunHotspot(nprocs int, rate, h float64, combining bool, cycles int, seed uint64) HotspotResult {
+	traffic := TrafficConfig{Rate: rate, HotFraction: h, HotAddr: 0}
+	return RunHotspotTraffic(nprocs, traffic, combining, cycles, seed)
+}
+
+// RunHotspotTraffic is RunHotspot with full control over the workload
+// (window depth, operation mix, address space).
+func RunHotspotTraffic(nprocs int, traffic TrafficConfig, combining bool, cycles int, seed uint64) HotspotResult {
+	waitCap := 0
+	if combining {
+		waitCap = core.Unbounded
+	}
+	cfg := Config{
+		Procs:      nprocs,
+		QueueCap:   4,
+		WaitBufCap: waitCap,
+	}
+	inj := make([]Injector, nprocs)
+	for p := 0; p < nprocs; p++ {
+		inj[p] = NewStochastic(p, nprocs, traffic, seed)
+	}
+	sim := NewSim(cfg, inj)
+	sim.Run(cycles)
+	return HotspotResult{
+		Procs:       nprocs,
+		HotFraction: traffic.HotFraction,
+		Combining:   combining,
+		Stats:       sim.Stats(),
+	}
+}
+
+// AsymptoticHotBandwidth is the analytic saturation limit the sweep is
+// compared against: with fraction h of references directed at one module
+// and the rest spread over N modules, a non-combining memory delivers at
+// most 1/(h + (1−h)/N) references per cycle — the single hot module serves
+// one request per cycle and receives fraction h + (1−h)/N of all traffic.
+func AsymptoticHotBandwidth(nprocs int, h float64) float64 {
+	return 1 / (h + (1-h)/float64(nprocs))
+}

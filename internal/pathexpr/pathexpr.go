@@ -1,0 +1,527 @@
+// Package pathexpr implements the path-expression synchronization of
+// Section 5.6: "Memory accesses controlled by a regular automaton can be
+// used to support simple path expressions [1].  A regular expression over
+// the alphabet consisting of these operations defines the language of
+// legal sequences of operation applications on each object."
+//
+// A path expression is compiled — regular expression → Thompson NFA →
+// subset-construction DFA — into a data-level synchronization automaton:
+// each operation becomes an rmw.Table over the DFA's states, so one RMW
+// access to the object's guard cell atomically tests legality and advances
+// the automaton.  Illegal applications fail (the reply's old tag is the
+// negative acknowledgment) and the object is untouched.  Every guard
+// operation is a Table over the same state set, so concurrent guard
+// accesses combine in the network like any other Section 5.6 family.
+package pathexpr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"combining/internal/rmw"
+	"combining/internal/word"
+)
+
+// Expr is a parsed path expression.
+type Expr interface {
+	String() string
+}
+
+type (
+	// Sym is one operation name.
+	Sym struct{ Name string }
+	// Seq is concatenation.
+	Seq struct{ Parts []Expr }
+	// Alt is alternation.
+	Alt struct{ Choices []Expr }
+	// Star is Kleene iteration.
+	Star struct{ Inner Expr }
+)
+
+// String renders the expression.
+func (s Sym) String() string { return s.Name }
+
+// String renders the expression.
+func (s Seq) String() string {
+	parts := make([]string, len(s.Parts))
+	for i, p := range s.Parts {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// String renders the expression.
+func (a Alt) String() string {
+	parts := make([]string, len(a.Choices))
+	for i, p := range a.Choices {
+		parts[i] = p.String()
+	}
+	return "(" + strings.Join(parts, " | ") + ")"
+}
+
+// String renders the expression.
+func (s Star) String() string { return "(" + s.Inner.String() + ")*" }
+
+// Parse reads a path expression: operation names (identifiers), spaces for
+// sequencing, '|' for alternation, '*' for iteration, parentheses for
+// grouping.
+func Parse(src string) (Expr, error) {
+	p := &parser{src: src}
+	e, err := p.alt()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("pathexpr: unexpected %q at offset %d", p.src[p.pos], p.pos)
+	}
+	return e, nil
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+func (p *parser) alt() (Expr, error) {
+	first, err := p.seq()
+	if err != nil {
+		return nil, err
+	}
+	choices := []Expr{first}
+	for {
+		p.skipSpace()
+		if p.peek() != '|' {
+			break
+		}
+		p.pos++
+		next, err := p.seq()
+		if err != nil {
+			return nil, err
+		}
+		choices = append(choices, next)
+	}
+	if len(choices) == 1 {
+		return first, nil
+	}
+	return Alt{Choices: choices}, nil
+}
+
+func (p *parser) seq() (Expr, error) {
+	var parts []Expr
+	for {
+		p.skipSpace()
+		c := p.peek()
+		if c == 0 || c == ')' || c == '|' {
+			break
+		}
+		f, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, f)
+	}
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("pathexpr: empty expression at offset %d", p.pos)
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return Seq{Parts: parts}, nil
+}
+
+func (p *parser) factor() (Expr, error) {
+	atom, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	for p.peek() == '*' {
+		p.pos++
+		atom = Star{Inner: atom}
+		p.skipSpace()
+	}
+	return atom, nil
+}
+
+func (p *parser) atom() (Expr, error) {
+	p.skipSpace()
+	if p.peek() == '(' {
+		p.pos++
+		e, err := p.alt()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("pathexpr: missing ')' at offset %d", p.pos)
+		}
+		p.pos++
+		return e, nil
+	}
+	start := p.pos
+	for p.pos < len(p.src) && isIdent(p.src[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return nil, fmt.Errorf("pathexpr: expected operation name at offset %d", p.pos)
+	}
+	return Sym{Name: p.src[start:p.pos]}, nil
+}
+
+func isIdent(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '-'
+}
+
+// nfa is a Thompson construction: states numbered 0..n-1, epsilon edges
+// and labeled edges.
+type nfa struct {
+	n       int
+	eps     map[int][]int
+	labeled map[int]map[string][]int
+	start   int
+	accept  int
+}
+
+func newNFA() *nfa {
+	return &nfa{eps: make(map[int][]int), labeled: make(map[int]map[string][]int)}
+}
+
+func (a *nfa) state() int {
+	s := a.n
+	a.n++
+	return s
+}
+
+func (a *nfa) edge(from int, label string, to int) {
+	if a.labeled[from] == nil {
+		a.labeled[from] = make(map[string][]int)
+	}
+	a.labeled[from][label] = append(a.labeled[from][label], to)
+}
+
+func (a *nfa) epsilon(from, to int) { a.eps[from] = append(a.eps[from], to) }
+
+// build adds the fragment for e and returns (start, accept).
+func (a *nfa) build(e Expr) (int, int) {
+	switch v := e.(type) {
+	case Sym:
+		s, t := a.state(), a.state()
+		a.edge(s, v.Name, t)
+		return s, t
+	case Seq:
+		s, t := a.build(v.Parts[0])
+		for _, part := range v.Parts[1:] {
+			s2, t2 := a.build(part)
+			a.epsilon(t, s2)
+			t = t2
+		}
+		return s, t
+	case Alt:
+		s, t := a.state(), a.state()
+		for _, c := range v.Choices {
+			cs, ct := a.build(c)
+			a.epsilon(s, cs)
+			a.epsilon(ct, t)
+		}
+		return s, t
+	case Star:
+		s, t := a.state(), a.state()
+		is, it := a.build(v.Inner)
+		a.epsilon(s, is)
+		a.epsilon(it, t)
+		a.epsilon(s, t)
+		a.epsilon(it, is)
+		return s, t
+	default:
+		panic(fmt.Sprintf("pathexpr: unknown expression %T", e))
+	}
+}
+
+// DFA is the deterministic automaton of a path expression.
+type DFA struct {
+	// States is |S|; state 0 is the start state.
+	States int
+	// Alphabet is the sorted operation names.
+	Alphabet []string
+	// Next[s][op] is the successor, or -1 when op is illegal in s.
+	Next [][]int
+}
+
+// CompileDFA builds the DFA for an expression via subset construction.
+func CompileDFA(e Expr) (*DFA, error) {
+	a := newNFA()
+	s, t := a.build(e)
+	a.start, a.accept = s, t
+
+	alphabet := map[string]bool{}
+	collectSyms(e, alphabet)
+	names := make([]string, 0, len(alphabet))
+	for n := range alphabet {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	closure := func(set map[int]bool) map[int]bool {
+		stack := make([]int, 0, len(set))
+		for st := range set {
+			stack = append(stack, st)
+		}
+		for len(stack) > 0 {
+			st := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, nx := range a.eps[st] {
+				if !set[nx] {
+					set[nx] = true
+					stack = append(stack, nx)
+				}
+			}
+		}
+		return set
+	}
+	key := func(set map[int]bool) string {
+		ids := make([]int, 0, len(set))
+		for st := range set {
+			ids = append(ids, st)
+		}
+		sort.Ints(ids)
+		var b strings.Builder
+		for _, id := range ids {
+			fmt.Fprintf(&b, "%d,", id)
+		}
+		return b.String()
+	}
+
+	start := closure(map[int]bool{a.start: true})
+	index := map[string]int{key(start): 0}
+	sets := []map[int]bool{start}
+	d := &DFA{Alphabet: names}
+	d.Next = append(d.Next, make([]int, len(names)))
+	for i := 0; i < len(sets); i++ {
+		for oi, op := range names {
+			move := map[int]bool{}
+			for st := range sets[i] {
+				for _, nx := range a.labeled[st][op] {
+					move[nx] = true
+				}
+			}
+			if len(move) == 0 {
+				d.Next[i][oi] = -1
+				continue
+			}
+			move = closure(move)
+			k := key(move)
+			j, ok := index[k]
+			if !ok {
+				j = len(sets)
+				if j >= word.MaxStates {
+					return nil, fmt.Errorf("pathexpr: automaton exceeds %d states", word.MaxStates)
+				}
+				index[k] = j
+				sets = append(sets, move)
+				d.Next = append(d.Next, make([]int, len(names)))
+			}
+			d.Next[i][oi] = j
+		}
+	}
+	d.States = len(sets)
+	return minimize(d), nil
+}
+
+// minimize applies Moore partition refinement.  Path expressions have no
+// accepting states — legality is "every step defined" — so two states are
+// equivalent iff they fail the same operations and their successors are
+// equivalent.  Minimization matters beyond tidiness: the automaton's state
+// count is the Section 5.6 bound on the values a combined request carries.
+func minimize(d *DFA) *DFA {
+	class := make([]int, d.States)
+	// Initial partition: by fail signature.
+	sig := make(map[string]int)
+	for s := 0; s < d.States; s++ {
+		var b strings.Builder
+		for oi := range d.Alphabet {
+			if d.Next[s][oi] < 0 {
+				b.WriteByte('0')
+			} else {
+				b.WriteByte('1')
+			}
+		}
+		k := b.String()
+		id, ok := sig[k]
+		if !ok {
+			id = len(sig)
+			sig[k] = id
+		}
+		class[s] = id
+	}
+	for {
+		next := make(map[string]int)
+		newClass := make([]int, d.States)
+		for s := 0; s < d.States; s++ {
+			var b strings.Builder
+			fmt.Fprintf(&b, "%d:", class[s])
+			for oi := range d.Alphabet {
+				if t := d.Next[s][oi]; t < 0 {
+					b.WriteString("-,")
+				} else {
+					fmt.Fprintf(&b, "%d,", class[t])
+				}
+			}
+			k := b.String()
+			id, ok := next[k]
+			if !ok {
+				id = len(next)
+				next[k] = id
+			}
+			newClass[s] = id
+		}
+		if len(next) == maxClass(class)+1 {
+			break
+		}
+		class = newClass
+	}
+	// Renumber so the start state's class is 0.
+	remap := make(map[int]int)
+	remap[class[0]] = 0
+	order := []int{class[0]}
+	for s := 1; s < d.States; s++ {
+		if _, ok := remap[class[s]]; !ok {
+			remap[class[s]] = len(order)
+			order = append(order, class[s])
+		}
+	}
+	out := &DFA{States: len(order), Alphabet: d.Alphabet}
+	out.Next = make([][]int, len(order))
+	for s := 0; s < d.States; s++ {
+		c := remap[class[s]]
+		if out.Next[c] != nil {
+			continue
+		}
+		row := make([]int, len(d.Alphabet))
+		for oi := range d.Alphabet {
+			if t := d.Next[s][oi]; t < 0 {
+				row[oi] = -1
+			} else {
+				row[oi] = remap[class[t]]
+			}
+		}
+		out.Next[c] = row
+	}
+	return out
+}
+
+func maxClass(class []int) int {
+	m := 0
+	for _, c := range class {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+func collectSyms(e Expr, out map[string]bool) {
+	switch v := e.(type) {
+	case Sym:
+		out[v.Name] = true
+	case Seq:
+		for _, p := range v.Parts {
+			collectSyms(p, out)
+		}
+	case Alt:
+		for _, p := range v.Choices {
+			collectSyms(p, out)
+		}
+	case Star:
+		collectSyms(v.Inner, out)
+	}
+}
+
+// Guard is a compiled path expression: one combinable RMW mapping per
+// operation, all over the DFA's state set.
+type Guard struct {
+	dfa  *DFA
+	maps map[string]rmw.Table
+}
+
+// Compile parses and compiles a path expression into a Guard.
+func Compile(src string) (*Guard, error) {
+	e, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	dfa, err := CompileDFA(e)
+	if err != nil {
+		return nil, err
+	}
+	g := &Guard{dfa: dfa, maps: make(map[string]rmw.Table, len(dfa.Alphabet))}
+	for oi, op := range dfa.Alphabet {
+		trans := make([]rmw.Transition, dfa.States)
+		for s := 0; s < dfa.States; s++ {
+			nx := dfa.Next[s][oi]
+			if nx < 0 {
+				trans[s] = rmw.Transition{Fail: true}
+			} else {
+				trans[s] = rmw.Transition{Next: word.Tag(nx), Act: rmw.Keep}
+			}
+		}
+		g.maps[op] = rmw.NewTable("path:"+op, trans)
+	}
+	return g, nil
+}
+
+// States is the automaton's state count (the Section 5.6 bound on store
+// values carried by a combined request).
+func (g *Guard) States() int { return g.dfa.States }
+
+// Ops lists the guarded operation names.
+func (g *Guard) Ops() []string { return append([]string{}, g.dfa.Alphabet...) }
+
+// Mapping returns the RMW mapping that attempts operation op on the guard
+// cell.  ok is false for unknown operations.
+func (g *Guard) Mapping(op string) (rmw.Table, bool) {
+	m, ok := g.maps[op]
+	return m, ok
+}
+
+// Allowed reports whether op succeeds from the given automaton state, and
+// the successor state.
+func (g *Guard) Allowed(state word.Tag, op string) (word.Tag, bool) {
+	m, ok := g.maps[op]
+	if !ok {
+		return state, false
+	}
+	tr := m.At(state)
+	if tr.Fail {
+		return state, false
+	}
+	return tr.Next, true
+}
+
+// Accepts reports whether a whole sequence of operations is a legal path
+// from the start state.
+func (g *Guard) Accepts(ops ...string) bool {
+	state := word.Tag(0)
+	for _, op := range ops {
+		next, ok := g.Allowed(state, op)
+		if !ok {
+			return false
+		}
+		state = next
+	}
+	return true
+}

@@ -1,0 +1,218 @@
+package pathexpr
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"combining/internal/asyncnet"
+	"combining/internal/rmw"
+	"combining/internal/word"
+)
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"read", "read"},
+		{"read write", "read write"},
+		{"read | write", "(read | write)"},
+		{"(read | write)*", "((read | write))*"},
+		{"open (read | write)* close", "open ((read | write))* close"},
+		{"a b* | c", "(a (b)* | c)"},
+	}
+	for _, tc := range cases {
+		e, err := Parse(tc.src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tc.src, err)
+			continue
+		}
+		if got := e.String(); got != tc.want {
+			t.Errorf("Parse(%q) = %q, want %q", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{"", "(a", "a)", "|a", "a |", "()", "*", "a $ b"} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestGuardSequences(t *testing.T) {
+	g, err := Compile("open (read | write)* close")
+	if err != nil {
+		t.Fatal(err)
+	}
+	legal := [][]string{
+		{"open"},
+		{"open", "close"},
+		{"open", "read", "read", "write", "close"},
+		{"open", "write", "close"},
+	}
+	illegal := [][]string{
+		{"read"},
+		{"close"},
+		{"open", "open"},
+		{"open", "close", "read"},
+		{"open", "read", "close", "close"},
+	}
+	for _, seq := range legal {
+		if !g.Accepts(seq...) {
+			t.Errorf("legal sequence %v rejected", seq)
+		}
+	}
+	for _, seq := range illegal {
+		if g.Accepts(seq...) {
+			t.Errorf("illegal sequence %v accepted", seq)
+		}
+	}
+}
+
+func TestGuardCyclic(t *testing.T) {
+	// The classic producer/consumer discipline as a path expression.
+	g, err := Compile("(produce consume)*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Accepts("produce", "consume", "produce", "consume") {
+		t.Error("alternating sequence rejected")
+	}
+	if g.Accepts("produce", "produce") {
+		t.Error("double produce accepted")
+	}
+	if g.Accepts("consume") {
+		t.Error("initial consume accepted")
+	}
+}
+
+// TestGuardMappingsCombine checks that guard operations are ordinary
+// Section 5.6 tables: they compose, and the composition matches stepwise
+// application.
+func TestGuardMappingsCombine(t *testing.T) {
+	g, err := Compile("(produce consume)*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, _ := g.Mapping("produce")
+	cons, _ := g.Mapping("consume")
+	comb, ok := rmw.Compose(prod, cons)
+	if !ok {
+		t.Fatal("guard mappings must combine")
+	}
+	for s := 0; s < g.States(); s++ {
+		w := word.WT(0, word.Tag(s))
+		want := cons.Apply(prod.Apply(w))
+		if got := comb.Apply(w); got != want {
+			t.Errorf("state %d: combined %v, want %v", s, got, want)
+		}
+	}
+}
+
+// TestGuardOnCombiningNetwork drives a path expression through the
+// asynchronous combining network: workers apply guarded operations with
+// busy-wait retry, and the observed global sequence must be a legal path.
+func TestGuardOnCombiningNetwork(t *testing.T) {
+	g, err := Compile("(produce consume)*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := asyncnet.New(asyncnet.Config{Procs: 4, Combining: true})
+	defer net.Close()
+	const guardCell = word.Addr(9)
+	const rounds = 50
+
+	// The goroutines cannot observe the memory serialization order
+	// directly, but the automaton already encodes it: a successful
+	// produce must have fired from state 0 and a successful consume
+	// from state 1, which the reply's old tag certifies.
+	var mu sync.Mutex
+	seen := map[string][]word.Tag{}
+	var stop atomic.Bool
+
+	apply := func(port *asyncnet.Port, opName string) bool {
+		m, _ := g.Mapping(opName)
+		old := port.RMW(guardCell, m)
+		if m.Failed(old.Tag) {
+			return false
+		}
+		mu.Lock()
+		seen[opName] = append(seen[opName], old.Tag)
+		mu.Unlock()
+		return true
+	}
+
+	var wg sync.WaitGroup
+	for p, role := range []string{"produce", "consume"} {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			port := net.Port(p)
+			done := 0
+			for done < rounds && !stop.Load() {
+				if apply(port, role) {
+					done++
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	stop.Store(true)
+
+	if len(seen["produce"]) != rounds || len(seen["consume"]) != rounds {
+		t.Fatalf("successes: produce %d, consume %d, want %d each",
+			len(seen["produce"]), len(seen["consume"]), rounds)
+	}
+	for _, tag := range seen["produce"] {
+		if tag != 0 {
+			t.Fatalf("a produce succeeded from state %d", tag)
+		}
+	}
+	for _, tag := range seen["consume"] {
+		if tag != 1 {
+			t.Fatalf("a consume succeeded from state %d", tag)
+		}
+	}
+	// Equal counts of alternating operations return the automaton to
+	// its start state.
+	if got := net.Memory().Peek(guardCell).Tag; got != 0 {
+		t.Fatalf("guard ended in state %d, want 0", got)
+	}
+}
+
+func TestDFAMinimized(t *testing.T) {
+	// The cyclic producer/consumer expression needs exactly two states;
+	// subset construction alone yields three (the post-cycle state is
+	// behaviorally identical to the start).  Minimization matters: the
+	// state count bounds the store values a combined request carries.
+	cases := []struct {
+		src  string
+		want int
+	}{
+		{"(produce consume)*", 2},
+		{"(a | a a)*", 1}, // a* in disguise
+		{"a | b", 2},
+	}
+	for _, tc := range cases {
+		g, err := Compile(tc.src)
+		if err != nil {
+			t.Fatalf("Compile(%q): %v", tc.src, err)
+		}
+		if g.States() != tc.want {
+			t.Errorf("Compile(%q): %d states, want %d", tc.src, g.States(), tc.want)
+		}
+	}
+}
+
+func TestDFAStateBound(t *testing.T) {
+	g, err := Compile("a b c d e f g h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.States() != 9 {
+		t.Errorf("chain of 8 ops compiled to %d states, want 9", g.States())
+	}
+}

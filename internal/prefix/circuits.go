@@ -1,0 +1,100 @@
+package prefix
+
+// Classical synchronous parallel-prefix circuits, for comparison with the
+// combining tree (the paper relates its mechanism to Ladner & Fischer
+// [12]).  Two standard points on the size/depth trade-off:
+//
+//   - Sklansky (recursive doubling): minimum depth ⌈lg n⌉, using
+//     Θ(n lg n) operations;
+//   - Brent–Kung (the tree shape the combining network realizes):
+//     ≤ 2n − 2 operations at depth ≤ 2⌈lg n⌉ − 1.
+//
+// Both compute inclusive prefixes; the combining tree computes exclusive
+// prefixes plus the total, which is the same information shifted by one.
+
+// Circuit is a leveled prefix circuit trace: Ops counts operations, Depth
+// counts levels in which at least one operation ran.
+type Circuit struct {
+	Ops   int
+	Depth int
+}
+
+// Sklansky computes inclusive prefixes in place with the minimum-depth
+// recursive-doubling network and returns its size/depth.
+func Sklansky[T any](m Monoid[T], vals []T) ([]T, Circuit) {
+	n := len(vals)
+	out := make([]T, n)
+	copy(out, vals)
+	c := Circuit{}
+	for span := 1; span < n; span <<= 1 {
+		levelOps := 0
+		// Combine block [start, start+span) boundary value into the
+		// following span positions.
+		for start := span; start < n; start += 2 * span {
+			boundary := out[start-1]
+			for i := start; i < start+span && i < n; i++ {
+				out[i] = m.Op(boundary, out[i])
+				levelOps++
+			}
+		}
+		if levelOps > 0 {
+			c.Ops += levelOps
+			c.Depth++
+		}
+	}
+	return out, c
+}
+
+// BrentKung computes inclusive prefixes with the size-optimal up/down
+// sweep and returns its size/depth.
+func BrentKung[T any](m Monoid[T], vals []T) ([]T, Circuit) {
+	n := len(vals)
+	out := make([]T, n)
+	copy(out, vals)
+	c := Circuit{}
+	// Up-sweep: out[i] for i ≡ 2span−1 (mod 2span) accumulates its
+	// block product.
+	for span := 1; span < n; span <<= 1 {
+		levelOps := 0
+		for i := 2*span - 1; i < n; i += 2 * span {
+			out[i] = m.Op(out[i-span], out[i])
+			levelOps++
+		}
+		if levelOps > 0 {
+			c.Ops += levelOps
+			c.Depth++
+		}
+	}
+	// Down-sweep: fill in the odd positions.
+	for span := largestPow2Below(n); span >= 1; span >>= 1 {
+		levelOps := 0
+		for i := 3*span - 1; i < n; i += 2 * span {
+			out[i] = m.Op(out[i-span], out[i])
+			levelOps++
+		}
+		if levelOps > 0 {
+			c.Ops += levelOps
+			c.Depth++
+		}
+	}
+	return out, c
+}
+
+func largestPow2Below(n int) int {
+	p := 1
+	for p*2 < n {
+		p *= 2
+	}
+	return p
+}
+
+// Scan is the serial reference: inclusive prefixes in n−1 operations.
+func Scan[T any](m Monoid[T], vals []T) []T {
+	out := make([]T, len(vals))
+	acc := m.Identity
+	for i, v := range vals {
+		acc = m.Op(acc, v)
+		out[i] = acc
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package prefix
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestLadnerFischerCorrect(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	for _, n := range []int{1, 2, 3, 5, 8, 16, 33, 64, 100, 256} {
+		for k := 0; k <= 4; k++ {
+			vals := randVals(rng, n)
+			want := Scan(IntAdd(), vals)
+			got, _ := LadnerFischer(IntAdd(), vals, k)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d k=%d: out[%d] = %d, want %d", n, k, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestLadnerFischerDepth: for powers of two, depth(LF(k)) = ⌈lg n⌉ + k
+// until the family bottoms out at the Brent–Kung sweep.
+func TestLadnerFischerDepth(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 14))
+	for _, n := range []int{8, 64, 256, 1024} {
+		vals := randVals(rng, n)
+		for k := 0; k <= 3; k++ {
+			_, c := LadnerFischer(IntAdd(), vals, k)
+			// Depth grows by one per level of k until the family
+			// saturates at the Brent–Kung sweep's 2⌈lg n⌉ − 2.
+			want := min(ceilLg(n)+k, 2*ceilLg(n)-2)
+			if c.Depth != want {
+				t.Errorf("n=%d k=%d: depth %d, want min(⌈lg n⌉+k, 2⌈lg n⌉−2) = %d",
+					n, k, c.Depth, want)
+			}
+		}
+	}
+}
+
+// TestLadnerFischerTradeoff: raising k trades depth for size, bridging
+// Sklansky (k = 0) and Brent–Kung (k = ⌈lg n⌉) — the cost/performance
+// dial Section 7 describes for combining hardware.
+func TestLadnerFischerTradeoff(t *testing.T) {
+	rng := rand.New(rand.NewPCG(15, 16))
+	const n = 1024
+	vals := randVals(rng, n)
+	prevSize := 1 << 30
+	for k := 0; k <= ceilLg(n); k++ {
+		_, c := LadnerFischer(IntAdd(), vals, k)
+		if k <= 5 {
+			t.Logf("LF(%d) over %d: size %d, depth %d", k, n, c.Ops, c.Depth)
+		}
+		if c.Ops > prevSize {
+			t.Errorf("k=%d: size %d grew over k−1's %d", k, c.Ops, prevSize)
+		}
+		prevSize = c.Ops
+	}
+	// Endpoints match the named circuits.
+	_, sk := Sklansky(IntAdd(), vals)
+	_, bk := BrentKung(IntAdd(), vals)
+	_, lf0 := LadnerFischer(IntAdd(), vals, 0)
+	_, lfMax := LadnerFischer(IntAdd(), vals, ceilLg(n))
+	if lf0.Ops != sk.Ops || lf0.Depth != sk.Depth {
+		t.Errorf("LF(0) = (%d,%d), want Sklansky (%d,%d)", lf0.Ops, lf0.Depth, sk.Ops, sk.Depth)
+	}
+	if lfMax.Ops != bk.Ops {
+		t.Errorf("LF(lg n) size %d, want Brent–Kung %d", lfMax.Ops, bk.Ops)
+	}
+	// The interior of the family beats both endpoints on the product
+	// size×depth somewhere.
+	best := 1 << 40
+	for k := 0; k <= ceilLg(n); k++ {
+		_, c := LadnerFischer(IntAdd(), vals, k)
+		if p := c.Ops * c.Depth; p < best {
+			best = p
+		}
+	}
+	if best >= sk.Ops*sk.Depth {
+		t.Error("no interior k improves on Sklansky's size×depth")
+	}
+}

@@ -1,0 +1,160 @@
+package prefix
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func randVals(rng *rand.Rand, n int) []int64 {
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(rng.IntN(1000) + 1) // nonzero, so no accidental identities
+	}
+	return vals
+}
+
+func TestRunTreeExclusivePrefixes(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for _, n := range []int{1, 2, 3, 4, 5, 8, 16, 31, 32, 100, 256} {
+		vals := randVals(rng, n)
+		prefixes, total, _ := RunTree(IntAdd(), vals)
+		want := int64(0)
+		for i, v := range vals {
+			if prefixes[i] != want {
+				t.Fatalf("n=%d: prefix[%d] = %d, want %d", n, i, prefixes[i], want)
+			}
+			want += v
+		}
+		if total != want {
+			t.Fatalf("n=%d: total = %d, want %d", n, total, want)
+		}
+	}
+}
+
+func TestRunTreeNonCommutative(t *testing.T) {
+	// String concatenation is associative but not commutative: the tree
+	// must preserve order exactly.
+	m := Monoid[string]{
+		Identity:   "",
+		Op:         func(a, b string) string { return a + b },
+		IsIdentity: func(v string) bool { return v == "" },
+	}
+	vals := []string{"a", "b", "c", "d", "e", "f", "g"}
+	prefixes, total, _ := RunTree(m, vals)
+	want := ""
+	for i, v := range vals {
+		if prefixes[i] != want {
+			t.Fatalf("prefix[%d] = %q, want %q", i, prefixes[i], want)
+		}
+		want += v
+	}
+	if total != "abcdefg" {
+		t.Fatalf("total = %q", total)
+	}
+}
+
+// TestPrefixCounts is experiment E7: for complete trees the paper's
+// operation and cycle counts hold exactly.
+func TestPrefixCounts(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for _, n := range []int{2, 4, 8, 16, 32, 64, 128, 256, 1024} {
+		// The asynchronous tree performs 2(n−1) multiplications, of
+		// which ⌈lg n⌉ are trivial.
+		vals := randVals(rng, n)
+		_, _, ops := RunTree(IntAdd(), vals)
+		if got, want := ops.Total, int64(2*(n-1)); got != want {
+			t.Errorf("n=%d: total ops %d, want %d", n, got, want)
+		}
+		if got, want := ops.Nontrivial, int64(PaperNontrivial(n)); got != want {
+			t.Errorf("n=%d: nontrivial ops %d, want 2n−2−⌈lg n⌉ = %d", n, got, want)
+		}
+		// The synchronized schedule completes in 2⌈lg n⌉ − 2 cycles.
+		s := Analyze(n)
+		if got, want := s.Makespan, PaperCycles(n); got != want {
+			t.Errorf("n=%d: makespan %d cycles, want 2⌈lg n⌉−2 = %d", n, got, want)
+		}
+		if got, want := s.NontrivialOps, PaperNontrivial(n); got != want {
+			t.Errorf("n=%d: schedule nontrivial %d, want %d", n, got, want)
+		}
+		if got, want := s.TotalOps, 2*(n-1); got != want {
+			t.Errorf("n=%d: schedule total %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestCircuitsAgree(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	for _, n := range []int{1, 2, 3, 7, 8, 16, 33, 64, 100} {
+		vals := randVals(rng, n)
+		want := Scan(IntAdd(), vals)
+		gotS, _ := Sklansky(IntAdd(), vals)
+		gotB, _ := BrentKung(IntAdd(), vals)
+		for i := range want {
+			if gotS[i] != want[i] {
+				t.Fatalf("n=%d: Sklansky[%d] = %d, want %d", n, i, gotS[i], want[i])
+			}
+			if gotB[i] != want[i] {
+				t.Fatalf("n=%d: BrentKung[%d] = %d, want %d", n, i, gotB[i], want[i])
+			}
+		}
+	}
+}
+
+// TestCircuitTradeoffs pins the size/depth characteristics: Sklansky is
+// depth-optimal, Brent–Kung is size-frugal — the same trade-off the paper
+// notes between fast combining and cheap combining.
+func TestCircuitTradeoffs(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	for _, n := range []int{8, 64, 256, 1024} {
+		vals := randVals(rng, n)
+		_, cs := Sklansky(IntAdd(), vals)
+		_, cb := BrentKung(IntAdd(), vals)
+		if cs.Depth != ceilLg(n) {
+			t.Errorf("n=%d: Sklansky depth %d, want ⌈lg n⌉ = %d", n, cs.Depth, ceilLg(n))
+		}
+		if cb.Ops > 2*n-2 {
+			t.Errorf("n=%d: BrentKung used %d ops, bound 2n−2 = %d", n, cb.Ops, 2*n-2)
+		}
+		if cb.Depth > 2*ceilLg(n)-1 {
+			t.Errorf("n=%d: BrentKung depth %d, bound %d", n, cb.Depth, 2*ceilLg(n)-1)
+		}
+		if cs.Ops <= cb.Ops {
+			t.Errorf("n=%d: expected Sklansky (%d ops) to outspend BrentKung (%d)", n, cs.Ops, cb.Ops)
+		}
+	}
+}
+
+// TestTreeMatchesCombining ties Section 6 back to Section 4: the exclusive
+// prefixes of the tree are exactly the replies of a combining tree of
+// fetch-and-adds starting from 0.
+func TestTreeMatchesCombining(t *testing.T) {
+	vals := []int64{5, 3, 9, 1, 7, 2, 8, 4}
+	prefixes, total, _ := RunTree(IntAdd(), vals)
+	// Serial fetch-and-add replies from initial value 0.
+	run := int64(0)
+	for i, v := range vals {
+		if prefixes[i] != run {
+			t.Fatalf("leaf %d: prefix %d, want fetch-and-add reply %d", i, prefixes[i], run)
+		}
+		run += v
+	}
+	if total != run {
+		t.Fatalf("superoot %d, want final memory value %d", total, run)
+	}
+}
+
+func TestRunTreeEmpty(t *testing.T) {
+	prefixes, total, ops := RunTree(IntAdd(), nil)
+	if prefixes != nil || total != 0 || ops.Total != 0 {
+		t.Fatalf("empty input: %v %d %+v", prefixes, total, ops)
+	}
+}
+
+func TestAnalyzePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Analyze(0) accepted")
+		}
+	}()
+	Analyze(0)
+}

@@ -1,0 +1,113 @@
+package prefix
+
+// Synchronized analysis of the prefix tree (Section 6): "Each internal
+// node performs two multiplications, of which ⌈lg n⌉ are trivial.  Thus,
+// 2n − 2 − ⌈lg n⌉ nontrivial multiplications are done.  The algorithm can
+// be implemented to run in 2⌈lg n⌉ − 2 multiplication cycles, when
+// globally synchronized."
+//
+// Schedule computes the ASAP dataflow schedule of the complete tree over n
+// leaves under the paper's cost model: a multiplication takes one cycle; a
+// multiplication with an identity operand is trivial and free (it is a
+// copy); communication is free.  The makespan is the cycle by which every
+// leaf holds its prefix.
+
+// Schedule is the result of the synchronized analysis.
+type Schedule struct {
+	// Leaves is n.
+	Leaves int
+	// TotalOps is every multiplication performed by internal nodes
+	// (two per node).
+	TotalOps int
+	// NontrivialOps counts multiplications with no identity operand.
+	NontrivialOps int
+	// Makespan is the number of synchronized multiplication cycles
+	// until the last leaf prefix is available.
+	Makespan int
+}
+
+// Analyze computes the schedule for the complete binary tree over n ≥ 1
+// leaves.
+func Analyze(n int) Schedule {
+	if n < 1 {
+		panic("prefix: Analyze needs n ≥ 1")
+	}
+	s := Schedule{Leaves: n}
+
+	// upTime returns the cycle at which the subtree over [lo, hi) has
+	// its upward product available, counting ops as it goes.
+	var upTime func(lo, hi int) int
+	upTime = func(lo, hi int) int {
+		if hi-lo == 1 {
+			return 0
+		}
+		mid := (lo + hi) / 2
+		l := upTime(lo, mid)
+		r := upTime(mid, hi)
+		s.TotalOps++
+		s.NontrivialOps++ // the upward product of two real values
+		t := max(l, r) + 1
+		return t
+	}
+	// To reuse the up times in the downward pass, recompute them per
+	// node via a second recursion carrying (pvalAvail, pvalIsIdentity).
+	var down func(lo, hi int, pvalAvail int, pvalID bool)
+	down = func(lo, hi int, pvalAvail int, pvalID bool) {
+		if hi-lo == 1 {
+			if pvalAvail > s.Makespan {
+				s.Makespan = pvalAvail
+			}
+			return
+		}
+		mid := (lo + hi) / 2
+		lUp := upSubtree(lo, mid)
+		// Left child inherits pval unchanged (a copy).
+		down(lo, mid, pvalAvail, pvalID)
+		// Right child gets pval*lval: trivial when pval is the
+		// identity (pure copy of the left product), one cycle
+		// otherwise.
+		s.TotalOps++
+		avail := max(pvalAvail, lUp)
+		if !pvalID {
+			s.NontrivialOps++
+			avail++
+		}
+		down(mid, hi, avail, false)
+	}
+
+	rootUp := upTime(0, n)
+	down(0, n, 0, true)
+	// The superoot's total is available at rootUp; the paper's cycle
+	// count concerns the prefixes, but the total can only lag the
+	// makespan on degenerate shapes.
+	_ = rootUp
+	return s
+}
+
+// upSubtree returns the up-availability time of the subtree [lo, hi)
+// without recounting ops.
+func upSubtree(lo, hi int) int {
+	if hi-lo == 1 {
+		return 0
+	}
+	mid := (lo + hi) / 2
+	return max(upSubtree(lo, mid), upSubtree(mid, hi)) + 1
+}
+
+// PaperNontrivial is the paper's count 2n − 2 − ⌈lg n⌉.
+func PaperNontrivial(n int) int {
+	return 2*n - 2 - ceilLg(n)
+}
+
+// PaperCycles is the paper's synchronized cycle count 2⌈lg n⌉ − 2.
+func PaperCycles(n int) int {
+	return 2*ceilLg(n) - 2
+}
+
+func ceilLg(n int) int {
+	lg := 0
+	for v := 1; v < n; v <<= 1 {
+		lg++
+	}
+	return lg
+}

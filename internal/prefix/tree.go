@@ -1,0 +1,125 @@
+// Package prefix implements Section 6 of the paper: the combining tree as
+// an asynchronous parallel-prefix computer.
+//
+// The CSP processes of the paper translate directly to goroutines and
+// channels — "the global clock synchronization used by [Ladner–Fischer] is
+// replaced by local dataflow synchronization":
+//
+//	Leaf:     parent ! val;  parent ? val
+//	Node:     left ? lval;  right ? rval;  parent ! lval*rval;
+//	          parent ? pval;  left ! pval;  right ! pval*lval
+//	Superoot: child ? val;  child ! id
+//
+// At the end, leaf i holds val₁ * … * val_{i−1} (the exclusive prefix) and
+// the superoot holds the total — exactly the replies a combining tree of
+// RMW(X, fᵢ) requests delivers.
+//
+// The package also provides the synchronized analysis (sched.go) proving
+// the paper's operation counts — 2n − 2 − ⌈lg n⌉ nontrivial compositions,
+// 2⌈lg n⌉ − 2 multiplication cycles — and two classical synchronous prefix
+// circuits (circuits.go) for comparison.
+package prefix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Monoid supplies the associative operation, its identity, and an identity
+// test (used to classify trivial multiplications the way Section 6 does).
+type Monoid[T any] struct {
+	Identity   T
+	Op         func(a, b T) T
+	IsIdentity func(v T) bool
+}
+
+// IntAdd is the integer addition monoid.
+func IntAdd() Monoid[int64] {
+	return Monoid[int64]{
+		Identity:   0,
+		Op:         func(a, b int64) int64 { return a + b },
+		IsIdentity: func(v int64) bool { return v == 0 },
+	}
+}
+
+// OpCount tallies the multiplications a run performed.
+type OpCount struct {
+	// Total counts every application of the monoid operation.
+	Total int64
+	// Nontrivial counts applications where neither operand is the
+	// identity — the paper's "nontrivial multiplications".
+	Nontrivial int64
+}
+
+// counterMonoid wraps a monoid's op with counting.
+type counter[T any] struct {
+	m          Monoid[T]
+	total      atomic.Int64
+	nontrivial atomic.Int64
+}
+
+func (c *counter[T]) op(a, b T) T {
+	c.total.Add(1)
+	if !c.m.IsIdentity(a) && !c.m.IsIdentity(b) {
+		c.nontrivial.Add(1)
+	}
+	return c.m.Op(a, b)
+}
+
+func (c *counter[T]) count() OpCount {
+	return OpCount{Total: c.total.Load(), Nontrivial: c.nontrivial.Load()}
+}
+
+// RunTree executes the asynchronous prefix tree over the values: one
+// goroutine per internal node, channels for every parent/child link, and a
+// superoot process holding the memory side.  It returns the exclusive
+// prefixes (prefixes[i] = vals[0] * … * vals[i−1]), the total, and the
+// operation counts.  The tree is the complete binary tree over len(vals)
+// leaves (any n ≥ 1, not just powers of two).
+func RunTree[T any](m Monoid[T], vals []T) (prefixes []T, total T, ops OpCount) {
+	n := len(vals)
+	if n == 0 {
+		return nil, m.Identity, OpCount{}
+	}
+	cnt := &counter[T]{m: m}
+	prefixes = make([]T, n)
+	var wg sync.WaitGroup
+
+	// build spawns the processes for leaves [lo, hi) and returns the
+	// upward and downward channels of the subtree root.
+	var build func(lo, hi int) (up chan T, down chan T)
+	build = func(lo, hi int) (chan T, chan T) {
+		up := make(chan T, 1)
+		down := make(chan T, 1)
+		if hi-lo == 1 {
+			wg.Add(1)
+			go func() { // Leaf process
+				defer wg.Done()
+				up <- vals[lo]
+				prefixes[lo] = <-down
+			}()
+			return up, down
+		}
+		mid := (lo + hi) / 2
+		lUp, lDown := build(lo, mid)
+		rUp, rDown := build(mid, hi)
+		wg.Add(1)
+		go func() { // Internal node process, verbatim from the paper
+			defer wg.Done()
+			lval := <-lUp
+			rval := <-rUp
+			up <- cnt.op(lval, rval)
+			pval := <-down
+			lDown <- pval
+			rDown <- cnt.op(pval, lval)
+		}()
+		return up, down
+	}
+
+	up, down := build(0, n)
+	// Superoot process.
+	total = <-up
+	down <- m.Identity
+	wg.Wait()
+	return prefixes, total, cnt.count()
+}

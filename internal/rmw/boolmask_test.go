@@ -1,0 +1,189 @@
+package rmw
+
+import (
+	"testing"
+
+	"combining/internal/word"
+)
+
+// TestTableBooleanUnary reproduces the 4×4 composition table of Section 5.3
+// (experiment T3).  Rows are the first operation, columns the second:
+//
+//	        load  clear set  comp
+//	load    load  clear set  comp
+//	clear   clear clear set  set
+//	set     set   clear set  clear
+//	comp    comp  clear set  load
+//
+// The entries are derived from the (AND-mask, XOR-mask) algebra, not
+// hard-coded, so this test checks the implementation against the paper.
+func TestTableBooleanUnary(t *testing.T) {
+	want := [4][4]BoolUnary{
+		{BLoad, BClear, BSet, BComp},
+		{BClear, BClear, BSet, BSet},
+		{BSet, BClear, BSet, BClear},
+		{BComp, BClear, BSet, BLoad},
+	}
+	for i, f := range BoolUnaries {
+		for j, g := range BoolUnaries {
+			if got := ComposeBoolUnary(f, g); got != want[i][j] {
+				t.Errorf("%v∘%v = %v, want %v", f, g, got, want[i][j])
+			}
+		}
+	}
+}
+
+// TestBoolUnarySemantics checks each unary operation against its defining
+// Boolean function on both bit values.
+func TestBoolUnarySemantics(t *testing.T) {
+	eval := map[BoolUnary]func(x uint64) uint64{
+		BLoad:  func(x uint64) uint64 { return x },
+		BClear: func(uint64) uint64 { return 0 },
+		BSet:   func(uint64) uint64 { return 1 },
+		BComp:  func(x uint64) uint64 { return x ^ 1 },
+	}
+	for _, u := range BoolUnaries {
+		m := BoolOf(u)
+		for _, x := range []uint64{0, 1} {
+			want := eval[u](x)
+			got := uint64(m.Apply(word.W(int64(x))).Val) & 1
+			if got != want {
+				t.Errorf("%v(%d) = %d, want %d", u, x, got, want)
+			}
+		}
+	}
+}
+
+// TestBoolBinaryReduction verifies the paper's claim that all 16 binary
+// Boolean operations fetch-and-θ(X, a) reduce to unary operations once the
+// operand a is fixed: every θ with fixed a must equal some member of the
+// mask family, bitwise.
+func TestBoolBinaryReduction(t *testing.T) {
+	// All 16 binary Boolean functions as truth tables indexed by
+	// (x, a) ∈ {0,1}²: bit (2x+a) of the code gives θ(x, a).
+	for code := 0; code < 16; code++ {
+		theta := func(x, a uint64) uint64 {
+			return uint64(code) >> (2*x + a) & 1
+		}
+		for _, a := range []uint64{0, 1} {
+			// With a fixed, θ(·, a) is a unary function; find it.
+			f0, f1 := theta(0, a), theta(1, a)
+			var u BoolUnary
+			switch {
+			case f0 == 0 && f1 == 0:
+				u = BClear
+			case f0 == 1 && f1 == 1:
+				u = BSet
+			case f0 == 0 && f1 == 1:
+				u = BLoad
+			default:
+				u = BComp
+			}
+			m := BoolOf(u)
+			for _, x := range []uint64{0, 1} {
+				want := theta(x, a)
+				got := uint64(m.Apply(word.W(int64(x))).Val) & 1
+				if got != want {
+					t.Errorf("code=%d a=%d: unary %v gives %d on %d, want %d",
+						code, a, u, got, x, want)
+				}
+			}
+		}
+	}
+}
+
+func TestBoolBitVector(t *testing.T) {
+	// Different unary operations on different bit positions in one
+	// mapping — the "multiple locking" use of Section 5.3.
+	// bit 0: load, bit 1: clear, bit 2: set, bit 3: comp.
+	m := Bool{A: ^uint64(0) &^ (1 << 1) &^ (1 << 2), B: 1<<2 | 1<<3}
+	wantBits := []BoolUnary{BLoad, BClear, BSet, BComp}
+	for i, u := range wantBits {
+		if got := m.BitOf(uint(i)); got != u {
+			t.Errorf("bit %d = %v, want %v", i, got, u)
+		}
+	}
+	// On input 0b1010: bit0 loads 0, bit1 clears the 1, bit2 sets to 1,
+	// bit3 complements 1 to 0.
+	in := int64(0b1010)
+	if got, want := m.Apply(word.W(in)).Val, int64(0b0100); got != want {
+		t.Errorf("Apply(%#b) = %#b, want %#b", in, got, want)
+	}
+}
+
+func TestBoolMaskHelpers(t *testing.T) {
+	in := word.W(0b1100)
+	if got := BoolSetBits(0b0011).Apply(in).Val; got != 0b1111 {
+		t.Errorf("set bits: got %#b, want 0b1111", got)
+	}
+	if got := BoolClearBits(0b0100).Apply(in).Val; got != 0b1000 {
+		t.Errorf("clear bits: got %#b, want 0b1000", got)
+	}
+	if got := BoolComplementBits(0b1010).Apply(in).Val; got != 0b0110 {
+		t.Errorf("complement bits: got %#b, want 0b0110", got)
+	}
+}
+
+// TestPartialStore covers the Section 5.1 subset-store operations: byte
+// stores combine with each other and with full-word operations, with the
+// later store winning on overlapping lanes.
+func TestPartialStore(t *testing.T) {
+	w := word.W(0x1122334455667788)
+	if got := StoreByte(0, 0xaa).Apply(w).Val; uint64(got) != 0x11223344556677aa {
+		t.Errorf("StoreByte(0): got %#x", got)
+	}
+	if got := StoreByte(7, 0xbb).Apply(w).Val; uint64(got) != 0xbb22334455667788 {
+		t.Errorf("StoreByte(7): got %#x", got)
+	}
+	// Two disjoint byte stores combine into one two-byte store.
+	h, ok := Compose(StoreByte(0, 0xaa), StoreByte(1, 0xbb))
+	if !ok {
+		t.Fatal("disjoint byte stores must combine")
+	}
+	if got := h.Apply(w).Val; uint64(got) != 0x112233445566bbaa {
+		t.Errorf("combined byte stores: got %#x", got)
+	}
+	// Overlapping stores: the later one wins on the shared lane.
+	h2, ok := Compose(PartialStore(0xffff, 0x1111), PartialStore(0xff00, 0x2200))
+	if !ok {
+		t.Fatal("overlapping partial stores must combine")
+	}
+	if got := h2.Apply(word.W(0)).Val; uint64(got) != 0x2211 {
+		t.Errorf("overlap: got %#x, want 0x2211", got)
+	}
+	// A partial store after a full-word store must still combine (both
+	// are mask-family mappings when expressed as PartialStore).
+	h3, ok := Compose(PartialStore(^uint64(0), 42), StoreByte(1, 7))
+	if !ok {
+		t.Fatal("full-word partial store must combine with a byte store")
+	}
+	if got := h3.Apply(word.W(-1)).Val; got != 42&^0xff00|0x0700 {
+		t.Errorf("full-then-byte: got %#x", got)
+	}
+}
+
+// TestBoolComposeExhaustive checks the closed-form mask composition against
+// serial application for all 16 pairs of uniform unary mappings and a set
+// of mixed-mask mappings, over several inputs.
+func TestBoolComposeExhaustive(t *testing.T) {
+	mappings := []Bool{
+		BoolOf(BLoad), BoolOf(BClear), BoolOf(BSet), BoolOf(BComp),
+		{A: 0xff00ff00ff00ff00, B: 0x0f0f0f0f0f0f0f0f},
+		{A: 0x123456789abcdef0, B: 0xfedcba9876543210},
+	}
+	inputs := []int64{0, -1, 0x5555555555555555, 0x0123456789abcdef}
+	for _, f := range mappings {
+		for _, g := range mappings {
+			h, ok := Compose(f, g)
+			if !ok {
+				t.Fatalf("Bool mappings must compose")
+			}
+			for _, x := range inputs {
+				w := word.W(x)
+				if got, want := h.Apply(w), g.Apply(f.Apply(w)); got != want {
+					t.Errorf("compose(%v,%v)(%#x) = %v, want %v", f, g, x, got, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package rmw
+
+import (
+	"fmt"
+	"testing"
+
+	"combining/internal/word"
+)
+
+// Exhaustive semigroup-closure checks on small domains: the paper's
+// tractability argument rests on each family being closed under
+// composition with a bounded representation; these tests enumerate the
+// actual semigroups.
+
+// TestBoolSemigroupExhaustive: on a 2-bit word, the mask family has
+// exactly 16 elements (4 unary choices per bit) and is closed: composing
+// any two members yields a member, and every member is reachable from the
+// uniform generators.
+func TestBoolSemigroupExhaustive(t *testing.T) {
+	const bits = 2
+	mask := uint64(1<<bits - 1)
+	// All 16 mappings on 2 bits.
+	var all []Bool
+	for a := uint64(0); a <= mask; a++ {
+		for b := uint64(0); b <= mask; b++ {
+			all = append(all, Bool{A: a, B: b})
+		}
+	}
+	key := func(m Bool) string {
+		return fmt.Sprintf("%d-%d", m.A&mask, m.B&mask)
+	}
+	members := map[string]bool{}
+	for _, m := range all {
+		members[key(m)] = true
+	}
+	if len(members) != 16 {
+		t.Fatalf("%d distinct 2-bit mask mappings, want 16", len(members))
+	}
+	for _, f := range all {
+		for _, g := range all {
+			h, ok := Compose(f, g)
+			if !ok {
+				t.Fatal("mask mappings must compose")
+			}
+			hb := h.(Bool)
+			if !members[key(Bool{A: hb.A & mask, B: hb.B & mask})] {
+				t.Fatalf("composition %v∘%v escaped the semigroup", f, g)
+			}
+		}
+	}
+	// The uniform unary operations alone cannot mix behaviours across
+	// bit positions (a uniform complement flips both bits); adding the
+	// single-bit stores and single-bit complements — all members of the
+	// Section 5.3 family — spans the full 16-element semigroup.
+	gen := []Bool{BoolOf(BLoad), BoolOf(BClear), BoolOf(BSet), BoolOf(BComp),
+		PartialStore(1, 0), PartialStore(1, 1), PartialStore(2, 0), PartialStore(2, 2),
+		BoolComplementBits(1), BoolComplementBits(2)}
+	span := map[string]bool{}
+	for _, g := range gen {
+		span[key(Bool{A: g.A & mask, B: g.B & mask})] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		var cur []Bool
+		for k := range span {
+			var a, b uint64
+			fmt.Sscanf(k, "%d-%d", &a, &b)
+			cur = append(cur, Bool{A: a, B: b})
+		}
+		for _, f := range cur {
+			for _, g := range cur {
+				h, _ := Compose(f, g)
+				hb := h.(Bool)
+				kk := key(Bool{A: hb.A & mask, B: hb.B & mask})
+				if !span[kk] {
+					span[kk] = true
+					changed = true
+				}
+			}
+		}
+	}
+	if len(span) != 16 {
+		t.Errorf("generators span %d of 16 two-bit mappings", len(span))
+	}
+}
+
+// TestFESemigroupSize enumerates the full/empty semigroup on an abstract
+// payload: modulo store values, the closure of the six named operations
+// contains exactly the six shapes the paper lists.
+func TestFESemigroupSize(t *testing.T) {
+	shapeOf := func(m Table) string {
+		name, ok := FEKind(m)
+		if !ok {
+			return m.String()
+		}
+		return name
+	}
+	seen := map[string]bool{}
+	var frontier []Table
+	for _, op := range feOps(1) {
+		frontier = append(frontier, op)
+		seen[shapeOf(op)] = true
+	}
+	for len(frontier) > 0 {
+		var next []Table
+		for _, f := range frontier {
+			for _, g := range feOps(2) {
+				h, ok := Compose(f, g)
+				if !ok {
+					t.Fatalf("%v∘%v must compose", f, g)
+				}
+				ht := h.(Table)
+				s := shapeOf(ht)
+				if !seen[s] {
+					seen[s] = true
+					next = append(next, ht)
+				}
+			}
+		}
+		frontier = next
+	}
+	if len(seen) != 6 {
+		keys := make([]string, 0, len(seen))
+		for k := range seen {
+			keys = append(keys, k)
+		}
+		t.Fatalf("full/empty closure has %d shapes, want 6: %v", len(seen), keys)
+	}
+}
+
+// TestTableSemigroupClosure: arbitrary 3-state tables form a closed
+// semigroup; exhaustively verify associativity on a sampled subset (full
+// enumeration is huge) and closure on the sample's products.
+func TestTableSemigroupClosure(t *testing.T) {
+	// A structured sample: all tables whose transitions are drawn from
+	// {keep+stay, keep+next, store(1)+stay, fail}.
+	opts := []Transition{
+		{Next: 0, Act: Keep},
+		{Next: 1, Act: Keep},
+		{Next: 0, Act: Store, V: 1},
+		{Fail: true},
+	}
+	var sample []Table
+	for a := range opts {
+		for b := range opts {
+			for c := range opts {
+				tr := []Transition{opts[a], opts[b], opts[c]}
+				// Fix Next fields to be in range for 3 states.
+				for i := range tr {
+					if tr[i].Next == 1 {
+						tr[i].Next = word.Tag((i + 1) % 3)
+					}
+				}
+				sample = append(sample, NewTable("", tr))
+			}
+		}
+	}
+	states := []word.Word{word.WT(9, 0), word.WT(9, 1), word.WT(9, 2)}
+	for i, f := range sample {
+		for j, g := range sample {
+			fg, ok := Compose(f, g)
+			if !ok {
+				t.Fatalf("tables %d,%d must compose", i, j)
+			}
+			for _, h := range []Table{sample[(i+j)%len(sample)]} {
+				left, ok1 := Compose(fg, h)
+				gh, ok2 := Compose(g, h)
+				if !ok1 || !ok2 {
+					t.Fatal("closure broken")
+				}
+				right, ok3 := Compose(f, gh)
+				if !ok3 {
+					t.Fatal("closure broken")
+				}
+				for _, w := range states {
+					if left.Apply(w) != right.Apply(w) {
+						t.Fatalf("associativity broken at tables %d,%d", i, j)
+					}
+				}
+			}
+		}
+	}
+}

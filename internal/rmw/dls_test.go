@@ -1,0 +1,287 @@
+package rmw
+
+import (
+	"fmt"
+	"testing"
+
+	"combining/internal/word"
+)
+
+// feOps returns the six closed full/empty operations with a distinguishing
+// store payload.
+func feOps(v int64) []Table {
+	return []Table{
+		FELoad(),
+		FELoadClear(),
+		FEStoreSet(v),
+		FEStoreIfClearSet(v),
+		FEStoreClear(v),
+		FEStoreIfClearClear(v),
+	}
+}
+
+func feStatesAll() []word.Word {
+	return []word.Word{
+		word.WT(7, word.Empty),
+		word.WT(7, word.Full),
+		word.WT(-2, word.Empty),
+		word.WT(-2, word.Full),
+	}
+}
+
+func TestFullEmptySemantics(t *testing.T) {
+	cases := []struct {
+		op      Table
+		in      word.Word
+		want    word.Word
+		wantNAK bool
+	}{
+		{FELoad(), word.WT(5, word.Full), word.WT(5, word.Full), false},
+		{FELoad(), word.WT(5, word.Empty), word.WT(5, word.Empty), false},
+		{FELoadClear(), word.WT(5, word.Full), word.WT(5, word.Empty), false},
+		{FEStoreSet(9), word.WT(5, word.Empty), word.WT(9, word.Full), false},
+		{FEStoreSet(9), word.WT(5, word.Full), word.WT(9, word.Full), false},
+		{FEStoreIfClearSet(9), word.WT(5, word.Empty), word.WT(9, word.Full), false},
+		{FEStoreIfClearSet(9), word.WT(5, word.Full), word.WT(5, word.Full), true},
+		{FEStoreClear(9), word.WT(5, word.Full), word.WT(9, word.Empty), false},
+		{FEStoreIfClearClear(9), word.WT(5, word.Empty), word.WT(9, word.Empty), false},
+		// Mapping (6) of Section 5.5: on a full cell it stores nothing
+		// but still clears the flag (it is the composition
+		// store-if-clear-and-set ∘ load-and-clear, and the trailing
+		// load-and-clear always clears).
+		{FEStoreIfClearClear(9), word.WT(5, word.Full), word.WT(5, word.Empty), false},
+		{FEStoreIfClear(9), word.WT(5, word.Empty), word.WT(9, word.Empty), false},
+		{FEStoreIfClear(9), word.WT(5, word.Full), word.WT(5, word.Full), true},
+		{FEStoreIfSet(9), word.WT(5, word.Full), word.WT(9, word.Full), false},
+		{FEStoreIfSet(9), word.WT(5, word.Empty), word.WT(5, word.Empty), true},
+		{FELoadIfSetClear(), word.WT(5, word.Full), word.WT(5, word.Empty), false},
+		{FELoadIfSetClear(), word.WT(5, word.Empty), word.WT(5, word.Empty), true},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("%v/%v", tc.op, tc.in), func(t *testing.T) {
+			if got := tc.op.Apply(tc.in); got != tc.want {
+				t.Errorf("Apply(%v) = %v, want %v", tc.in, got, tc.want)
+			}
+			if got := tc.op.Failed(tc.in.Tag); got != tc.wantNAK {
+				t.Errorf("Failed(%v) = %v, want %v", tc.in.Tag, got, tc.wantNAK)
+			}
+		})
+	}
+}
+
+// TestFullEmptyClosure verifies Section 5.5's claim that the six operations
+// form a semigroup: every pairwise composition of the six (with distinct
+// store payloads) is again one of the six shapes, and the two derived
+// operations arise exactly as the paper derives them.
+func TestFullEmptyClosure(t *testing.T) {
+	for _, f := range feOps(1) {
+		for _, g := range feOps(2) {
+			h, ok := Compose(f, g)
+			if !ok {
+				t.Fatalf("%v∘%v must combine", f, g)
+			}
+			ht, isTable := h.(Table)
+			if !isTable {
+				t.Fatalf("%v∘%v = %v, not a table", f, g, h)
+			}
+			name, classified := FEKind(ht)
+			if !classified {
+				t.Errorf("%v∘%v escapes the six-operation semigroup: %v", f, g, ht)
+				continue
+			}
+			// Semantics must match serial execution everywhere.
+			for _, w := range feStatesAll() {
+				if got, want := h.Apply(w), g.Apply(f.Apply(w)); got != want {
+					t.Errorf("%v∘%v (classified %s) on %v: got %v want %v",
+						f, g, name, w, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestFullEmptyDerivations pins the two specific derivations in the text:
+// store-and-clear = store-and-set ∘ load-and-clear, and
+// store-if-clear-and-clear = store-if-clear-and-set ∘ load-and-clear.
+func TestFullEmptyDerivations(t *testing.T) {
+	h1, ok := Compose(FEStoreSet(9), FELoadClear())
+	if !ok {
+		t.Fatal("store-and-set ∘ load-and-clear must combine")
+	}
+	if !TableEqual(stripFail(h1.(Table)), stripFail(FEStoreClear(9))) {
+		t.Errorf("store-and-set∘load-and-clear = %v, want store-and-clear", h1)
+	}
+	h2, ok := Compose(FEStoreIfClearSet(9), FELoadClear())
+	if !ok {
+		t.Fatal("store-if-clear-and-set ∘ load-and-clear must combine")
+	}
+	if !TableEqual(stripFail(h2.(Table)), stripFail(FEStoreIfClearClear(9))) {
+		t.Errorf("store-if-clear-and-set∘load-and-clear = %v, want store-if-clear-and-clear", h2)
+	}
+}
+
+// stripFail normalizes failure markings to their memory effect, for
+// comparing composed tables (which no longer fail as a whole) against named
+// constructors.
+func stripFail(t Table) Table {
+	out := make([]Transition, t.States())
+	for s := range out {
+		tr := t.At(word.Tag(s))
+		if tr.Fail {
+			tr = Transition{Next: word.Tag(s), Act: Keep}
+		}
+		out[s] = tr
+	}
+	return Table{T: out}
+}
+
+// TestFullEmptyStoreValueBound checks experiment E5: a combined full/empty
+// request never carries more than two store values (|S| = 2), even across
+// long mixed chains that include plain stores.
+func TestFullEmptyStoreValueBound(t *testing.T) {
+	chains := [][]Mapping{
+		{FEStoreIfClearSet(1), StoreOf(2)},
+		{StoreOf(1), FEStoreIfClearSet(2)},
+		{FEStoreIfClearSet(1), FEStoreIfSet(2), FEStoreIfClearSet(3), FEStoreIfSet(4)},
+		{FEStoreSet(1), FEStoreIfClearSet(2), FELoadClear(), FEStoreIfClearClear(3), StoreOf(4)},
+		{FELoad(), FEStoreIfSet(10), FELoadIfSetClear(), FEStoreIfClearSet(11), FELoad()},
+	}
+	for i, chain := range chains {
+		h, ok := ComposeAll(chain...)
+		if !ok {
+			t.Fatalf("chain %d must combine", i)
+		}
+		ht, isTable := h.(Table)
+		if !isTable {
+			// A chain may collapse to a constant; that carries one
+			// value and satisfies the bound trivially.
+			continue
+		}
+		if n := len(ht.StoreValues()); n > 2 {
+			t.Errorf("chain %d: combined request carries %d store values (%v), bound is 2",
+				i, n, ht.StoreValues())
+		}
+		// And semantics must still match serial execution.
+		for _, w := range feStatesAll() {
+			want := w
+			for _, m := range chain {
+				want = m.Apply(want)
+			}
+			if got := h.Apply(w); got != want {
+				t.Errorf("chain %d on %v: got %v, want %v", i, w, got, want)
+			}
+		}
+	}
+}
+
+// TestStoreIfClearMeetsStoreIfSet reproduces the paper's observation that
+// combining store-if-clear with store-if-set genuinely requires forwarding
+// both store values — reversal cannot help.
+func TestStoreIfClearMeetsStoreIfSet(t *testing.T) {
+	f := FEStoreIfClear(1)
+	g := FEStoreIfSet(2)
+	for _, order := range []struct {
+		name string
+		a, b Mapping
+	}{
+		{"forward", f, g},
+		{"reversed", g, f},
+	} {
+		h, ok := Compose(order.a, order.b)
+		if !ok {
+			t.Fatalf("%s: must combine", order.name)
+		}
+		if n := len(h.(Table).StoreValues()); n != 2 {
+			t.Errorf("%s: carries %d store values, want 2 in either order", order.name, n)
+		}
+	}
+}
+
+// TestDLSStoreValueBound checks experiment E6 on a larger automaton: the
+// number of store values in any combined request is at most |S|, and the
+// bound is tight for the store-if-state=s family the paper names.
+func TestDLSStoreValueBound(t *testing.T) {
+	const nStates = 5
+	// store-if-state=s: store v and stay in s, defined only in state s.
+	storeIfState := func(s word.Tag, v int64) Table {
+		trans := make([]Transition, nStates)
+		for i := range trans {
+			if word.Tag(i) == s {
+				trans[i] = Transition{Next: s, Act: Store, V: v}
+			} else {
+				trans[i] = Transition{Fail: true}
+			}
+		}
+		return NewTable(fmt.Sprintf("store-if-state=%d", s), trans)
+	}
+	var chain []Mapping
+	for s := 0; s < nStates; s++ {
+		chain = append(chain, storeIfState(word.Tag(s), int64(100+s)))
+	}
+	h, ok := ComposeAll(chain...)
+	if !ok {
+		t.Fatal("store-if-state chain must combine")
+	}
+	vals := h.(Table).StoreValues()
+	if len(vals) != nStates {
+		t.Fatalf("combined store-if-state family carries %d values, want |S| = %d (tight bound)",
+			len(vals), nStates)
+	}
+	// A longer chain reusing the same states must not exceed |S|.
+	long := append(append([]Mapping{}, chain...), chain...)
+	for s := 0; s < nStates; s++ {
+		long = append(long, storeIfState(word.Tag(s), int64(200+s)))
+	}
+	h2, ok := ComposeAll(long...)
+	if !ok {
+		t.Fatal("long chain must combine")
+	}
+	if n := len(h2.(Table).StoreValues()); n > nStates {
+		t.Errorf("combined request carries %d store values, bound is |S| = %d", n, nStates)
+	}
+}
+
+// TestTableComposeSemantics drives random tables through composition and
+// compares with serial application on every state.
+func TestTableComposeSemantics(t *testing.T) {
+	const nStates = 4
+	rng := newTestRand(1)
+	randTable := func() Table {
+		trans := make([]Transition, nStates)
+		for i := range trans {
+			switch rng.IntN(3) {
+			case 0:
+				trans[i] = Transition{Fail: true}
+			case 1:
+				trans[i] = Transition{Next: word.Tag(rng.IntN(nStates)), Act: Keep}
+			default:
+				trans[i] = Transition{Next: word.Tag(rng.IntN(nStates)), Act: Store, V: int64(rng.IntN(1000))}
+			}
+		}
+		return Table{T: trans}
+	}
+	for trial := 0; trial < 200; trial++ {
+		f, g := randTable(), randTable()
+		h, ok := Compose(f, g)
+		if !ok {
+			t.Fatal("tables over equal state sets must combine")
+		}
+		for s := 0; s < nStates; s++ {
+			for _, v := range []int64{0, 13} {
+				w := word.WT(v, word.Tag(s))
+				if got, want := h.Apply(w), g.Apply(f.Apply(w)); got != want {
+					t.Fatalf("trial %d state %d: got %v, want %v (f=%v g=%v)",
+						trial, s, got, want, f, g)
+				}
+			}
+		}
+	}
+}
+
+func TestTableStateMismatch(t *testing.T) {
+	small := FELoad()
+	big := NewTable("big", make([]Transition, 4))
+	if _, ok := Compose(small, big); ok {
+		t.Error("tables over different state sets must not combine")
+	}
+}

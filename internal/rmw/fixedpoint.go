@@ -1,0 +1,129 @@
+package rmw
+
+// This file reproduces the guard-bit argument of Section 5.4: "It is
+// possible to obtain an accurate combining mechanism for fixed-point
+// operations, not including division, by adding one extra bit to the
+// intermediate values, thereby increasing the range by a factor of two.
+// If an overflow occurs in that increased range then an overflow would have
+// occurred in the serial execution of the operations in the restricted
+// range."
+//
+// Fixed models a w-bit two's-complement machine.  The serial reference runs
+// fetch-and-adds one at a time, flagging any step that leaves the w-bit
+// range.  The combining analysis composes the same addends in an arbitrary
+// binary tree, carrying intermediates in the (w+guard)-bit range.  The
+// experiment (TestGuardBits) checks the paper's implication: with one guard
+// bit, a combined overflow only happens on inputs whose serial execution
+// overflows too.
+
+// Fixed describes a fixed-point word width for overflow analysis.
+type Fixed struct {
+	// Width is the word width w in bits, 2 ≤ w ≤ 62 (kept below 64 so
+	// the analysis itself cannot wrap in int64).
+	Width uint
+}
+
+// InRange reports whether v fits in a two's-complement word of the given
+// extra guard width: v ∈ [−2^(w+guard−1), 2^(w+guard−1)).
+func (f Fixed) InRange(v int64, guard uint) bool {
+	half := int64(1) << (f.Width + guard - 1)
+	return v >= -half && v < half
+}
+
+// SerialOverflows runs x ← x + aᵢ serially in the restricted w-bit range
+// and reports whether any intermediate (or the initial value) escapes it.
+func (f Fixed) SerialOverflows(x0 int64, addends []int64) bool {
+	if !f.InRange(x0, 0) {
+		return true
+	}
+	x := x0
+	for _, a := range addends {
+		x += a
+		if !f.InRange(x, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// TreeShape describes a combining order: a node is either a leaf (an index
+// into the addend slice) or an internal node combining two subtrees, the
+// left one serialized before the right one.
+type TreeShape struct {
+	Leaf        int
+	Left, Right *TreeShape
+}
+
+// LeftSpine returns the degenerate tree that combines addends one at a
+// time, matching the order a switch queue would combine a stream.
+func LeftSpine(n int) *TreeShape {
+	if n == 0 {
+		return nil
+	}
+	t := &TreeShape{Leaf: 0}
+	for i := 1; i < n; i++ {
+		t = &TreeShape{Leaf: -1, Left: t, Right: &TreeShape{Leaf: i}}
+	}
+	return t
+}
+
+// Balanced returns the complete combining tree over addends [lo, hi).
+func Balanced(lo, hi int) *TreeShape {
+	if hi-lo <= 0 {
+		return nil
+	}
+	if hi-lo == 1 {
+		return &TreeShape{Leaf: lo}
+	}
+	mid := (lo + hi) / 2
+	return &TreeShape{Leaf: -1, Left: Balanced(lo, mid), Right: Balanced(mid, hi)}
+}
+
+// CombinedOverflows combines the addends along the given tree, keeping
+// intermediate partial sums in the (w+guard)-bit range, then applies the
+// combined addend to x0 and walks the decombining replies (the serial
+// prefix values) in the same extended range.  It reports whether any
+// intermediate escapes the extended range.
+func (f Fixed) CombinedOverflows(x0 int64, addends []int64, shape *TreeShape, guard uint) bool {
+	overflow := false
+	var sum func(t *TreeShape) int64
+	sum = func(t *TreeShape) int64 {
+		if t.Left == nil {
+			return addends[t.Leaf]
+		}
+		s := sum(t.Left) + sum(t.Right)
+		if !f.InRange(s, guard) {
+			overflow = true
+		}
+		return s
+	}
+	if shape == nil {
+		return !f.InRange(x0, guard)
+	}
+	total := sum(shape)
+	// Decombining computes every prefix value x0 + (sum of a left
+	// subtree); walk them all, as the reply fan-out does.
+	var prefixes func(t *TreeShape, base int64)
+	prefixes = func(t *TreeShape, base int64) {
+		if !f.InRange(base, guard) {
+			overflow = true
+		}
+		if t.Left == nil {
+			return
+		}
+		prefixes(t.Left, base)
+		prefixes(t.Right, base+treeSum(addends, t.Left))
+	}
+	prefixes(shape, x0)
+	if !f.InRange(x0+total, guard) {
+		overflow = true
+	}
+	return overflow
+}
+
+func treeSum(addends []int64, t *TreeShape) int64 {
+	if t.Left == nil {
+		return addends[t.Leaf]
+	}
+	return treeSum(addends, t.Left) + treeSum(addends, t.Right)
+}

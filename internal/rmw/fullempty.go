@@ -1,0 +1,146 @@
+package rmw
+
+import (
+	"combining/internal/word"
+)
+
+// Full/empty-bit operations (Section 5.5), as used by the Denelcor HEP:
+// every shared word carries a full/empty flag; reads and writes can be
+// conditioned on it, producer/consumer style.  Each operation is a Table
+// over the two states S = {Empty, Full}.
+//
+// The paper starts from four basic operations — load, load-and-clear,
+// store-and-set, store-if-clear-and-set — and shows that closing them under
+// composition requires exactly two more: store-and-clear and
+// store-if-clear-and-clear.  The constructors below build all six, plus the
+// two conditional ("queueing") variants discussed at the end of the
+// section.  TestFullEmptyClosure verifies the closure claim mechanically.
+
+const feStates = 2
+
+// FELoad returns the word and flag unchanged.
+func FELoad() Table {
+	return NewTable("fe-load", []Transition{
+		{Next: word.Empty, Act: Keep},
+		{Next: word.Full, Act: Keep},
+	})
+}
+
+// FELoadClear returns the word and clears the flag: (X, s) → (X, 0).
+func FELoadClear() Table {
+	return NewTable("fe-load-and-clear", []Transition{
+		{Next: word.Empty, Act: Keep},
+		{Next: word.Empty, Act: Keep},
+	})
+}
+
+// FEStoreSet stores v and sets the flag: (X, s) → (v, 1).
+func FEStoreSet(v int64) Table {
+	return NewTable("fe-store-and-set", []Transition{
+		{Next: word.Full, Act: Store, V: v},
+		{Next: word.Full, Act: Store, V: v},
+	})
+}
+
+// FEStoreIfClearSet stores v and sets the flag only when the flag is
+// clear; otherwise it fails (the reply's old tag Full is the negative
+// acknowledgment).
+func FEStoreIfClearSet(v int64) Table {
+	return NewTable("fe-store-if-clear-and-set", []Transition{
+		{Next: word.Full, Act: Store, V: v},
+		{Fail: true},
+	})
+}
+
+// FEStoreClear stores v and clears the flag: (X, s) → (v, 0).  It arises
+// as store-and-set followed by load-and-clear.
+func FEStoreClear(v int64) Table {
+	return NewTable("fe-store-and-clear", []Transition{
+		{Next: word.Empty, Act: Store, V: v},
+		{Next: word.Empty, Act: Store, V: v},
+	})
+}
+
+// FEStoreIfClearClear stores v only when the flag is clear and leaves the
+// flag clear: store-if-clear-and-set followed by load-and-clear.
+func FEStoreIfClearClear(v int64) Table {
+	return NewTable("fe-store-if-clear-and-clear", []Transition{
+		{Next: word.Empty, Act: Store, V: v},
+		{Next: word.Empty, Act: Keep},
+	})
+}
+
+// FELoadIfSetClear is the queueing consumer operation load-and-clear-if-set:
+// it succeeds only on a full cell, emptying it.
+func FELoadIfSetClear() Table {
+	return NewTable("fe-load-and-clear-if-set", []Transition{
+		{Fail: true},
+		{Next: word.Empty, Act: Keep},
+	})
+}
+
+// FEStoreIfSet stores v only when the flag is set, leaving it set.  The
+// paper uses store-if-clear combined with store-if-set as the example where
+// reversal cannot avoid carrying two store values.
+func FEStoreIfSet(v int64) Table {
+	return NewTable("fe-store-if-set", []Transition{
+		{Fail: true},
+		{Next: word.Full, Act: Store, V: v},
+	})
+}
+
+// FEStoreIfClear stores v only when the flag is clear, leaving it clear —
+// the flag-preserving counterpart of FEStoreIfSet.
+func FEStoreIfClear(v int64) Table {
+	return NewTable("fe-store-if-clear", []Transition{
+		{Next: word.Empty, Act: Store, V: v},
+		{Fail: true},
+	})
+}
+
+// FEKind classifies a two-state table as one of the named full/empty
+// operation shapes, ignoring the particular store values.  ok is false for
+// tables outside the six-operation semigroup (plus the plain-store shape,
+// which a Const contributes when mixed in).
+func FEKind(t Table) (string, bool) {
+	if t.States() != feStates {
+		return "", false
+	}
+	// Classification is by memory effect: a failing transition acts on
+	// memory exactly like "keep value, keep state", and composed tables
+	// legitimately lose the failure marking (individual NAKs are
+	// recovered from old tags at decombining time).  Store payloads are
+	// canonicalized away; shapes ignore them.
+	norm := func(tr Transition, s word.Tag) Transition {
+		if tr.Fail {
+			return Transition{Next: s, Act: Keep}
+		}
+		tr.Fail = false
+		if tr.Act == Store {
+			tr.V = 1
+		}
+		return tr
+	}
+	e := norm(t.At(word.Empty), word.Empty)
+	f := norm(t.At(word.Full), word.Full)
+	match := func(proto Table) bool {
+		return e == norm(proto.At(word.Empty), word.Empty) &&
+			f == norm(proto.At(word.Full), word.Full)
+	}
+	for _, c := range []struct {
+		name  string
+		proto Table
+	}{
+		{"fe-load", FELoad()},
+		{"fe-load-and-clear", FELoadClear()},
+		{"fe-store-and-set", FEStoreSet(1)},
+		{"fe-store-if-clear-and-set", FEStoreIfClearSet(1)},
+		{"fe-store-and-clear", FEStoreClear(1)},
+		{"fe-store-if-clear-and-clear", FEStoreIfClearClear(1)},
+	} {
+		if match(c.proto) {
+			return c.name, true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,140 @@
+package rmw
+
+import (
+	"math/big"
+	"strings"
+	"testing"
+
+	"combining/internal/word"
+)
+
+// Edge-case and rendering coverage for the formalism.
+
+func TestKindStringAll(t *testing.T) {
+	kinds := map[Kind]string{
+		KindLoad: "load", KindConst: "const", KindAssoc: "assoc",
+		KindBool: "bool", KindAffine: "affine", KindMoebius: "moebius",
+		KindTable: "table", Kind(99): "kind(99)",
+	}
+	for k, want := range kinds {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+	if got := Op(99).String(); got != "op(99)" {
+		t.Errorf("bad op renders %q", got)
+	}
+	if got := BoolUnary(99).String(); got != "bool(99)" {
+		t.Errorf("bad unary renders %q", got)
+	}
+}
+
+func TestTableString(t *testing.T) {
+	anon := Table{T: []Transition{
+		{Next: 1, Act: Store, V: 7},
+		{Fail: true},
+		{Next: 0, Act: Keep},
+	}}
+	s := anon.String()
+	for _, want := range []string{"0:(7,1)", "1:fail", "2:(keep,0)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table renders %q, missing %q", s, want)
+		}
+	}
+	named := FELoad()
+	if named.String() != "fe-load" {
+		t.Errorf("named table renders %q", named.String())
+	}
+}
+
+func TestTableOutOfRangeTag(t *testing.T) {
+	// A tag outside the automaton's state set must be treated as a
+	// failing state (memory untouched), not a panic.
+	op := FELoadClear()
+	w := word.WT(9, word.Tag(7))
+	if got := op.Apply(w); got != w {
+		t.Fatalf("out-of-range tag mutated the cell: %v", got)
+	}
+	if !op.Failed(word.Tag(7)) {
+		t.Fatal("out-of-range tag must read as failure")
+	}
+}
+
+func TestNewTablePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty table accepted")
+		}
+	}()
+	NewTable("bad", nil)
+}
+
+func TestMoebiusRatPole(t *testing.T) {
+	m := NewMoebiusRat(0, 1, 1, 0) // 1/x
+	if _, ok := m.Eval(big.NewRat(0, 1)); ok {
+		t.Fatal("pole at 0 not reported")
+	}
+	v, ok := m.Eval(big.NewRat(2, 1))
+	if !ok || v.Cmp(big.NewRat(1, 2)) != 0 {
+		t.Fatalf("1/2 expected, got %v ok=%v", v, ok)
+	}
+}
+
+func TestEncodedBitsTableGrowth(t *testing.T) {
+	// Tables charge one word per distinct store value.
+	one := FEStoreSet(5)
+	two, _ := Compose(FEStoreIfClear(1), FEStoreIfSet(2))
+	if !(two.EncodedBits() > one.EncodedBits()) {
+		t.Fatalf("two-value table (%d bits) must cost more than one-value (%d)",
+			two.EncodedBits(), one.EncodedBits())
+	}
+}
+
+func TestBoolStringForms(t *testing.T) {
+	if got := BoolOf(BSet).String(); got != "set" {
+		t.Errorf("uniform mapping renders %q", got)
+	}
+	mixed := Bool{A: 1, B: 2}
+	if !strings.HasPrefix(mixed.String(), "bool(") {
+		t.Errorf("mixed mapping renders %q", mixed.String())
+	}
+}
+
+func TestStoreBytePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("byte lane 8 accepted")
+		}
+	}()
+	StoreByte(8, 1)
+}
+
+func TestLeftSpineAndBalancedShapes(t *testing.T) {
+	if LeftSpine(0) != nil || Balanced(0, 0) != nil {
+		t.Fatal("empty shapes must be nil")
+	}
+	count := func(tr *TreeShape) int {
+		if tr == nil {
+			return 0
+		}
+		if tr.Left == nil {
+			return 1
+		}
+		var walk func(*TreeShape) int
+		walk = func(n *TreeShape) int {
+			if n.Left == nil {
+				return 1
+			}
+			return walk(n.Left) + walk(n.Right)
+		}
+		return walk(tr)
+	}
+	for _, n := range []int{1, 2, 5, 9} {
+		if got := count(LeftSpine(n)); got != n {
+			t.Errorf("LeftSpine(%d) has %d leaves", n, got)
+		}
+		if got := count(Balanced(0, n)); got != n {
+			t.Errorf("Balanced(%d) has %d leaves", n, got)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package rmw
+
+import (
+	"math"
+	"math/big"
+	"testing"
+
+	"combining/internal/word"
+)
+
+func TestAffineCompose(t *testing.T) {
+	f := Affine{A: 3, B: 5}
+	g := Affine{A: -2, B: 7}
+	h, ok := Compose(f, g)
+	if !ok {
+		t.Fatal("affine mappings must compose")
+	}
+	// g(f(x)) = -2(3x+5)+7 = -6x - 3.
+	want := Affine{A: -6, B: -3}
+	if h != Mapping(want) {
+		t.Fatalf("compose = %v, want %v", h, want)
+	}
+}
+
+// TestAffineWrapExact verifies that affine combining is bit-exact under
+// wrap-around arithmetic: the composition identity is a polynomial identity
+// and therefore holds in ℤ/2⁶⁴.
+func TestAffineWrapExact(t *testing.T) {
+	rng := newTestRand(7)
+	for trial := 0; trial < 500; trial++ {
+		// Huge coefficients force wrap-around.
+		f := Affine{A: int64(rng.Uint64()), B: int64(rng.Uint64())}
+		g := Affine{A: int64(rng.Uint64()), B: int64(rng.Uint64())}
+		h, ok := Compose(f, g)
+		if !ok {
+			t.Fatal("affine mappings must compose")
+		}
+		x := randWord(rng)
+		if got, want := h.Apply(x), g.Apply(f.Apply(x)); got != want {
+			t.Fatalf("trial %d: wrap-around mismatch: got %v, want %v", trial, got, want)
+		}
+	}
+}
+
+func TestAffineConstructors(t *testing.T) {
+	cases := []struct {
+		m    Affine
+		x    int64
+		want int64
+	}{
+		{AffineAdd(5), 10, 15},
+		{AffineSub(5), 10, 5},
+		{AffineRSub(5), 10, -5},
+		{AffineMul(5), 10, 50},
+	}
+	for _, tc := range cases {
+		if got := tc.m.Apply(word.W(tc.x)).Val; got != tc.want {
+			t.Errorf("%v(%d) = %d, want %d", tc.m, tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestMoebiusConstructors(t *testing.T) {
+	cases := []struct {
+		m    Moebius
+		x    float64
+		want float64
+	}{
+		{MoebiusAdd(2), 3, 5},
+		{MoebiusSub(2), 3, 1},
+		{MoebiusRSub(2), 3, -1},
+		{MoebiusMul(2), 3, 6},
+		{MoebiusDiv(2), 3, 1.5},
+		{MoebiusRDiv(6), 3, 2},
+	}
+	for _, tc := range cases {
+		if got := tc.m.EvalFloat(tc.x); got != tc.want {
+			t.Errorf("%v(%g) = %g, want %g", tc.m, tc.x, got, tc.want)
+		}
+	}
+}
+
+// TestMoebiusCompose checks the matrix-product composition against direct
+// serial evaluation, in exact rational arithmetic so rounding cannot hide a
+// matrix-order mistake.
+func TestMoebiusCompose(t *testing.T) {
+	rng := newTestRand(11)
+	for trial := 0; trial < 300; trial++ {
+		f := NewMoebiusRat(int64(rng.IntN(9)-4), int64(rng.IntN(9)-4), int64(rng.IntN(9)-4), int64(rng.IntN(9)-4))
+		g := NewMoebiusRat(int64(rng.IntN(9)-4), int64(rng.IntN(9)-4), int64(rng.IntN(9)-4), int64(rng.IntN(9)-4))
+		h := f.Compose(g)
+		x := big.NewRat(int64(rng.IntN(41)-20), int64(rng.IntN(7)+1))
+		fx, ok1 := f.Eval(x)
+		if !ok1 {
+			continue
+		}
+		want, ok2 := g.Eval(fx)
+		got, ok3 := h.Eval(x)
+		if ok2 != ok3 {
+			// A pole can shift onto x after composition only through
+			// cancellation; both must agree when defined.
+			continue
+		}
+		if !ok2 {
+			continue
+		}
+		if want.Cmp(got) != 0 {
+			t.Fatalf("trial %d: h(x)=%v, want g(f(x))=%v", trial, got, want)
+		}
+	}
+}
+
+// TestMoebiusFloatMatchesRatWithoutDivision: with only +, −, × the float64
+// family composed along any tree equals serial evaluation exactly when all
+// quantities are small integers (no rounding occurs below 2⁵³).
+func TestMoebiusFloatMatchesRatWithoutDivision(t *testing.T) {
+	ops := []Moebius{MoebiusAdd(3), MoebiusMul(2), MoebiusSub(7), MoebiusRSub(100), MoebiusAdd(-5)}
+	var combined Mapping = Load{}
+	for _, m := range ops {
+		var ok bool
+		combined, ok = Compose(combined, m)
+		if !ok {
+			t.Fatal("moebius chain must compose")
+		}
+	}
+	for _, x := range []float64{0, 1, -3, 17} {
+		serial := x
+		for _, m := range ops {
+			serial = m.EvalFloat(serial)
+		}
+		got := combined.(Moebius).EvalFloat(x)
+		if got != serial {
+			t.Errorf("x=%g: combined=%g, serial=%g", x, got, serial)
+		}
+	}
+}
+
+// TestMoebiusDivisionInstability reproduces the Section 5.4 caveat
+// (experiment E12): when division participates, the combined float64
+// computation can differ from serial evaluation, while the exact rational
+// computation proves the divergence is pure rounding.
+func TestMoebiusDivisionInstability(t *testing.T) {
+	rng := newTestRand(13)
+	foundDivergence := false
+	for trial := 0; trial < 2000 && !foundDivergence; trial++ {
+		n := 6
+		fs := make([]Moebius, n)
+		rats := make([]MoebiusRat, n)
+		for i := range fs {
+			c := float64(rng.IntN(19) - 9)
+			if c == 0 {
+				c = 3
+			}
+			switch rng.IntN(4) {
+			case 0:
+				fs[i], rats[i] = MoebiusAdd(c), NewMoebiusRat(1, int64(c), 0, 1)
+			case 1:
+				fs[i], rats[i] = MoebiusMul(c), NewMoebiusRat(int64(c), 0, 0, 1)
+			case 2:
+				fs[i], rats[i] = MoebiusDiv(c), NewMoebiusRat(1, 0, 0, int64(c))
+			default:
+				fs[i], rats[i] = MoebiusRDiv(c), NewMoebiusRat(0, int64(c), 1, 0)
+			}
+		}
+		var comb Mapping = Load{}
+		combRat := NewMoebiusRat(1, 0, 0, 1)
+		for i := range fs {
+			var ok bool
+			comb, ok = Compose(comb, fs[i])
+			if !ok {
+				t.Fatal("chain must compose")
+			}
+			combRat = combRat.Compose(rats[i])
+		}
+		x := float64(rng.IntN(15) + 1)
+		serial := x
+		for _, f := range fs {
+			serial = f.EvalFloat(serial)
+		}
+		combined := comb.(Moebius).EvalFloat(x)
+		exact, ok := combRat.Eval(big.NewRat(int64(x), 1))
+		if !ok || math.IsNaN(serial) || math.IsInf(serial, 0) {
+			continue
+		}
+		if combined != serial {
+			foundDivergence = true
+			// The exact value certifies both floats are approximations
+			// of the same algebraic result.
+			ex, _ := exact.Float64()
+			if math.Abs(combined-ex) > 1e-6*(1+math.Abs(ex)) &&
+				math.Abs(serial-ex) > 1e-6*(1+math.Abs(ex)) {
+				t.Logf("note: both float paths far from exact %g (combined %g, serial %g)",
+					ex, combined, serial)
+			}
+		}
+	}
+	if !foundDivergence {
+		t.Error("expected at least one float64 divergence between combined and serial division chains")
+	}
+}
+
+// TestGuardBits reproduces the guard-bit claim of Section 5.4 (part of
+// E12): with one extra bit on intermediates, a combined-tree overflow
+// implies a serial overflow, over random inputs and both degenerate and
+// balanced combining trees.
+func TestGuardBits(t *testing.T) {
+	f := Fixed{Width: 8} // values in [−128, 128)
+	rng := newTestRand(17)
+	checked := 0
+	for trial := 0; trial < 5000; trial++ {
+		n := 1 + rng.IntN(12)
+		addends := make([]int64, n)
+		for i := range addends {
+			addends[i] = int64(rng.IntN(2*96+1) - 96)
+		}
+		x0 := int64(rng.IntN(2*100+1) - 100)
+		serialOvf := f.SerialOverflows(x0, addends)
+		for _, shape := range []*TreeShape{LeftSpine(n), Balanced(0, n)} {
+			combOvf := f.CombinedOverflows(x0, addends, shape, 1)
+			if combOvf && !serialOvf {
+				t.Fatalf("trial %d: combined overflow without serial overflow (x0=%d addends=%v)",
+					trial, x0, addends)
+			}
+			checked++
+		}
+		// The converse direction is not claimed by the paper; serial
+		// overflow with no combined overflow is possible and fine.
+	}
+	if checked == 0 {
+		t.Fatal("no cases checked")
+	}
+	// Zero guard bits must be insufficient: exhibit a case where the
+	// combined tree overflows the bare width even though the serial
+	// execution stays in range.
+	// Serial: −128 → −8 → 112, all within [−128, 128); but the combined
+	// addend 120+120 = 240 overflows the bare 8-bit range.
+	x0, addends := int64(-128), []int64{120, 120}
+	if f.SerialOverflows(x0, addends) {
+		t.Fatal("witness case must not overflow serially")
+	}
+	if !f.CombinedOverflows(x0, addends, Balanced(0, len(addends)), 0) {
+		t.Error("expected a guard-bit-free combined overflow on the witness case")
+	}
+}

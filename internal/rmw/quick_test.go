@@ -1,0 +1,169 @@
+package rmw
+
+import (
+	"testing"
+	"testing/quick"
+
+	"combining/internal/word"
+)
+
+// Property-based tests (testing/quick) for the algebraic core: composition
+// must be semantics-preserving and associative across every family, since
+// the combining network composes in arbitrary tree shapes (Lemma 4.1).
+
+func quickCfg() *quick.Config {
+	return &quick.Config{MaxCount: 2000}
+}
+
+func TestQuickFetchAddSemantics(t *testing.T) {
+	prop := func(a, b, x int64) bool {
+		h, ok := Compose(FetchAdd(a), FetchAdd(b))
+		if !ok {
+			return false
+		}
+		return h.Apply(word.W(x)) == FetchAdd(b).Apply(FetchAdd(a).Apply(word.W(x)))
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBoolSemantics(t *testing.T) {
+	prop := func(a1, b1, a2, b2, x uint64) bool {
+		f, g := Bool{A: a1, B: b1}, Bool{A: a2, B: b2}
+		h, ok := Compose(f, g)
+		if !ok {
+			return false
+		}
+		w := word.W(int64(x))
+		return h.Apply(w) == g.Apply(f.Apply(w))
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAffineSemantics(t *testing.T) {
+	prop := func(a1, b1, a2, b2, x int64) bool {
+		f, g := Affine{A: a1, B: b1}, Affine{A: a2, B: b2}
+		h, ok := Compose(f, g)
+		if !ok {
+			return false
+		}
+		w := word.W(x)
+		return h.Apply(w) == g.Apply(f.Apply(w))
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMinMaxSemantics(t *testing.T) {
+	prop := func(a, b, x int64) bool {
+		for _, mk := range []func(int64) Assoc{FetchMin, FetchMax, FetchAnd, FetchOr, FetchXor} {
+			f, g := mk(a), mk(b)
+			h, ok := Compose(f, g)
+			if !ok {
+				return false
+			}
+			w := word.W(x)
+			if h.Apply(w) != g.Apply(f.Apply(w)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickComposeAssociative: (f∘g)∘h = f∘(g∘h) as functions, across
+// random mixed chains drawn from inter-combinable families.  Associativity
+// is what lets the network combine in arbitrary tree orders.
+func TestQuickComposeAssociative(t *testing.T) {
+	rng := newTestRand(31)
+	for trial := 0; trial < 3000; trial++ {
+		// Families 0..2 (load/store/swap) inter-combine with any, so mix
+		// them with one substantive family per trial.
+		fam := 3 + rng.IntN(3)
+		pick := func() Mapping {
+			if rng.IntN(2) == 0 {
+				return randMapping(rng, rng.IntN(3))
+			}
+			return randMapping(rng, fam)
+		}
+		f, g, h := pick(), pick(), pick()
+		fg, ok1 := Compose(f, g)
+		gh, ok2 := Compose(g, h)
+		if !ok1 || !ok2 {
+			// Same-family pairs always combine; a miss means the two
+			// substantive picks came from one family, so this cannot
+			// happen — treat it as a failure.
+			t.Fatalf("trial %d: chain %v,%v,%v did not combine", trial, f, g, h)
+		}
+		left, ok3 := Compose(fg, h)
+		right, ok4 := Compose(f, gh)
+		if !ok3 || !ok4 {
+			t.Fatalf("trial %d: outer composition failed", trial)
+		}
+		for i := 0; i < 8; i++ {
+			x := randWord(rng)
+			if left.Apply(x) != right.Apply(x) {
+				t.Fatalf("trial %d: associativity broken at %v: (f∘g)∘h=%v f∘(g∘h)=%v",
+					trial, x, left.Apply(x), right.Apply(x))
+			}
+		}
+	}
+}
+
+// TestQuickChainEqualsSerial drives random-length chains through
+// ComposeAll and compares against serial application — the exact statement
+// of Lemma 4.1(3) at the mapping level.
+func TestQuickChainEqualsSerial(t *testing.T) {
+	rng := newTestRand(37)
+	for trial := 0; trial < 2000; trial++ {
+		fam := 3 + rng.IntN(3)
+		n := 1 + rng.IntN(10)
+		chain := make([]Mapping, n)
+		for i := range chain {
+			if rng.IntN(3) == 0 {
+				chain[i] = randMapping(rng, rng.IntN(3))
+			} else {
+				chain[i] = randMapping(rng, fam)
+			}
+		}
+		h, ok := ComposeAll(chain...)
+		if !ok {
+			t.Fatalf("trial %d: chain failed to combine", trial)
+		}
+		x := randWord(rng)
+		want := x
+		for _, m := range chain {
+			want = m.Apply(want)
+		}
+		if got := h.Apply(x); got != want {
+			t.Fatalf("trial %d: combined=%v serial=%v", trial, got, want)
+		}
+	}
+}
+
+// TestQuickEncodingRoundTrip fuzzes the wire encoding.
+func TestQuickEncodingRoundTrip(t *testing.T) {
+	rng := newTestRand(41)
+	for trial := 0; trial < 3000; trial++ {
+		m := randMapping(rng, rng.IntN(7))
+		enc := Encode(m)
+		got, n, err := Decode(enc)
+		if err != nil || n != len(enc) {
+			t.Fatalf("trial %d: decode %v: err=%v n=%d len=%d", trial, m, err, n, len(enc))
+		}
+		// Compare semantically: apply both to random words.
+		for i := 0; i < 4; i++ {
+			x := randWord(rng)
+			if got.Apply(x) != m.Apply(x) {
+				t.Fatalf("trial %d: %v round-tripped to %v", trial, m, got)
+			}
+		}
+	}
+}

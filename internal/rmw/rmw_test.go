@@ -1,0 +1,243 @@
+package rmw
+
+import (
+	"testing"
+
+	"combining/internal/word"
+)
+
+// applyChain executes mappings serially on w, the reference semantics that
+// Compose must preserve.
+func applyChain(w word.Word, ms ...Mapping) word.Word {
+	for _, m := range ms {
+		w = m.Apply(w)
+	}
+	return w
+}
+
+func TestComposeDefinition(t *testing.T) {
+	// f∘g(x) = g(f(x)) on representative pairs across families.
+	cases := []struct {
+		name string
+		f, g Mapping
+	}{
+		{"add-add", FetchAdd(3), FetchAdd(4)},
+		{"add-negative", FetchAdd(-7), FetchAdd(2)},
+		{"or-or", FetchOr(0b1010), FetchOr(0b0110)},
+		{"and-and", FetchAnd(0xff), FetchAnd(0x0f)},
+		{"xor-xor", FetchXor(5), FetchXor(9)},
+		{"min-min", FetchMin(10), FetchMin(3)},
+		{"max-max", FetchMax(10), FetchMax(30)},
+		{"load-add", Load{}, FetchAdd(5)},
+		{"add-load", FetchAdd(5), Load{}},
+		{"store-add", StoreOf(100), FetchAdd(5)},
+		{"add-store", FetchAdd(5), StoreOf(100)},
+		{"swap-swap", SwapOf(1), SwapOf(2)},
+		{"bool-bool", BoolOf(BSet), BoolOf(BComp)},
+		{"affine-affine", Affine{A: 3, B: 1}, Affine{A: -2, B: 7}},
+		{"store-affine", StoreOf(4), Affine{A: 3, B: 1}},
+	}
+	inputs := []int64{0, 1, -1, 42, -1000, 1 << 40}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h, ok := Compose(tc.f, tc.g)
+			if !ok {
+				t.Fatalf("Compose(%v, %v) not combinable", tc.f, tc.g)
+			}
+			for _, x := range inputs {
+				w := word.W(x)
+				want := applyChain(w, tc.f, tc.g)
+				got := h.Apply(w)
+				if got != want {
+					t.Errorf("x=%d: (%v∘%v)(x) = %v, want %v", x, tc.f, tc.g, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestComposeUniversalRules(t *testing.T) {
+	f := FetchAdd(7)
+	t.Run("f-then-id", func(t *testing.T) {
+		h, ok := Compose(f, Load{})
+		if !ok || h != Mapping(f) {
+			t.Fatalf("f∘id = %v, want %v", h, f)
+		}
+	})
+	t.Run("id-then-g", func(t *testing.T) {
+		h, ok := Compose(Load{}, f)
+		if !ok || h != Mapping(f) {
+			t.Fatalf("id∘g = %v, want %v", h, f)
+		}
+	})
+	t.Run("f-then-const", func(t *testing.T) {
+		h, ok := Compose(f, StoreOf(9))
+		if !ok {
+			t.Fatal("f∘I_v must combine")
+		}
+		c, isConst := h.(Const)
+		if !isConst || c.V != 9 {
+			t.Fatalf("f∘I_v = %v, want store of 9", h)
+		}
+	})
+	t.Run("const-then-g", func(t *testing.T) {
+		h, ok := Compose(StoreOf(10), f)
+		if !ok {
+			t.Fatal("I_v∘g must combine")
+		}
+		c, isConst := h.(Const)
+		if !isConst || c.V != 17 {
+			t.Fatalf("I_v∘g = %v, want store of g(10)=17", h)
+		}
+	})
+}
+
+func TestComposeNotCombinable(t *testing.T) {
+	cases := []struct {
+		name string
+		f, g Mapping
+	}{
+		{"add-min", FetchAdd(1), FetchMin(1)},
+		{"add-bool", FetchAdd(1), BoolOf(BSet)},
+		{"bool-affine", BoolOf(BSet), Affine{A: 2, B: 1}},
+		{"assoc-table", FetchAdd(1), FELoad()},
+		{"table-assoc", FELoad(), FetchAdd(1)},
+		{"moebius-affine", MoebiusAdd(1), Affine{A: 1, B: 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, ok := Compose(tc.f, tc.g); ok {
+				t.Errorf("Compose(%v, %v) combined across families", tc.f, tc.g)
+			}
+		})
+	}
+}
+
+// opName classifies a combined load/store/swap message the way the paper's
+// Section 5.1 tables do.
+func opName(m Mapping) string {
+	switch v := m.(type) {
+	case Load:
+		return "load"
+	case Const:
+		if v.NeedOld {
+			return "swap"
+		}
+		return "store"
+	default:
+		return "?"
+	}
+}
+
+// TestTableLoadStoreSwap reproduces the first 3×3 table of Section 5.1
+// (experiment T1): rows are the first request, columns the second.
+func TestTableLoadStoreSwap(t *testing.T) {
+	ops := map[string]Mapping{
+		"load":  Load{},
+		"store": StoreOf(11),
+		"swap":  SwapOf(22),
+	}
+	want := map[[2]string]string{
+		{"load", "load"}:   "load",
+		{"load", "store"}:  "swap",
+		{"load", "swap"}:   "swap",
+		{"store", "load"}:  "store",
+		{"store", "store"}: "store",
+		{"store", "swap"}:  "store",
+		{"swap", "load"}:   "swap",
+		{"swap", "store"}:  "swap",
+		{"swap", "swap"}:   "swap",
+	}
+	for pair, wantOp := range want {
+		f, g := ops[pair[0]], ops[pair[1]]
+		h, ok := Compose(f, g)
+		if !ok {
+			t.Fatalf("%s∘%s not combinable", pair[0], pair[1])
+		}
+		if got := opName(h); got != wantOp {
+			t.Errorf("%s∘%s = %s, want %s", pair[0], pair[1], got, wantOp)
+		}
+		// The combined message must also preserve semantics.
+		for _, x := range []int64{0, 5, -3} {
+			if got, want := h.Apply(word.W(x)), applyChain(word.W(x), f, g); got != want {
+				t.Errorf("%s∘%s semantics: got %v want %v", pair[0], pair[1], got, want)
+			}
+		}
+	}
+}
+
+func TestNeedsValue(t *testing.T) {
+	cases := []struct {
+		m    Mapping
+		want bool
+	}{
+		{Load{}, true},
+		{StoreOf(1), false},
+		{SwapOf(1), true},
+		{FetchAdd(1), true},
+		{BoolOf(BClear), true},
+		{FELoad(), true},
+	}
+	for _, tc := range cases {
+		if got := NeedsValue(tc.m); got != tc.want {
+			t.Errorf("NeedsValue(%v) = %v, want %v", tc.m, got, tc.want)
+		}
+	}
+}
+
+func TestComposeAll(t *testing.T) {
+	t.Run("empty-is-identity", func(t *testing.T) {
+		h, ok := ComposeAll()
+		if !ok {
+			t.Fatal("empty chain must compose")
+		}
+		if _, isLoad := h.(Load); !isLoad {
+			t.Fatalf("empty chain = %v, want id", h)
+		}
+	})
+	t.Run("fetch-add-chain", func(t *testing.T) {
+		h, ok := ComposeAll(FetchAdd(1), FetchAdd(2), FetchAdd(3), FetchAdd(4))
+		if !ok {
+			t.Fatal("chain must compose")
+		}
+		if got := h.Apply(word.W(100)).Val; got != 110 {
+			t.Fatalf("chain(100) = %d, want 110", got)
+		}
+	})
+	t.Run("mixed-failure", func(t *testing.T) {
+		if _, ok := ComposeAll(FetchAdd(1), FetchMin(2)); ok {
+			t.Fatal("mixed θ chain must not compose")
+		}
+	})
+}
+
+func TestConstPreservesTag(t *testing.T) {
+	// A plain store does not change the full/empty bit (Section 5.5).
+	w := word.WT(5, word.Full)
+	got := StoreOf(9).Apply(w)
+	if got != word.WT(9, word.Full) {
+		t.Fatalf("store on tagged word = %v, want 9/full", got)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	// The String forms appear in traces and experiment output; pin the
+	// spelling of each family.
+	cases := []struct {
+		m    Mapping
+		want string
+	}{
+		{Load{}, "id"},
+		{StoreOf(3), "store(3)"},
+		{SwapOf(3), "swap(3)"},
+		{FetchAdd(3), "add_3"},
+		{BoolOf(BComp), "comp"},
+		{Affine{A: 2, B: 3}, "2*x+3"},
+		{FELoadClear(), "fe-load-and-clear"},
+	}
+	for _, tc := range cases {
+		if got := tc.m.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package rmw
+
+import (
+	"math/rand/v2"
+
+	"combining/internal/word"
+)
+
+// newTestRand returns a deterministic PRNG for table-driven fuzzing.
+func newTestRand(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+}
+
+// randMapping draws a random mapping from the tag-oblivious families, for
+// cross-family composition fuzzing.  The index selects a family so callers
+// can force same-family pairs.
+func randMapping(rng *rand.Rand, family int) Mapping {
+	v := int64(rng.IntN(2001) - 1000)
+	switch family {
+	case 0:
+		return Load{}
+	case 1:
+		return StoreOf(v)
+	case 2:
+		return SwapOf(v)
+	case 3:
+		return FetchAdd(v)
+	case 4:
+		return Bool{A: rng.Uint64(), B: rng.Uint64()}
+	case 5:
+		return Affine{A: int64(rng.IntN(9) - 4), B: v}
+	default:
+		ops := []Assoc{FetchOr(v), FetchAnd(v), FetchXor(v), FetchMin(v), FetchMax(v)}
+		return ops[rng.IntN(len(ops))]
+	}
+}
+
+// randWord draws a random untagged word.
+func randWord(rng *rand.Rand) word.Word {
+	return word.W(int64(rng.Uint64()))
+}

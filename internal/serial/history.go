@@ -1,0 +1,84 @@
+// Package serial provides the correctness checkers that turn the paper's
+// Section 3 memory-model definitions into machine-checkable predicates:
+//
+//   - CheckM2: per-location serializability — the memory behaved as if each
+//     location executed its requests in some order consistent with every
+//     processor's issue order (conditions M2.1–M2.3, the property
+//     Theorem 4.2 guarantees for combining networks);
+//   - SeqConsistent: full sequential consistency (condition M1), decidable
+//     only for small histories — used for the Collier example (Section 3.2)
+//     and the incorrect load-forwarding optimization (Section 5.1).
+package serial
+
+import (
+	"fmt"
+	"sort"
+
+	"combining/internal/rmw"
+	"combining/internal/word"
+)
+
+// Op is one completed memory operation as observed by its issuing
+// processor: what was asked, and what came back.
+type Op struct {
+	Proc  word.ProcID
+	Seq   int // per-processor program order index
+	Addr  word.Addr
+	Op    rmw.Mapping
+	Reply word.Word // the old value the operation observed
+}
+
+// History is a collection of completed operations from one execution.
+type History struct {
+	ops []Op
+}
+
+// Add appends an operation.
+func (h *History) Add(op Op) { h.ops = append(h.ops, op) }
+
+// Len returns the number of recorded operations.
+func (h *History) Len() int { return len(h.ops) }
+
+// Ops returns a copy of the recorded operations.
+func (h *History) Ops() []Op {
+	out := make([]Op, len(h.ops))
+	copy(out, h.ops)
+	return out
+}
+
+// byLocation groups operations per address, each group holding
+// per-processor chains sorted by program order.
+func (h *History) byLocation() map[word.Addr][][]Op {
+	perAddr := make(map[word.Addr]map[word.ProcID][]Op)
+	for _, op := range h.ops {
+		if perAddr[op.Addr] == nil {
+			perAddr[op.Addr] = make(map[word.ProcID][]Op)
+		}
+		perAddr[op.Addr][op.Proc] = append(perAddr[op.Addr][op.Proc], op)
+	}
+	out := make(map[word.Addr][][]Op, len(perAddr))
+	for addr, chains := range perAddr {
+		procs := make([]word.ProcID, 0, len(chains))
+		for p := range chains {
+			procs = append(procs, p)
+		}
+		sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
+		for _, p := range procs {
+			chain := chains[p]
+			sort.Slice(chain, func(i, j int) bool { return chain[i].Seq < chain[j].Seq })
+			out[addr] = append(out[addr], chain)
+		}
+	}
+	return out
+}
+
+// Violation describes a failed check.
+type Violation struct {
+	Addr   word.Addr
+	Detail string
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("serial: location %d: %s", v.Addr, v.Detail)
+}

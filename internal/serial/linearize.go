@@ -1,0 +1,159 @@
+package serial
+
+import (
+	"sort"
+
+	"combining/internal/word"
+)
+
+// Per-location linearizability.
+//
+// Theorem 4.2 guarantees a serialization consistent with each processor's
+// issue order.  A correct memory-side implementation guarantees more: the
+// memory access of a request happens somewhere between its issue and its
+// reply, so if request A's reply returned before request B was issued, A
+// must serialize before B.  CheckLinearizable verifies this stronger,
+// real-time property per location (Herlihy–Wing linearizability restricted
+// to one cell), using the issue/completion timestamps the machine records.
+//
+// Operations with missing timestamps (both zero) are treated as
+// unconstrained in real time, so histories recorded without timing remain
+// checkable.
+
+// TimedOp is an operation with its observation interval.
+type TimedOp struct {
+	Op
+	// IssueAt and DoneAt bound the interval during which the memory
+	// access occurred (simulator cycles or any monotone clock).
+	IssueAt, DoneAt int64
+}
+
+// TimedHistory collects timed operations.
+type TimedHistory struct {
+	ops []TimedOp
+}
+
+// Add appends an operation.
+func (h *TimedHistory) Add(op TimedOp) { h.ops = append(h.ops, op) }
+
+// Len reports the number of operations.
+func (h *TimedHistory) Len() int { return len(h.ops) }
+
+// History strips the timestamps.
+func (h *TimedHistory) History() *History {
+	out := &History{}
+	for _, op := range h.ops {
+		out.Add(op.Op)
+	}
+	return out
+}
+
+// CheckLinearizable verifies that each location's operations admit a
+// serialization that (a) respects per-processor issue order, (b) respects
+// real-time precedence (DoneAt(A) < IssueAt(B) forces A before B),
+// (c) reproduces every reply, and (d) when final is provided, reaches the
+// observed final value.
+func CheckLinearizable(h *TimedHistory, initial, final map[word.Addr]word.Word) error {
+	perAddr := make(map[word.Addr][]TimedOp)
+	for _, op := range h.ops {
+		perAddr[op.Addr] = append(perAddr[op.Addr], op)
+	}
+	for addr, ops := range perAddr {
+		var target *word.Word
+		if final != nil {
+			if f, ok := final[addr]; ok {
+				target = &f
+			}
+		}
+		if !linSearch(ops, initial[addr], target) {
+			return &Violation{Addr: addr, Detail: "no linearization matches replies and real-time order"}
+		}
+	}
+	return nil
+}
+
+// linSearch is the witness search with the extra real-time constraint: an
+// operation is eligible only when every operation that precedes it in
+// real time has already been placed.
+func linSearch(ops []TimedOp, start word.Word, target *word.Word) bool {
+	// Group into per-processor chains (program order).
+	perProc := make(map[word.ProcID][]TimedOp)
+	for _, op := range ops {
+		perProc[op.Proc] = append(perProc[op.Proc], op)
+	}
+	procs := make([]word.ProcID, 0, len(perProc))
+	for p := range perProc {
+		procs = append(procs, p)
+	}
+	sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
+	chains := make([][]TimedOp, len(procs))
+	for i, p := range procs {
+		chain := perProc[p]
+		sort.Slice(chain, func(a, b int) bool { return chain[a].Seq < chain[b].Seq })
+		chains[i] = chain
+	}
+
+	timed := func(op TimedOp) bool { return op.IssueAt != 0 || op.DoneAt != 0 }
+	pos := make([]int, len(chains))
+	total := len(ops)
+	failed := make(map[string]bool)
+	key := func(val word.Word) string {
+		b := make([]byte, 0, len(pos)*2+9)
+		for _, p := range pos {
+			b = append(b, byte(p), byte(p>>8))
+		}
+		for shift := 0; shift < 64; shift += 8 {
+			b = append(b, byte(uint64(val.Val)>>shift))
+		}
+		return string(append(b, byte(val.Tag)))
+	}
+
+	// eligible reports whether op can be the next linearization point:
+	// no unplaced operation completed before op was issued.
+	eligible := func(op TimedOp) bool {
+		if !timed(op) {
+			return true
+		}
+		for i, chain := range chains {
+			for j := pos[i]; j < len(chain); j++ {
+				other := chain[j]
+				if !timed(other) {
+					continue
+				}
+				if other.DoneAt < op.IssueAt && !(other.Proc == op.Proc && other.Seq == op.Seq) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	var step func(val word.Word, done int) bool
+	step = func(val word.Word, done int) bool {
+		if done == total {
+			return target == nil || val == *target
+		}
+		k := key(val)
+		if failed[k] {
+			return false
+		}
+		for i, chain := range chains {
+			p := pos[i]
+			if p >= len(chain) {
+				continue
+			}
+			op := chain[p]
+			if op.Reply != val || !eligible(op) {
+				continue
+			}
+			pos[i]++
+			if step(op.Op.Op.Apply(val), done+1) {
+				return true
+			}
+			pos[i]--
+		}
+		failed[k] = true
+		return false
+	}
+	return step(start, 0)
+}

@@ -1,0 +1,88 @@
+package serial
+
+import (
+	"testing"
+
+	"combining/internal/rmw"
+	"combining/internal/word"
+)
+
+func timedOp(proc word.ProcID, seq int, addr word.Addr, m rmw.Mapping, reply int64, issue, done int64) TimedOp {
+	return TimedOp{
+		Op:      Op{Proc: proc, Seq: seq, Addr: addr, Op: m, Reply: word.W(reply)},
+		IssueAt: issue,
+		DoneAt:  done,
+	}
+}
+
+func TestLinearizableAccepts(t *testing.T) {
+	// Two overlapping FAAs may serialize either way; a third strictly
+	// after both must come last — and does, by its reply.
+	h := &TimedHistory{}
+	h.Add(timedOp(0, 1, 9, rmw.FetchAdd(1), 1, 10, 20))
+	h.Add(timedOp(1, 1, 9, rmw.FetchAdd(1), 0, 12, 22))
+	h.Add(timedOp(2, 1, 9, rmw.FetchAdd(1), 2, 30, 40))
+	if err := CheckLinearizable(h, nil, nil); err != nil {
+		t.Fatalf("valid timed history rejected: %v", err)
+	}
+}
+
+func TestLinearizableRejectsRealTimeViolation(t *testing.T) {
+	// Operation A completed (cycle 20) before B issued (cycle 30), yet
+	// the replies claim B executed first (B saw 0, A saw B's effect).
+	h := &TimedHistory{}
+	h.Add(timedOp(0, 1, 9, rmw.FetchAdd(1), 1, 10, 20)) // A: saw 1 → after someone
+	h.Add(timedOp(1, 1, 9, rmw.FetchAdd(1), 0, 30, 40)) // B: saw 0 → first
+	if err := CheckLinearizable(h, nil, nil); err == nil {
+		t.Fatal("real-time violation accepted")
+	}
+	// The same replies without timestamps are fine (M2 allows it).
+	h2 := &TimedHistory{}
+	h2.Add(timedOp(0, 1, 9, rmw.FetchAdd(1), 1, 0, 0))
+	h2.Add(timedOp(1, 1, 9, rmw.FetchAdd(1), 0, 0, 0))
+	if err := CheckLinearizable(h2, nil, nil); err != nil {
+		t.Fatalf("untimed history rejected: %v", err)
+	}
+	if err := CheckM2(h.History(), nil); err != nil {
+		t.Fatalf("M2 must still accept the untimed view: %v", err)
+	}
+}
+
+func TestLinearizableStaleRead(t *testing.T) {
+	// A load issued strictly after a store completed must see it.
+	h := &TimedHistory{}
+	h.Add(timedOp(0, 1, 3, rmw.StoreOf(7), 0, 10, 20))
+	h.Add(timedOp(1, 1, 3, rmw.Load{}, 0, 30, 40)) // stale: saw 0
+	if err := CheckLinearizable(h, nil, nil); err == nil {
+		t.Fatal("stale read accepted")
+	}
+	h2 := &TimedHistory{}
+	h2.Add(timedOp(0, 1, 3, rmw.StoreOf(7), 0, 10, 20))
+	h2.Add(timedOp(1, 1, 3, rmw.Load{}, 7, 30, 40))
+	if err := CheckLinearizable(h2, nil, nil); err != nil {
+		t.Fatalf("fresh read rejected: %v", err)
+	}
+}
+
+func TestLinearizableFinalValue(t *testing.T) {
+	h := &TimedHistory{}
+	h.Add(timedOp(0, 1, 3, rmw.FetchAdd(5), 0, 1, 2))
+	if err := CheckLinearizable(h, nil, map[word.Addr]word.Word{3: word.W(5)}); err != nil {
+		t.Fatalf("correct final rejected: %v", err)
+	}
+	if err := CheckLinearizable(h, nil, map[word.Addr]word.Word{3: word.W(9)}); err == nil {
+		t.Fatal("wrong final accepted")
+	}
+}
+
+func TestLinearizableOverlapFreedom(t *testing.T) {
+	// Fully overlapping operations are unconstrained by time; any
+	// reply-consistent order works even across many processors.
+	h := &TimedHistory{}
+	for p := 0; p < 6; p++ {
+		h.Add(timedOp(word.ProcID(p), 1, 9, rmw.FetchAdd(1), int64(5-p), 10, 100))
+	}
+	if err := CheckLinearizable(h, nil, nil); err != nil {
+		t.Fatalf("overlapping history rejected: %v", err)
+	}
+}

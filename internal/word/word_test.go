@@ -1,0 +1,66 @@
+package word
+
+import "testing"
+
+func TestWordString(t *testing.T) {
+	cases := []struct {
+		w    Word
+		want string
+	}{
+		{W(0), "0"},
+		{W(-17), "-17"},
+		{WT(5, Full), "5/s1"},
+		{WT(3, Tag(4)), "3/s4"},
+	}
+	for _, tc := range cases {
+		if got := tc.w.String(); got != tc.want {
+			t.Errorf("String(%#v) = %q, want %q", tc.w, got, tc.want)
+		}
+	}
+}
+
+func TestIDGenUnique(t *testing.T) {
+	g := NewIDGen()
+	seen := make(map[ReqID]bool)
+	for i := 0; i < 1000; i++ {
+		id := g.Next()
+		if id == NoReq {
+			t.Fatal("generator produced NoReq")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestPartitionDisjoint(t *testing.T) {
+	const n = 4
+	seen := make(map[ReqID]int)
+	for p := 0; p < n; p++ {
+		g := Partition(p, n)
+		for i := 0; i < 100; i++ {
+			id := g.NextPartitioned(n)
+			if id == NoReq {
+				t.Fatal("partitioned generator produced NoReq")
+			}
+			if prev, dup := seen[id]; dup {
+				t.Fatalf("id %d produced by partitions %d and %d", id, prev, p)
+			}
+			seen[id] = p
+		}
+	}
+}
+
+func TestPartitionPanics(t *testing.T) {
+	for _, bad := range [][2]int{{-1, 4}, {4, 4}, {0, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Partition(%d, %d) did not panic", bad[0], bad[1])
+				}
+			}()
+			Partition(bad[0], bad[1])
+		}()
+	}
+}
