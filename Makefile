@@ -1,8 +1,15 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all test race bench experiments soak fmt vet cover
+.PHONY: all check test race bench bench-smoke gobench experiments soak fmt vet cover
 
 all: vet test
+
+# check is the CI gate: build everything, vet, and run the full test suite
+# under the race detector.
+check:
+	go build ./...
+	go vet ./...
+	go test -race ./...
 
 test:
 	go test ./...
@@ -10,7 +17,16 @@ test:
 race:
 	go test -race ./internal/asyncnet/ ./internal/coord/ ./internal/pathexpr/ ./internal/memory/ .
 
+# bench regenerates the committed measured baseline (EXPERIMENTS.md
+# §Measured baselines); bench-smoke is the same sweep at small N for CI.
 bench:
+	go run ./cmd/experiments -bench -out BENCH_combining.json
+
+bench-smoke:
+	go run ./cmd/experiments -bench -quick -out /tmp/BENCH_combining_smoke.json
+
+# gobench runs the go-test microbenchmarks (formerly `make bench`).
+gobench:
 	go test -bench=. -benchmem ./...
 
 experiments:

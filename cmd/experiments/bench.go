@@ -1,0 +1,208 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	combining "combining"
+)
+
+// The -bench mode emits BENCH_combining.json — the measured baseline the
+// repository commits (see EXPERIMENTS.md §Measured baselines).  Every number
+// is extracted through the engines' shared Snapshot() API rather than from
+// ad-hoc counters, so the file doubles as a schema test of the
+// instrumentation.  `make bench` regenerates it; `make bench-smoke` runs the
+// same code at small N for CI.
+
+var (
+	bench    = flag.Bool("bench", false, "emit the JSON bench baseline and exit")
+	benchOut = flag.String("out", "BENCH_combining.json", "bench output path")
+)
+
+type benchReport struct {
+	Schema      string         `json:"schema"`
+	Quick       bool           `json:"quick"`
+	Hotspot     []hotspotPoint `json:"hotspot_sweep"`
+	Permutation []permPoint    `json:"permutation_baselines"`
+	AsyncFAA    []asyncPoint   `json:"asyncnet_faa"`
+}
+
+// hotspotPoint is one cell of the N × h × combining sweep (experiment E8).
+type hotspotPoint struct {
+	Procs       int     `json:"procs"`
+	HotFraction float64 `json:"hot_fraction"`
+	Combining   bool    `json:"combining"`
+	Cycles      int     `json:"cycles"`
+	Bandwidth   float64 `json:"bandwidth_ops_per_cycle"`
+	Limit       float64 `json:"asymptotic_limit"`
+	MeanLatency float64 `json:"mean_latency_cycles"`
+	P99Latency  float64 `json:"p99_latency_cycles"`
+	Combines    int64   `json:"combines"`
+
+	Snapshot combining.StatsSnapshot `json:"snapshot"`
+}
+
+// permPoint is one permutation-pattern baseline (combining never fires:
+// each processor owns its target address).
+type permPoint struct {
+	Pattern     string  `json:"pattern"`
+	Procs       int     `json:"procs"`
+	Cycles      int     `json:"cycles"`
+	Bandwidth   float64 `json:"bandwidth_ops_per_cycle"`
+	MeanLatency float64 `json:"mean_latency_cycles"`
+	P99Latency  float64 `json:"p99_latency_cycles"`
+
+	Snapshot combining.StatsSnapshot `json:"snapshot"`
+}
+
+// asyncPoint is fetch-and-add throughput on the goroutine engine, one hot
+// cell hammered from every port, with and without combining.
+type asyncPoint struct {
+	Procs         int     `json:"procs"`
+	RoundsPerPort int     `json:"rounds_per_port"`
+	Combining     bool    `json:"combining"`
+	ElapsedNs     int64   `json:"elapsed_ns"`
+	OpsPerSec     float64 `json:"ops_per_sec"`
+	Combines      int64   `json:"combines"`
+
+	Snapshot combining.StatsSnapshot `json:"snapshot"`
+}
+
+func runBench() {
+	rep := benchReport{Schema: "combining-bench/v1", Quick: *quick}
+
+	hotCycles, permCycles := 4000, 2000
+	sweepN := []int{16, 64, 256}
+	asyncRounds := 2048
+	if *quick {
+		hotCycles, permCycles = 1000, 600
+		sweepN = []int{16, 64}
+		asyncRounds = 128
+	}
+
+	for _, n := range sweepN {
+		for _, h := range []float64{0, 0.0625, 0.125, 0.25} {
+			for _, comb := range []bool{false, true} {
+				rep.Hotspot = append(rep.Hotspot, benchHotspot(n, h, comb, hotCycles))
+			}
+		}
+	}
+
+	for _, pat := range []struct {
+		name string
+		perm combining.Permutation
+	}{
+		{"identity", combining.IdentityPerm},
+		{"bit_reverse", combining.BitReversePerm},
+		{"transpose", combining.TransposePerm},
+		{"shift", combining.ShiftPerm},
+	} {
+		rep.Permutation = append(rep.Permutation, benchPermutation(pat.name, pat.perm, 64, permCycles))
+	}
+
+	for _, comb := range []bool{false, true} {
+		rep.AsyncFAA = append(rep.AsyncFAA, benchAsyncFAA(16, asyncRounds, comb))
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(*benchOut, out, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("bench baseline written to %s (%d hot-spot points, %d permutations, %d async runs)\n",
+		*benchOut, len(rep.Hotspot), len(rep.Permutation), len(rep.AsyncFAA))
+}
+
+// benchHotspot mirrors RunHotspot but keeps the simulator so the point can
+// carry its full instrumentation snapshot.
+func benchHotspot(n int, h float64, comb bool, cycles int) hotspotPoint {
+	waitCap := 0
+	if comb {
+		waitCap = combining.Unbounded
+	}
+	inj := make([]combining.Injector, n)
+	for p := 0; p < n; p++ {
+		inj[p] = combining.NewStochastic(p, n, combining.TrafficConfig{Rate: 0.6, HotFraction: h}, 1)
+	}
+	sim := combining.NewSim(combining.NetConfig{Procs: n, QueueCap: 4, WaitBufCap: waitCap}, inj)
+	sim.Run(cycles)
+	st := sim.Stats()
+	snap := sim.Snapshot()
+	return hotspotPoint{
+		Procs:       n,
+		HotFraction: h,
+		Combining:   comb,
+		Cycles:      cycles,
+		Bandwidth:   st.Bandwidth(),
+		Limit:       combining.AsymptoticHotBandwidth(n, h),
+		MeanLatency: st.MeanLatency(),
+		P99Latency:  st.Percentile(0.99),
+		Combines:    snap.Counters["combines"],
+		Snapshot:    snap,
+	}
+}
+
+func benchPermutation(name string, perm combining.Permutation, n, cycles int) permPoint {
+	inj := make([]combining.Injector, n)
+	for p := 0; p < n; p++ {
+		inj[p] = combining.NewPermInjector(p, n, perm, 4)
+	}
+	sim := combining.NewSim(combining.NetConfig{Procs: n, WaitBufCap: 0}, inj)
+	sim.Run(cycles)
+	st := sim.Stats()
+	return permPoint{
+		Pattern:     name,
+		Procs:       n,
+		Cycles:      cycles,
+		Bandwidth:   st.Bandwidth(),
+		MeanLatency: st.MeanLatency(),
+		P99Latency:  st.Percentile(0.99),
+		Snapshot:    sim.Snapshot(),
+	}
+}
+
+// benchAsyncFAA hammers one address from every port with pipelined
+// fetch-and-adds and measures wall-clock throughput; the round-trip latency
+// distribution rides along in the snapshot's port_rtt_ns histogram.
+func benchAsyncFAA(procs, rounds int, comb bool) asyncPoint {
+	net := combining.NewAsyncNet(combining.AsyncConfig{Procs: procs, Combining: comb, Window: 16})
+	defer net.Close()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			port := net.Port(p)
+			for r := 0; r < rounds; r++ {
+				port.RMWAsync(0, combining.FetchAdd(1))
+			}
+			port.Fence()
+		}(p)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	total := procs * rounds
+	if got := net.Memory().Peek(0).Val; got != int64(total) {
+		panic(fmt.Sprintf("bench: async FAA final %d, want %d", got, total))
+	}
+	return asyncPoint{
+		Procs:         procs,
+		RoundsPerPort: rounds,
+		Combining:     comb,
+		ElapsedNs:     elapsed.Nanoseconds(),
+		OpsPerSec:     float64(total) / elapsed.Seconds(),
+		Combines:      net.Combines(),
+		Snapshot:      net.Snapshot(),
+	}
+}

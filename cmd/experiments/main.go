@@ -21,6 +21,10 @@ func section(id, title string) {
 
 func main() {
 	flag.Parse()
+	if *bench {
+		runBench()
+		return
+	}
 	cycles := 4000
 	if *quick {
 		cycles = 1500

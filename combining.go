@@ -32,8 +32,18 @@ import (
 	"combining/internal/prefix"
 	"combining/internal/rmw"
 	"combining/internal/serial"
+	"combining/internal/stats"
 	"combining/internal/word"
 )
+
+// ---- Shared instrumentation (internal/stats) ----
+
+// StatsSnapshot is the cross-engine instrumentation snapshot every engine
+// returns from its Snapshot method; it serializes to JSON for baselines.
+type StatsSnapshot = stats.Snapshot
+
+// StatsHistogram is a frozen latency/size distribution with percentiles.
+type StatsHistogram = stats.HistogramSnapshot
 
 // ---- Words and identifiers (internal/word) ----
 

@@ -18,10 +18,12 @@ import (
 	"math/bits"
 	"runtime"
 	"sync"
+	"time"
 
 	"combining/internal/core"
 	"combining/internal/memory"
 	"combining/internal/rmw"
+	"combining/internal/stats"
 	"combining/internal/word"
 )
 
@@ -65,10 +67,17 @@ type Net struct {
 	done chan struct{}
 	wg   sync.WaitGroup
 
-	// combines counts combine events across switches (atomic not needed:
-	// summed after Close or read approximately).
-	mu       sync.Mutex
-	combines int64
+	// combines and rejects count combine events and combines forfeited to
+	// a full wait buffer.  Lock-free: every switch goroutine records
+	// concurrently without serializing the combine hot path it measures.
+	combines stats.Counter
+	rejects  stats.Counter
+	// rtt is the port round-trip latency histogram (nanoseconds),
+	// recorded as each reply reaches its issuing port.
+	rtt stats.Histogram
+	// batchHW tracks, per stage, the largest simultaneously drained
+	// request batch — the asynchronous analogue of switch queue depth.
+	batchHW []stats.HighWater
 }
 
 // aswitch is one switch process.
@@ -93,6 +102,10 @@ type arec struct {
 	pathSecond []uint8
 }
 
+// fwdReq projects a queued forward message to its request for the shared
+// combine scan.
+func fwdReq(m *fwdMsg) *core.Request { return &m.req }
+
 // Port is one processor's connection to the network.  A Port may pipeline
 // up to the configured window of outstanding requests (RMWAsync) and is
 // not safe for concurrent use; run one goroutine per port.
@@ -104,6 +117,11 @@ type Port struct {
 	window      int
 	outstanding int
 	buffered    map[word.ReqID]word.Word
+	// issued stamps each in-flight request for round-trip latency.
+	issued map[word.ReqID]time.Time
+	// epoch counts fences; a handle issued before the latest fence has
+	// been abandoned and may no longer be waited on.
+	epoch int
 }
 
 // New starts the network's switch goroutines.
@@ -120,11 +138,12 @@ func New(cfg Config) *Net {
 	n := cfg.Procs
 	k := bits.TrailingZeros(uint(n))
 	net := &Net{
-		cfg:  cfg,
-		n:    n,
-		k:    k,
-		mem:  memory.NewArray(n),
-		done: make(chan struct{}),
+		cfg:     cfg,
+		n:       n,
+		k:       k,
+		mem:     memory.NewArray(n),
+		done:    make(chan struct{}),
+		batchHW: make([]stats.HighWater, k),
 	}
 	waitCap := 0
 	if cfg.Combining {
@@ -160,6 +179,7 @@ func New(cfg Config) *Net {
 			reply:    make(chan revMsg, cfg.ChanCap),
 			window:   cfg.Window,
 			buffered: make(map[word.ReqID]word.Word),
+			issued:   make(map[word.ReqID]time.Time),
 		}
 	}
 
@@ -221,19 +241,29 @@ func (n *Net) Close() {
 // only while no requests are in flight.
 func (n *Net) Memory() *memory.Array { return n.mem }
 
-// Combines reports combine events so far.
-func (n *Net) Combines() int64 {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+// Combines reports combine events so far; safe to call at any time.
+func (n *Net) Combines() int64 { return n.combines.Load() }
 
-	return n.combines
-}
-
-func (n *Net) addCombines(c int64) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-
-	n.combines += c
+// Snapshot captures the engine's instrumentation behind the shared
+// cross-engine API.  Counters are safe to read while traffic is in flight;
+// totals are exact once the ports are quiescent.
+func (n *Net) Snapshot() stats.Snapshot {
+	gauges := make(map[string]int64, len(n.batchHW))
+	for s := range n.batchHW {
+		gauges[fmt.Sprintf("stage%d_batch_max", s)] = n.batchHW[s].Load()
+	}
+	return stats.Snapshot{
+		Engine: "asyncnet",
+		Counters: map[string]int64{
+			"combines":        n.combines.Load(),
+			"combine_rejects": n.rejects.Load(),
+			"replies":         n.rtt.Count(),
+		},
+		Gauges: gauges,
+		Histograms: map[string]stats.HistogramSnapshot{
+			"port_rtt_ns": n.rtt.Snapshot(),
+		},
+	}
 }
 
 // Port returns processor p's port.
@@ -247,8 +277,20 @@ func (p *Port) RMW(addr word.Addr, op rmw.Mapping) word.Word {
 
 // Pending is a handle to an in-flight pipelined request.
 type Pending struct {
-	port *Port
-	id   word.ReqID
+	port  *Port
+	id    word.ReqID
+	epoch int
+}
+
+// absorb accounts a reply's arrival at the port — round-trip latency and
+// window release — and returns its value.
+func (p *Port) absorb(r revMsg) word.Word {
+	if t0, ok := p.issued[r.rep.ID]; ok {
+		p.net.rtt.Record(time.Since(t0).Nanoseconds())
+		delete(p.issued, r.rep.ID)
+	}
+	p.outstanding--
+	return r.rep.Val
 }
 
 // RMWAsync issues the request without waiting for its reply — the
@@ -260,48 +302,59 @@ type Pending struct {
 func (p *Port) RMWAsync(addr word.Addr, op rmw.Mapping) *Pending {
 	for p.outstanding >= p.window {
 		r := <-p.reply
-		p.buffered[r.rep.ID] = r.rep.Val
-		p.outstanding--
+		p.buffered[r.rep.ID] = p.absorb(r)
 	}
 	id := p.ids.NextPartitioned(p.net.n)
 	req := core.NewRequest(id, addr, op, p.proc)
+	p.issued[id] = time.Now()
 	line := p.net.shuffle(int(p.proc))
 	sw := p.net.switches[0][line>>1]
 	sw.fwdIn[line&1] <- fwdMsg{req: req, path: []uint8{uint8(line & 1)}}
 	p.outstanding++
-	return &Pending{port: p, id: id}
+	return &Pending{port: p, id: id, epoch: p.epoch}
 }
 
 // Wait blocks for the request's old value.  Replies arriving out of order
-// are buffered for their own handles.
+// are buffered for their own handles.  Waiting on a handle issued before
+// the port's latest Fence panics: the fence abandoned it (see Fence).
 func (h *Pending) Wait() word.Word {
 	p := h.port
 	if v, ok := p.buffered[h.id]; ok {
 		delete(p.buffered, h.id)
 		return v
 	}
+	if h.epoch != p.epoch {
+		panic("asyncnet: Wait on a handle abandoned by Fence")
+	}
 	for {
 		r := <-p.reply
-		p.outstanding--
+		v := p.absorb(r)
 		if r.rep.ID == h.id {
-			return r.rep.Val
+			return v
 		}
 		if _, dup := p.buffered[r.rep.ID]; dup {
 			panic(fmt.Sprintf("asyncnet: duplicate reply %v", r.rep))
 		}
-		p.buffered[r.rep.ID] = r.rep.Val
+		p.buffered[r.rep.ID] = v
 	}
 }
 
-// Fence drains every outstanding reply — the RP3 fence on the
-// asynchronous machine.
+// Fence drains every outstanding reply — the RP3 fence on the asynchronous
+// machine.  A fence declares the caller done with everything issued before
+// it: replies to handles never waited on are discarded rather than parked
+// forever in the reply buffer, so repeated RMWAsync+Fence cycles hold no
+// memory.  A later Wait on such an abandoned handle panics.
 func (p *Port) Fence() {
 	for p.outstanding > 0 {
-		r := <-p.reply
-		p.buffered[r.rep.ID] = r.rep.Val
-		p.outstanding--
+		p.absorb(<-p.reply)
 	}
+	clear(p.buffered)
+	p.epoch++
 }
+
+// Buffered reports the replies parked for out-of-order Waits — after a
+// Fence it is always zero (the fence-reclamation invariant).
+func (p *Port) Buffered() int { return len(p.buffered) }
 
 // FetchAdd is a convenience wrapper.
 func (p *Port) FetchAdd(addr word.Addr, delta int64) int64 {
@@ -351,40 +404,35 @@ func (sw *aswitch) handleFwd(first fwdMsg) {
 			runtime.Gosched()
 		}
 	}
-	var combined int64
+	sw.net.batchHW[sw.stage].Observe(int64(len(batch)))
+	var combined, rejected int64
 	var out []fwdMsg
 	for _, m := range batch {
-		merged := false
-		if sw.wait.CanPush() {
-			// Combine only with the most recent same-address message,
-			// preserving per-location arrival order (M2.3).
-			for i := len(out) - 1; i >= 0; i-- {
-				if out[i].req.Addr != m.req.Addr {
-					continue
-				}
-				c, rec, ok := core.Combine(out[i].req, m.req, sw.pol)
-				if !ok {
-					break
-				}
-				firstMsg, secondMsg := out[i], m
-				if rec.ID1 != firstMsg.req.ID {
-					firstMsg, secondMsg = m, out[i]
-				}
-				if !sw.wait.Push(rec.ID1, arec{Record: rec, pathSecond: secondMsg.path}) {
-					break
-				}
-				out[i] = fwdMsg{req: c, path: firstMsg.path}
+		// Combine only with the most recent same-address message,
+		// preserving per-location arrival order (M2.3) — the scan shared
+		// with the cycle engines via core.CombineAtTail.
+		tc, rej, ok := core.CombineAtTail(out, fwdReq, m.req, sw.pol, sw.wait.CanPush)
+		if rej {
+			rejected++
+		}
+		if ok {
+			firstMsg, secondMsg := out[tc.Index], m
+			if tc.Swapped {
+				firstMsg, secondMsg = m, out[tc.Index]
+			}
+			if sw.wait.Push(tc.Rec.ID1, arec{Record: tc.Rec, pathSecond: secondMsg.path}) {
+				out[tc.Index] = fwdMsg{req: tc.Combined, path: firstMsg.path}
 				combined++
-				merged = true
-				break
+				continue
 			}
 		}
-		if !merged {
-			out = append(out, m)
-		}
+		out = append(out, m)
 	}
 	if combined > 0 {
-		sw.net.addCombines(combined)
+		sw.net.combines.Add(combined)
+	}
+	if rejected > 0 {
+		sw.net.rejects.Add(rejected)
 	}
 	for _, m := range out {
 		dst := sw.net.mem.HomeOf(m.req.Addr)

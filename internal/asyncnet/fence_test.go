@@ -1,0 +1,78 @@
+package asyncnet
+
+import (
+	"testing"
+
+	"combining/internal/rmw"
+	"combining/internal/word"
+)
+
+// TestFenceReclaimsAbandonedHandles is the leak regression: fire-and-forget
+// RMWAsync+Fence cycles must not grow the reply buffer.  Before the fix,
+// Fence parked every reply in p.buffered for handles that would never call
+// Wait, so 10k fenced requests left 10k map entries.
+func TestFenceReclaimsAbandonedHandles(t *testing.T) {
+	net := New(Config{Procs: 4, Combining: true, Window: 8})
+	defer net.Close()
+	port := net.Port(0)
+	const total = 10000
+	for i := 0; i < total; i++ {
+		port.RMWAsync(word.Addr(i%16), rmw.FetchAdd(1))
+		if i%100 == 99 {
+			port.Fence()
+			if got := port.Buffered(); got != 0 {
+				t.Fatalf("after fence %d: %d replies still buffered, want 0", i/100, got)
+			}
+		}
+	}
+	port.Fence()
+	if got := port.Buffered(); got != 0 {
+		t.Fatalf("final fence left %d buffered replies, want 0", got)
+	}
+	// Every fenced request still took effect.
+	var sum int64
+	for a := word.Addr(0); a < 16; a++ {
+		sum += net.Memory().Peek(a).Val
+	}
+	if sum != total {
+		t.Fatalf("memory sums to %d after fences, want %d", sum, total)
+	}
+}
+
+// TestFenceMixedWithWaits: replies consumed by Wait before the fence are
+// unaffected; only unwaited handles are reclaimed.
+func TestFenceMixedWithWaits(t *testing.T) {
+	net := New(Config{Procs: 2, Combining: true, Window: 8})
+	defer net.Close()
+	port := net.Port(0)
+	const addr = word.Addr(5)
+	h1 := port.RMWAsync(addr, rmw.FetchAdd(1))
+	port.RMWAsync(addr, rmw.FetchAdd(1)) // abandoned
+	h3 := port.RMWAsync(addr, rmw.FetchAdd(1))
+	if got := h3.Wait().Val; got != 2 {
+		t.Fatalf("h3 saw %d, want 2", got)
+	}
+	if got := h1.Wait().Val; got != 0 {
+		t.Fatalf("h1 saw %d, want 0", got)
+	}
+	port.Fence()
+	if got := port.Buffered(); got != 0 {
+		t.Fatalf("%d buffered after fence, want 0", got)
+	}
+}
+
+// TestWaitAfterFencePanics: the fence abandons unwaited handles loudly
+// rather than deadlocking a later Wait whose reply was dropped.
+func TestWaitAfterFencePanics(t *testing.T) {
+	net := New(Config{Procs: 2, Combining: true, Window: 8})
+	defer net.Close()
+	port := net.Port(0)
+	h := port.RMWAsync(3, rmw.FetchAdd(1))
+	port.Fence()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Wait on a fence-abandoned handle did not panic")
+		}
+	}()
+	h.Wait()
+}

@@ -1,0 +1,116 @@
+package asyncnet
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"combining/internal/core"
+	"combining/internal/rmw"
+	"combining/internal/word"
+)
+
+// TestHotspotCountersMatchSerial hammers one address from every port and
+// checks the lock-free instrumentation against the serial ground truth of
+// Lemma 4.1: N·R fetch-and-adds of 1 must produce replies forming a
+// permutation of the serial prefix sums 0..N·R−1, a final cell of N·R, and
+// Snapshot() totals consistent with that — exactly N·R replies recorded in
+// the round-trip histogram, and a combine count no larger than the requests
+// that could have been absorbed.  Run under -race this also exercises the
+// atomic counters, histogram buckets, and high-water marks from every
+// switch goroutine at once.
+func TestHotspotCountersMatchSerial(t *testing.T) {
+	const (
+		procs  = 16
+		reqs   = 256 // per port
+		target = word.Addr(7)
+	)
+	net := New(Config{Procs: procs, Combining: true, Window: 16})
+	defer net.Close()
+
+	got := make([][]int64, procs)
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			port := net.Port(p)
+			vals := make([]int64, 0, reqs)
+			handles := make([]*Pending, 0, port.window)
+			for i := 0; i < reqs; i++ {
+				handles = append(handles, port.RMWAsync(target, rmw.FetchAdd(1)))
+				if len(handles) == port.window {
+					for _, h := range handles {
+						vals = append(vals, h.Wait().Val)
+					}
+					handles = handles[:0]
+				}
+			}
+			for _, h := range handles {
+				vals = append(vals, h.Wait().Val)
+			}
+			got[p] = vals
+		}(p)
+	}
+	wg.Wait()
+
+	// Serial ground truth: the same N·R mappings applied consecutively.
+	total := procs * reqs
+	ops := make([]rmw.Mapping, total)
+	for i := range ops {
+		ops[i] = rmw.FetchAdd(1)
+	}
+	serial, final := core.SerialReplies(word.W(0), ops)
+
+	if mem := net.Memory().Peek(target); mem != final {
+		t.Fatalf("final cell = %d, serial ground truth %d", mem.Val, final.Val)
+	}
+
+	var all []int64
+	for _, vals := range got {
+		all = append(all, vals...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	if len(all) != total {
+		t.Fatalf("collected %d replies, want %d", len(all), total)
+	}
+	for i, v := range all {
+		if v != serial[i].Val {
+			t.Fatalf("sorted reply %d = %d, serial ground truth %d", i, v, serial[i].Val)
+		}
+	}
+
+	snap := net.Snapshot()
+	if snap.Engine != "asyncnet" {
+		t.Fatalf("Snapshot engine = %q", snap.Engine)
+	}
+	if n := snap.Counters["replies"]; n != int64(total) {
+		t.Fatalf("snapshot replies = %d, want %d", n, total)
+	}
+	h, ok := snap.Histograms["port_rtt_ns"]
+	if !ok {
+		t.Fatal("snapshot missing port_rtt_ns histogram")
+	}
+	if h.Count != int64(total) {
+		t.Fatalf("rtt histogram count = %d, want %d", h.Count, total)
+	}
+	if h.Sum <= 0 || h.P50 < 0 || h.P99 < h.P50 {
+		t.Fatalf("degenerate rtt histogram: sum=%d p50=%g p99=%g", h.Sum, h.P50, h.P99)
+	}
+	// Every combine removes one request from the network but never a reply
+	// from a port; at most total−1 requests can be absorbed into one.
+	if c := snap.Counters["combines"]; c < 0 || c >= int64(total) {
+		t.Fatalf("snapshot combines = %d, want within [0,%d)", c, total)
+	}
+	// A hot-spot run through a combining network at this intensity must
+	// actually combine; zero would mean the counter (or the combining
+	// path) is disconnected.
+	if net.Combines() == 0 {
+		t.Fatal("no combines recorded on an all-ports hot-spot run")
+	}
+	// The per-stage batch high-water marks were observed by live switch
+	// goroutines; at least the first stage must have batched something.
+	if g := snap.Gauges["stage0_batch_max"]; g < 1 {
+		t.Fatalf("stage0_batch_max = %d, want ≥ 1", g)
+	}
+}

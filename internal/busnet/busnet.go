@@ -19,7 +19,7 @@ import (
 	"combining/internal/core"
 	"combining/internal/memory"
 	"combining/internal/network"
-	"combining/internal/rmw"
+	"combining/internal/stats"
 	"combining/internal/word"
 )
 
@@ -95,6 +95,10 @@ type Sim struct {
 
 	cycle int64
 	stats Stats
+	// lat records per-completion round-trip latency in cycles; fifoHW
+	// tracks the deepest decoupling FIFO observed.
+	lat    stats.Histogram
+	fifoHW stats.HighWater
 }
 
 // NewSim builds the machine.
@@ -127,6 +131,29 @@ func (s *Sim) Memory() *memory.Array { return s.mem }
 
 // Stats snapshots the counters.
 func (s *Sim) Stats() Stats { return s.stats }
+
+// Snapshot captures the run's instrumentation behind the shared
+// cross-engine API (see internal/stats).
+func (s *Sim) Snapshot() stats.Snapshot {
+	return stats.Snapshot{
+		Engine: "busnet",
+		Counters: map[string]int64{
+			"cycles":          s.stats.Cycles,
+			"issued":          s.stats.Issued,
+			"completed":       s.stats.Completed,
+			"combines":        s.stats.Combines,
+			"combine_rejects": s.wait.Rejections,
+			"bank_ops":        s.stats.BankOps,
+			"hol_blocked":     s.stats.HOLBlocked,
+		},
+		Gauges: map[string]int64{
+			"fifo_max": s.fifoHW.Load(),
+		},
+		Histograms: map[string]stats.HistogramSnapshot{
+			"latency_cycles": s.lat.Snapshot(),
+		},
+	}
+}
 
 // InFlight counts requests in the machine.
 func (s *Sim) InFlight() int {
@@ -202,46 +229,45 @@ func (s *Sim) deliver(rep core.Reply, src int, issue int64) {
 	}
 	s.stats.Completed++
 	s.stats.LatencySum += s.cycle - issue
+	s.lat.Record(s.cycle - issue)
 	s.inj[src].Deliver(rep, s.cycle)
 }
 
 // enqueue inserts a request into the FIFO, combining with the most recent
-// same-address entry when possible.
+// same-address entry when possible (the M2.3 scan shared with the other
+// engines via core.CombineAtTail).
 func (s *Sim) enqueue(m qmsg) bool {
-	for i := len(s.queue) - 1; i >= 0; i-- {
-		queued := &s.queue[i]
-		if queued.req.Addr != m.req.Addr {
-			continue
-		}
-		if !rmw.Combinable(queued.req.Op, m.req.Op) || !s.wait.CanPush() {
-			break
-		}
-		combined, rec, ok := core.Combine(queued.req, m.req, s.pol)
-		if !ok {
-			break
-		}
+	tc, rejected, ok := core.CombineAtTail(s.queue, qmsgReq, m.req, s.pol, s.wait.CanPush)
+	if rejected {
+		s.wait.Rejections++
+	}
+	if ok {
+		queued := &s.queue[tc.Index]
 		first, second := *queued, m
-		if rec.ID1 != first.req.ID {
+		if tc.Swapped {
 			first, second = m, *queued
 		}
-		if !s.wait.Push(rec.ID1, brec{
-			Record: rec,
+		if s.wait.Push(tc.Rec.ID1, brec{
+			Record: tc.Rec,
 			src2:   second.src,
 			issue2: second.issue,
 			hot2:   second.hot,
 		}) {
-			break
+			*queued = qmsg{req: tc.Combined, src: first.src, issue: first.issue, hot: first.hot}
+			s.stats.Combines++
+			return true
 		}
-		*queued = qmsg{req: combined, src: first.src, issue: first.issue, hot: first.hot}
-		s.stats.Combines++
-		return true
 	}
 	if len(s.queue) >= s.cfg.QueueCap {
 		return false
 	}
 	s.queue = append(s.queue, m)
+	s.fifoHW.Observe(int64(len(s.queue)))
 	return true
 }
+
+// qmsgReq projects a queued message to its request for the shared scan.
+func qmsgReq(m *qmsg) *core.Request { return &m.req }
 
 // Run advances the machine.
 func (s *Sim) Run(cycles int) {

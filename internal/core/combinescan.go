@@ -1,0 +1,68 @@
+package core
+
+import (
+	"combining/internal/rmw"
+)
+
+// TailCombine describes a successful queue combine performed by
+// CombineAtTail.
+type TailCombine struct {
+	// Index is the partner's position in the queue; the caller replaces
+	// that element with a message carrying Combined.
+	Index int
+	// Combined is the merged request ⟨first.ID, addr, f∘g⟩.
+	Combined Request
+	// Rec is the wait-buffer record to push under Rec.ID1, after the
+	// caller attaches its transport routing state.
+	Rec Record
+	// Swapped reports that the order-reversal optimization serialized the
+	// incoming request first: the caller's "first" metadata (path, issue
+	// time, source) comes from the arrival and "second" from the queued
+	// partner, instead of the natural order.
+	Swapped bool
+}
+
+// CombineAtTail is the one legal queue-combining step, shared by every
+// transport.  It scans queue from the tail for the most recent same-address
+// entry and attempts to combine the arriving request m with it.
+//
+// Only that most recent entry is a legal partner: combining attaches the
+// arrival's effect to the partner's queue position, so pairing with an
+// earlier entry would serialize the arrival ahead of any same-address
+// request queued between them — overtaking that the per-location FIFO
+// condition (M2.3) forbids.  The scan therefore stops at the first
+// same-address entry it meets, whether or not the pair combines.  (With an
+// unbounded wait buffer a non-combinable partner cannot shadow a combinable
+// one: any two same-address combinable entries would already have merged.)
+//
+// reqOf projects a queue element to its request.  canPush asks the
+// transport's wait buffer for room before the combine is committed.
+// rejected reports a combine forfeited only because canPush refused — the
+// partial-combining event the A1 ablation counts.  On ok the caller must
+// push Rec into its wait buffer and overwrite queue[Index] with Combined
+// plus the first message's routing metadata (see Swapped).
+func CombineAtTail[T any](queue []T, reqOf func(*T) *Request, m Request, pol Policy, canPush func() bool) (tc TailCombine, rejected, ok bool) {
+	for i := len(queue) - 1; i >= 0; i-- {
+		partner := reqOf(&queue[i])
+		if partner.Addr != m.Addr {
+			continue
+		}
+		if !rmw.Combinable(partner.Op, m.Op) {
+			return TailCombine{}, false, false
+		}
+		if !canPush() {
+			return TailCombine{}, true, false
+		}
+		combined, rec, cok := Combine(*partner, m, pol)
+		if !cok {
+			return TailCombine{}, false, false
+		}
+		return TailCombine{
+			Index:    i,
+			Combined: combined,
+			Rec:      rec,
+			Swapped:  rec.ID1 == m.ID,
+		}, false, true
+	}
+	return TailCombine{}, false, false
+}

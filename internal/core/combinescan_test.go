@@ -1,0 +1,180 @@
+package core
+
+import (
+	"testing"
+
+	"combining/internal/rmw"
+	"combining/internal/word"
+)
+
+// qe is a minimal transport queue element for the shared scan.
+type qe struct {
+	req Request
+}
+
+func qreq(e *qe) *Request { return &e.req }
+
+// TestCombineAtTail covers the M2.3 scan both engines previously duplicated,
+// including the paths where they had historically diverged: the
+// non-combinable partner must stop the scan (not fall through to an earlier
+// combinable entry), and a full wait buffer must forfeit the combine as a
+// rejection.
+func TestCombineAtTail(t *testing.T) {
+	req := func(id word.ReqID, addr word.Addr, op rmw.Mapping) Request {
+		return NewRequest(id, addr, op, word.ProcID(id%8))
+	}
+	roomy := func() bool { return true }
+	full := func() bool { return false }
+
+	cases := []struct {
+		name     string
+		queue    []qe
+		m        Request
+		pol      Policy
+		canPush  func() bool
+		wantOK   bool
+		wantRej  bool
+		wantIdx  int
+		wantSwap bool
+	}{
+		{
+			name:    "empty queue",
+			queue:   nil,
+			m:       req(1, 7, rmw.FetchAdd(1)),
+			canPush: roomy,
+		},
+		{
+			name:    "no same-address entry",
+			queue:   []qe{{req(1, 3, rmw.FetchAdd(1))}, {req(2, 4, rmw.FetchAdd(1))}},
+			m:       req(3, 7, rmw.FetchAdd(1)),
+			canPush: roomy,
+		},
+		{
+			name:    "combines with the only partner",
+			queue:   []qe{{req(1, 7, rmw.FetchAdd(2))}},
+			m:       req(2, 7, rmw.FetchAdd(3)),
+			canPush: roomy,
+			wantOK:  true,
+			wantIdx: 0,
+		},
+		{
+			name: "combines with the last partner, skipping other addresses",
+			queue: []qe{
+				{req(1, 7, rmw.FetchAdd(1))},
+				{req(2, 7, rmw.FetchAdd(1))},
+				{req(3, 5, rmw.FetchAdd(1))},
+			},
+			m:       req(4, 7, rmw.FetchAdd(1)),
+			canPush: roomy,
+			wantOK:  true,
+			wantIdx: 1,
+		},
+		{
+			name: "non-combinable partner stops the scan",
+			// The earlier entry at the same address IS combinable with m,
+			// but pairing past the fetch-and-min would overtake it
+			// (M2.3); the scan must break, not continue.
+			queue: []qe{
+				{req(1, 7, rmw.FetchAdd(1))},
+				{req(2, 7, rmw.FetchMin(0))},
+			},
+			m:       req(3, 7, rmw.FetchAdd(1)),
+			canPush: roomy,
+		},
+		{
+			name:    "full wait buffer forfeits the combine",
+			queue:   []qe{{req(1, 7, rmw.FetchAdd(1))}},
+			m:       req(2, 7, rmw.FetchAdd(1)),
+			canPush: full,
+			wantRej: true,
+		},
+		{
+			name:    "order reversal swaps the serialization",
+			queue:   []qe{{req(1, 7, rmw.FetchAdd(3))}},
+			m:       req(2, 7, rmw.StoreOf(5)),
+			pol:     Policy{AllowReversal: true},
+			canPush: roomy,
+			wantOK:  true,
+			wantIdx: 0,
+			// store∘add is a plain store (no value returns); the
+			// arrival is serialized first.
+			wantSwap: true,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, rejected, ok := CombineAtTail(tc.queue, qreq, tc.m, tc.pol, tc.canPush)
+			if ok != tc.wantOK || rejected != tc.wantRej {
+				t.Fatalf("ok=%v rejected=%v, want ok=%v rejected=%v", ok, rejected, tc.wantOK, tc.wantRej)
+			}
+			if !ok {
+				return
+			}
+			if got.Index != tc.wantIdx {
+				t.Errorf("index %d, want %d", got.Index, tc.wantIdx)
+			}
+			if got.Swapped != tc.wantSwap {
+				t.Errorf("swapped %v, want %v", got.Swapped, tc.wantSwap)
+			}
+			first, second := tc.queue[got.Index].req, tc.m
+			if got.Swapped {
+				first, second = tc.m, tc.queue[got.Index].req
+			}
+			if got.Combined.ID != first.ID || got.Rec.ID1 != first.ID || got.Rec.ID2 != second.ID {
+				t.Errorf("ids: combined %d rec (%d,%d), want first %d second %d",
+					got.Combined.ID, got.Rec.ID1, got.Rec.ID2, first.ID, second.ID)
+			}
+			// The combined mapping must act like first-then-second.
+			w := word.W(100)
+			serial := second.Op.Apply(first.Op.Apply(w))
+			if got.Combined.Op.Apply(w) != serial {
+				t.Errorf("combined op %v is not %v∘%v", got.Combined.Op, first.Op, second.Op)
+			}
+		})
+	}
+}
+
+// TestCombineAtTailChain verifies k-way combining through the helper: a
+// combined queue entry keeps absorbing later arrivals.
+func TestCombineAtTailChain(t *testing.T) {
+	wait := NewWaitBuffer[Record](Unbounded)
+	queue := []qe{{NewRequest(1, 9, rmw.FetchAdd(1), 0)}}
+	for id := word.ReqID(2); id <= 5; id++ {
+		m := NewRequest(id, 9, rmw.FetchAdd(1), word.ProcID(id))
+		tc, rejected, ok := CombineAtTail(queue, qreq, m, Policy{}, wait.CanPush)
+		if !ok || rejected {
+			t.Fatalf("arrival %d did not combine (rejected=%v)", id, rejected)
+		}
+		if !wait.Push(tc.Rec.ID1, tc.Rec) {
+			t.Fatalf("push failed despite CanPush")
+		}
+		queue[tc.Index].req = tc.Combined
+	}
+	if len(queue) != 1 || wait.Len() != 4 {
+		t.Fatalf("queue %d entries, wait %d records; want 1 and 4", len(queue), wait.Len())
+	}
+	// Decombine the whole chain: replies must be the serial prefix sums.
+	var cell = word.W(0)
+	rep := Execute(&cell, queue[0].req)
+	got := map[word.ReqID]int64{}
+	var walk func(Reply)
+	walk = func(r Reply) {
+		if rec, ok := wait.Pop(r.ID); ok {
+			r1, r2 := Decombine(rec, r)
+			walk(r1)
+			walk(r2)
+			return
+		}
+		got[r.ID] = r.Val.Val
+	}
+	walk(rep)
+	for id := word.ReqID(1); id <= 5; id++ {
+		if got[id] != int64(id-1) {
+			t.Errorf("reply %d = %d, want %d", id, got[id], id-1)
+		}
+	}
+	if cell.Val != 5 {
+		t.Errorf("final cell %d, want 5", cell.Val)
+	}
+}

@@ -21,7 +21,7 @@ import (
 	"combining/internal/core"
 	"combining/internal/memory"
 	"combining/internal/network"
-	"combining/internal/rmw"
+	"combining/internal/stats"
 	"combining/internal/word"
 )
 
@@ -112,6 +112,10 @@ type Sim struct {
 
 	cycle int64
 	stats Stats
+	// lat records per-completion round-trip latency in cycles; memQHW
+	// tracks the deepest per-node memory combining queue observed.
+	lat    stats.Histogram
+	memQHW stats.HighWater
 }
 
 // NewSim builds the machine with one injector per node.
@@ -196,6 +200,32 @@ func (s *Sim) Run(cycles int) {
 // Stats snapshots the run counters.
 func (s *Sim) Stats() Stats { return s.stats }
 
+// Snapshot captures the run's instrumentation behind the shared
+// cross-engine API (see internal/stats).
+func (s *Sim) Snapshot() stats.Snapshot {
+	var rejects int64
+	for _, nd := range s.nodes {
+		rejects += nd.wait.Rejections
+	}
+	return stats.Snapshot{
+		Engine: "hypercube",
+		Counters: map[string]int64{
+			"cycles":          s.stats.Cycles,
+			"issued":          s.stats.Issued,
+			"completed":       s.stats.Completed,
+			"combines":        s.stats.Combines,
+			"combine_rejects": rejects,
+			"mem_ops":         s.stats.MemOps,
+		},
+		Gauges: map[string]int64{
+			"memq_max": s.memQHW.Load(),
+		},
+		Histograms: map[string]stats.HistogramSnapshot{
+			"latency_cycles": s.lat.Snapshot(),
+		},
+	}
+}
+
 // InFlight counts requests anywhere in the machine.
 func (s *Sim) InFlight() int {
 	n := 0
@@ -241,41 +271,41 @@ func (s *Sim) arriveFwd(cur int, m fwdM) bool {
 	} else {
 		q = &nd.out[dim]
 	}
-	for i := len(*q) - 1; i >= 0; i-- {
-		queued := &(*q)[i]
-		if queued.req.Addr != m.req.Addr {
-			continue
-		}
-		if !rmw.Combinable(queued.req.Op, m.req.Op) || !nd.wait.CanPush() {
-			break
-		}
-		combined, rec, ok := core.Combine(queued.req, m.req, s.pol)
-		if !ok {
-			break
-		}
+	// The M2.3 scan shared with the other engines via core.CombineAtTail.
+	tc, rejected, ok := core.CombineAtTail(*q, fwdMReq, m.req, s.pol, nd.wait.CanPush)
+	if rejected {
+		nd.wait.Rejections++
+	}
+	if ok {
+		queued := &(*q)[tc.Index]
 		first, second := *queued, m
-		if rec.ID1 != first.req.ID {
+		if tc.Swapped {
 			first, second = m, *queued
 		}
-		if !nd.wait.Push(rec.ID1, hrec{
-			Record: rec,
+		if nd.wait.Push(tc.Rec.ID1, hrec{
+			Record: tc.Rec,
 			dst2:   second.src,
 			issue2: second.issue,
 			hot2:   second.hot,
 		}) {
-			break
+			*queued = fwdM{req: tc.Combined, src: first.src, issue: first.issue, hot: first.hot, moved: queued.moved}
+			s.stats.Combines++
+			return true
 		}
-		*queued = fwdM{req: combined, src: first.src, issue: first.issue, hot: first.hot, moved: queued.moved}
-		s.stats.Combines++
-		return true
 	}
 	if dim >= 0 && len(*q) >= s.cfg.QueueCap {
 		return false
 	}
 	m.moved = s.cycle
 	*q = append(*q, m)
+	if dim < 0 {
+		s.memQHW.Observe(int64(len(*q)))
+	}
 	return true
 }
+
+// fwdMReq projects a queued message to its request for the shared scan.
+func fwdMReq(m *fwdM) *core.Request { return &m.req }
 
 // arriveRev lands a reply at node cur: decombine against the wait buffer,
 // deliver when home, otherwise queue on the next reverse dimension.
@@ -290,6 +320,7 @@ func (s *Sim) arriveRev(cur int, r revM) {
 	if dim < 0 {
 		s.stats.Completed++
 		s.stats.LatencySum += s.cycle - r.issue
+		s.lat.Record(s.cycle - r.issue)
 		s.inj[cur].Deliver(r.rep, s.cycle)
 		return
 	}

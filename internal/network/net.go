@@ -6,6 +6,7 @@ import (
 	"combining/internal/core"
 	"combining/internal/memory"
 	"combining/internal/rmw"
+	"combining/internal/stats"
 	"combining/internal/word"
 )
 
@@ -95,10 +96,9 @@ type Stats struct {
 	// MaxOutQueue is the deepest forward queue observed.
 	MaxOutQueue int
 
-	// LatBuckets is a power-of-two latency histogram: bucket i counts
-	// completions with latency in [2^i, 2^(i+1)) cycles (bucket 0 holds
-	// 0–1).  Percentile interpolates it.
-	LatBuckets [16]int64
+	// Latency is the round-trip histogram (cycles), recorded per
+	// completion through the shared instrumentation subsystem.
+	Latency stats.HistogramSnapshot
 
 	// Traffic accounting (E11): link traversals and value slots moved,
 	// in each direction.
@@ -110,27 +110,7 @@ type Stats struct {
 // Percentile returns the approximate q-quantile (0 < q ≤ 1) of the
 // round-trip latency from the power-of-two histogram, interpolating
 // within the bucket.
-func (s Stats) Percentile(q float64) float64 {
-	if s.Completed == 0 {
-		return 0
-	}
-	target := q * float64(s.Completed)
-	var cum float64
-	for i, c := range s.LatBuckets {
-		next := cum + float64(c)
-		if next >= target && c > 0 {
-			lo := float64(int64(1) << i)
-			if i == 0 {
-				lo = 0
-			}
-			hi := float64(int64(1) << (i + 1))
-			frac := (target - cum) / float64(c)
-			return lo + frac*(hi-lo)
-		}
-		cum = next
-	}
-	return float64(int64(1) << len(s.LatBuckets))
-}
+func (s Stats) Percentile(q float64) float64 { return s.Latency.Percentile(q) }
 
 // MeanLatency returns average round-trip cycles over completed requests.
 func (s Stats) MeanLatency() float64 {
@@ -203,6 +183,8 @@ type Sim struct {
 
 	cycle int64
 	stats Stats
+	// lat records per-completion round-trip latency in cycles.
+	lat stats.Histogram
 }
 
 // NewSim builds a machine; injectors must supply exactly cfg.Procs entries.
@@ -330,11 +312,7 @@ func (s *Sim) deliver(proc int, r revMsg) {
 	lat := s.cycle - r.issueCycle
 	s.stats.Completed++
 	s.stats.LatencySum += lat
-	b := 0
-	for v := lat; v > 1 && b < len(s.stats.LatBuckets)-1; v >>= 1 {
-		b++
-	}
-	s.stats.LatBuckets[b]++
+	s.lat.Record(lat)
 	if r.hot {
 		s.stats.HotCompleted++
 		s.stats.HotLatencySum += lat
@@ -449,12 +427,43 @@ func (s *Sim) injectAll() {
 // Stats snapshots the run statistics, folding in per-switch counters.
 func (s *Sim) Stats() Stats {
 	st := s.stats
+	st.Latency = s.lat.Snapshot()
 	for _, stage := range s.stages {
 		for _, sw := range stage {
 			st.Rejects += sw.wait.Rejections
 		}
 	}
 	return st
+}
+
+// Snapshot captures the run's instrumentation behind the shared
+// cross-engine API (see internal/stats).
+func (s *Sim) Snapshot() stats.Snapshot {
+	st := s.Stats()
+	return stats.Snapshot{
+		Engine: "network",
+		Counters: map[string]int64{
+			"cycles":          st.Cycles,
+			"issued":          st.Issued,
+			"completed":       st.Completed,
+			"hot_completed":   st.HotCompleted,
+			"cold_completed":  st.ColdCompleted,
+			"combines":        st.Combines,
+			"combine_rejects": st.Rejects,
+			"fwd_hops":        st.FwdHops,
+			"rev_hops":        st.RevHops,
+			"fwd_slots":       st.FwdSlots,
+			"rev_slots":       st.RevSlots,
+			"mem_requests":    st.MemRequests,
+			"mem_acks":        st.MemAcks,
+		},
+		Gauges: map[string]int64{
+			"max_out_queue": int64(st.MaxOutQueue),
+		},
+		Histograms: map[string]stats.HistogramSnapshot{
+			"latency_cycles": st.Latency,
+		},
+	}
 }
 
 // InFlight reports requests somewhere in the machine: pending at the

@@ -357,11 +357,12 @@ func TestLatencyPercentiles(t *testing.T) {
 	}
 	// The histogram must account for every completion.
 	var total int64
-	for _, c := range st.LatBuckets {
+	for _, c := range st.Latency.Buckets {
 		total += c
 	}
-	if total != st.Completed {
-		t.Fatalf("histogram holds %d of %d completions", total, st.Completed)
+	if total != st.Completed || st.Latency.Count != st.Completed {
+		t.Fatalf("histogram holds %d (count %d) of %d completions",
+			total, st.Latency.Count, st.Completed)
 	}
 	// Mean sits between the quartiles of a unimodal latency distribution.
 	if mean < st.Percentile(0.05) || mean > st.Percentile(0.999) {

@@ -32,6 +32,10 @@ type switchNode struct {
 	CombinedHere int64
 }
 
+// fwdReq projects a queued forward message to its request for the shared
+// combine scan.
+func fwdReq(m *fwdMsg) *core.Request { return &m.req }
+
 func newSwitch(stage, index, radix, outCap, waitCap int, pol core.Policy, buggyForward bool) *switchNode {
 	return &switchNode{
 		stage:        stage,
@@ -77,66 +81,53 @@ func (sw *switchNode) tryAccept(m fwdMsg, outPort int, inPort uint8, st *Stats) 
 		}
 	}
 	// Only the LAST queued request for the address is a legal combining
-	// partner.  Combining attaches the arrival's effect to the partner's
-	// queue position, so pairing with an earlier entry would serialize
-	// the arrival ahead of any same-address request queued between them
-	// — overtaking that the per-location FIFO condition (M2.3) forbids.
-	// (With an unbounded wait buffer the situation cannot arise: any two
-	// same-address combinable entries would already have merged.)
-	for i := len(*q) - 1; i >= 0; i-- {
-		queued := &(*q)[i]
-		if queued.req.Addr != m.req.Addr {
-			continue
+	// partner (M2.3) — the scan shared with the other engines via
+	// core.CombineAtTail.
+	tc, rejected, ok := core.CombineAtTail(*q, fwdReq, m.req, sw.pol, sw.wait.CanPush)
+	if rejected {
+		// A full wait buffer forfeits the combine; count the missed
+		// opportunity for the partial-combining ablation.
+		sw.wait.Rejections++
+		if sw.trace != nil {
+			sw.trace(Event{Cycle: *sw.cycleRef, Kind: EvCombineReject,
+				ID: m.req.ID, Addr: m.req.Addr, Stage: sw.stage, Switch: sw.index})
 		}
-		if !rmw.Combinable(queued.req.Op, m.req.Op) {
-			break
-		}
-		if !sw.wait.CanPush() {
-			// A full wait buffer forfeits the combine; count the
-			// missed opportunity for the partial-combining ablation.
-			sw.wait.Rejections++
-			if sw.trace != nil {
-				sw.trace(Event{Cycle: *sw.cycleRef, Kind: EvCombineReject,
-					ID: m.req.ID, Addr: m.req.Addr, Stage: sw.stage, Switch: sw.index})
-			}
-			break
-		}
-		combined, rec, ok := core.Combine(queued.req, m.req, sw.pol)
-		if !ok {
-			break
-		}
+	}
+	if ok {
+		queued := &(*q)[tc.Index]
 		// The message whose id the combined request carries is the
 		// one serialized first; the other's routing state goes into
 		// the wait-buffer record.
 		first, second := *queued, m
-		if rec.ID1 != first.req.ID {
+		if tc.Swapped {
 			first, second = m, *queued
 		}
 		nr := netRecord{
-			Record:     rec,
+			Record:     tc.Rec,
 			pathSecond: second.path,
 			issue2:     second.issueCycle,
 			hot2:       second.hot,
 			needs1:     rmw.NeedsValue(first.req.Op),
 			needs2:     rmw.NeedsValue(second.req.Op),
 		}
-		if !sw.wait.Push(rec.ID1, nr) {
-			break // full despite CanPush: cannot happen single-threaded
+		if sw.wait.Push(tc.Rec.ID1, nr) {
+			*queued = fwdMsg{
+				req:        tc.Combined,
+				path:       first.path,
+				issueCycle: first.issueCycle,
+				hot:        first.hot,
+			}
+			sw.CombinedHere++
+			st.Combines++
+			if sw.trace != nil {
+				sw.trace(Event{Cycle: *sw.cycleRef, Kind: EvCombine,
+					ID: tc.Rec.ID1, ID2: tc.Rec.ID2, Addr: m.req.Addr,
+					Stage: sw.stage, Switch: sw.index})
+			}
+			return true
 		}
-		*queued = fwdMsg{
-			req:        combined,
-			path:       first.path,
-			issueCycle: first.issueCycle,
-			hot:        first.hot,
-		}
-		sw.CombinedHere++
-		st.Combines++
-		if sw.trace != nil {
-			sw.trace(Event{Cycle: *sw.cycleRef, Kind: EvCombine,
-				ID: rec.ID1, ID2: rec.ID2, Addr: m.req.Addr,
-				Stage: sw.stage, Switch: sw.index})
-		}
-		return true
+		// Full despite CanPush — cannot happen single-threaded; fall
+		// through to plain queueing.
 	}
 	if sw.outCap > 0 && len(*q) >= sw.outCap {
 		return false
