@@ -4,7 +4,14 @@
 // checker and the linearizability checker.  It is the long-running version
 // of the test suite's E4, intended for overnight confidence runs.
 //
-// Usage: check [-rounds 50] [-procs 16] [-ops 20] [-addrs 4] [-seed 1] [-v]
+// With -faults it additionally soaks all four engines under deterministic
+// fault plans (link drops, switch blackouts, memory slowdowns) and checks
+// that recovery preserves per-location serializability and exactly-once
+// RMW semantics.  Every failure prints the effective seed of the run, so
+// `check -seed <that seed> -rounds 1` replays it exactly.
+//
+// Usage: check [-rounds 50] [-procs 16] [-ops 20] [-addrs 4] [-seed 1]
+// [-quick] [-faults] [-v]
 package main
 
 import (
@@ -12,73 +19,233 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"os"
+	"sort"
+	"sync"
 
 	combining "combining"
 )
 
 func main() {
 	var (
-		rounds  = flag.Int("rounds", 50, "randomized executions per configuration")
-		procs   = flag.Int("procs", 16, "processors (power of two)")
-		ops     = flag.Int("ops", 20, "operations per processor")
-		addrs   = flag.Int("addrs", 4, "shared addresses (smaller = hotter)")
-		seed    = flag.Uint64("seed", 1, "base seed")
-		verbose = flag.Bool("v", false, "log every execution")
+		rounds   = flag.Int("rounds", 50, "randomized executions per configuration")
+		procs    = flag.Int("procs", 16, "processors (power of two)")
+		ops      = flag.Int("ops", 20, "operations per processor")
+		addrs    = flag.Int("addrs", 4, "shared addresses (smaller = hotter)")
+		seed     = flag.Uint64("seed", 1, "base seed; round r runs with seed+r")
+		quick    = flag.Bool("quick", false, "small CI-sized soak (shrinks rounds/procs/ops)")
+		doFaults = flag.Bool("faults", false, "also soak all four engines under fault plans")
+		verbose  = flag.Bool("v", false, "log every execution")
 	)
 	flag.Parse()
-
-	configs := []struct {
-		name string
-		cfg  combining.NetConfig
-	}{
-		{"no-combining", combining.NetConfig{Procs: *procs, WaitBufCap: 0}},
-		{"partial-1", combining.NetConfig{Procs: *procs, WaitBufCap: 1}},
-		{"partial-4", combining.NetConfig{Procs: *procs, WaitBufCap: 4}},
-		{"full", combining.NetConfig{Procs: *procs, WaitBufCap: combining.Unbounded}},
-		{"full+reversal", combining.NetConfig{Procs: *procs, WaitBufCap: combining.Unbounded, AllowReversal: true}},
-		{"radix-4", combining.NetConfig{Procs: *procs, Radix: 4, WaitBufCap: combining.Unbounded}},
+	if *quick {
+		*rounds, *procs, *ops = 6, 8, 12
 	}
 
-	checked, failed := 0, 0
-	for _, c := range configs {
-		if c.cfg.Radix == 4 && !isPow(*procs, 4) {
-			continue
-		}
-		for r := 0; r < *rounds; r++ {
-			rng := rand.New(rand.NewPCG(*seed+uint64(r), 1234))
-			progs := randomPrograms(rng, *procs, *ops, *addrs)
-			m := combining.NewMachine(c.cfg, progs)
-			if !m.Run(10_000_000) {
-				fmt.Printf("FAIL %s round %d: machine did not complete\n", c.name, r)
-				failed++
-				continue
-			}
-			final := map[combining.Addr]combining.Word{}
-			for a := 0; a < *addrs; a++ {
-				final[combining.Addr(a)] = m.Sim().Memory().Peek(combining.Addr(a))
-			}
-			checked++
-			if err := combining.CheckM2WithFinal(m.History(), nil, final); err != nil {
-				fmt.Printf("FAIL %s round %d: %v\n", c.name, r, err)
-				failed++
-				continue
-			}
-			if err := combining.CheckLinearizable(m.TimedHistory(), nil, final); err != nil {
-				fmt.Printf("FAIL %s round %d (linearizability): %v\n", c.name, r, err)
-				failed++
-				continue
-			}
-			if *verbose {
-				st := m.Sim().Stats()
-				fmt.Printf("ok   %s round %d: %d ops, %d combines\n", c.name, r, st.Issued, st.Combines)
-			}
-		}
-		fmt.Printf("%-14s %d executions verified\n", c.name, *rounds)
+	checked, failed := healthySoak(*rounds, *procs, *ops, *addrs, *seed, *verbose)
+	if *doFaults {
+		fc, ff := faultSoak(*rounds, *procs, *ops, *addrs, *seed, *verbose)
+		checked += fc
+		failed += ff
 	}
 	fmt.Printf("\n%d executions checked, %d failures\n", checked, failed)
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// healthySoak is the original no-fault soak across combining configurations.
+func healthySoak(rounds, procs, ops, addrs int, seed uint64, verbose bool) (checked, failed int) {
+	configs := []struct {
+		name string
+		cfg  combining.NetConfig
+	}{
+		{"no-combining", combining.NetConfig{Procs: procs, WaitBufCap: 0}},
+		{"partial-1", combining.NetConfig{Procs: procs, WaitBufCap: 1}},
+		{"partial-4", combining.NetConfig{Procs: procs, WaitBufCap: 4}},
+		{"full", combining.NetConfig{Procs: procs, WaitBufCap: combining.Unbounded}},
+		{"full+reversal", combining.NetConfig{Procs: procs, WaitBufCap: combining.Unbounded, AllowReversal: true}},
+		{"radix-4", combining.NetConfig{Procs: procs, Radix: 4, WaitBufCap: combining.Unbounded}},
+	}
+
+	for _, c := range configs {
+		if c.cfg.Radix == 4 && !isPow(procs, 4) {
+			continue
+		}
+		for r := 0; r < rounds; r++ {
+			eff := seed + uint64(r)
+			rng := rand.New(rand.NewPCG(eff, 1234))
+			progs := randomPrograms(rng, procs, ops, addrs)
+			m := combining.NewMachine(c.cfg, progs)
+			if !m.Run(10_000_000) {
+				fmt.Printf("FAIL %s seed %d: machine did not complete (replay: -seed %d -rounds 1)\n", c.name, eff, eff)
+				failed++
+				continue
+			}
+			final := map[combining.Addr]combining.Word{}
+			for a := 0; a < addrs; a++ {
+				final[combining.Addr(a)] = m.Sim().Memory().Peek(combining.Addr(a))
+			}
+			checked++
+			if err := combining.CheckM2WithFinal(m.History(), nil, final); err != nil {
+				fmt.Printf("FAIL %s seed %d: %v (replay: -seed %d -rounds 1)\n", c.name, eff, err, eff)
+				failed++
+				continue
+			}
+			if err := combining.CheckLinearizable(m.TimedHistory(), nil, final); err != nil {
+				fmt.Printf("FAIL %s seed %d (linearizability): %v (replay: -seed %d -rounds 1)\n", c.name, eff, err, eff)
+				failed++
+				continue
+			}
+			if verbose {
+				st := m.Sim().Stats()
+				fmt.Printf("ok   %s seed %d: %d ops, %d combines\n", c.name, eff, st.Issued, st.Combines)
+			}
+		}
+		fmt.Printf("%-14s %d executions verified\n", c.name, rounds)
+	}
+	return checked, failed
+}
+
+// faultEngine is what the fault soak needs from a cycle-driven transport.
+type faultEngine interface {
+	combining.MachineEngine
+	Snapshot() combining.StatsSnapshot
+	Memory() *combining.MemArray
+}
+
+// faultSoak runs randomized programs under the default fault plan on the
+// three cycle-driven engines, and a hot-spot soak on the goroutine engine,
+// verifying M2 serializability and exactly-once completion.  Fault counts
+// are aggregated per engine: a plan that injected nothing across every
+// round means the injection path is disconnected, which is itself a
+// failure.
+func faultSoak(rounds, procs, ops, addrs int, seed uint64, verbose bool) (checked, failed int) {
+	engines := []struct {
+		name  string
+		build func(plan *combining.FaultPlan, inj []combining.Injector) faultEngine
+	}{
+		{"network+faults", func(p *combining.FaultPlan, inj []combining.Injector) faultEngine {
+			return combining.NewSim(combining.NetConfig{Procs: procs, WaitBufCap: 64, Faults: p}, inj)
+		}},
+		{"busnet+faults", func(p *combining.FaultPlan, inj []combining.Injector) faultEngine {
+			return combining.NewBusSim(combining.BusConfig{Procs: procs, Banks: 4, WaitBufCap: 64, Faults: p}, inj)
+		}},
+		{"hypercube+faults", func(p *combining.FaultPlan, inj []combining.Injector) faultEngine {
+			return combining.NewCubeSim(combining.CubeConfig{Nodes: procs, WaitBufCap: 64, Faults: p}, inj)
+		}},
+	}
+
+	for _, e := range engines {
+		var injectedTotal int64
+		for r := 0; r < rounds; r++ {
+			eff := seed + uint64(r)
+			rng := rand.New(rand.NewPCG(eff, 1234))
+			progs := randomPrograms(rng, procs, ops, addrs)
+			plan := combining.DefaultFaultPlan(eff)
+			m, inj := combining.NewMachineInjectors(progs)
+			eng := e.build(plan, inj)
+			m.BindEngine(eng)
+			if !m.Run(10_000_000) {
+				fmt.Printf("FAIL %s seed %d: programs did not complete, %d in flight (replay: -seed %d -rounds 1 -faults)\n",
+					e.name, eff, eng.InFlight(), eff)
+				failed++
+				continue
+			}
+			final := map[combining.Addr]combining.Word{}
+			for a := 0; a < addrs; a++ {
+				final[combining.Addr(a)] = eng.Memory().Peek(combining.Addr(a))
+			}
+			checked++
+			snap := eng.Snapshot()
+			injectedTotal += snap.Counters["faults_injected"]
+			if err := combining.CheckM2WithFinal(m.History(), nil, final); err != nil {
+				fmt.Printf("FAIL %s seed %d: %v (replay: -seed %d -rounds 1 -faults)\n", e.name, eff, err, eff)
+				failed++
+				continue
+			}
+			if snap.Counters["issued"] != snap.Counters["completed"] {
+				fmt.Printf("FAIL %s seed %d: issued %d != completed %d (replay: -seed %d -rounds 1 -faults)\n",
+					e.name, eff, snap.Counters["issued"], snap.Counters["completed"], eff)
+				failed++
+				continue
+			}
+			if n := eng.InFlight(); n != 0 {
+				fmt.Printf("FAIL %s seed %d: %d requests never delivered (replay: -seed %d -rounds 1 -faults)\n",
+					e.name, eff, n, eff)
+				failed++
+				continue
+			}
+			if verbose {
+				fmt.Printf("ok   %s seed %d: %d faults, %d retries, %d dedup hits\n",
+					e.name, eff, snap.Counters["faults_injected"], snap.Counters["retries"], snap.Counters["dedup_hits"])
+			}
+		}
+		if injectedTotal == 0 {
+			fmt.Printf("FAIL %s: no faults injected across %d rounds — injection path disconnected\n", e.name, rounds)
+			failed++
+		}
+		fmt.Printf("%-18s %d executions verified (%d faults injected)\n", e.name, rounds, injectedTotal)
+	}
+
+	// The goroutine engine: every port hammers one counter under drops;
+	// the replies must be a permutation of the serial prefix sums.
+	var injectedTotal int64
+	for r := 0; r < rounds; r++ {
+		eff := seed + uint64(r)
+		injected, err := asyncFaultRound(procs, 8*ops, eff)
+		checked++
+		injectedTotal += injected
+		if err != nil {
+			fmt.Printf("FAIL asyncnet+faults seed %d: %v (replay: -seed %d -rounds 1 -faults)\n", eff, err, eff)
+			failed++
+		}
+	}
+	if injectedTotal == 0 {
+		fmt.Printf("FAIL asyncnet+faults: no faults injected across %d rounds\n", rounds)
+		failed++
+	}
+	fmt.Printf("%-18s %d executions verified (%d faults injected)\n", "asyncnet+faults", rounds, injectedTotal)
+	return checked, failed
+}
+
+// asyncFaultRound runs one exactly-once soak on the goroutine engine.
+func asyncFaultRound(procs, opsPerPort int, seed uint64) (injected int64, err error) {
+	plan := &combining.FaultPlan{Seed: seed, DropFwd: 0.02, DropRev: 0.02}
+	net := combining.NewAsyncNet(combining.AsyncConfig{Procs: procs, Combining: true, Faults: plan})
+	defer net.Close()
+	const hot = combining.Addr(1)
+
+	vals := make([][]int64, procs)
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			port := net.Port(p)
+			got := make([]int64, 0, opsPerPort)
+			for i := 0; i < opsPerPort; i++ {
+				got = append(got, port.RMW(hot, combining.FetchAdd(1)).Val)
+			}
+			vals[p] = got
+		}(p)
+	}
+	wg.Wait()
+
+	total := procs * opsPerPort
+	if got := net.Memory().Peek(hot).Val; got != int64(total) {
+		return 0, fmt.Errorf("final counter %d, want %d", got, total)
+	}
+	var all []int64
+	for _, v := range vals {
+		all = append(all, v...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	for i, v := range all {
+		if v != int64(i) {
+			return 0, fmt.Errorf("sorted reply %d = %d, want %d (duplicate or lost RMW)", i, v, i)
+		}
+	}
+	return net.Snapshot().Counters["faults_injected"], nil
 }
 
 func isPow(n, k int) bool {

@@ -5,7 +5,12 @@
 //
 //	combsim [-n 64] [-rate 0.6] [-cycles 4000] [-window 4] [-seed 1]
 //	        [-h 0,0.0625,0.125,0.25] [-queue 4] [-csv]
-//	        [-topology omega|hypercube|bus]
+//	        [-topology omega|hypercube|bus] [-drop 0.01]
+//
+// With -drop > 0 the sweep runs under a deterministic fault plan (that
+// drop probability per forward and reply hop, seeded by -seed) and the
+// engine's retransmit/dedup recovery layer — the E13 degradation curve
+// at the command line.
 package main
 
 import (
@@ -29,6 +34,7 @@ func main() {
 		queue  = flag.Int("queue", 4, "switch output queue capacity")
 		csv    = flag.Bool("csv", false, "emit CSV instead of a table")
 		topo   = flag.String("topology", "omega", "omega, hypercube, or bus")
+		drop   = flag.Float64("drop", 0, "per-hop drop probability (arms the fault/recovery layer)")
 	)
 	flag.Parse()
 
@@ -55,6 +61,12 @@ func main() {
 		}
 		return inj
 	}
+	var plan *combining.FaultPlan
+	if *drop > 0 {
+		// A long base timeout keeps retransmits about real drops rather
+		// than congestion delay (see the E13 bench).
+		plan = &combining.FaultPlan{Seed: *seed, DropFwd: *drop, DropRev: *drop, RetryTimeout: 512}
+	}
 	run := func(h float64, comb bool) point {
 		waitCap := 0
 		if comb {
@@ -62,19 +74,19 @@ func main() {
 		}
 		switch *topo {
 		case "omega":
-			cfg := combining.NetConfig{Procs: *n, QueueCap: *queue, WaitBufCap: waitCap}
+			cfg := combining.NetConfig{Procs: *n, QueueCap: *queue, WaitBufCap: waitCap, Faults: plan}
 			sim := combining.NewSim(cfg, injectors(h))
 			sim.Run(*cycles)
 			st := sim.Stats()
 			return point{st.Bandwidth(), st.MeanLatency(), st.ColdMeanLatency(), st.Combines}
 		case "hypercube":
-			cfg := combining.CubeConfig{Nodes: *n, QueueCap: *queue, WaitBufCap: waitCap}
+			cfg := combining.CubeConfig{Nodes: *n, QueueCap: *queue, WaitBufCap: waitCap, Faults: plan}
 			sim := combining.NewCubeSim(cfg, injectors(h))
 			sim.Run(*cycles)
 			st := sim.Stats()
 			return point{st.Bandwidth(), st.MeanLatency(), 0, st.Combines}
 		case "bus":
-			cfg := combining.BusConfig{Procs: *n, Banks: 8, QueueCap: *queue, WaitBufCap: waitCap}
+			cfg := combining.BusConfig{Procs: *n, Banks: 8, QueueCap: *queue, WaitBufCap: waitCap, Faults: plan}
 			sim := combining.NewBusSim(cfg, injectors(h))
 			sim.Run(*cycles)
 			st := sim.Stats()

@@ -24,11 +24,12 @@ var (
 )
 
 type benchReport struct {
-	Schema      string         `json:"schema"`
-	Quick       bool           `json:"quick"`
-	Hotspot     []hotspotPoint `json:"hotspot_sweep"`
-	Permutation []permPoint    `json:"permutation_baselines"`
-	AsyncFAA    []asyncPoint   `json:"asyncnet_faa"`
+	Schema      string             `json:"schema"`
+	Quick       bool               `json:"quick"`
+	Hotspot     []hotspotPoint     `json:"hotspot_sweep"`
+	Permutation []permPoint        `json:"permutation_baselines"`
+	AsyncFAA    []asyncPoint       `json:"asyncnet_faa"`
+	Degradation []degradationPoint `json:"degradation_curve"`
 }
 
 // hotspotPoint is one cell of the N × h × combining sweep (experiment E8).
@@ -72,6 +73,26 @@ type asyncPoint struct {
 	Snapshot combining.StatsSnapshot `json:"snapshot"`
 }
 
+// degradationPoint is one cell of the E13 fault-degradation curve: hot-spot
+// traffic under a drop-only fault plan, sweeping the per-hop drop
+// probability with combining on and off.  Bandwidth and tail latency show
+// what the retry/dedup recovery layer costs as the network gets sicker.
+type degradationPoint struct {
+	Procs          int     `json:"procs"`
+	HotFraction    float64 `json:"hot_fraction"`
+	DropRate       float64 `json:"drop_rate_per_hop"`
+	Combining      bool    `json:"combining"`
+	Cycles         int     `json:"cycles"`
+	Bandwidth      float64 `json:"bandwidth_ops_per_cycle"`
+	MeanLatency    float64 `json:"mean_latency_cycles"`
+	P99Latency     float64 `json:"p99_latency_cycles"`
+	FaultsInjected int64   `json:"faults_injected"`
+	Retries        int64   `json:"retries"`
+	DedupHits      int64   `json:"dedup_hits"`
+
+	Snapshot combining.StatsSnapshot `json:"snapshot"`
+}
+
 func runBench() {
 	rep := benchReport{Schema: "combining-bench/v1", Quick: *quick}
 
@@ -108,6 +129,16 @@ func runBench() {
 		rep.AsyncFAA = append(rep.AsyncFAA, benchAsyncFAA(16, asyncRounds, comb))
 	}
 
+	degradeN, degradeCycles := 64, hotCycles
+	if *quick {
+		degradeN = 16
+	}
+	for _, rate := range []float64{0, 0.005, 0.01, 0.02, 0.05} {
+		for _, comb := range []bool{false, true} {
+			rep.Degradation = append(rep.Degradation, benchDegradation(degradeN, 0.125, rate, comb, degradeCycles))
+		}
+	}
+
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		panic(err)
@@ -117,8 +148,8 @@ func runBench() {
 		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("bench baseline written to %s (%d hot-spot points, %d permutations, %d async runs)\n",
-		*benchOut, len(rep.Hotspot), len(rep.Permutation), len(rep.AsyncFAA))
+	fmt.Printf("bench baseline written to %s (%d hot-spot points, %d permutations, %d async runs, %d degradation points)\n",
+		*benchOut, len(rep.Hotspot), len(rep.Permutation), len(rep.AsyncFAA), len(rep.Degradation))
 }
 
 // benchHotspot mirrors RunHotspot but keeps the simulator so the point can
@@ -147,6 +178,43 @@ func benchHotspot(n int, h float64, comb bool, cycles int) hotspotPoint {
 		P99Latency:  st.Percentile(0.99),
 		Combines:    snap.Counters["combines"],
 		Snapshot:    snap,
+	}
+}
+
+// benchDegradation is benchHotspot under a drop-only fault plan: the same
+// hot-spot workload, but every forward and reverse hop is dropped with the
+// given probability and the engine's timeout/retransmit/dedup recovery
+// layer keeps the run exactly-once.
+func benchDegradation(n int, h, rate float64, comb bool, cycles int) degradationPoint {
+	waitCap := 0
+	if comb {
+		waitCap = combining.Unbounded
+	}
+	// The base timeout sits above the healthy hot-spot p99 (~400 cycles
+	// at this load), so the curve measures recovery from drops, not
+	// spurious retransmits of requests merely delayed by congestion.
+	plan := &combining.FaultPlan{Seed: 13, DropFwd: rate, DropRev: rate, RetryTimeout: 512}
+	inj := make([]combining.Injector, n)
+	for p := 0; p < n; p++ {
+		inj[p] = combining.NewStochastic(p, n, combining.TrafficConfig{Rate: 0.6, HotFraction: h}, 1)
+	}
+	sim := combining.NewSim(combining.NetConfig{Procs: n, QueueCap: 4, WaitBufCap: waitCap, Faults: plan}, inj)
+	sim.Run(cycles)
+	st := sim.Stats()
+	snap := sim.Snapshot()
+	return degradationPoint{
+		Procs:          n,
+		HotFraction:    h,
+		DropRate:       rate,
+		Combining:      comb,
+		Cycles:         cycles,
+		Bandwidth:      st.Bandwidth(),
+		MeanLatency:    st.MeanLatency(),
+		P99Latency:     st.Percentile(0.99),
+		FaultsInjected: snap.Counters["faults_injected"],
+		Retries:        snap.Counters["retries"],
+		DedupHits:      snap.Counters["dedup_hits"],
+		Snapshot:       snap,
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 	"combining/internal/busnet"
 	"combining/internal/coord"
 	"combining/internal/core"
+	"combining/internal/faults"
 	"combining/internal/hypercube"
 	"combining/internal/machine"
 	"combining/internal/memory"
@@ -334,6 +335,28 @@ var (
 	CheckLinearizable = serial.CheckLinearizable
 )
 
+// ---- Deterministic fault injection (internal/faults) ----
+
+// FaultPlan is one deterministic fault scenario: seeded link drops, switch
+// stall windows, memory slowdowns, and the retransmit timeout schedule.
+// Every engine Config accepts a *FaultPlan.
+type FaultPlan = faults.Plan
+
+// FaultWindow is a half-open cycle interval during which a stall fault
+// holds at a site.
+type FaultWindow = faults.Window
+
+// FaultInjector answers fault queries for one run and counts injections.
+type FaultInjector = faults.Injector
+
+var (
+	// DefaultFaultPlan is the standard soak plan for a seed: 1% drops
+	// each way, one switch blackout, one memory slowdown.
+	DefaultFaultPlan = faults.Default
+	// NewFaultInjector builds an injector for a plan.
+	NewFaultInjector = faults.NewInjector
+)
+
 // ---- Asynchronous combining network (internal/asyncnet) ----
 
 // AsyncConfig parameterizes the goroutine network.
@@ -351,6 +374,10 @@ type (
 
 // NewAsyncNet starts an asynchronous network.
 var NewAsyncNet = asyncnet.New
+
+// ErrAbandonedHandle is returned by AsyncPending.WaitErr for a handle the
+// port's latest Fence abandoned.
+var ErrAbandonedHandle = asyncnet.ErrAbandonedHandle
 
 // ---- Coordination primitives (internal/coord) ----
 

@@ -14,6 +14,7 @@
 package asyncnet
 
 import (
+	"errors"
 	"fmt"
 	"math/bits"
 	"runtime"
@@ -21,6 +22,7 @@ import (
 	"time"
 
 	"combining/internal/core"
+	"combining/internal/faults"
 	"combining/internal/memory"
 	"combining/internal/rmw"
 	"combining/internal/stats"
@@ -52,8 +54,18 @@ type Config struct {
 	// ChanCap is the per-link channel capacity.  It defaults to
 	// Procs·Window, which bounds total in-flight messages below any
 	// single channel's capacity, so switch sends never block
-	// indefinitely and the processes cannot deadlock.
+	// indefinitely and the processes cannot deadlock.  Under a fault
+	// plan the default is 16× that, because retransmit copies and
+	// suppressed duplicates ride alongside live traffic.
 	ChanCap int
+	// Faults, when non-nil, arms deterministic fault injection (link
+	// drops on both networks) plus the recovery layer: wall-clock
+	// timeout/backoff retransmits at the ports and reply-cache
+	// deduplication at the memory modules.  Drop decisions hash
+	// (seed, site, id, attempt), so they are identical under any
+	// goroutine schedule; stall windows are cycle-based and do not
+	// apply to this clockless engine.
+	Faults *faults.Plan
 }
 
 // Net is a running asynchronous combining network.
@@ -78,6 +90,18 @@ type Net struct {
 	// batchHW tracks, per stage, the largest simultaneously drained
 	// request batch — the asynchronous analogue of switch queue depth.
 	batchHW []stats.HighWater
+
+	// flt answers fault decisions when the net runs under a plan.
+	flt *faults.Injector
+	// retries, duplicates and recovered count port-side retransmits,
+	// suppressed duplicate replies, and requests completed on a
+	// retransmitted attempt.
+	retries    stats.Counter
+	duplicates stats.Counter
+	recovered  stats.Counter
+	// recoveryLat is the extra round-trip latency paid by recovered
+	// requests (nanoseconds, wall clock — this engine has no cycles).
+	recoveryLat stats.Histogram
 }
 
 // aswitch is one switch process.
@@ -117,11 +141,30 @@ type Port struct {
 	window      int
 	outstanding int
 	buffered    map[word.ReqID]word.Word
-	// issued stamps each in-flight request for round-trip latency.
+	// issued stamps each in-flight request for round-trip latency; under
+	// a fault plan its membership doubles as the delivery ledger that
+	// detects duplicate replies.
 	issued map[word.ReqID]time.Time
 	// epoch counts fences; a handle issued before the latest fence has
 	// been abandoned and may no longer be waited on.
 	epoch int
+
+	// inflight is the fault-mode retransmit ledger: the exact request
+	// (for re-sending), its attempt count, and the deadline after which
+	// the port retransmits.
+	inflight map[word.ReqID]*inflightReq
+	// liveAddr counts in-flight requests per location.  Fault mode keeps
+	// it at most one (the MSHR discipline): a drop plus retransmit could
+	// otherwise reorder this port's own accesses to a location, breaking
+	// M2 program order.
+	liveAddr map[word.Addr]int
+}
+
+// inflightReq is one fault-mode in-flight request at a port.
+type inflightReq struct {
+	req      core.Request
+	issuedAt time.Time
+	deadline time.Time
 }
 
 // New starts the network's switch goroutines.
@@ -134,16 +177,26 @@ func New(cfg Config) *Net {
 	}
 	if cfg.ChanCap <= 0 {
 		cfg.ChanCap = cfg.Procs * cfg.Window
+		if cfg.Faults != nil {
+			cfg.ChanCap *= 16
+		}
 	}
 	n := cfg.Procs
 	k := bits.TrailingZeros(uint(n))
+	var memOpts []memory.Option
+	if cfg.Faults != nil {
+		memOpts = append(memOpts, memory.WithReplyCache())
+	}
 	net := &Net{
 		cfg:     cfg,
 		n:       n,
 		k:       k,
-		mem:     memory.NewArray(n),
+		mem:     memory.NewArray(n, memOpts...),
 		done:    make(chan struct{}),
 		batchHW: make([]stats.HighWater, k),
+	}
+	if cfg.Faults != nil {
+		net.flt = faults.NewInjector(*cfg.Faults)
 	}
 	waitCap := 0
 	if cfg.Combining {
@@ -180,12 +233,16 @@ func New(cfg Config) *Net {
 			window:   cfg.Window,
 			buffered: make(map[word.ReqID]word.Word),
 			issued:   make(map[word.ReqID]time.Time),
+			inflight: make(map[word.ReqID]*inflightReq),
+			liveAddr: make(map[word.Addr]int),
 		}
 	}
 
 	// Wire the topology: stage s switch i output line (2i+b) shuffles
 	// into stage s+1; the last stage feeds memory inline and sends the
-	// reply back into its own revIn.
+	// reply back into its own revIn.  Every hop passes through a fault
+	// hook; sends select against done so stale fault-mode duplicates
+	// cannot wedge a switch at shutdown.
 	for s := 0; s < k; s++ {
 		for i := 0; i < n/2; i++ {
 			sw := net.switches[s][i]
@@ -193,31 +250,53 @@ func New(cfg Config) *Net {
 				outLine := i<<1 | b
 				if s == k-1 {
 					mod := outLine
+					site := faults.Site(k, mod, 0)
 					sw.fwdOut[b] = func(m fwdMsg) {
+						if net.flt != nil && net.flt.DropForward(site, m.req.ID, m.req.Attempt) {
+							return
+						}
 						rep := net.mem.Module(mod).Do(m.req)
-						sw.revIn <- revMsg{rep: rep, path: m.path}
+						if net.flt != nil && net.flt.DropReply(site, rep.ID, rep.Attempt) {
+							return
+						}
+						send(net.done, sw.revIn, revMsg{rep: rep, path: m.path})
 					}
 				} else {
 					nextLine := net.shuffle(outLine)
 					next := net.switches[s+1][nextLine>>1]
 					inPort := uint8(nextLine & 1)
 					target := next.fwdIn[nextLine&1]
+					site := faults.Site(s+1, nextLine>>1, nextLine&1)
 					sw.fwdOut[b] = func(m fwdMsg) {
+						if net.flt != nil && net.flt.DropForward(site, m.req.ID, m.req.Attempt) {
+							return
+						}
 						m.path = append(m.path, inPort)
-						target <- m
+						send(net.done, target, m)
 					}
 				}
 			}
 			// Reverse wiring: replies leaving input port p of stage s.
 			for p := 0; p < 2; p++ {
 				inLine := i<<1 | p
+				site := faults.Site(s, i, p)
 				if s == 0 {
 					port := net.ports[net.unshuffle(inLine)]
-					sw.revOut[p] = func(r revMsg) { port.reply <- r }
+					sw.revOut[p] = func(r revMsg) {
+						if net.flt != nil && net.flt.DropReply(site, r.rep.ID, r.rep.Attempt) {
+							return
+						}
+						send(net.done, port.reply, r)
+					}
 				} else {
 					prevLine := net.unshuffle(inLine)
 					prev := net.switches[s-1][prevLine>>1]
-					sw.revOut[p] = func(r revMsg) { prev.revIn <- r }
+					sw.revOut[p] = func(r revMsg) {
+						if net.flt != nil && net.flt.DropReply(site, r.rep.ID, r.rep.Attempt) {
+							return
+						}
+						send(net.done, prev.revIn, r)
+					}
 				}
 			}
 			net.wg.Add(1)
@@ -225,6 +304,16 @@ func New(cfg Config) *Net {
 		}
 	}
 	return net
+}
+
+// send delivers a message unless the net is shutting down: Close requires
+// idle ports, so anything still in flight then is fault-mode residue
+// (stale retransmit copies) that may be discarded.
+func send[T any](done chan struct{}, ch chan T, v T) {
+	select {
+	case ch <- v:
+	case <-done:
+	}
 }
 
 func (n *Net) shuffle(line int) int   { return (line<<1 | line>>(n.k-1)) & (n.n - 1) }
@@ -252,7 +341,7 @@ func (n *Net) Snapshot() stats.Snapshot {
 	for s := range n.batchHW {
 		gauges[fmt.Sprintf("stage%d_batch_max", s)] = n.batchHW[s].Load()
 	}
-	return stats.Snapshot{
+	snap := stats.Snapshot{
 		Engine: "asyncnet",
 		Counters: map[string]int64{
 			"combines":        n.combines.Load(),
@@ -264,7 +353,29 @@ func (n *Net) Snapshot() stats.Snapshot {
 			"port_rtt_ns": n.rtt.Snapshot(),
 		},
 	}
+	if n.flt != nil {
+		// The shared fault-counter schema (see faults.AddCounters);
+		// stall windows and reply metadata don't exist on this engine,
+		// so those keys are structurally zero, and recovery latency is
+		// wall-clock rather than cycles.
+		c := snap.Counters
+		c["faults_injected"] = n.flt.Injected()
+		c["drops_fwd"] = n.flt.DropsFwd.Load()
+		c["drops_rev"] = n.flt.DropsRev.Load()
+		c["stall_cycles"] = 0
+		c["mem_stall_cycles"] = 0
+		c["retries"] = n.retries.Load()
+		c["duplicates_suppressed"] = n.duplicates.Load()
+		c["recovered"] = n.recovered.Load()
+		c["dedup_hits"] = n.mem.TotalDedupHits()
+		c["orphan_replies"] = 0
+		snap.Histograms["recovery_latency_ns"] = n.recoveryLat.Snapshot()
+	}
+	return snap
 }
+
+// Faults exposes the injector (nil on a healthy net).
+func (n *Net) Faults() *faults.Injector { return n.flt }
 
 // Port returns processor p's port.
 func (n *Net) Port(p int) *Port { return n.ports[p] }
@@ -283,14 +394,118 @@ type Pending struct {
 }
 
 // absorb accounts a reply's arrival at the port — round-trip latency and
-// window release — and returns its value.
-func (p *Port) absorb(r revMsg) word.Word {
-	if t0, ok := p.issued[r.rep.ID]; ok {
-		p.net.rtt.Record(time.Since(t0).Nanoseconds())
-		delete(p.issued, r.rep.ID)
+// window release — and returns its value.  Under a fault plan a reply
+// whose request is no longer in the issued ledger is a duplicate (a
+// retransmit raced its original); it is counted and suppressed, and live
+// reports false.
+func (p *Port) absorb(r revMsg) (v word.Word, live bool) {
+	t0, ok := p.issued[r.rep.ID]
+	if !ok {
+		if p.net.flt == nil {
+			// Unreachable on a healthy network: every reply matches an
+			// in-flight request.
+			p.outstanding--
+			return r.rep.Val, true
+		}
+		p.net.duplicates.Inc()
+		return word.Word{}, false
+	}
+	p.net.rtt.Record(time.Since(t0).Nanoseconds())
+	delete(p.issued, r.rep.ID)
+	if inf, ok := p.inflight[r.rep.ID]; ok {
+		delete(p.inflight, r.rep.ID)
+		if c := p.liveAddr[inf.req.Addr]; c <= 1 {
+			delete(p.liveAddr, inf.req.Addr)
+		} else {
+			p.liveAddr[inf.req.Addr] = c - 1
+		}
+		if inf.req.Attempt > 0 {
+			p.net.recovered.Inc()
+			p.net.recoveryLat.Record(time.Since(inf.issuedAt).Nanoseconds())
+		}
 	}
 	p.outstanding--
-	return r.rep.Val
+	return r.rep.Val, true
+}
+
+// recv blocks for the next reply.  Under a fault plan it also plays the
+// processor's timeout role: while waiting it retransmits any in-flight
+// request whose deadline has passed, with the plan's capped exponential
+// backoff.
+func (p *Port) recv() revMsg {
+	if p.net.flt == nil {
+		return <-p.reply
+	}
+	for {
+		select {
+		case r := <-p.reply:
+			return r
+		default:
+		}
+		timer := time.NewTimer(time.Until(p.nextDeadline()))
+		select {
+		case r := <-p.reply:
+			timer.Stop()
+			return r
+		case <-timer.C:
+			p.retransmitExpired()
+		}
+	}
+}
+
+// nextDeadline is the earliest retransmit deadline among in-flight
+// requests, with a coarse fallback so an inconsistent ledger can't park
+// the port forever.
+func (p *Port) nextDeadline() time.Time {
+	d := time.Now().Add(time.Second)
+	for _, inf := range p.inflight {
+		if inf.deadline.Before(d) {
+			d = inf.deadline
+		}
+	}
+	return d
+}
+
+// retransmitExpired re-sends every in-flight request past its deadline.
+// The request keeps its id (the exactly-once key) and bumps Attempt, so
+// it will never combine and draws fresh drop randomness at every hop.
+// Sends are non-blocking: if the first-stage inbox is full the bumped
+// deadline simply retries later.
+func (p *Port) retransmitExpired() {
+	now := time.Now()
+	for _, inf := range p.inflight {
+		if now.Before(inf.deadline) {
+			continue
+		}
+		inf.req.Attempt++
+		inf.deadline = now.Add(p.timeoutAfter(inf.req.Attempt + 1))
+		p.net.retries.Inc()
+		line := p.net.shuffle(int(p.proc))
+		if p.net.flt.DropForward(faults.Site(0, line>>1, line&1), inf.req.ID, inf.req.Attempt) {
+			continue
+		}
+		sw := p.net.switches[0][line>>1]
+		select {
+		case sw.fwdIn[line&1] <- fwdMsg{req: inf.req, path: []uint8{uint8(line & 1)}}:
+		default:
+		}
+	}
+}
+
+// timeoutAfter converts the plan's cycle-denominated backoff schedule to
+// wall-clock time for this clockless engine: one "cycle" is 50µs, so the
+// default base timeout of 64 cycles is 3.2ms.
+func (p *Port) timeoutAfter(attempt uint32) time.Duration {
+	return time.Duration(p.net.flt.Timeout(attempt)) * 50 * time.Microsecond
+}
+
+// absorbToBuffer consumes one live reply and parks its value for the
+// handle that will Wait on it, discarding fault-mode duplicates.
+func (p *Port) absorbToBuffer() {
+	r := p.recv()
+	if v, live := p.absorb(r); live {
+		p.buffered[r.rep.ID] = v
+	}
 }
 
 // RMWAsync issues the request without waiting for its reply — the
@@ -301,36 +516,76 @@ func (p *Port) absorb(r revMsg) word.Word {
 // one outstanding reply.
 func (p *Port) RMWAsync(addr word.Addr, op rmw.Mapping) *Pending {
 	for p.outstanding >= p.window {
-		r := <-p.reply
-		p.buffered[r.rep.ID] = p.absorb(r)
+		p.absorbToBuffer()
+	}
+	if p.net.flt != nil {
+		// MSHR discipline: at most one in-flight request per location,
+		// or a retransmit could overtake this port's own later access to
+		// the same cell and break M2 program order.
+		for p.liveAddr[addr] > 0 {
+			p.absorbToBuffer()
+		}
 	}
 	id := p.ids.NextPartitioned(p.net.n)
 	req := core.NewRequest(id, addr, op, p.proc)
-	p.issued[id] = time.Now()
+	now := time.Now()
+	p.issued[id] = now
 	line := p.net.shuffle(int(p.proc))
 	sw := p.net.switches[0][line>>1]
-	sw.fwdIn[line&1] <- fwdMsg{req: req, path: []uint8{uint8(line & 1)}}
+	if p.net.flt != nil {
+		req = req.WithReps()
+		p.inflight[id] = &inflightReq{
+			req:      req,
+			issuedAt: now,
+			deadline: now.Add(p.timeoutAfter(1)),
+		}
+		p.liveAddr[addr]++
+		if !p.net.flt.DropForward(faults.Site(0, line>>1, line&1), id, 0) {
+			send(p.net.done, sw.fwdIn[line&1], fwdMsg{req: req, path: []uint8{uint8(line & 1)}})
+		}
+	} else {
+		sw.fwdIn[line&1] <- fwdMsg{req: req, path: []uint8{uint8(line & 1)}}
+	}
 	p.outstanding++
 	return &Pending{port: p, id: id, epoch: p.epoch}
 }
 
+// ErrAbandonedHandle is returned by WaitErr for a handle issued before the
+// port's latest Fence: the fence discarded its reply, so there is nothing
+// left to wait for.
+var ErrAbandonedHandle = errors.New("asyncnet: handle abandoned by Fence")
+
 // Wait blocks for the request's old value.  Replies arriving out of order
 // are buffered for their own handles.  Waiting on a handle issued before
 // the port's latest Fence panics: the fence abandoned it (see Fence).
+// Callers that would rather recover than crash use WaitErr.
 func (h *Pending) Wait() word.Word {
+	v, err := h.WaitErr()
+	if err != nil {
+		panic("asyncnet: Wait on a handle abandoned by Fence")
+	}
+	return v
+}
+
+// WaitErr is Wait with an error path: it returns ErrAbandonedHandle for a
+// handle the port's latest Fence abandoned, instead of panicking.
+func (h *Pending) WaitErr() (word.Word, error) {
 	p := h.port
 	if v, ok := p.buffered[h.id]; ok {
 		delete(p.buffered, h.id)
-		return v
+		return v, nil
 	}
 	if h.epoch != p.epoch {
-		panic("asyncnet: Wait on a handle abandoned by Fence")
+		return word.Word{}, ErrAbandonedHandle
 	}
 	for {
-		r := <-p.reply
-		v := p.absorb(r)
+		r := p.recv()
+		v, live := p.absorb(r)
+		if !live {
+			continue
+		}
 		if r.rep.ID == h.id {
-			return v
+			return v, nil
 		}
 		if _, dup := p.buffered[r.rep.ID]; dup {
 			panic(fmt.Sprintf("asyncnet: duplicate reply %v", r.rep))
@@ -346,7 +601,7 @@ func (h *Pending) Wait() word.Word {
 // memory.  A later Wait on such an abandoned handle panics.
 func (p *Port) Fence() {
 	for p.outstanding > 0 {
-		p.absorb(<-p.reply)
+		p.absorb(p.recv())
 	}
 	clear(p.buffered)
 	p.epoch++
@@ -442,10 +697,15 @@ func (sw *aswitch) handleFwd(first fwdMsg) {
 }
 
 // handleRev decombines a reply against the wait buffer (repeatedly, for
-// k-way combines) and routes the results toward the processors.
+// k-way combines) and routes the results toward the processors.  Under a
+// fault plan the reply carries its exact leaf set, and only records whose
+// second request is among those leaves decombine — a retransmitted
+// original must not satisfy a wait record left by a lost combined copy
+// (the deprived partner recovers by its own retransmit instead).
 func (sw *aswitch) handleRev(r revMsg) {
-	if rec, ok := sw.wait.Pop(r.rep.ID); ok {
-		r1, r2 := core.Decombine(rec.Record, r.rep)
+	match := func(a arec) bool { return core.CanDecombine(a.Record, r.rep) }
+	if rec, ok := sw.wait.PopMatch(r.rep.ID, match); ok {
+		r1, r2 := core.DecombineExact(rec.Record, r.rep)
 		sw.handleRev(revMsg{rep: r1, path: r.path})
 		sw.handleRev(revMsg{rep: r2, path: rec.pathSecond})
 		return

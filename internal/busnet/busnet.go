@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"combining/internal/core"
+	"combining/internal/faults"
 	"combining/internal/memory"
 	"combining/internal/network"
 	"combining/internal/stats"
@@ -38,6 +39,12 @@ type Config struct {
 	BankService int
 	// AllowReversal enables the Section 5.1 optimization.
 	AllowReversal bool
+	// Faults, when non-nil, arms the deterministic fault plan and the
+	// recovery layer (see internal/faults and internal/network.Config).
+	// The bus machine has one switch site (0, 0): a stall window there
+	// freezes the bus and decoupling FIFO; bank slowdowns key on the
+	// window's Index as the bank number.
+	Faults *faults.Plan
 }
 
 type qmsg struct {
@@ -99,6 +106,13 @@ type Sim struct {
 	// tracks the deepest decoupling FIFO observed.
 	lat    stats.Histogram
 	fifoHW stats.HighWater
+
+	// Fault-mode state (nil/zero on a healthy machine); see
+	// internal/network.Sim for the shared recovery discipline.
+	flt     *faults.Injector
+	trk     *faults.Tracker
+	retry   [][]qmsg
+	orphans int64
 }
 
 // NewSim builds the machine.
@@ -115,16 +129,37 @@ func NewSim(cfg Config, inj []network.Injector) *Sim {
 	if cfg.BankService == 0 {
 		cfg.BankService = 4
 	}
-	return &Sim{
+	memOpts := []memory.Option{memory.WithServiceTime(cfg.BankService)}
+	if cfg.Faults != nil {
+		memOpts = append(memOpts, memory.WithReplyCache())
+	}
+	s := &Sim{
 		cfg:     cfg,
-		mem:     memory.NewArray(cfg.Banks, memory.WithServiceTime(cfg.BankService)),
+		mem:     memory.NewArray(cfg.Banks, memOpts...),
 		inj:     inj,
 		pending: make([]*qmsg, cfg.Procs),
 		wait:    core.NewWaitBuffer[brec](cfg.WaitBufCap),
 		meta:    make(map[word.ReqID]qmsg),
 		pol:     core.Policy{AllowReversal: cfg.AllowReversal},
 	}
+	if cfg.Faults != nil {
+		s.flt = faults.NewInjector(*cfg.Faults)
+		s.trk = faults.NewTracker(s.flt)
+		s.retry = make([][]qmsg, cfg.Procs)
+	}
+	return s
 }
+
+// Faults exposes the fault injector (nil on a healthy machine).
+func (s *Sim) Faults() *faults.Injector { return s.flt }
+
+// Tracker exposes the exactly-once delivery ledger (nil on a healthy
+// machine).
+func (s *Sim) Tracker() *faults.Tracker { return s.trk }
+
+// Orphans reports replies that arrived with no request metadata (fault mode
+// only).
+func (s *Sim) Orphans() int64 { return s.orphans }
 
 // Memory exposes the banks.
 func (s *Sim) Memory() *memory.Array { return s.mem }
@@ -135,7 +170,7 @@ func (s *Sim) Stats() Stats { return s.stats }
 // Snapshot captures the run's instrumentation behind the shared
 // cross-engine API (see internal/stats).
 func (s *Sim) Snapshot() stats.Snapshot {
-	return stats.Snapshot{
+	snap := stats.Snapshot{
 		Engine: "busnet",
 		Counters: map[string]int64{
 			"cycles":          s.stats.Cycles,
@@ -153,10 +188,18 @@ func (s *Sim) Snapshot() stats.Snapshot {
 			"latency_cycles": s.lat.Snapshot(),
 		},
 	}
+	if s.flt != nil {
+		faults.AddCounters(&snap, s.flt, s.trk, s.mem.TotalDedupHits(), s.orphans)
+	}
+	return snap
 }
 
-// InFlight counts requests in the machine.
+// InFlight counts requests in the machine.  Under a fault plan the
+// tracker's ledger answers instead (see internal/network.Sim.InFlight).
 func (s *Sim) InFlight() int {
+	if s.trk != nil {
+		return s.trk.Outstanding()
+	}
 	n := len(s.queue) + s.wait.Len() + len(s.meta)
 	for _, p := range s.pending {
 		if p != nil {
@@ -171,19 +214,40 @@ func (s *Sim) InFlight() int {
 func (s *Sim) Step() {
 	s.cycle++
 	s.stats.Cycles++
+	if s.flt != nil {
+		for _, p := range s.trk.Expired(s.cycle) {
+			s.retry[p.Proc] = append(s.retry[p.Proc],
+				qmsg{req: p.Req, src: p.Proc, issue: p.IssueCycle, hot: p.Hot})
+		}
+	}
 
 	// Bank completions.
 	for b := 0; b < s.cfg.Banks; b++ {
+		if s.flt != nil && s.flt.MemStalled(b, s.cycle) {
+			continue // bank inside a slowdown window serves nothing
+		}
 		rep, ok := s.mem.Module(b).Tick()
 		if !ok {
 			continue
 		}
 		m, found := s.meta[rep.ID]
 		if !found {
-			panic(fmt.Sprintf("busnet: reply %v without metadata", rep))
+			if s.flt != nil {
+				s.orphans++ // losing copy of an original/retransmit pair
+				continue
+			}
+			panic(fmt.Sprintf("busnet: cycle %d, bank %d: reply id %d (%v) without metadata",
+				s.cycle, b, rep.ID, rep))
 		}
 		delete(s.meta, rep.ID)
+		if s.flt != nil && s.flt.DropReply(faults.Site(2, 0, m.src), rep.ID, rep.Attempt) {
+			continue // reply lost on the return path
+		}
 		s.deliver(rep, m.src, m.issue)
+	}
+
+	if s.flt != nil && s.flt.Stalled(0, 0, s.cycle) {
+		return // blackout: the bus and decoupling FIFO freeze
 	}
 
 	// Dispatch the FIFO head when its bank is idle.
@@ -193,9 +257,13 @@ func (s *Sim) Step() {
 		if s.mem.Module(bank).QueueLen() == 0 {
 			copy(s.queue, s.queue[1:])
 			s.queue = s.queue[:len(s.queue)-1]
-			s.meta[head.req.ID] = head
-			s.mem.Module(bank).Enqueue(head.req)
-			s.stats.BankOps++
+			if s.flt != nil && s.flt.DropForward(faults.Site(1, bank, 0), head.req.ID, head.req.Attempt) {
+				// Request lost on the FIFO-to-bank link.
+			} else {
+				s.meta[head.req.ID] = head
+				s.mem.Module(bank).Enqueue(head.req)
+				s.stats.BankOps++
+			}
 		} else {
 			s.stats.HOLBlocked++
 		}
@@ -204,15 +272,45 @@ func (s *Sim) Step() {
 	// Bus arbitration: round-robin; one request enters the FIFO.
 	for off := 0; off < s.cfg.Procs; off++ {
 		p := (off + int(s.cycle)) % s.cfg.Procs
+		if s.flt != nil && len(s.retry[p]) > 0 {
+			// Retransmissions take the proc's bus slot, bypassing the
+			// pending slot (a held fresh request may be waiting on
+			// exactly the delivery this retransmit recovers).
+			m := s.retry[p][0]
+			if s.flt.DropForward(faults.Site(0, 0, p), m.req.ID, m.req.Attempt) {
+				s.retry[p] = s.retry[p][1:]
+				break // the lost transfer still consumed the bus cycle
+			}
+			if s.enqueue(m) {
+				s.retry[p] = s.retry[p][1:]
+				break
+			}
+			continue
+		}
 		if s.pending[p] == nil {
 			inj, ok := s.inj[p].Next(s.cycle)
 			if !ok {
 				continue
 			}
-			s.pending[p] = &qmsg{req: inj.Req, src: p, issue: s.cycle, hot: inj.Hot}
+			req := inj.Req
+			if s.trk != nil {
+				if req.Reps == nil && len(req.Srcs) == 1 {
+					req = req.WithReps()
+				}
+				s.trk.Track(p, req, inj.Hot, s.cycle)
+			}
+			s.pending[p] = &qmsg{req: req, src: p, issue: s.cycle, hot: inj.Hot}
 			s.stats.Issued++
 		}
-		if s.enqueue(*s.pending[p]) {
+		m := s.pending[p]
+		if s.trk != nil && m.req.Attempt == 0 && s.trk.HeldBack(p, m.req.Addr) {
+			continue // hold: earlier same-address request undelivered
+		}
+		if s.flt != nil && s.flt.DropForward(faults.Site(0, 0, p), m.req.ID, m.req.Attempt) {
+			s.pending[p] = nil
+			break // lost on the bus; the transfer consumed the cycle
+		}
+		if s.enqueue(*m) {
 			s.pending[p] = nil
 			break // the bus carries one request per cycle
 		}
@@ -221,11 +319,17 @@ func (s *Sim) Step() {
 
 // deliver routes a reply (and its decombined fan-out) back to processors.
 func (s *Sim) deliver(rep core.Reply, src int, issue int64) {
-	if rec, ok := s.wait.Pop(rep.ID); ok {
-		r1, r2 := core.Decombine(rec.Record, rep)
+	match := func(r brec) bool { return core.CanDecombine(r.Record, rep) }
+	if rec, ok := s.wait.PopMatch(rep.ID, match); ok {
+		r1, r2 := core.DecombineExact(rec.Record, rep)
 		s.deliver(r1, src, issue)
 		s.deliver(r2, rec.src2, rec.issue2)
 		return
+	}
+	if s.trk != nil {
+		if _, ok := s.trk.Deliver(rep.ID, s.cycle); !ok {
+			return // duplicate of an already-delivered reply; suppressed
+		}
 	}
 	s.stats.Completed++
 	s.stats.LatencySum += s.cycle - issue

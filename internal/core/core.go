@@ -31,6 +31,13 @@ type Request struct {
 	Addr word.Addr
 	Op   rmw.Mapping
 
+	// Attempt is the retransmission counter under fault injection: 0 for
+	// an original request, k for its k-th retransmit.  The id never
+	// changes across attempts — it is the exactly-once key the memory
+	// reply cache deduplicates on — and a retransmit (Attempt > 0) never
+	// combines, so every copy reaching memory names its leaves exactly.
+	Attempt uint32
+
 	// Srcs is the sorted set of processors whose requests this message
 	// represents.  A fresh request has exactly one entry.
 	Srcs []word.ProcID
@@ -74,6 +81,19 @@ func (r Request) String() string {
 type Reply struct {
 	ID  word.ReqID
 	Val word.Word
+
+	// Attempt echoes the request attempt this reply answers, letting
+	// transports account recovered (retransmitted) deliveries separately.
+	Attempt uint32
+
+	// Leaves, when non-nil, is the exact per-leaf value map produced by a
+	// reply-caching memory module: for every original request id the
+	// message represented, the value that request's operation saw.  Fault-
+	// tolerant transports decombine against this map (DecombineExact)
+	// instead of re-applying mappings, so a stale wait-buffer record —
+	// left behind when a combined message was dropped and its leaves
+	// retransmitted separately — can never synthesize a bogus reply.
+	Leaves map[word.ReqID]word.Word
 }
 
 // String renders the reply.
@@ -113,6 +133,13 @@ type Policy struct {
 // differ or the mapping families do not compose.
 func Combine(a, b Request, pol Policy) (Request, Record, bool) {
 	if a.Addr != b.Addr {
+		return Request{}, Record{}, false
+	}
+	// Retransmits never combine: a retransmitted message must reach memory
+	// naming exactly the leaves it was issued with, so the reply cache can
+	// answer it precisely; folding it into fresh traffic would mint wait
+	// records for deliveries the original copy may already have made.
+	if a.Attempt != 0 || b.Attempt != 0 {
 		return Request{}, Record{}, false
 	}
 	first, second, reversed := a, b, false
@@ -195,4 +222,41 @@ func Decombine(rec Record, reply Reply) (Reply, Reply) {
 	}
 	return Reply{ID: rec.ID1, Val: reply.Val},
 		Reply{ID: rec.ID2, Val: rec.F.Apply(reply.Val)}
+}
+
+// CanDecombine reports whether the record is the one the reply answers.  A
+// plain reply (no leaf map) answers any record keyed by its id, as on a
+// healthy network.  A fat reply answers only records whose second id appears
+// in its leaf map: a stale record — minted when a combined message was later
+// dropped and its leaves retransmitted separately — does not, and must stay
+// buffered (it is harmless; see WaitBuffer.PopMatch).
+func CanDecombine(rec Record, reply Reply) bool {
+	if reply.Leaves == nil {
+		return true
+	}
+	_, ok := reply.Leaves[rec.ID2]
+	return ok
+}
+
+// DecombineExact splits a fat reply using the memory's exact per-leaf values
+// rather than re-applying the record's mapping.  Both halves inherit the
+// incoming leaf map and attempt so decombining recurses correctly through
+// nested records.  Callers must have checked CanDecombine.
+func DecombineExact(rec Record, reply Reply) (Reply, Reply) {
+	if reply.Leaves == nil {
+		return Decombine(rec, reply)
+	}
+	if reply.ID != rec.ID1 {
+		panic(fmt.Sprintf("core: decombining reply %v against record for id %d", reply, rec.ID1))
+	}
+	v2, ok := reply.Leaves[rec.ID2]
+	if !ok {
+		panic(fmt.Sprintf("core: DecombineExact for id %d without its leaf value", rec.ID2))
+	}
+	v1 := reply.Val
+	if lv, ok := reply.Leaves[rec.ID1]; ok {
+		v1 = lv
+	}
+	return Reply{ID: rec.ID1, Val: v1, Attempt: reply.Attempt, Leaves: reply.Leaves},
+		Reply{ID: rec.ID2, Val: v2, Attempt: reply.Attempt, Leaves: reply.Leaves}
 }

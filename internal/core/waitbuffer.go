@@ -58,6 +58,32 @@ func (b *WaitBuffer[R]) Push(id word.ReqID, rec R) bool {
 	return true
 }
 
+// PopMatch retrieves and removes the most recent record for a reply id that
+// the match predicate accepts, scanning from newest to oldest.  Records the
+// predicate rejects stay buffered untouched.  Fault-tolerant transports use
+// this with core.CanDecombine so a stale record (its combined message was
+// dropped downstream of the combine) is skipped rather than popped: the
+// record's second requester recovers by retransmitting, and the stale entry
+// merely occupies a slot until the run ends.
+func (b *WaitBuffer[R]) PopMatch(id word.ReqID, match func(R) bool) (R, bool) {
+	stack := b.recs[id]
+	for i := len(stack) - 1; i >= 0; i-- {
+		if !match(stack[i]) {
+			continue
+		}
+		rec := stack[i]
+		if len(stack) == 1 {
+			delete(b.recs, id)
+		} else {
+			b.recs[id] = append(stack[:i:i], stack[i+1:]...)
+		}
+		b.size--
+		return rec, true
+	}
+	var zero R
+	return zero, false
+}
+
 // Pop retrieves and removes the most recent record for a reply id.  ok is
 // false when the reply was never combined at this buffer and should be
 // forwarded as is.

@@ -1,0 +1,218 @@
+// Package faults is the deterministic fault-plan engine shared by all four
+// combining engines.  A Plan describes what goes wrong — link drops on the
+// forward network, reply loss on the reverse network, switch stall/blackout
+// windows, memory-module slowdowns — and an Injector answers, for any
+// concrete event, whether the fault fires.
+//
+// Every decision is a pure hash of (plan seed, fault kind, site, request id,
+// attempt): the same plan produces the same faults on the cycle-driven
+// engines regardless of unrelated configuration, and on the goroutine engine
+// regardless of scheduling — a failing run replays from its seed alone.
+// Theorem 4.2 makes combining transparent on a healthy network; this package
+// supplies the unhealthy ones, so the recovery layer (sequence-numbered
+// retransmits, memory-side reply caches — see internal/memory and the engine
+// packages) can be shown to preserve per-location serializability and
+// exactly-once RMW semantics under every plan.
+package faults
+
+import (
+	"fmt"
+
+	"combining/internal/stats"
+	"combining/internal/word"
+)
+
+// Window is a half-open cycle interval [From, To) during which a fault
+// condition holds at a site.  Stage and Index select the site; -1 is a
+// wildcard.  The cycle-driven engines interpret (Stage, Index) as (network
+// stage, switch index); the hypercube uses Index as the node and the bus
+// machine has a single site (0, 0).
+type Window struct {
+	Stage, Index int
+	From, To     int64
+}
+
+// matches reports whether the window covers the site at the cycle.
+func (w Window) matches(stage, index int, cycle int64) bool {
+	return (w.Stage == -1 || w.Stage == stage) &&
+		(w.Index == -1 || w.Index == index) &&
+		cycle >= w.From && cycle < w.To
+}
+
+// Plan is one deterministic fault scenario.  The zero Plan (with a seed)
+// injects nothing but still enables the recovery machinery, which is useful
+// for overhead measurements.
+type Plan struct {
+	// Seed keys every probabilistic decision.  Two runs with equal plans
+	// see identical faults.
+	Seed uint64
+
+	// DropFwd is the probability a request hop on a forward link is
+	// dropped (the message vanishes; the issuer must retransmit).
+	DropFwd float64
+	// DropRev is the probability a reply hop on the reverse network is
+	// dropped (the operation executed, its reply is lost — the case the
+	// reply cache exists for).
+	DropRev float64
+
+	// Stalls are switch stall/blackout windows: a stalled switch moves no
+	// traffic in either direction (it still latches arrivals).
+	Stalls []Window
+	// MemStalls are memory-module slowdown windows, keyed by Index =
+	// module; a stalled module serves nothing that cycle.
+	MemStalls []Window
+
+	// RetryTimeout is the base retransmit timeout in cycles (cycle-driven
+	// engines; the goroutine engine uses a wall-clock timeout instead).
+	// Default 64.
+	RetryTimeout int64
+	// RetryCap bounds the exponential backoff: the delay before attempt
+	// k is min(RetryTimeout << (k-1), RetryCap).  Default 8×RetryTimeout.
+	RetryCap int64
+}
+
+func (p Plan) String() string {
+	return fmt.Sprintf("plan{seed=%d drop_fwd=%g drop_rev=%g stalls=%d mem_stalls=%d}",
+		p.Seed, p.DropFwd, p.DropRev, len(p.Stalls), len(p.MemStalls))
+}
+
+// Default returns the standard soak plan for a seed: 1% forward drops, 1%
+// reply loss, one early switch blackout, one memory slowdown window — the
+// "nonzero fault plan" the acceptance checks run under.
+func Default(seed uint64) *Plan {
+	return &Plan{
+		Seed:      seed,
+		DropFwd:   0.01,
+		DropRev:   0.01,
+		Stalls:    []Window{{Stage: -1, Index: 0, From: 50, To: 120}},
+		MemStalls: []Window{{Stage: -1, Index: 0, From: 200, To: 280}},
+	}
+}
+
+// Injector answers fault queries for one engine run and counts what it
+// injected.  Counters are lock-free so the goroutine engine can consult the
+// injector from every switch without serializing them.
+type Injector struct {
+	plan Plan
+
+	// DropsFwd and DropsRev count dropped request and reply hops;
+	// StallCycles and MemStallCycles count switch-cycles and
+	// module-cycles lost to windows.
+	DropsFwd, DropsRev          stats.Counter
+	StallCycles, MemStallCycles stats.Counter
+}
+
+// NewInjector builds the injector for a plan, filling retry defaults.
+func NewInjector(p Plan) *Injector {
+	if p.RetryTimeout <= 0 {
+		p.RetryTimeout = 64
+	}
+	if p.RetryCap <= 0 {
+		p.RetryCap = 8 * p.RetryTimeout
+	}
+	return &Injector{plan: p}
+}
+
+// Plan returns the (default-filled) plan the injector answers for.
+func (f *Injector) Plan() Plan { return f.plan }
+
+// Injected totals every fault the injector has fired.
+func (f *Injector) Injected() int64 {
+	return f.DropsFwd.Load() + f.DropsRev.Load() +
+		f.StallCycles.Load() + f.MemStallCycles.Load()
+}
+
+// Fault kinds, mixed into the decision hash so a forward drop and a reply
+// drop at the same site draw independent randomness.
+const (
+	kindDropFwd uint64 = 0x9e3779b97f4a7c15
+	kindDropRev uint64 = 0xc2b2ae3d27d4eb4f
+)
+
+// Site packs a (stage, index, port) coordinate into a hash key; engines
+// with other geometries pack what they have (the hypercube uses node and
+// dimension, the bus machine a constant).
+func Site(stage, index, port int) uint64 {
+	return uint64(stage)<<40 ^ uint64(index)<<16 ^ uint64(port)
+}
+
+// splitmix64 is the SplitMix64 finalizer — a strong 64-bit mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// decide draws the deterministic Bernoulli variable for one event.
+func (f *Injector) decide(kind, site uint64, id word.ReqID, attempt uint32, p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	h := splitmix64(f.plan.Seed ^ kind)
+	h = splitmix64(h ^ site)
+	h = splitmix64(h ^ uint64(id)<<8 ^ uint64(attempt))
+	// 53 uniform bits → [0, 1).
+	return float64(h>>11)/(1<<53) < p
+}
+
+// DropForward reports whether the request hop for (id, attempt) at site is
+// dropped, counting the injection.
+func (f *Injector) DropForward(site uint64, id word.ReqID, attempt uint32) bool {
+	if !f.decide(kindDropFwd, site, id, attempt, f.plan.DropFwd) {
+		return false
+	}
+	f.DropsFwd.Inc()
+	return true
+}
+
+// DropReply reports whether the reply hop for (id, attempt) at site is
+// dropped, counting the injection.
+func (f *Injector) DropReply(site uint64, id word.ReqID, attempt uint32) bool {
+	if !f.decide(kindDropRev, site, id, attempt, f.plan.DropRev) {
+		return false
+	}
+	f.DropsRev.Inc()
+	return true
+}
+
+// Stalled reports whether the switch at (stage, index) is inside a stall
+// window this cycle, counting the lost switch-cycle.
+func (f *Injector) Stalled(stage, index int, cycle int64) bool {
+	for _, w := range f.plan.Stalls {
+		if w.matches(stage, index, cycle) {
+			f.StallCycles.Inc()
+			return true
+		}
+	}
+	return false
+}
+
+// MemStalled reports whether memory module mod is inside a slowdown window
+// this cycle, counting the lost module-cycle.  MemStalls windows select the
+// module with Index alone; Stage is ignored.
+func (f *Injector) MemStalled(mod int, cycle int64) bool {
+	for _, w := range f.plan.MemStalls {
+		if (w.Index == -1 || w.Index == mod) && cycle >= w.From && cycle < w.To {
+			f.MemStallCycles.Inc()
+			return true
+		}
+	}
+	return false
+}
+
+// Timeout returns the retransmit delay before the given attempt (1-based):
+// capped exponential backoff from the plan's base timeout.
+func (f *Injector) Timeout(attempt uint32) int64 {
+	d := f.plan.RetryTimeout
+	for i := uint32(1); i < attempt; i++ {
+		d <<= 1
+		if d >= f.plan.RetryCap {
+			return f.plan.RetryCap
+		}
+	}
+	if d > f.plan.RetryCap {
+		d = f.plan.RetryCap
+	}
+	return d
+}

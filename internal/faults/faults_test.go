@@ -1,0 +1,130 @@
+package faults
+
+import (
+	"testing"
+
+	"combining/internal/word"
+)
+
+// TestDropDeterminism: the same plan answers every query identically across
+// injector instances, and a different seed answers differently somewhere —
+// the property that makes a failing run replayable from its seed alone.
+func TestDropDeterminism(t *testing.T) {
+	plan := Plan{Seed: 7, DropFwd: 0.3, DropRev: 0.3}
+	a, b, a2 := NewInjector(plan), NewInjector(plan), NewInjector(plan)
+	plan.Seed = 8
+	c := NewInjector(plan)
+
+	sameAsA, diffFromA := true, false
+	for site := 0; site < 50; site++ {
+		for id := word.ReqID(0); id < 50; id++ {
+			s := Site(site%3, site, site%2)
+			if a.DropForward(s, id, 0) != b.DropForward(s, id, 0) {
+				sameAsA = false
+			}
+			if a.DropReply(s, id, 1) != b.DropReply(s, id, 1) {
+				sameAsA = false
+			}
+			if a2.DropForward(s, id, 2) != c.DropForward(s, id, 2) {
+				diffFromA = true
+			}
+		}
+	}
+	if !sameAsA {
+		t.Fatal("equal plans disagreed on a drop decision")
+	}
+	if !diffFromA {
+		t.Fatal("different seeds agreed on every decision — seed is not mixed in")
+	}
+	if a.DropsFwd.Load() != b.DropsFwd.Load() || a.DropsRev.Load() != b.DropsRev.Load() {
+		t.Fatal("equal plans counted different injections")
+	}
+}
+
+// TestDropRate: the empirical drop frequency tracks the plan probability.
+func TestDropRate(t *testing.T) {
+	const p, n = 0.05, 100000
+	flt := NewInjector(Plan{Seed: 3, DropFwd: p})
+	drops := 0
+	for id := word.ReqID(0); id < n; id++ {
+		if flt.DropForward(Site(1, 2, 0), id, 0) {
+			drops++
+		}
+	}
+	rate := float64(drops) / n
+	if rate < p*0.8 || rate > p*1.2 {
+		t.Fatalf("empirical drop rate %.4f, want about %.2f", rate, p)
+	}
+	// Attempts draw fresh randomness: a dropped attempt 0 must not doom
+	// every retransmit of the same id.
+	stuck := 0
+	for id := word.ReqID(0); id < n; id++ {
+		if flt.DropForward(Site(1, 2, 0), id, 0) && flt.DropForward(Site(1, 2, 0), id, 1) {
+			stuck++
+		}
+	}
+	if want := p * p * n * 3; float64(stuck) > want {
+		t.Fatalf("%d ids dropped on both attempts, want about %.0f (attempt not mixed in?)", stuck, p*p*n)
+	}
+}
+
+// TestStallWindows: window matching honors [From, To) bounds and the -1
+// wildcards, for both switch and memory windows.
+func TestStallWindows(t *testing.T) {
+	flt := NewInjector(Plan{
+		Seed:      1,
+		Stalls:    []Window{{Stage: 1, Index: 2, From: 10, To: 20}, {Stage: -1, Index: 0, From: 100, To: 101}},
+		MemStalls: []Window{{Index: 3, From: 5, To: 8}},
+	})
+	cases := []struct {
+		stage, index int
+		cycle        int64
+		want         bool
+	}{
+		{1, 2, 10, true},   // inclusive From
+		{1, 2, 19, true},   // last covered cycle
+		{1, 2, 20, false},  // exclusive To
+		{1, 2, 9, false},   // before
+		{1, 3, 15, false},  // wrong index
+		{0, 2, 15, false},  // wrong stage
+		{0, 0, 100, true},  // stage wildcard
+		{5, 0, 100, true},  // stage wildcard, another stage
+		{5, 1, 100, false}, // wildcard stage, wrong index
+	}
+	for _, c := range cases {
+		if got := flt.Stalled(c.stage, c.index, c.cycle); got != c.want {
+			t.Errorf("Stalled(%d,%d,%d) = %v, want %v", c.stage, c.index, c.cycle, got, c.want)
+		}
+	}
+	memCases := []struct {
+		mod   int
+		cycle int64
+		want  bool
+	}{
+		{3, 5, true}, {3, 7, true}, {3, 8, false}, {2, 6, false},
+	}
+	for _, c := range memCases {
+		if got := flt.MemStalled(c.mod, c.cycle); got != c.want {
+			t.Errorf("MemStalled(%d,%d) = %v, want %v", c.mod, c.cycle, got, c.want)
+		}
+	}
+	if flt.StallCycles.Load() == 0 || flt.MemStallCycles.Load() == 0 {
+		t.Fatal("stall counters did not advance")
+	}
+}
+
+// TestTimeoutBackoff: capped exponential backoff from the plan base.
+func TestTimeoutBackoff(t *testing.T) {
+	flt := NewInjector(Plan{Seed: 1, RetryTimeout: 10, RetryCap: 35})
+	want := []int64{10, 10, 20, 35, 35, 35}
+	for attempt, w := range want {
+		if got := flt.Timeout(uint32(attempt)); got != w {
+			t.Errorf("Timeout(%d) = %d, want %d", attempt, got, w)
+		}
+	}
+	// Defaults fill in: base 64, cap 8×64.
+	def := NewInjector(Plan{Seed: 1})
+	if def.Timeout(1) != 64 || def.Timeout(20) != 512 {
+		t.Fatalf("default backoff = %d..%d, want 64..512", def.Timeout(1), def.Timeout(20))
+	}
+}

@@ -1,0 +1,161 @@
+package faults
+
+import (
+	"sort"
+
+	"combining/internal/core"
+	"combining/internal/stats"
+	"combining/internal/word"
+)
+
+// Pending is one original request the processor side is responsible for
+// until its reply is delivered exactly once.  The cycle-driven engines keep
+// one Pending per issued request in a Tracker; when the deadline passes the
+// engine re-injects the request with the next attempt number.
+type Pending struct {
+	// Proc is the issuing processor port.
+	Proc int
+	// Req is the request as issued (Attempt is bumped per retransmit;
+	// the id never changes, which is what lets the memory-side reply
+	// cache deduplicate).
+	Req core.Request
+	// Hot tags hot-spot traffic for the per-class metrics.
+	Hot bool
+	// IssueCycle is the first injection cycle; recovery latency is
+	// measured from here, not from the last retransmit.
+	IssueCycle int64
+	// Deadline is the cycle at which the current attempt times out.
+	Deadline int64
+}
+
+// Tracker is the processor-side exactly-once delivery ledger for one
+// cycle-driven engine: every issued request is tracked until its first
+// reply, retransmitted with capped exponential backoff while it waits, and
+// any later (duplicate) reply is suppressed.
+type Tracker struct {
+	flt  *Injector
+	live map[word.ReqID]*Pending
+	// liveAddr counts live requests per (proc, addr).  Engines hold a
+	// fresh request at its port while an earlier request by the same
+	// processor to the same address is undelivered (see HeldBack):
+	// without that MSHR-style discipline a drop can reorder a
+	// processor's own accesses to a location — the retransmit of the
+	// earlier request executes after the later one — violating M2's
+	// per-processor program order.
+	liveAddr map[addrKey]int
+
+	// Retries counts retransmissions; Duplicates counts replies
+	// suppressed because the request had already been delivered;
+	// Recovered counts deliveries that needed at least one retransmit.
+	Retries    stats.Counter
+	Duplicates stats.Counter
+	Recovered  stats.Counter
+	// RecoveryLatency records round-trip cycles for recovered (retried)
+	// deliveries only — the fault-plan degradation metric.
+	RecoveryLatency stats.Histogram
+}
+
+type addrKey struct {
+	proc int
+	addr word.Addr
+}
+
+// NewTracker builds the ledger against an injector's retry parameters.
+func NewTracker(flt *Injector) *Tracker {
+	return &Tracker{
+		flt:      flt,
+		live:     make(map[word.ReqID]*Pending),
+		liveAddr: make(map[addrKey]int),
+	}
+}
+
+// Track registers a freshly injected request (attempt 0).
+func (t *Tracker) Track(proc int, req core.Request, hot bool, now int64) {
+	t.live[req.ID] = &Pending{
+		Proc:       proc,
+		Req:        req,
+		Hot:        hot,
+		IssueCycle: now,
+		Deadline:   now + t.flt.Timeout(1),
+	}
+	t.liveAddr[addrKey{proc, req.Addr}]++
+}
+
+// HeldBack reports whether the processor's newest (already tracked) request
+// to addr must wait at the port: an earlier request by the same processor to
+// the same address is still undelivered.
+func (t *Tracker) HeldBack(proc int, addr word.Addr) bool {
+	return t.liveAddr[addrKey{proc, addr}] > 1
+}
+
+// Deliver marks a reply's arrival at its processor port.  ok=false means
+// the request was already delivered (or never tracked): the reply is a
+// duplicate the port must suppress, counted here.
+func (t *Tracker) Deliver(id word.ReqID, now int64) (Pending, bool) {
+	p, ok := t.live[id]
+	if !ok {
+		t.Duplicates.Inc()
+		return Pending{}, false
+	}
+	delete(t.live, id)
+	k := addrKey{p.Proc, p.Req.Addr}
+	if t.liveAddr[k]--; t.liveAddr[k] == 0 {
+		delete(t.liveAddr, k)
+	}
+	if p.Req.Attempt > 0 {
+		t.Recovered.Inc()
+		t.RecoveryLatency.Record(now - p.IssueCycle)
+	}
+	return *p, true
+}
+
+// Expired collects the requests whose deadline passed, bumping each to its
+// next attempt with backed-off deadline.  The engine re-injects the
+// returned requests (they carry Attempt > 0 and therefore never combine).
+// The result is sorted by (proc, id) so a run replays identically: map
+// iteration order must never leak into the simulation.
+func (t *Tracker) Expired(now int64) []Pending {
+	var out []Pending
+	for _, p := range t.live {
+		if now < p.Deadline {
+			continue
+		}
+		if !t.oldestLive(p) {
+			// An earlier request by this processor to the same address is
+			// still live; a copy of this one may not re-enter the network
+			// ahead of it (the HeldBack discipline).  Defer and recheck.
+			p.Deadline = now + t.flt.Timeout(1)
+			continue
+		}
+		p.Req.Attempt++
+		p.Deadline = now + t.flt.Timeout(p.Req.Attempt+1)
+		t.Retries.Inc()
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Proc != out[j].Proc {
+			return out[i].Proc < out[j].Proc
+		}
+		return out[i].Req.ID < out[j].Req.ID
+	})
+	return out
+}
+
+// oldestLive reports whether p is the oldest live request for its
+// (proc, addr).  Per-processor ids are issued in increasing order, so the
+// smallest live id is the earliest-issued; the scan is over the (small)
+// live set and only runs when an address has multiple live requests.
+func (t *Tracker) oldestLive(p *Pending) bool {
+	if t.liveAddr[addrKey{p.Proc, p.Req.Addr}] < 2 {
+		return true
+	}
+	for _, q := range t.live {
+		if q != p && q.Proc == p.Proc && q.Req.Addr == p.Req.Addr && q.Req.ID < p.Req.ID {
+			return false
+		}
+	}
+	return true
+}
+
+// Outstanding reports requests still awaiting their first delivery.
+func (t *Tracker) Outstanding() int { return len(t.live) }

@@ -1,0 +1,24 @@
+package faults
+
+import "combining/internal/stats"
+
+// AddCounters folds one run's fault/recovery counters into an engine
+// snapshot.  Every engine publishes the same key set so tooling (cmd/check,
+// the bench reports) reads one schema regardless of transport.
+func AddCounters(snap *stats.Snapshot, flt *Injector, trk *Tracker, dedupHits, orphans int64) {
+	c := snap.Counters
+	c["faults_injected"] = flt.Injected()
+	c["drops_fwd"] = flt.DropsFwd.Load()
+	c["drops_rev"] = flt.DropsRev.Load()
+	c["stall_cycles"] = flt.StallCycles.Load()
+	c["mem_stall_cycles"] = flt.MemStallCycles.Load()
+	c["retries"] = trk.Retries.Load()
+	c["duplicates_suppressed"] = trk.Duplicates.Load()
+	c["recovered"] = trk.Recovered.Load()
+	c["dedup_hits"] = dedupHits
+	c["orphan_replies"] = orphans
+	if snap.Histograms == nil {
+		snap.Histograms = map[string]stats.HistogramSnapshot{}
+	}
+	snap.Histograms["recovery_latency_cycles"] = trk.RecoveryLatency.Snapshot()
+}

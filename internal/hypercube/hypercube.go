@@ -19,6 +19,7 @@ import (
 	"math/bits"
 
 	"combining/internal/core"
+	"combining/internal/faults"
 	"combining/internal/memory"
 	"combining/internal/network"
 	"combining/internal/stats"
@@ -37,6 +38,11 @@ type Config struct {
 	AllowReversal bool
 	// MemService is the local memory service time (default 1).
 	MemService int
+	// Faults, when non-nil, arms the deterministic fault plan and the
+	// recovery layer (see internal/faults and internal/network.Config).
+	// Stall windows select a router by Index (node number, Stage ignored
+	// via -1 or 0); memory slowdowns select the node's module by Index.
+	Faults *faults.Plan
 }
 
 type fwdM struct {
@@ -116,6 +122,14 @@ type Sim struct {
 	// tracks the deepest per-node memory combining queue observed.
 	lat    stats.Histogram
 	memQHW stats.HighWater
+
+	// Fault-mode state (nil/zero on a healthy machine); see
+	// internal/network.Sim for the shared recovery discipline.
+	flt       *faults.Injector
+	trk       *faults.Tracker
+	retry     [][]fwdM
+	stallMask []bool
+	orphans   int64
 }
 
 // NewSim builds the machine with one injector per node.
@@ -134,15 +148,25 @@ func NewSim(cfg Config, inj []network.Injector) *Sim {
 	}
 	n := cfg.Nodes
 	d := bits.TrailingZeros(uint(n))
+	memOpts := []memory.Option{memory.WithServiceTime(cfg.MemService)}
+	if cfg.Faults != nil {
+		memOpts = append(memOpts, memory.WithReplyCache())
+	}
 	s := &Sim{
 		cfg:     cfg,
 		n:       n,
 		d:       d,
-		mem:     memory.NewArray(n, memory.WithServiceTime(cfg.MemService)),
+		mem:     memory.NewArray(n, memOpts...),
 		inj:     inj,
 		pending: make([]*fwdM, n),
 		meta:    make(map[word.ReqID]fwdM),
 		pol:     core.Policy{AllowReversal: cfg.AllowReversal},
+	}
+	if cfg.Faults != nil {
+		s.flt = faults.NewInjector(*cfg.Faults)
+		s.trk = faults.NewTracker(s.flt)
+		s.retry = make([][]fwdM, n)
+		s.stallMask = make([]bool, n)
 	}
 	s.nodes = make([]*node, n)
 	for i := range s.nodes {
@@ -184,6 +208,15 @@ func revDim(cur, dst int) int {
 func (s *Sim) Step() {
 	s.cycle++
 	s.stats.Cycles++
+	if s.flt != nil {
+		for i := range s.stallMask {
+			s.stallMask[i] = s.flt.Stalled(0, i, s.cycle)
+		}
+		for _, p := range s.trk.Expired(s.cycle) {
+			s.retry[p.Proc] = append(s.retry[p.Proc],
+				fwdM{req: p.Req, src: p.Proc, issue: p.IssueCycle, hot: p.Hot})
+		}
+	}
 	s.drainReverse()
 	s.tickMemory()
 	s.drainForward()
@@ -207,7 +240,7 @@ func (s *Sim) Snapshot() stats.Snapshot {
 	for _, nd := range s.nodes {
 		rejects += nd.wait.Rejections
 	}
-	return stats.Snapshot{
+	snap := stats.Snapshot{
 		Engine: "hypercube",
 		Counters: map[string]int64{
 			"cycles":          s.stats.Cycles,
@@ -224,10 +257,29 @@ func (s *Sim) Snapshot() stats.Snapshot {
 			"latency_cycles": s.lat.Snapshot(),
 		},
 	}
+	if s.flt != nil {
+		faults.AddCounters(&snap, s.flt, s.trk, s.mem.TotalDedupHits(), s.orphans)
+	}
+	return snap
 }
 
-// InFlight counts requests anywhere in the machine.
+// Faults exposes the fault injector (nil on a healthy machine).
+func (s *Sim) Faults() *faults.Injector { return s.flt }
+
+// Tracker exposes the exactly-once delivery ledger (nil on a healthy
+// machine).
+func (s *Sim) Tracker() *faults.Tracker { return s.trk }
+
+// Orphans reports replies that arrived with no request metadata (fault mode
+// only).
+func (s *Sim) Orphans() int64 { return s.orphans }
+
+// InFlight counts requests anywhere in the machine.  Under a fault plan the
+// tracker's ledger answers instead (see internal/network.Sim.InFlight).
 func (s *Sim) InFlight() int {
+	if s.trk != nil {
+		return s.trk.Outstanding()
+	}
 	n := 0
 	for _, p := range s.pending {
 		if p != nil {
@@ -310,14 +362,20 @@ func fwdMReq(m *fwdM) *core.Request { return &m.req }
 // arriveRev lands a reply at node cur: decombine against the wait buffer,
 // deliver when home, otherwise queue on the next reverse dimension.
 func (s *Sim) arriveRev(cur int, r revM) {
-	if rec, ok := s.nodes[cur].wait.Pop(r.rep.ID); ok {
-		r1, r2 := core.Decombine(rec.Record, r.rep)
+	match := func(h hrec) bool { return core.CanDecombine(h.Record, r.rep) }
+	if rec, ok := s.nodes[cur].wait.PopMatch(r.rep.ID, match); ok {
+		r1, r2 := core.DecombineExact(rec.Record, r.rep)
 		s.arriveRev(cur, revM{rep: r1, dst: r.dst, issue: r.issue, hot: r.hot})
 		s.arriveRev(cur, revM{rep: r2, dst: rec.dst2, issue: rec.issue2, hot: rec.hot2})
 		return
 	}
 	dim := revDim(cur, r.dst)
 	if dim < 0 {
+		if s.trk != nil {
+			if _, ok := s.trk.Deliver(r.rep.ID, s.cycle); !ok {
+				return // duplicate of an already-delivered reply; suppressed
+			}
+		}
 		s.stats.Completed++
 		s.stats.LatencySum += s.cycle - r.issue
 		s.lat.Record(s.cycle - r.issue)
@@ -330,6 +388,9 @@ func (s *Sim) arriveRev(cur int, r revM) {
 
 func (s *Sim) drainReverse() {
 	for i, nd := range s.nodes {
+		if s.flt != nil && s.stallMask[i] {
+			continue // stalled router moves nothing this cycle
+		}
 		for dim := 0; dim < s.d; dim++ {
 			q := nd.rout[dim]
 			if len(q) == 0 || q[0].moved == s.cycle {
@@ -338,6 +399,10 @@ func (s *Sim) drainReverse() {
 			r := q[0]
 			copy(q, q[1:])
 			nd.rout[dim] = q[:len(q)-1]
+			if s.flt != nil && s.flt.DropReply(
+				faults.Site(1, i^(1<<dim), dim), r.rep.ID, r.rep.Attempt) {
+				continue // reply lost on the reverse link
+			}
 			s.arriveRev(i^(1<<dim), r)
 		}
 	}
@@ -349,7 +414,8 @@ func (s *Sim) tickMemory() {
 		// time, so requests stay combinable until the moment service
 		// starts.
 		nd := s.nodes[i]
-		if len(nd.memQ) > 0 && s.mem.Module(i).QueueLen() == 0 {
+		routerUp := s.flt == nil || !s.stallMask[i]
+		if routerUp && len(nd.memQ) > 0 && s.mem.Module(i).QueueLen() == 0 {
 			m := nd.memQ[0]
 			copy(nd.memQ, nd.memQ[1:])
 			nd.memQ = nd.memQ[:len(nd.memQ)-1]
@@ -357,13 +423,21 @@ func (s *Sim) tickMemory() {
 			s.mem.Module(i).Enqueue(m.req)
 			s.stats.MemOps++
 		}
+		if s.flt != nil && s.flt.MemStalled(i, s.cycle) {
+			continue // module inside a slowdown window serves nothing
+		}
 		rep, ok := s.mem.Module(i).Tick()
 		if !ok {
 			continue
 		}
 		m, found := s.meta[rep.ID]
 		if !found {
-			panic(fmt.Sprintf("hypercube: reply %v without metadata", rep))
+			if s.flt != nil {
+				s.orphans++ // losing copy of an original/retransmit pair
+				continue
+			}
+			panic(fmt.Sprintf("hypercube: cycle %d, node %d: reply id %d (%v) without metadata",
+				s.cycle, i, rep.ID, rep))
 		}
 		delete(s.meta, rep.ID)
 		s.arriveRev(i, revM{rep: rep, dst: m.src, issue: m.issue, hot: m.hot})
@@ -375,6 +449,9 @@ func (s *Sim) drainForward() {
 	for off := range s.nodes {
 		i := (off + rot) % s.n
 		nd := s.nodes[i]
+		if s.flt != nil && s.stallMask[i] {
+			continue // stalled router moves nothing this cycle
+		}
 		for dd := 0; dd < s.d; dd++ {
 			dim := (dd + rot) % s.d
 			q := nd.out[dim]
@@ -382,6 +459,12 @@ func (s *Sim) drainForward() {
 				continue
 			}
 			m := q[0]
+			if s.flt != nil && s.flt.DropForward(
+				faults.Site(1, i^(1<<dim), dim), m.req.ID, m.req.Attempt) {
+				copy(q, q[1:])
+				nd.out[dim] = q[:len(q)-1]
+				continue // request lost on the forward link
+			}
 			if !s.arriveFwd(i^(1<<dim), m) {
 				continue
 			}
@@ -396,16 +479,45 @@ func (s *Sim) injectAll() {
 	rot := int(s.cycle)
 	for off := 0; off < s.n; off++ {
 		i := (off + rot) % s.n
+		if s.flt != nil && len(s.retry[i]) > 0 {
+			// Retransmissions take the node's injection slot, bypassing
+			// the pending slot (a held fresh request may be waiting on
+			// exactly the delivery this retransmit recovers).
+			m := s.retry[i][0]
+			if s.flt.DropForward(faults.Site(0, i, 0), m.req.ID, m.req.Attempt) {
+				s.retry[i] = s.retry[i][1:]
+				continue
+			}
+			if s.arriveFwd(i, m) {
+				s.retry[i] = s.retry[i][1:]
+			}
+			continue
+		}
 		if s.pending[i] == nil {
 			inj, ok := s.inj[i].Next(s.cycle)
 			if !ok {
 				continue
 			}
-			m := fwdM{req: inj.Req, src: i, issue: s.cycle, hot: inj.Hot}
+			req := inj.Req
+			if s.trk != nil {
+				if req.Reps == nil && len(req.Srcs) == 1 {
+					req = req.WithReps()
+				}
+				s.trk.Track(i, req, inj.Hot, s.cycle)
+			}
+			m := fwdM{req: req, src: i, issue: s.cycle, hot: inj.Hot}
 			s.pending[i] = &m
 			s.stats.Issued++
 		}
-		if s.arriveFwd(i, *s.pending[i]) {
+		m := s.pending[i]
+		if s.trk != nil && m.req.Attempt == 0 && s.trk.HeldBack(i, m.req.Addr) {
+			continue // hold: earlier same-address request undelivered
+		}
+		if s.flt != nil && s.flt.DropForward(faults.Site(0, i, 0), m.req.ID, m.req.Attempt) {
+			s.pending[i] = nil // lost on the processor-to-router link
+			continue
+		}
+		if s.arriveFwd(i, *m) {
 			s.pending[i] = nil
 		}
 	}

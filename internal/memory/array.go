@@ -61,3 +61,14 @@ func (a *Array) TotalServed() int64 {
 	}
 	return n
 }
+
+// TotalDedupHits sums reply-cache hits across modules (zero unless the
+// modules were built WithReplyCache).  Reads under each module's lock, so
+// it is safe while asynchronous traffic is in flight.
+func (a *Array) TotalDedupHits() int64 {
+	var n int64
+	for _, m := range a.modules {
+		n += m.DedupHitCount()
+	}
+	return n
+}

@@ -40,6 +40,16 @@ type Module struct {
 	Served int64
 	// BusyCycles counts cycles the module spent serving.
 	BusyCycles int64
+
+	// replyCache, when non-nil, is the exactly-once ledger: for every
+	// original (leaf) request already executed, the value its operation
+	// saw.  Request ids are partitioned per processor (word.IDGen), so
+	// this flat map is the paper-level "per-processor reply cache" —
+	// retransmits of a delivered request hit the cache instead of
+	// re-executing a non-idempotent RMW.
+	replyCache map[word.ReqID]word.Word
+	// DedupHits counts leaf executions answered from the cache.
+	DedupHits int64
 }
 
 // Option configures a Module.
@@ -52,6 +62,19 @@ func WithServiceTime(cycles int) Option {
 			panic("memory: service time must be at least 1 cycle")
 		}
 		m.serviceTime = cycles
+	}
+}
+
+// WithReplyCache arms the module's exactly-once ledger.  Requests are then
+// executed leaf by leaf (they must carry Reps — see core.Request.WithReps):
+// leaves already in the cache are skipped, fresh leaves execute and are
+// recorded, and the reply carries the exact per-leaf value map so transports
+// decombine with core.DecombineExact.  The cache is unbounded for the run —
+// a simulator-side simplification of the bounded per-processor caches a real
+// machine would age out after the retransmit window closes.
+func WithReplyCache() Option {
+	return func(m *Module) {
+		m.replyCache = make(map[word.ReqID]word.Word)
 	}
 }
 
@@ -94,11 +117,53 @@ func (m *Module) Do(req core.Request) core.Reply {
 }
 
 func (m *Module) execLocked(req core.Request) core.Reply {
+	if m.replyCache != nil {
+		return m.execCachedLocked(req)
+	}
 	cell := m.cells[req.Addr]
 	reply := core.Execute(&cell, req)
 	m.cells[req.Addr] = cell
 	m.Served++
 	return reply
+}
+
+// execCachedLocked executes a request leaf by leaf against the reply cache.
+// A request without Reps (plain traffic on a fault-armed module) is treated
+// as its own single leaf.  Each uncached leaf applies its own mapping in
+// representation (serialization) order; cached leaves are skipped, so a
+// message mixing delivered and undelivered leaves — an original overtaken by
+// a partial retransmit, or vice versa — still executes every operation
+// exactly once.
+func (m *Module) execCachedLocked(req core.Request) core.Reply {
+	leaves := req.Reps
+	if leaves == nil {
+		leaves = []core.Leaf{{ID: req.ID, Src: 0, Op: req.Op}}
+	}
+	cell := m.cells[req.Addr]
+	vals := make(map[word.ReqID]word.Word, len(leaves))
+	for _, lf := range leaves {
+		if v, ok := m.replyCache[lf.ID]; ok {
+			m.DedupHits++
+			vals[lf.ID] = v
+			continue
+		}
+		old := cell
+		cell = lf.Op.Apply(old)
+		m.replyCache[lf.ID] = old
+		vals[lf.ID] = old
+	}
+	m.cells[req.Addr] = cell
+	m.Served++
+	return core.Reply{ID: req.ID, Val: vals[req.ID], Attempt: req.Attempt, Leaves: vals}
+}
+
+// DedupHitCount returns the reply-cache hit count under the module lock,
+// safe to read while direct-mode traffic is still executing.
+func (m *Module) DedupHitCount() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	return m.DedupHits
 }
 
 // Enqueue appends a request to the module's FIFO (cycle-driven mode).

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"combining/internal/core"
+	"combining/internal/faults"
 	"combining/internal/memory"
 	"combining/internal/rmw"
 	"combining/internal/stats"
@@ -38,6 +39,12 @@ type Config struct {
 	BuggyLoadForwarding bool
 	// MemService is the memory module service time in cycles (default 1).
 	MemService int
+	// Faults, when non-nil, arms the deterministic fault plan (see
+	// internal/faults) and with it the full recovery layer: requests carry
+	// representation leaves, memory modules keep reply caches, processors
+	// retransmit on timeout with capped backoff, and duplicate replies are
+	// suppressed at the ports.
+	Faults *faults.Plan
 	// Trace, when non-nil, observes every inject/combine/memory/
 	// decombine/deliver event (see trace.go).  Tracing a long run is
 	// expensive; it is meant for audits and walkthroughs.
@@ -185,6 +192,20 @@ type Sim struct {
 	stats Stats
 	// lat records per-completion round-trip latency in cycles.
 	lat stats.Histogram
+
+	// Fault-mode state (nil/zero on a healthy machine).
+	flt *faults.Injector
+	trk *faults.Tracker
+	// retry queues retransmissions per processor, drained ahead of fresh
+	// traffic by injectAll.
+	retry [][]fwdMsg
+	// stallMask caches this cycle's per-switch stall decisions so each
+	// switch-cycle is counted once.
+	stallMask [][]bool
+	// orphans counts replies arriving with no request metadata — the
+	// expected fate of the losing copy when an original and a retransmit
+	// both reach memory (satellite of the metadata panic).
+	orphans int64
 }
 
 // NewSim builds a machine; injectors must supply exactly cfg.Procs entries.
@@ -207,16 +228,29 @@ func NewSim(cfg Config, inj []Injector) *Sim {
 			stages[s][i] = newSwitch(s, i, radix, cfg.QueueCap, cfg.WaitBufCap, pol, cfg.BuggyLoadForwarding)
 		}
 	}
+	memOpts := []memory.Option{memory.WithServiceTime(cfg.MemService)}
+	if cfg.Faults != nil {
+		memOpts = append(memOpts, memory.WithReplyCache())
+	}
 	s := &Sim{
 		cfg:     cfg,
 		n:       n,
 		k:       k,
 		radix:   radix,
 		stages:  stages,
-		mem:     memory.NewArray(n, memory.WithServiceTime(cfg.MemService)),
+		mem:     memory.NewArray(n, memOpts...),
 		inj:     inj,
 		pending: make([]*fwdMsg, n),
 		meta:    make(map[word.ReqID]fwdMsg),
+	}
+	if cfg.Faults != nil {
+		s.flt = faults.NewInjector(*cfg.Faults)
+		s.trk = faults.NewTracker(s.flt)
+		s.retry = make([][]fwdMsg, n)
+		s.stallMask = make([][]bool, k)
+		for i := range s.stallMask {
+			s.stallMask[i] = make([]bool, n/radix)
+		}
 	}
 	if cfg.Trace != nil {
 		for _, stage := range stages {
@@ -264,6 +298,17 @@ func (s *Sim) destModule(addr word.Addr) int { return s.mem.HomeOf(addr) }
 func (s *Sim) Step() {
 	s.cycle++
 	s.stats.Cycles++
+	if s.flt != nil {
+		for stage := range s.stallMask {
+			for si := range s.stallMask[stage] {
+				s.stallMask[stage][si] = s.flt.Stalled(stage, si, s.cycle)
+			}
+		}
+		for _, p := range s.trk.Expired(s.cycle) {
+			s.retry[p.Proc] = append(s.retry[p.Proc],
+				fwdMsg{req: p.Req, issueCycle: p.IssueCycle, hot: p.Hot})
+		}
+	}
 	s.drainReverse()
 	s.tickMemory()
 	s.drainForward()
@@ -285,13 +330,21 @@ func (s *Sim) drainReverse() {
 	rot := int(s.cycle)
 	for stage := 0; stage < s.k; stage++ {
 		for si := range s.stages[stage] {
-			sw := s.stages[stage][(si+rot)%len(s.stages[stage])]
+			idx := (si + rot) % len(s.stages[stage])
+			if s.flt != nil && s.stallMask[stage][idx] {
+				continue // blacked-out switch moves nothing this cycle
+			}
+			sw := s.stages[stage][idx]
 			for pi := 0; pi < s.radix; pi++ {
 				port := (pi + rot) % s.radix
 				if len(sw.revQ[port]) == 0 {
 					continue
 				}
 				r := sw.popRev(port)
+				if s.flt != nil && s.flt.DropReply(
+					faults.Site(stage, sw.index, port), r.rep.ID, r.rep.Attempt) {
+					continue // reply lost on the reverse link
+				}
 				s.stats.RevHops++
 				s.stats.RevSlots += int64(r.slots)
 				inLine := sw.index*s.radix + port
@@ -309,6 +362,11 @@ func (s *Sim) drainReverse() {
 }
 
 func (s *Sim) deliver(proc int, r revMsg) {
+	if s.trk != nil {
+		if _, ok := s.trk.Deliver(r.rep.ID, s.cycle); !ok {
+			return // duplicate of an already-delivered reply; suppressed
+		}
+	}
 	lat := s.cycle - r.issueCycle
 	s.stats.Completed++
 	s.stats.LatencySum += lat
@@ -331,6 +389,9 @@ func (s *Sim) deliver(proc int, r revMsg) {
 // reverse side of the last stage.
 func (s *Sim) tickMemory() {
 	for mod := 0; mod < s.n; mod++ {
+		if s.flt != nil && s.flt.MemStalled(mod, s.cycle) {
+			continue // module inside a slowdown window serves nothing
+		}
 		rep, ok := s.mem.Module(mod).Tick()
 		if !ok {
 			continue
@@ -338,7 +399,15 @@ func (s *Sim) tickMemory() {
 		s.stats.MemAcks++
 		m, found := s.meta[rep.ID]
 		if !found {
-			panic(fmt.Sprintf("network: reply %v with no request metadata", rep))
+			if s.flt != nil {
+				// Expected under retransmission: when an original and a
+				// retransmit both reach memory, the first reply consumes
+				// the metadata and the second becomes an orphan.
+				s.orphans++
+				continue
+			}
+			panic(fmt.Sprintf("network: cycle %d, module %d: reply id %d (%v) with no request metadata",
+				s.cycle, mod, rep.ID, rep))
 		}
 		delete(s.meta, rep.ID)
 		if s.cfg.Trace != nil {
@@ -362,7 +431,11 @@ func (s *Sim) drainForward() {
 	rot := int(s.cycle)
 	for stage := s.k - 1; stage >= 0; stage-- {
 		for si := range s.stages[stage] {
-			sw := s.stages[stage][(si+rot)%len(s.stages[stage])]
+			idx := (si + rot) % len(s.stages[stage])
+			if s.flt != nil && s.stallMask[stage][idx] {
+				continue // blacked-out switch moves nothing this cycle
+			}
+			sw := s.stages[stage][idx]
 			for pi := 0; pi < s.radix; pi++ {
 				port := (pi + rot) % s.radix
 				if len(sw.outQ[port]) == 0 {
@@ -373,6 +446,10 @@ func (s *Sim) drainForward() {
 				if stage == s.k-1 {
 					// The link into module outLine.
 					sw.popFwd(port)
+					if s.flt != nil && s.flt.DropForward(
+						faults.Site(s.k, outLine, 0), m.req.ID, m.req.Attempt) {
+						continue // request lost on the memory link
+					}
 					s.stats.FwdHops++
 					s.stats.FwdSlots += int64(core.ValueSlots(m.req.Op))
 					s.stats.MemRequests++
@@ -382,6 +459,11 @@ func (s *Sim) drainForward() {
 				}
 				nextLine := s.shuffle(outLine)
 				next := s.stages[stage+1][nextLine/s.radix]
+				if s.flt != nil && s.flt.DropForward(
+					faults.Site(stage+1, nextLine/s.radix, nextLine%s.radix), m.req.ID, m.req.Attempt) {
+					sw.popFwd(port)
+					continue // request lost on the inter-stage link
+				}
 				dst := s.destModule(m.req.Addr)
 				if next.tryAccept(m, s.outPortFor(stage+1, dst), uint8(nextLine%s.radix), &s.stats) {
 					sw.popFwd(port)
@@ -399,21 +481,61 @@ func (s *Sim) injectAll() {
 	rot := int(s.cycle)
 	for pi := 0; pi < s.n; pi++ {
 		proc := (pi + rot) % s.n
+		if s.flt != nil && len(s.retry[proc]) > 0 {
+			// Retransmissions take the port's injection slot this cycle,
+			// bypassing the pending slot entirely: a fresh request held
+			// there (HeldBack) may be waiting on exactly the delivery
+			// this retransmit recovers.
+			m := s.retry[proc][0]
+			line := s.shuffle(proc)
+			if s.flt.DropForward(faults.Site(0, line/s.radix, line%s.radix), m.req.ID, m.req.Attempt) {
+				s.retry[proc] = s.retry[proc][1:]
+				continue
+			}
+			sw := s.stages[0][line/s.radix]
+			dst := s.destModule(m.req.Addr)
+			if sw.tryAccept(m, s.outPortFor(0, dst), uint8(line%s.radix), &s.stats) {
+				s.retry[proc] = s.retry[proc][1:]
+				s.stats.FwdHops++
+				s.stats.FwdSlots += int64(core.ValueSlots(m.req.Op))
+			}
+			continue
+		}
 		if s.pending[proc] == nil {
 			inj, ok := s.inj[proc].Next(s.cycle)
 			if !ok {
 				continue
 			}
-			m := fwdMsg{req: inj.Req, issueCycle: s.cycle, hot: inj.Hot}
+			req := inj.Req
+			if s.trk != nil {
+				if req.Reps == nil && len(req.Srcs) == 1 {
+					// The reply cache needs every message to name its
+					// leaves exactly.
+					req = req.WithReps()
+				}
+				s.trk.Track(proc, req, inj.Hot, s.cycle)
+			}
+			m := fwdMsg{req: req, issueCycle: s.cycle, hot: inj.Hot}
 			s.pending[proc] = &m
 			s.stats.Issued++
 			if s.cfg.Trace != nil {
 				s.cfg.Trace(Event{Cycle: s.cycle, Kind: EvInject,
-					ID: inj.Req.ID, Addr: inj.Req.Addr, Stage: -1, Switch: proc})
+					ID: req.ID, Addr: req.Addr, Stage: -1, Switch: proc})
 			}
 		}
 		m := s.pending[proc]
+		if s.trk != nil && m.req.Attempt == 0 && s.trk.HeldBack(proc, m.req.Addr) {
+			// An earlier request to the same address is undelivered; hold
+			// this one at the port so a drop cannot reorder the
+			// processor's own accesses to the location.
+			continue
+		}
 		line := s.shuffle(proc)
+		if s.flt != nil && s.flt.DropForward(
+			faults.Site(0, line/s.radix, line%s.radix), m.req.ID, m.req.Attempt) {
+			s.pending[proc] = nil // lost on the processor-to-stage-0 link
+			continue
+		}
 		sw := s.stages[0][line/s.radix]
 		dst := s.destModule(m.req.Addr)
 		if sw.tryAccept(*m, s.outPortFor(0, dst), uint8(line%s.radix), &s.stats) {
@@ -440,7 +562,7 @@ func (s *Sim) Stats() Stats {
 // cross-engine API (see internal/stats).
 func (s *Sim) Snapshot() stats.Snapshot {
 	st := s.Stats()
-	return stats.Snapshot{
+	snap := stats.Snapshot{
 		Engine: "network",
 		Counters: map[string]int64{
 			"cycles":          st.Cycles,
@@ -464,11 +586,32 @@ func (s *Sim) Snapshot() stats.Snapshot {
 			"latency_cycles": st.Latency,
 		},
 	}
+	if s.flt != nil {
+		faults.AddCounters(&snap, s.flt, s.trk, s.mem.TotalDedupHits(), s.orphans)
+	}
+	return snap
 }
+
+// Faults exposes the fault injector (nil on a healthy machine).
+func (s *Sim) Faults() *faults.Injector { return s.flt }
+
+// Tracker exposes the exactly-once delivery ledger (nil on a healthy
+// machine).
+func (s *Sim) Tracker() *faults.Tracker { return s.trk }
+
+// Orphans reports replies that arrived with no request metadata (fault mode
+// only; on a healthy machine an orphan is a bug and panics instead).
+func (s *Sim) Orphans() int64 { return s.orphans }
 
 // InFlight reports requests somewhere in the machine: pending at the
 // injection port, queued in switches, in memory, or replies in transit.
+// Under a fault plan, physical occupancy is the wrong notion — messages
+// vanish on dropped links and stale wait records linger by design — so the
+// tracker's ledger answers instead: requests issued but not yet delivered.
 func (s *Sim) InFlight() int {
+	if s.trk != nil {
+		return s.trk.Outstanding()
+	}
 	n := 0
 	for _, p := range s.pending {
 		if p != nil {

@@ -146,8 +146,15 @@ func (sw *switchNode) tryAccept(m fwdMsg, outPort int, inPort uint8, st *Stats) 
 // the decombining fan-out restores exactly the messages combining removed,
 // so total reverse traffic never exceeds the uncombined load.
 func (sw *switchNode) acceptReply(r revMsg) {
-	if rec, ok := sw.wait.Pop(r.rep.ID); ok {
-		r1, r2 := core.Decombine(rec.Record, r.rep)
+	// PopMatch skips records the reply cannot answer: under fault
+	// injection a record goes stale when its combined message is dropped
+	// downstream, and a later (retransmitted) reply for the same id must
+	// pass through rather than synthesize a second requester's reply from
+	// a combine that never reached memory.  On a healthy network every
+	// record matches and this is exactly Pop.
+	match := func(nr netRecord) bool { return core.CanDecombine(nr.Record, r.rep) }
+	if rec, ok := sw.wait.PopMatch(r.rep.ID, match); ok {
+		r1, r2 := core.DecombineExact(rec.Record, r.rep)
 		if sw.trace != nil {
 			sw.trace(Event{Cycle: *sw.cycleRef, Kind: EvDecombine,
 				ID: r1.ID, ID2: r2.ID, Stage: sw.stage, Switch: sw.index})
