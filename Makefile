@@ -4,11 +4,14 @@
 
 all: vet test
 
-# check is the CI gate: build everything, vet, and run the full test suite
-# under the race detector.
+# check is the CI gate: build everything, vet, lint (when staticcheck is
+# on PATH; CI installs it, local runs skip it silently otherwise), and run
+# the full test suite under the race detector.
 check:
 	go build ./...
 	go vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "staticcheck not installed; skipping (CI runs it)"; fi
 	go test -race ./...
 
 test:

@@ -10,8 +10,15 @@
 // RMW semantics.  Every failure prints the effective seed of the run, so
 // `check -seed <that seed> -rounds 1` replays it exactly.
 //
+// With -overload it runs the deadlock-freedom soak: a pure hot spot
+// driven through every engine with every queue at its minimum capacity
+// (forward, reverse, and memory queues at 1; channel capacity 1 on the
+// goroutine engine), clean and under fault plans, watchdog-guarded.  The
+// runs must complete with zero watchdog trips and replies matching the
+// serial prefix sums.
+//
 // Usage: check [-rounds 50] [-procs 16] [-ops 20] [-addrs 4] [-seed 1]
-// [-quick] [-faults] [-v]
+// [-quick] [-faults] [-overload] [-v]
 package main
 
 import (
@@ -34,6 +41,7 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "base seed; round r runs with seed+r")
 		quick    = flag.Bool("quick", false, "small CI-sized soak (shrinks rounds/procs/ops)")
 		doFaults = flag.Bool("faults", false, "also soak all four engines under fault plans")
+		overload = flag.Bool("overload", false, "deadlock-freedom soak: every queue at capacity 1 on all four engines")
 		verbose  = flag.Bool("v", false, "log every execution")
 	)
 	flag.Parse()
@@ -46,6 +54,11 @@ func main() {
 		fc, ff := faultSoak(*rounds, *procs, *ops, *addrs, *seed, *verbose)
 		checked += fc
 		failed += ff
+	}
+	if *overload {
+		oc, of := overloadSoak(*rounds, *procs, *ops, *seed, *verbose)
+		checked += oc
+		failed += of
 	}
 	fmt.Printf("\n%d executions checked, %d failures\n", checked, failed)
 	if failed > 0 {
@@ -246,6 +259,179 @@ func asyncFaultRound(procs, opsPerPort int, seed uint64) (injected int64, err er
 		}
 	}
 	return net.Snapshot().Counters["faults_injected"], nil
+}
+
+// overEngine is what the overload soak needs from a cycle-driven
+// transport: stepping, the shared snapshot, memory, and the watchdog.
+type overEngine interface {
+	combining.MachineEngine
+	Snapshot() combining.StatsSnapshot
+	Memory() *combining.MemArray
+	Stalled() bool
+	StallReport() string
+}
+
+// overloadSoak drives a pure hot spot through each engine with every
+// queue at its minimum capacity — the configuration in which any flaw in
+// the credit scheme deadlocks or livelocks — clean and under the default
+// fault plan.  Completion with zero watchdog trips plus serial-prefix-sum
+// replies is the deadlock-freedom acceptance check; a trip prints the
+// engine's replayable stall report.
+func overloadSoak(rounds, procs, ops int, seed uint64, verbose bool) (checked, failed int) {
+	engines := []struct {
+		name  string
+		build func(plan *combining.FaultPlan, inj []combining.Injector) overEngine
+	}{
+		{"network", func(p *combining.FaultPlan, inj []combining.Injector) overEngine {
+			return combining.NewSim(combining.NetConfig{
+				Procs: procs, QueueCap: 1, RevQueueCap: 1, MemQueueCap: 1,
+				WaitBufCap: 4, Faults: p,
+			}, inj)
+		}},
+		{"busnet", func(p *combining.FaultPlan, inj []combining.Injector) overEngine {
+			return combining.NewBusSim(combining.BusConfig{
+				Procs: procs, Banks: 4, QueueCap: 1, BankQueueCap: 1,
+				WaitBufCap: 4, Faults: p,
+			}, inj)
+		}},
+		{"hypercube", func(p *combining.FaultPlan, inj []combining.Injector) overEngine {
+			return combining.NewCubeSim(combining.CubeConfig{
+				Nodes: procs, QueueCap: 1, RevQueueCap: 1, MemQueueCap: 1,
+				WaitBufCap: 4, Faults: p,
+			}, inj)
+		}},
+	}
+	const hot = combining.Addr(0)
+	modes := []struct {
+		name string
+		plan func(uint64) *combining.FaultPlan
+	}{
+		{"clean", func(uint64) *combining.FaultPlan { return nil }},
+		{"faults", func(s uint64) *combining.FaultPlan { return combining.DefaultFaultPlan(s) }},
+	}
+	for _, e := range engines {
+		for _, mode := range modes {
+			name := e.name + "/overload-" + mode.name
+			for r := 0; r < rounds; r++ {
+				eff := seed + uint64(r)
+				progs := make([][]combining.Instr, procs)
+				for p := range progs {
+					for i := 0; i < ops; i++ {
+						progs[p] = append(progs[p], combining.RMW(hot, combining.FetchAdd(1)))
+					}
+				}
+				m, inj := combining.NewMachineInjectors(progs)
+				eng := e.build(mode.plan(eff), inj)
+				m.BindEngine(eng)
+				if !m.Run(10_000_000) {
+					if eng.Stalled() {
+						fmt.Printf("FAIL %s seed %d: %s\n", name, eff, eng.StallReport())
+					} else {
+						fmt.Printf("FAIL %s seed %d: did not complete, %d in flight (replay: -seed %d -rounds 1 -overload)\n",
+							name, eff, eng.InFlight(), eff)
+					}
+					failed++
+					continue
+				}
+				checked++
+				total := int64(procs * ops)
+				if got := eng.Memory().Peek(hot).Val; got != total {
+					fmt.Printf("FAIL %s seed %d: final counter %d, want %d\n", name, eff, got, total)
+					failed++
+					continue
+				}
+				var all []int64
+				for p := 0; p < procs; p++ {
+					for i := 0; i < ops; i++ {
+						all = append(all, m.Proc(p).Reply(i).Val)
+					}
+				}
+				sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+				bad := false
+				for i, v := range all {
+					if v != int64(i) {
+						fmt.Printf("FAIL %s seed %d: sorted reply %d = %d, want %d (lost or duplicated RMW)\n", name, eff, i, v, i)
+						failed++
+						bad = true
+						break
+					}
+				}
+				if bad {
+					continue
+				}
+				snap := eng.Snapshot()
+				if trips := snap.Counters["watchdog_trips"]; trips != 0 {
+					fmt.Printf("FAIL %s seed %d: %d watchdog trips on a completed run\n", name, eff, trips)
+					failed++
+					continue
+				}
+				if verbose {
+					fmt.Printf("ok   %s seed %d: %d ops, max rev queue %d, max mem queue %d\n",
+						name, eff, total, snap.Gauges["max_rev_queue"], snap.Gauges["max_mem_queue"])
+				}
+			}
+			fmt.Printf("%-26s %d executions verified\n", name, rounds)
+		}
+	}
+
+	// The goroutine engine at channel capacity 1, clean and under drops.
+	for _, mode := range modes {
+		name := "asyncnet/overload-" + mode.name
+		for r := 0; r < rounds; r++ {
+			eff := seed + uint64(r)
+			if err := asyncOverloadRound(procs, ops, mode.plan(eff)); err != nil {
+				fmt.Printf("FAIL %s seed %d: %v (replay: -seed %d -rounds 1 -overload)\n", name, eff, err, eff)
+				failed++
+			} else {
+				checked++
+			}
+		}
+		fmt.Printf("%-26s %d executions verified\n", name, rounds)
+	}
+	return checked, failed
+}
+
+// asyncOverloadRound is one ChanCap=1 hot-spot soak on the goroutine
+// engine: pipelined fetch-and-adds from every port, replies checked
+// against the serial prefix sums.
+func asyncOverloadRound(procs, opsPerPort int, plan *combining.FaultPlan) error {
+	net := combining.NewAsyncNet(combining.AsyncConfig{
+		Procs: procs, Combining: true, Window: 4, ChanCap: 1, Faults: plan,
+	})
+	defer net.Close()
+	const hot = combining.Addr(1)
+
+	vals := make([][]int64, procs)
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			port := net.Port(p)
+			got := make([]int64, 0, opsPerPort)
+			for i := 0; i < opsPerPort; i++ {
+				got = append(got, port.RMW(hot, combining.FetchAdd(1)).Val)
+			}
+			vals[p] = got
+		}(p)
+	}
+	wg.Wait()
+
+	total := procs * opsPerPort
+	if got := net.Memory().Peek(hot).Val; got != int64(total) {
+		return fmt.Errorf("final counter %d, want %d", got, total)
+	}
+	var all []int64
+	for _, v := range vals {
+		all = append(all, v...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	for i, v := range all {
+		if v != int64(i) {
+			return fmt.Errorf("sorted reply %d = %d, want %d (lost or duplicated RMW)", i, v, i)
+		}
+	}
+	return nil
 }
 
 func isPow(n, k int) bool {

@@ -4,13 +4,19 @@
 // Usage:
 //
 //	combsim [-n 64] [-rate 0.6] [-cycles 4000] [-window 4] [-seed 1]
-//	        [-h 0,0.0625,0.125,0.25] [-queue 4] [-csv]
-//	        [-topology omega|hypercube|bus] [-drop 0.01]
+//	        [-h 0,0.0625,0.125,0.25] [-queue 4] [-revqueue 0] [-memqueue 0]
+//	        [-adaptive] [-csv] [-topology omega|hypercube|bus] [-drop 0.01]
 //
 // With -drop > 0 the sweep runs under a deterministic fault plan (that
 // drop probability per forward and reply hop, seeded by -seed) and the
 // engine's retransmit/dedup recovery layer — the E13 degradation curve
 // at the command line.
+//
+// -revqueue and -memqueue bound the reverse and memory-side queues (0
+// takes the engine default, negative is unbounded; on the bus topology
+// -memqueue sets the bank queue).  -adaptive replaces the fixed window
+// with AIMD admission control (the E14 experiment): -window becomes the
+// controller's initial window.
 package main
 
 import (
@@ -31,10 +37,13 @@ func main() {
 		window = flag.Int("window", 4, "outstanding requests per processor")
 		seed   = flag.Uint64("seed", 1, "workload seed")
 		hList  = flag.String("h", "0,0.0625,0.125,0.25", "comma-separated hot fractions")
-		queue  = flag.Int("queue", 4, "switch output queue capacity")
-		csv    = flag.Bool("csv", false, "emit CSV instead of a table")
-		topo   = flag.String("topology", "omega", "omega, hypercube, or bus")
-		drop   = flag.Float64("drop", 0, "per-hop drop probability (arms the fault/recovery layer)")
+		queue    = flag.Int("queue", 4, "switch output queue capacity")
+		revQueue = flag.Int("revqueue", 0, "reverse queue capacity (0 = engine default, negative = unbounded)")
+		memQueue = flag.Int("memqueue", 0, "memory-side queue capacity (0 = engine default, negative = unbounded; bank queue on -topology bus)")
+		adaptive = flag.Bool("adaptive", false, "AIMD admission control instead of a fixed window (-window is the initial window)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of a table")
+		topo     = flag.String("topology", "omega", "omega, hypercube, or bus")
+		drop     = flag.Float64("drop", 0, "per-hop drop probability (arms the fault/recovery layer)")
 	)
 	flag.Parse()
 
@@ -56,7 +65,7 @@ func main() {
 		inj := make([]combining.Injector, *n)
 		for p := 0; p < *n; p++ {
 			inj[p] = combining.NewStochastic(p, *n, combining.TrafficConfig{
-				Rate: *rate, HotFraction: h, Window: *window,
+				Rate: *rate, HotFraction: h, Window: *window, Adaptive: *adaptive,
 			}, *seed)
 		}
 		return inj
@@ -74,19 +83,22 @@ func main() {
 		}
 		switch *topo {
 		case "omega":
-			cfg := combining.NetConfig{Procs: *n, QueueCap: *queue, WaitBufCap: waitCap, Faults: plan}
+			cfg := combining.NetConfig{Procs: *n, QueueCap: *queue, RevQueueCap: *revQueue,
+				MemQueueCap: *memQueue, WaitBufCap: waitCap, Faults: plan}
 			sim := combining.NewSim(cfg, injectors(h))
 			sim.Run(*cycles)
 			st := sim.Stats()
 			return point{st.Bandwidth(), st.MeanLatency(), st.ColdMeanLatency(), st.Combines}
 		case "hypercube":
-			cfg := combining.CubeConfig{Nodes: *n, QueueCap: *queue, WaitBufCap: waitCap, Faults: plan}
+			cfg := combining.CubeConfig{Nodes: *n, QueueCap: *queue, RevQueueCap: *revQueue,
+				MemQueueCap: *memQueue, WaitBufCap: waitCap, Faults: plan}
 			sim := combining.NewCubeSim(cfg, injectors(h))
 			sim.Run(*cycles)
 			st := sim.Stats()
 			return point{st.Bandwidth(), st.MeanLatency(), 0, st.Combines}
 		case "bus":
-			cfg := combining.BusConfig{Procs: *n, Banks: 8, QueueCap: *queue, WaitBufCap: waitCap, Faults: plan}
+			cfg := combining.BusConfig{Procs: *n, Banks: 8, QueueCap: *queue,
+				BankQueueCap: *memQueue, WaitBufCap: waitCap, Faults: plan}
 			sim := combining.NewBusSim(cfg, injectors(h))
 			sim.Run(*cycles)
 			st := sim.Stats()

@@ -30,6 +30,7 @@ type benchReport struct {
 	Permutation []permPoint        `json:"permutation_baselines"`
 	AsyncFAA    []asyncPoint       `json:"asyncnet_faa"`
 	Degradation []degradationPoint `json:"degradation_curve"`
+	Saturation  []saturationPoint  `json:"saturation_curve"`
 }
 
 // hotspotPoint is one cell of the N × h × combining sweep (experiment E8).
@@ -93,6 +94,37 @@ type degradationPoint struct {
 	Snapshot combining.StatsSnapshot `json:"snapshot"`
 }
 
+// saturationPoint is one cell of the E14 saturation curve: hot-spot
+// traffic through a tightly bounded non-combining network, fixed window
+// versus AIMD adaptive admission.  With every queue small, the hot
+// module's congestion backs up through the stages (tree saturation,
+// Pfister & Norton); the adaptive controller shrinks the per-processor
+// window when round-trip latency spikes, keeping latency bounded and
+// degradation smooth where the fixed window piles requests into the tree.
+type saturationPoint struct {
+	Procs       int     `json:"procs"`
+	HotFraction float64 `json:"hot_fraction"`
+	Adaptive    bool    `json:"adaptive"`
+	Cycles      int     `json:"cycles"`
+	Bandwidth   float64 `json:"bandwidth_ops_per_cycle"`
+	MeanLatency float64 `json:"mean_latency_cycles"`
+	P99Latency  float64 `json:"p99_latency_cycles"`
+	// SaturationCycles counts cycles with every stage holding a full
+	// forward queue; MaxStreak is the longest consecutive run of them.
+	SaturationCycles int64 `json:"saturation_cycles"`
+	MaxStreak        int64 `json:"saturation_max_streak"`
+	// Memory and reverse high-water marks, bounded by the credit scheme.
+	MaxMemQueue int64 `json:"max_mem_queue"`
+	MaxRevQueue int64 `json:"max_rev_queue"`
+	// MeanWindow is the average admission window over delivered replies
+	// (the fixed window when not adaptive); Decreases counts the AIMD
+	// multiplicative cuts.
+	MeanWindow float64 `json:"mean_window"`
+	Decreases  int64   `json:"window_decreases"`
+
+	Snapshot combining.StatsSnapshot `json:"snapshot"`
+}
+
 func runBench() {
 	rep := benchReport{Schema: "combining-bench/v1", Quick: *quick}
 
@@ -139,6 +171,16 @@ func runBench() {
 		}
 	}
 
+	satN, satCycles := 64, 2*hotCycles
+	if *quick {
+		satN = 16
+	}
+	for _, h := range []float64{0.0625, 0.125, 0.25, 0.5} {
+		for _, adaptive := range []bool{false, true} {
+			rep.Saturation = append(rep.Saturation, benchSaturation(satN, h, adaptive, satCycles))
+		}
+	}
+
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		panic(err)
@@ -148,8 +190,8 @@ func runBench() {
 		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("bench baseline written to %s (%d hot-spot points, %d permutations, %d async runs, %d degradation points)\n",
-		*benchOut, len(rep.Hotspot), len(rep.Permutation), len(rep.AsyncFAA), len(rep.Degradation))
+	fmt.Printf("bench baseline written to %s (%d hot-spot points, %d permutations, %d async runs, %d degradation points, %d saturation points)\n",
+		*benchOut, len(rep.Hotspot), len(rep.Permutation), len(rep.AsyncFAA), len(rep.Degradation), len(rep.Saturation))
 }
 
 // benchHotspot mirrors RunHotspot but keeps the simulator so the point can
@@ -215,6 +257,58 @@ func benchDegradation(n int, h, rate float64, comb bool, cycles int) degradation
 		Retries:        snap.Counters["retries"],
 		DedupHits:      snap.Counters["dedup_hits"],
 		Snapshot:       snap,
+	}
+}
+
+// benchSaturation runs the E14 point: a non-combining network with every
+// queue tight (the configuration tree saturation punishes hardest),
+// fixed window 8 versus AIMD admission starting at 8.  The adaptive side
+// reports its mean window and decrease count so the curve shows the
+// controller actually throttling.
+func benchSaturation(n int, h float64, adaptive bool, cycles int) saturationPoint {
+	traffic := combining.TrafficConfig{
+		Rate: 0.8, HotFraction: h, Window: 8,
+		Adaptive: adaptive, MinWindow: 1, MaxWindow: 16,
+	}
+	inj := make([]combining.Injector, n)
+	var ctrls []*combining.AIMD
+	for p := 0; p < n; p++ {
+		s := combining.NewStochastic(p, n, traffic, 7)
+		if c := s.Admission(); c != nil {
+			ctrls = append(ctrls, c)
+		}
+		inj[p] = s
+	}
+	sim := combining.NewSim(combining.NetConfig{
+		Procs: n, QueueCap: 2, RevQueueCap: 2, MemQueueCap: 2, WaitBufCap: 0,
+	}, inj)
+	sim.Run(cycles)
+	st := sim.Stats()
+	snap := sim.Snapshot()
+	meanWin, decreases := float64(traffic.Window), int64(0)
+	if len(ctrls) > 0 {
+		sum := 0.0
+		for _, c := range ctrls {
+			sum += c.MeanWindow()
+			decreases += c.Decreases
+		}
+		meanWin = sum / float64(len(ctrls))
+	}
+	return saturationPoint{
+		Procs:            n,
+		HotFraction:      h,
+		Adaptive:         adaptive,
+		Cycles:           cycles,
+		Bandwidth:        st.Bandwidth(),
+		MeanLatency:      st.MeanLatency(),
+		P99Latency:       st.Percentile(0.99),
+		SaturationCycles: snap.Counters["saturation_cycles"],
+		MaxStreak:        snap.Gauges["saturation_max_streak"],
+		MaxMemQueue:      snap.Gauges["max_mem_queue"],
+		MaxRevQueue:      snap.Gauges["max_rev_queue"],
+		MeanWindow:       meanWin,
+		Decreases:        decreases,
+		Snapshot:         snap,
 	}
 }
 

@@ -24,6 +24,7 @@ import (
 	"combining/internal/coord"
 	"combining/internal/core"
 	"combining/internal/faults"
+	"combining/internal/flow"
 	"combining/internal/hypercube"
 	"combining/internal/machine"
 	"combining/internal/memory"
@@ -45,6 +46,24 @@ type StatsSnapshot = stats.Snapshot
 
 // StatsHistogram is a frozen latency/size distribution with percentiles.
 type StatsHistogram = stats.HistogramSnapshot
+
+// ---- Flow control (internal/flow) ----
+
+// AIMD is the additive-increase/multiplicative-decrease admission
+// controller behind TrafficConfig.Adaptive.
+type AIMD = flow.AIMD
+
+// Watchdog is the progress watchdog every cycle engine runs: it declares
+// livelock/deadlock after a configurable number of cycles with work in
+// flight and a frozen progress signature.
+type Watchdog = flow.Watchdog
+
+// Saturation detects tree saturation (Pfister & Norton) from an
+// engine-specific fullness predicate observed every cycle.
+type Saturation = flow.Saturation
+
+// DefaultWatchdogCycles is the default watchdog limit.
+const DefaultWatchdogCycles = network.DefaultWatchdogCycles
 
 // ---- Words and identifiers (internal/word) ----
 

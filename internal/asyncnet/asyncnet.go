@@ -51,12 +51,17 @@ type Config struct {
 	AllowReversal bool
 	// Window bounds outstanding requests per port (default 8).
 	Window int
-	// ChanCap is the per-link channel capacity.  It defaults to
-	// Procs·Window, which bounds total in-flight messages below any
-	// single channel's capacity, so switch sends never block
-	// indefinitely and the processes cannot deadlock.  Under a fault
-	// plan the default is 16× that, because retransmit copies and
-	// suppressed duplicates ride alongside live traffic.
+	// ChanCap is the per-link channel capacity — the engine's bounded
+	// queues.  Any capacity ≥ 1 is deadlock-free: a port or switch that
+	// blocks sending forward services its reply side while it waits (the
+	// service-while-blocked discipline, see sendFwd and the fwdOut
+	// wiring in New), so the classic request-blocks-reply cycle cannot
+	// close; blocked reverse sends descend strictly in stage and
+	// terminate at the ports, which always consume.  The default is
+	// Procs·Window — enough that sends rarely block at all (16× that
+	// under a fault plan, because retransmit copies and suppressed
+	// duplicates ride alongside live traffic); set ChanCap explicitly to
+	// model tight link buffering.
 	ChanCap int
 	// Faults, when non-nil, arms deterministic fault injection (link
 	// drops on both networks) plus the recovery layer: wall-clock
@@ -90,6 +95,10 @@ type Net struct {
 	// batchHW tracks, per stage, the largest simultaneously drained
 	// request batch — the asynchronous analogue of switch queue depth.
 	batchHW []stats.HighWater
+	// creditStalls counts forward sends that found the downstream channel
+	// full and fell into the service-while-blocked loop — the engine's
+	// backpressure signal, analogous to the cycle engines' hold counters.
+	creditStalls stats.Counter
 
 	// flt answers fault decisions when the net runs under a plan.
 	flt *faults.Injector
@@ -239,10 +248,13 @@ func New(cfg Config) *Net {
 	}
 
 	// Wire the topology: stage s switch i output line (2i+b) shuffles
-	// into stage s+1; the last stage feeds memory inline and sends the
-	// reply back into its own revIn.  Every hop passes through a fault
-	// hook; sends select against done so stale fault-mode duplicates
-	// cannot wedge a switch at shutdown.
+	// into stage s+1; the last stage feeds memory inline and decombines
+	// the reply in place (a self-send into its own bounded revIn could
+	// block forever, since only this goroutine drains it).  Forward sends
+	// service the sender's reply side while blocked, so every channel may
+	// be as small as one slot without deadlock.  Every hop passes through
+	// a fault hook; sends select against done so stale fault-mode
+	// duplicates cannot wedge a switch at shutdown.
 	for s := 0; s < k; s++ {
 		for i := 0; i < n/2; i++ {
 			sw := net.switches[s][i]
@@ -259,7 +271,10 @@ func New(cfg Config) *Net {
 						if net.flt != nil && net.flt.DropReply(site, rep.ID, rep.Attempt) {
 							return
 						}
-						send(net.done, sw.revIn, revMsg{rep: rep, path: m.path})
+						// Decombine in place: this goroutine owns the wait
+						// buffer, and routing through the bounded revIn
+						// would be a self-send that deadlocks once full.
+						sw.handleRev(revMsg{rep: rep, path: m.path})
 					}
 				} else {
 					nextLine := net.shuffle(outLine)
@@ -272,7 +287,29 @@ func New(cfg Config) *Net {
 							return
 						}
 						m.path = append(m.path, inPort)
-						send(net.done, target, m)
+						// Service-while-blocked: while the downstream inbox
+						// is full, keep draining our own revIn.  A blocked
+						// forward chain ascends the stages; every switch on
+						// it stays live on its reply side, so replies drain,
+						// wait records clear, and the head of the chain
+						// eventually frees a slot — requests can never block
+						// replies, the cycle that deadlocks bounded buffers.
+						select {
+						case target <- m:
+							return
+						default:
+							net.creditStalls.Inc()
+						}
+						for {
+							select {
+							case target <- m:
+								return
+							case r := <-sw.revIn:
+								sw.handleRev(r)
+							case <-net.done:
+								return
+							}
+						}
 					}
 				}
 			}
@@ -347,6 +384,7 @@ func (n *Net) Snapshot() stats.Snapshot {
 			"combines":        n.combines.Load(),
 			"combine_rejects": n.rejects.Load(),
 			"replies":         n.rtt.Count(),
+			"credit_stalls":   n.creditStalls.Load(),
 		},
 		Gauges: gauges,
 		Histograms: map[string]stats.HistogramSnapshot{
@@ -508,6 +546,33 @@ func (p *Port) absorbToBuffer() {
 	}
 }
 
+// sendFwd injects a request into a first-stage switch, absorbing replies
+// while the send blocks: a port waiting on a full inbox keeps consuming
+// its reply channel, so the first-stage switch can always finish its
+// reverse sends and get back to draining the very inbox the port is
+// waiting on.  This is the processor end of the service-while-blocked
+// discipline that makes ChanCap=1 deadlock-free.
+func (p *Port) sendFwd(ch chan fwdMsg, m fwdMsg) {
+	select {
+	case ch <- m:
+		return
+	default:
+		p.net.creditStalls.Inc()
+	}
+	for {
+		select {
+		case ch <- m:
+			return
+		case r := <-p.reply:
+			if v, live := p.absorb(r); live {
+				p.buffered[r.rep.ID] = v
+			}
+		case <-p.net.done:
+			return
+		}
+	}
+}
+
 // RMWAsync issues the request without waiting for its reply — the
 // processor-side pipelining of Section 3.2 (condition M2 still holds: the
 // network is non-overtaking per location, but accesses to different
@@ -541,10 +606,10 @@ func (p *Port) RMWAsync(addr word.Addr, op rmw.Mapping) *Pending {
 		}
 		p.liveAddr[addr]++
 		if !p.net.flt.DropForward(faults.Site(0, line>>1, line&1), id, 0) {
-			send(p.net.done, sw.fwdIn[line&1], fwdMsg{req: req, path: []uint8{uint8(line & 1)}})
+			p.sendFwd(sw.fwdIn[line&1], fwdMsg{req: req, path: []uint8{uint8(line & 1)}})
 		}
 	} else {
-		sw.fwdIn[line&1] <- fwdMsg{req: req, path: []uint8{uint8(line & 1)}}
+		p.sendFwd(sw.fwdIn[line&1], fwdMsg{req: req, path: []uint8{uint8(line & 1)}})
 	}
 	p.outstanding++
 	return &Pending{port: p, id: id, epoch: p.epoch}
@@ -643,9 +708,13 @@ func (sw *aswitch) handleFwd(first fwdMsg) {
 	// from concurrently released goroutines arrives within a few
 	// scheduler quanta, and the yield lets the stragglers land so they
 	// can combine — the asynchronous analogue of messages meeting in a
-	// switch queue.
+	// switch queue.  The batch is capped at both inboxes' worth of
+	// messages so that switch-internal buffering stays bounded even while
+	// blocked upstream senders keep refilling the channels; with the
+	// (large) default ChanCap the cap is never reached.
+	batchMax := 2*sw.net.cfg.ChanCap + 1
 	for round := 0; round < 2; round++ {
-		for drained := true; drained; {
+		for drained := true; drained && len(batch) < batchMax; {
 			select {
 			case m := <-sw.fwdIn[0]:
 				batch = append(batch, m)

@@ -18,6 +18,7 @@ import (
 
 	"combining/internal/core"
 	"combining/internal/faults"
+	"combining/internal/flow"
 	"combining/internal/memory"
 	"combining/internal/network"
 	"combining/internal/stats"
@@ -32,6 +33,16 @@ type Config struct {
 	Banks int
 	// QueueCap bounds the decoupling FIFO (default 8).
 	QueueCap int
+	// BankQueueCap bounds each bank's input queue, including the request
+	// in service; the FIFO head dispatches only while the target bank is
+	// below it, holding (head-of-line blocking) otherwise.  0 defaults to
+	// 1 — the classic decoupled-bus design where a bank accepts the next
+	// request only when idle.
+	BankQueueCap int
+	// WatchdogCycles is the progress watchdog limit (see
+	// internal/network.Config.WatchdogCycles): 0 defaults to
+	// network.DefaultWatchdogCycles, negative disables.
+	WatchdogCycles int64
 	// WaitBufCap bounds the FIFO's wait buffer (0 disables combining).
 	WaitBufCap int
 	// BankService is cycles per memory operation (default 4 — banks are
@@ -69,8 +80,20 @@ type Stats struct {
 	LatencySum int64
 	Combines   int64
 	BankOps    int64
+	// BusOps counts requests the bus carried into the decoupling FIFO —
+	// part of the movement signature the progress watchdog keys on.
+	BusOps int64
 	// HOLBlocked counts cycles the FIFO head was stalled on a busy bank.
 	HOLBlocked int64
+
+	// SaturationCycles counts cycles the decoupling FIFO was full with
+	// the head blocked on a busy bank — the bus machine's saturation
+	// regime; SaturationMaxStreak is the longest run.
+	SaturationCycles    int64
+	SaturationMaxStreak int64
+
+	// WatchdogTrips is 1 if the progress watchdog declared a stall.
+	WatchdogTrips int64
 }
 
 // MeanLatency is the average round trip in cycles.
@@ -107,6 +130,10 @@ type Sim struct {
 	lat    stats.Histogram
 	fifoHW stats.HighWater
 
+	// wd is the progress watchdog; sat the saturation monitor.
+	wd  *flow.Watchdog
+	sat flow.Saturation
+
 	// Fault-mode state (nil/zero on a healthy machine); see
 	// internal/network.Sim for the shared recovery discipline.
 	flt     *faults.Injector
@@ -126,10 +153,19 @@ func NewSim(cfg Config, inj []network.Injector) *Sim {
 	if cfg.QueueCap == 0 {
 		cfg.QueueCap = 8
 	}
+	if cfg.BankQueueCap == 0 {
+		cfg.BankQueueCap = 1
+	}
+	if cfg.WatchdogCycles == 0 {
+		cfg.WatchdogCycles = network.DefaultWatchdogCycles
+	}
 	if cfg.BankService == 0 {
 		cfg.BankService = 4
 	}
 	memOpts := []memory.Option{memory.WithServiceTime(cfg.BankService)}
+	if cfg.BankQueueCap > 0 {
+		memOpts = append(memOpts, memory.WithQueueCap(cfg.BankQueueCap))
+	}
 	if cfg.Faults != nil {
 		memOpts = append(memOpts, memory.WithReplyCache())
 	}
@@ -141,6 +177,7 @@ func NewSim(cfg Config, inj []network.Injector) *Sim {
 		wait:    core.NewWaitBuffer[brec](cfg.WaitBufCap),
 		meta:    make(map[word.ReqID]qmsg),
 		pol:     core.Policy{AllowReversal: cfg.AllowReversal},
+		wd:      flow.NewWatchdog(cfg.WatchdogCycles),
 	}
 	if cfg.Faults != nil {
 		s.flt = faults.NewInjector(*cfg.Faults)
@@ -178,11 +215,17 @@ func (s *Sim) Snapshot() stats.Snapshot {
 			"completed":       s.stats.Completed,
 			"combines":        s.stats.Combines,
 			"combine_rejects": s.wait.Rejections,
-			"bank_ops":        s.stats.BankOps,
-			"hol_blocked":     s.stats.HOLBlocked,
+			"bank_ops":          s.stats.BankOps,
+			"bus_ops":           s.stats.BusOps,
+			"hol_blocked":       s.stats.HOLBlocked,
+			"saturation_cycles": s.stats.SaturationCycles,
+			"holds_mem":         s.stats.HOLBlocked,
+			"watchdog_trips":    s.stats.WatchdogTrips,
 		},
 		Gauges: map[string]int64{
-			"fifo_max": s.fifoHW.Load(),
+			"fifo_max":              s.fifoHW.Load(),
+			"max_mem_queue":         int64(s.mem.MaxQueueDepth()),
+			"saturation_max_streak": s.stats.SaturationMaxStreak,
 		},
 		Histograms: map[string]stats.HistogramSnapshot{
 			"latency_cycles": s.lat.Snapshot(),
@@ -212,6 +255,57 @@ func (s *Sim) InFlight() int {
 // Step advances one cycle: bank completions return (and decombine), the
 // FIFO head dispatches, and one processor wins the bus.
 func (s *Sim) Step() {
+	s.step()
+
+	// Saturation: the decoupling FIFO is full AND its head is blocked on a
+	// busy bank — offered load has nowhere to go but the bus arbitration
+	// holds, the bus machine's tree-saturation analogue.
+	s.sat.Observe(len(s.queue) >= s.cfg.QueueCap && s.holBlockedNow())
+	s.stats.SaturationCycles = s.sat.Cycles()
+	s.stats.SaturationMaxStreak = s.sat.MaxStreak()
+	if s.wd.Observe(s.cycle, s.InFlight(), s.progressSig()) {
+		s.stats.WatchdogTrips++
+	}
+}
+
+// holBlockedNow reports whether the FIFO head currently cannot dispatch.
+func (s *Sim) holBlockedNow() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	bank := s.mem.HomeOf(s.queue[0].req.Addr)
+	return !s.mem.Module(bank).CanEnqueue()
+}
+
+// progressSig is the watchdog's monotone progress signature (see
+// internal/network.Sim.progressSig): issues, bus transfers, bank feeds and
+// service cycles, completions, and fault events all change it.
+func (s *Sim) progressSig() int64 {
+	sig := s.stats.Issued + s.stats.Completed + s.stats.BusOps +
+		s.stats.BankOps + s.orphans
+	for b := 0; b < s.cfg.Banks; b++ {
+		sig += s.mem.Module(b).BusyCycles
+	}
+	if s.flt != nil {
+		sig += s.flt.Injected()
+	}
+	return sig
+}
+
+// Stalled reports whether the progress watchdog has tripped.
+func (s *Sim) Stalled() bool { return s.wd.Tripped() }
+
+// StallReport formats the watchdog diagnostic with a queue snapshot.
+func (s *Sim) StallReport() string {
+	banks := 0
+	for b := 0; b < s.cfg.Banks; b++ {
+		banks += s.mem.Module(b).QueueLen()
+	}
+	detail := fmt.Sprintf("fifo=%d wait=%d banks=%d meta=%d", len(s.queue), s.wait.Len(), banks, len(s.meta))
+	return flow.StallReport("busnet", s.wd, s.InFlight(), detail)
+}
+
+func (s *Sim) step() {
 	s.cycle++
 	s.stats.Cycles++
 	if s.flt != nil {
@@ -250,11 +344,12 @@ func (s *Sim) Step() {
 		return // blackout: the bus and decoupling FIFO freeze
 	}
 
-	// Dispatch the FIFO head when its bank is idle.
+	// Dispatch the FIFO head when its bank has input-queue room (with the
+	// default BankQueueCap of 1: when the bank is idle).
 	if len(s.queue) > 0 {
 		head := s.queue[0]
 		bank := s.mem.HomeOf(head.req.Addr)
-		if s.mem.Module(bank).QueueLen() == 0 {
+		if s.mem.Module(bank).CanEnqueue() {
 			copy(s.queue, s.queue[1:])
 			s.queue = s.queue[:len(s.queue)-1]
 			if s.flt != nil && s.flt.DropForward(faults.Site(1, bank, 0), head.req.ID, head.req.Attempt) {
@@ -359,6 +454,7 @@ func (s *Sim) enqueue(m qmsg) bool {
 		}) {
 			*queued = qmsg{req: tc.Combined, src: first.src, issue: first.issue, hot: first.hot}
 			s.stats.Combines++
+			s.stats.BusOps++
 			return true
 		}
 	}
@@ -367,22 +463,30 @@ func (s *Sim) enqueue(m qmsg) bool {
 	}
 	s.queue = append(s.queue, m)
 	s.fifoHW.Observe(int64(len(s.queue)))
+	s.stats.BusOps++
 	return true
 }
 
 // qmsgReq projects a queued message to its request for the shared scan.
 func qmsgReq(m *qmsg) *core.Request { return &m.req }
 
-// Run advances the machine.
+// Run advances the machine, stopping early if the watchdog trips.
 func (s *Sim) Run(cycles int) {
 	for i := 0; i < cycles; i++ {
+		if s.wd.Tripped() {
+			return
+		}
 		s.Step()
 	}
 }
 
-// Drain runs until the machine is empty, up to the bound.
+// Drain runs until the machine is empty, up to the bound.  A watchdog trip
+// ends the drain immediately.
 func (s *Sim) Drain(maxCycles int) bool {
 	for i := 0; i < maxCycles; i++ {
+		if s.wd.Tripped() {
+			return false
+		}
 		s.Step()
 		if s.InFlight() == 0 {
 			return true

@@ -20,6 +20,7 @@ import (
 
 	"combining/internal/core"
 	"combining/internal/faults"
+	"combining/internal/flow"
 	"combining/internal/memory"
 	"combining/internal/network"
 	"combining/internal/stats"
@@ -32,6 +33,23 @@ type Config struct {
 	Nodes int
 	// QueueCap bounds each per-dimension forward queue (default 4).
 	QueueCap int
+	// RevQueueCap is the per-dimension base credit of each node's reverse
+	// queues: a reply hops to a node only while every reverse queue there
+	// sits below it, and wait-buffer records act as reserved credits for
+	// the decombining fan-out (occupancy ≤ RevQueueCap + WaitBufCap).
+	// The acceptance check spans all d dimensions, so the default scales
+	// with degree: 0 means d·QueueCap.  Negative means unbounded.
+	RevQueueCap int
+	// MemQueueCap bounds each node's memory combining queue; a full queue
+	// holds arriving requests in their upstream dimension queues.  0
+	// defaults to d·QueueCap — the queue aggregates arrivals from all d
+	// dimension links, so it gets d link-queues' worth of buffering.
+	// Negative means unbounded (the pre-flow-control behavior).
+	MemQueueCap int
+	// WatchdogCycles is the progress watchdog limit (see
+	// internal/network.Config.WatchdogCycles): 0 defaults to
+	// network.DefaultWatchdogCycles, negative disables.
+	WatchdogCycles int64
 	// WaitBufCap bounds each node's wait buffer (0 disables combining).
 	WaitBufCap int
 	// AllowReversal enables the Section 5.1 optimization.
@@ -70,13 +88,34 @@ type hrec struct {
 
 type node struct {
 	out  [][]fwdM // per-dimension forward queues (bounded)
-	rout [][]revM // per-dimension reverse queues (unbounded)
+	rout [][]revM // per-dimension reverse queues (credit-bounded)
 	// memQ is the combining FIFO in front of the node's local memory —
 	// the Section 7 suggestion: all dimensions' traffic for this node's
 	// memory converges here, so this queue is where a hot spot combines
-	// hardest.
+	// hardest.  Bounded by Config.MemQueueCap.
 	memQ []fwdM
 	wait *core.WaitBuffer[hrec]
+	// maxRev is the reverse-queue high-water mark across dimensions.
+	maxRev int
+}
+
+// canAcceptRev is the reserved-credit acceptance check (the direct-machine
+// twin of switchNode.canAcceptReply in internal/network): a reply may hop
+// to this node only while every reverse queue sits below the base credit —
+// all dimensions, because the fan-out after decombining is unknown until
+// the wait buffer is consulted.  An accepted reply then appends its whole
+// fan-out; leaves beyond the first consume wait records this node created,
+// so occupancy stays ≤ revCap + wait-buffer capacity.
+func (nd *node) canAcceptRev(revCap int) bool {
+	if revCap <= 0 {
+		return true
+	}
+	for _, q := range nd.rout {
+		if len(q) >= revCap {
+			return false
+		}
+	}
+	return true
 }
 
 // Stats summarizes a run.
@@ -87,6 +126,24 @@ type Stats struct {
 	LatencySum int64
 	Combines   int64
 	MemOps     int64
+
+	// FwdHops and RevHops count link traversals — the movement signature
+	// the progress watchdog keys on.
+	FwdHops, RevHops int64
+
+	// Backpressure accounting (see internal/network.Stats): holds by the
+	// reverse-credit check, by full memory combining queues, and of
+	// module completions blocked on reverse credit.
+	HoldsRev, HoldsMem, HoldsMemOut int64
+
+	// SaturationCycles counts cycles a full memory combining queue had
+	// backed traffic up into a full forward queue; SaturationMaxStreak is
+	// the longest run.
+	SaturationCycles    int64
+	SaturationMaxStreak int64
+
+	// WatchdogTrips is 1 if the progress watchdog declared a stall.
+	WatchdogTrips int64
 }
 
 // MeanLatency is average round-trip cycles.
@@ -123,6 +180,10 @@ type Sim struct {
 	lat    stats.Histogram
 	memQHW stats.HighWater
 
+	// wd is the progress watchdog; sat the tree-saturation monitor.
+	wd  *flow.Watchdog
+	sat flow.Saturation
+
 	// Fault-mode state (nil/zero on a healthy machine); see
 	// internal/network.Sim for the shared recovery discipline.
 	flt       *faults.Injector
@@ -143,11 +204,20 @@ func NewSim(cfg Config, inj []network.Injector) *Sim {
 	if cfg.QueueCap == 0 {
 		cfg.QueueCap = 4
 	}
+	if cfg.WatchdogCycles == 0 {
+		cfg.WatchdogCycles = network.DefaultWatchdogCycles
+	}
 	if cfg.MemService == 0 {
 		cfg.MemService = 1
 	}
 	n := cfg.Nodes
 	d := bits.TrailingZeros(uint(n))
+	if cfg.MemQueueCap == 0 {
+		cfg.MemQueueCap = d * cfg.QueueCap
+	}
+	if cfg.RevQueueCap == 0 {
+		cfg.RevQueueCap = d * cfg.QueueCap
+	}
 	memOpts := []memory.Option{memory.WithServiceTime(cfg.MemService)}
 	if cfg.Faults != nil {
 		memOpts = append(memOpts, memory.WithReplyCache())
@@ -161,6 +231,7 @@ func NewSim(cfg Config, inj []network.Injector) *Sim {
 		pending: make([]*fwdM, n),
 		meta:    make(map[word.ReqID]fwdM),
 		pol:     core.Policy{AllowReversal: cfg.AllowReversal},
+		wd:      flow.NewWatchdog(cfg.WatchdogCycles),
 	}
 	if cfg.Faults != nil {
 		s.flt = faults.NewInjector(*cfg.Faults)
@@ -221,11 +292,78 @@ func (s *Sim) Step() {
 	s.tickMemory()
 	s.drainForward()
 	s.injectAll()
+
+	s.sat.Observe(s.treeSaturated())
+	s.stats.SaturationCycles = s.sat.Cycles()
+	s.stats.SaturationMaxStreak = s.sat.MaxStreak()
+	if s.wd.Observe(s.cycle, s.InFlight(), s.progressSig()) {
+		s.stats.WatchdogTrips++
+	}
 }
 
-// Run advances the given number of cycles.
+// treeSaturated reports whether hot-spot backpressure has propagated out of
+// a memory queue into the routing network this cycle: some node's memory
+// combining queue is full AND some forward dimension queue is full — the
+// direct-machine analogue of the Omega network's every-stage-full test.
+func (s *Sim) treeSaturated() bool {
+	if s.cfg.MemQueueCap <= 0 || s.cfg.QueueCap <= 0 {
+		return false
+	}
+	memFull, fwdFull := false, false
+	for _, nd := range s.nodes {
+		if len(nd.memQ) >= s.cfg.MemQueueCap {
+			memFull = true
+		}
+		for dim := 0; dim < s.d && !fwdFull; dim++ {
+			fwdFull = len(nd.out[dim]) >= s.cfg.QueueCap
+		}
+		if memFull && fwdFull {
+			return true
+		}
+	}
+	return false
+}
+
+// progressSig is the watchdog's monotone progress signature: injections,
+// hops, memory feeds and service cycles, completions, and fault events all
+// change it (see internal/network.Sim.progressSig).
+func (s *Sim) progressSig() int64 {
+	sig := s.stats.Issued + s.stats.Completed + s.stats.FwdHops +
+		s.stats.RevHops + s.stats.MemOps + s.orphans
+	for i := 0; i < s.n; i++ {
+		sig += s.mem.Module(i).BusyCycles
+	}
+	if s.flt != nil {
+		sig += s.flt.Injected()
+	}
+	return sig
+}
+
+// Stalled reports whether the progress watchdog has tripped.
+func (s *Sim) Stalled() bool { return s.wd.Tripped() }
+
+// StallReport formats the watchdog diagnostic with a queue snapshot.
+func (s *Sim) StallReport() string {
+	fwd, rev, memq, wait := 0, 0, 0, 0
+	for _, nd := range s.nodes {
+		for dim := 0; dim < s.d; dim++ {
+			fwd += len(nd.out[dim])
+			rev += len(nd.rout[dim])
+		}
+		memq += len(nd.memQ)
+		wait += nd.wait.Len()
+	}
+	detail := fmt.Sprintf("fwd=%d rev=%d memq=%d wait=%d meta=%d", fwd, rev, memq, wait, len(s.meta))
+	return flow.StallReport("hypercube", s.wd, s.InFlight(), detail)
+}
+
+// Run advances the given number of cycles, stopping early if the watchdog
+// trips.
 func (s *Sim) Run(cycles int) {
 	for i := 0; i < cycles; i++ {
+		if s.wd.Tripped() {
+			return
+		}
 		s.Step()
 	}
 }
@@ -237,21 +375,35 @@ func (s *Sim) Stats() Stats { return s.stats }
 // cross-engine API (see internal/stats).
 func (s *Sim) Snapshot() stats.Snapshot {
 	var rejects int64
+	maxRev := 0
 	for _, nd := range s.nodes {
 		rejects += nd.wait.Rejections
+		if nd.maxRev > maxRev {
+			maxRev = nd.maxRev
+		}
 	}
 	snap := stats.Snapshot{
 		Engine: "hypercube",
 		Counters: map[string]int64{
-			"cycles":          s.stats.Cycles,
-			"issued":          s.stats.Issued,
-			"completed":       s.stats.Completed,
-			"combines":        s.stats.Combines,
-			"combine_rejects": rejects,
-			"mem_ops":         s.stats.MemOps,
+			"cycles":            s.stats.Cycles,
+			"issued":            s.stats.Issued,
+			"completed":         s.stats.Completed,
+			"combines":          s.stats.Combines,
+			"combine_rejects":   rejects,
+			"mem_ops":           s.stats.MemOps,
+			"fwd_hops":          s.stats.FwdHops,
+			"rev_hops":          s.stats.RevHops,
+			"saturation_cycles": s.stats.SaturationCycles,
+			"holds_rev":         s.stats.HoldsRev,
+			"holds_mem":         s.stats.HoldsMem,
+			"holds_mem_out":     s.stats.HoldsMemOut,
+			"watchdog_trips":    s.stats.WatchdogTrips,
 		},
 		Gauges: map[string]int64{
-			"memq_max": s.memQHW.Load(),
+			"memq_max":              s.memQHW.Load(),
+			"max_mem_queue":         s.memQHW.Load(),
+			"max_rev_queue":         int64(maxRev),
+			"saturation_max_streak": s.stats.SaturationMaxStreak,
 		},
 		Histograms: map[string]stats.HistogramSnapshot{
 			"latency_cycles": s.lat.Snapshot(),
@@ -299,9 +451,14 @@ func (s *Sim) InFlight() int {
 	return n
 }
 
-// Drain runs until empty or the bound is hit, reporting success.
+// Drain runs until empty or the bound is hit, reporting success.  A
+// watchdog trip ends the drain immediately: a stalled machine will not
+// empty no matter how many more cycles it is given.
 func (s *Sim) Drain(maxCycles int) bool {
 	for i := 0; i < maxCycles; i++ {
+		if s.wd.Tripped() {
+			return false
+		}
 		s.Step()
 		if s.InFlight() == 0 {
 			return true
@@ -345,7 +502,19 @@ func (s *Sim) arriveFwd(cur int, m fwdM) bool {
 			return true
 		}
 	}
-	if dim >= 0 && len(*q) >= s.cfg.QueueCap {
+	qcap := s.cfg.QueueCap
+	if dim < 0 {
+		qcap = s.cfg.MemQueueCap
+	}
+	if qcap > 0 && len(*q) >= qcap {
+		if dim < 0 {
+			// Full memory combining queue: the request stays in its
+			// upstream dimension queue (or at the injection port) — the
+			// hold that turns a hot node into backpressure instead of
+			// unbounded memory-side buffering.  Combining above still
+			// absorbs matching requests into the full queue.
+			s.stats.HoldsMem++
+		}
 		return false
 	}
 	m.moved = s.cycle
@@ -383,7 +552,11 @@ func (s *Sim) arriveRev(cur int, r revM) {
 		return
 	}
 	r.moved = s.cycle
-	s.nodes[cur].rout[dim] = append(s.nodes[cur].rout[dim], r)
+	nd := s.nodes[cur]
+	nd.rout[dim] = append(nd.rout[dim], r)
+	if n := len(nd.rout[dim]); n > nd.maxRev {
+		nd.maxRev = n
+	}
 }
 
 func (s *Sim) drainReverse() {
@@ -396,14 +569,24 @@ func (s *Sim) drainReverse() {
 			if len(q) == 0 || q[0].moved == s.cycle {
 				continue
 			}
+			next := i ^ (1 << dim)
+			if !s.nodes[next].canAcceptRev(s.cfg.RevQueueCap) {
+				// Downstream reverse credits exhausted: hold the reply.
+				// Reverse hops strictly descend in dimension and the last
+				// hop delivers (always consumes), so held replies cannot
+				// form a cycle.
+				s.stats.HoldsRev++
+				continue
+			}
 			r := q[0]
 			copy(q, q[1:])
 			nd.rout[dim] = q[:len(q)-1]
 			if s.flt != nil && s.flt.DropReply(
-				faults.Site(1, i^(1<<dim), dim), r.rep.ID, r.rep.Attempt) {
+				faults.Site(1, next, dim), r.rep.ID, r.rep.Attempt) {
 				continue // reply lost on the reverse link
 			}
-			s.arriveRev(i^(1<<dim), r)
+			s.stats.RevHops++
+			s.arriveRev(next, r)
 		}
 	}
 }
@@ -425,6 +608,12 @@ func (s *Sim) tickMemory() {
 		}
 		if s.flt != nil && s.flt.MemStalled(i, s.cycle) {
 			continue // module inside a slowdown window serves nothing
+		}
+		if !nd.canAcceptRev(s.cfg.RevQueueCap) {
+			// No reverse credit at this node: the module holds its
+			// completion rather than emitting a reply with nowhere to go.
+			s.stats.HoldsMemOut++
+			continue
 		}
 		rep, ok := s.mem.Module(i).Tick()
 		if !ok {
@@ -468,6 +657,7 @@ func (s *Sim) drainForward() {
 			if !s.arriveFwd(i^(1<<dim), m) {
 				continue
 			}
+			s.stats.FwdHops++
 			q = nd.out[dim] // arriveFwd may not alias; re-read
 			copy(q, q[1:])
 			nd.out[dim] = q[:len(q)-1]
@@ -490,6 +680,7 @@ func (s *Sim) injectAll() {
 			}
 			if s.arriveFwd(i, m) {
 				s.retry[i] = s.retry[i][1:]
+				s.stats.FwdHops++
 			}
 			continue
 		}
@@ -519,6 +710,7 @@ func (s *Sim) injectAll() {
 		}
 		if s.arriveFwd(i, *m) {
 			s.pending[i] = nil
+			s.stats.FwdHops++
 		}
 	}
 }

@@ -1,0 +1,198 @@
+package machine
+
+import (
+	"sort"
+	"testing"
+
+	"combining/internal/busnet"
+	"combining/internal/faults"
+	"combining/internal/hypercube"
+	"combining/internal/memory"
+	"combining/internal/network"
+	"combining/internal/rmw"
+	"combining/internal/stats"
+	"combining/internal/word"
+)
+
+// Deadlock-freedom soaks: every queue in every engine bounded at its
+// minimum capacity, a 64-processor hot spot driven through it, clean and
+// under the PR 2 fault plans.  The runs must complete with zero progress-
+// watchdog trips, reverse/memory high-water marks within the reserved-
+// credit bounds, and replies matching core.SerialReplies (fetch-and-add
+// replies are the serial prefix sums, so the sorted reply multiset must
+// be exactly 0..N·R−1 and the final cell N·R).
+
+const hotCell = word.Addr(0)
+
+// hotPrograms builds nprocs programs of reqs fetch-and-add(1)s on one
+// cell — the pure hot-spot workload of Pfister & Norton.
+func hotPrograms(nprocs, reqs int) [][]Instr {
+	progs := make([][]Instr, nprocs)
+	for p := range progs {
+		for i := 0; i < reqs; i++ {
+			progs[p] = append(progs[p], RMW(hotCell, rmw.FetchAdd(1)))
+		}
+	}
+	return progs
+}
+
+// soakEngine is what the soak needs from a transport: stepping, the
+// shared snapshot schema, memory, and the watchdog's stall report.
+type soakEngine interface {
+	Engine
+	Snapshot() stats.Snapshot
+	Memory() *memory.Array
+	Stalled() bool
+	StallReport() string
+}
+
+// runBackpressureSoak drives the hot-spot programs and checks completion,
+// serial-reply correctness, zero watchdog trips, and the gauge bounds.
+func runBackpressureSoak(t *testing.T, name string, nprocs, reqs, maxCycles int,
+	build func([]network.Injector) soakEngine, gaugeBounds map[string]int64) {
+	t.Helper()
+	progs := hotPrograms(nprocs, reqs)
+	m, inj := NewInjectors(progs)
+	eng := build(inj)
+	m.BindEngine(eng)
+	if !m.Run(maxCycles) {
+		if eng.Stalled() {
+			t.Fatalf("%s: watchdog tripped:\n%s", name, eng.StallReport())
+		}
+		t.Fatalf("%s: did not complete in %d cycles (%d in flight)", name, maxCycles, eng.InFlight())
+	}
+
+	total := nprocs * reqs
+	ops := make([]rmw.Mapping, total)
+	for i := range ops {
+		ops[i] = rmw.FetchAdd(1)
+	}
+	serialReplies, final := serialGroundTruth(ops)
+	if got := eng.Memory().Peek(hotCell); got != final {
+		t.Fatalf("%s: final cell %d, serial ground truth %d", name, got.Val, final.Val)
+	}
+	var all []int64
+	for p := 0; p < nprocs; p++ {
+		for i := 0; i < reqs; i++ {
+			all = append(all, m.Proc(p).Reply(i).Val)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	for i, v := range all {
+		if v != serialReplies[i].Val {
+			t.Fatalf("%s: sorted reply %d = %d, serial ground truth %d", name, i, v, serialReplies[i].Val)
+		}
+	}
+
+	snap := eng.Snapshot()
+	if trips := snap.Counters["watchdog_trips"]; trips != 0 {
+		t.Fatalf("%s: %d watchdog trips on a run that completed", name, trips)
+	}
+	for gauge, bound := range gaugeBounds {
+		got, ok := snap.Gauges[gauge]
+		if !ok {
+			t.Fatalf("%s: snapshot missing gauge %q", name, gauge)
+		}
+		if got > bound {
+			t.Fatalf("%s: gauge %s = %d exceeds bound %d", name, gauge, got, bound)
+		}
+	}
+}
+
+func serialGroundTruth(ops []rmw.Mapping) ([]word.Word, word.Word) {
+	replies := make([]word.Word, len(ops))
+	cur := word.W(0)
+	for i, op := range ops {
+		replies[i] = cur
+		cur = op.Apply(cur)
+	}
+	return replies, cur
+}
+
+// Minimal-capacity configs: every queue at capacity 1, a small bounded
+// wait buffer so reserved credits are actually exercised.  The reverse
+// bound is RevQueueCap + WaitBufCap (each extra decombined leaf consumes
+// a wait record — see DESIGN.md).
+const soakWaitCap = 4
+
+func netSoak(plan *faults.Plan) func([]network.Injector) soakEngine {
+	return func(inj []network.Injector) soakEngine {
+		return network.NewSim(network.Config{
+			Procs: 64, QueueCap: 1, RevQueueCap: 1, MemQueueCap: 1,
+			WaitBufCap: soakWaitCap, Faults: plan,
+		}, inj)
+	}
+}
+
+func cubeSoak(plan *faults.Plan) func([]network.Injector) soakEngine {
+	return func(inj []network.Injector) soakEngine {
+		return hypercube.NewSim(hypercube.Config{
+			Nodes: 64, QueueCap: 1, RevQueueCap: 1, MemQueueCap: 1,
+			WaitBufCap: soakWaitCap, Faults: plan,
+		}, inj)
+	}
+}
+
+func busSoak(plan *faults.Plan) func([]network.Injector) soakEngine {
+	return func(inj []network.Injector) soakEngine {
+		return busnet.NewSim(busnet.Config{
+			Procs: 64, Banks: 8, QueueCap: 1, BankQueueCap: 1,
+			WaitBufCap: soakWaitCap, Faults: plan,
+		}, inj)
+	}
+}
+
+func TestBackpressureSoakNetwork(t *testing.T) {
+	bounds := map[string]int64{
+		"max_rev_queue": 1 + soakWaitCap,
+		"max_mem_queue": 1,
+	}
+	runBackpressureSoak(t, "network/clean", 64, 16, 400000, netSoak(nil), bounds)
+	runBackpressureSoak(t, "network/faults", 64, 8, 2000000, netSoak(faults.Default(11)), bounds)
+}
+
+func TestBackpressureSoakHypercube(t *testing.T) {
+	bounds := map[string]int64{
+		"max_rev_queue": 1 + soakWaitCap,
+		"max_mem_queue": 1,
+	}
+	runBackpressureSoak(t, "hypercube/clean", 64, 16, 400000, cubeSoak(nil), bounds)
+	runBackpressureSoak(t, "hypercube/faults", 64, 8, 2000000, cubeSoak(faults.Default(12)), bounds)
+}
+
+func TestBackpressureSoakBusnet(t *testing.T) {
+	bounds := map[string]int64{
+		"max_mem_queue": 1,
+	}
+	runBackpressureSoak(t, "busnet/clean", 64, 16, 400000, busSoak(nil), bounds)
+	runBackpressureSoak(t, "busnet/faults", 64, 8, 2000000, busSoak(faults.Default(13)), bounds)
+}
+
+// wedgedEngine is a transport whose watchdog trips after a fixed number
+// of steps — a stand-in for a livelocked network (a real clean engine is
+// deadlock-free by construction and cannot be wedged from outside).
+type wedgedEngine struct{ steps, tripAt int }
+
+func (w *wedgedEngine) Step()         { w.steps++ }
+func (w *wedgedEngine) InFlight() int { return 1 }
+func (w *wedgedEngine) Stalled() bool { return w.steps >= w.tripAt }
+
+// TestRunFailsFastOnStall: Machine.Run on a watchdog-equipped engine
+// returns as soon as the watchdog declares a stall instead of burning
+// the remaining cycle budget on a wedged transport.
+func TestRunFailsFastOnStall(t *testing.T) {
+	progs := hotPrograms(1, 1)
+	m, _ := NewInjectors(progs)
+	eng := &wedgedEngine{tripAt: 500}
+	m.BindEngine(eng)
+	const budget = 1000000
+	if m.Run(budget) {
+		t.Fatal("Run reported completion on a wedged engine")
+	}
+	if eng.steps >= budget {
+		t.Fatalf("Run burned the whole %d-cycle budget instead of failing fast", budget)
+	}
+	if eng.steps != 500 {
+		t.Fatalf("Run stopped after %d steps, want 500 (the trip point)", eng.steps)
+	}
+}

@@ -246,13 +246,26 @@ func (m *Machine) History() *serial.History { return m.hist.History() }
 // linearizability checker.
 func (m *Machine) TimedHistory() *serial.TimedHistory { return &m.hist }
 
+// stallDetector is implemented by engines with a progress watchdog (the
+// Omega network, the hypercube, the bus machine): Stalled reports that
+// the watchdog tripped — no progress signature change for its whole
+// limit while requests were in flight.
+type stallDetector interface{ Stalled() bool }
+
 // Run steps the machine until every program completes or maxCycles pass;
-// it reports whether all programs completed.
+// it reports whether all programs completed.  On an engine with a
+// progress watchdog, Run fails fast when it trips instead of burning the
+// rest of the cycle budget on a wedged network; the engine's StallReport
+// has the replayable queue snapshot.
 func (m *Machine) Run(maxCycles int) bool {
+	sd, _ := m.engine.(stallDetector)
 	for c := 0; c < maxCycles; c++ {
 		m.engine.Step()
 		if m.allDone() {
 			return true
+		}
+		if sd != nil && sd.Stalled() {
+			return false
 		}
 	}
 	return m.allDone()

@@ -62,6 +62,19 @@ func (a *Array) TotalServed() int64 {
 	return n
 }
 
+// MaxQueueDepth returns the deepest input queue observed on any module —
+// the memory-side high-water mark the backpressure acceptance criteria
+// bound.
+func (a *Array) MaxQueueDepth() int {
+	max := 0
+	for _, m := range a.modules {
+		if d := m.MaxQueue(); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
 // TotalDedupHits sums reply-cache hits across modules (zero unless the
 // modules were built WithReplyCache).  Reads under each module's lock, so
 // it is safe while asynchronous traffic is in flight.

@@ -204,3 +204,60 @@ func abs(x int) int {
 	}
 	return x
 }
+
+func TestModuleBoundedQueue(t *testing.T) {
+	m := NewModule(WithQueueCap(2))
+	if m.QueueCap() != 2 {
+		t.Fatalf("QueueCap = %d, want 2", m.QueueCap())
+	}
+	if !m.CanEnqueue() {
+		t.Fatal("empty bounded module refuses Enqueue")
+	}
+	m.Enqueue(req(1, 0, rmw.FetchAdd(1)))
+	m.Enqueue(req(2, 0, rmw.FetchAdd(1)))
+	if m.CanEnqueue() {
+		t.Fatal("full bounded module accepts Enqueue")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Enqueue past the bound did not panic")
+			}
+		}()
+		m.Enqueue(req(3, 0, rmw.FetchAdd(1)))
+	}()
+	// Service time 1: the first Tick completes request 1 (its slot counts
+	// while in service, so the module stays full until the reply departs).
+	if _, ok := m.Tick(); !ok {
+		t.Fatal("no reply on first Tick")
+	}
+	if !m.CanEnqueue() {
+		t.Fatal("module still full after a completion")
+	}
+	if m.MaxQueue() != 2 {
+		t.Fatalf("MaxQueue = %d, want 2", m.MaxQueue())
+	}
+}
+
+func TestModuleUnboundedQueueByDefault(t *testing.T) {
+	m := NewModule()
+	for i := 0; i < 100; i++ {
+		if !m.CanEnqueue() {
+			t.Fatal("unbounded module refused Enqueue")
+		}
+		m.Enqueue(req(word.ReqID(i), 0, rmw.FetchAdd(1)))
+	}
+	if m.MaxQueue() != 100 {
+		t.Fatalf("MaxQueue = %d, want 100", m.MaxQueue())
+	}
+}
+
+func TestArrayMaxQueueDepth(t *testing.T) {
+	a := NewArray(2)
+	a.Module(0).Enqueue(req(1, 0, rmw.FetchAdd(1)))
+	a.Module(0).Enqueue(req(2, 0, rmw.FetchAdd(1)))
+	a.Module(1).Enqueue(req(3, 1, rmw.FetchAdd(1)))
+	if got := a.MaxQueueDepth(); got != 2 {
+		t.Fatalf("MaxQueueDepth = %d, want 2", got)
+	}
+}

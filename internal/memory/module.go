@@ -28,8 +28,12 @@ type Module struct {
 
 	cells map[word.Addr]word.Word
 
-	// queue is the cycle-driven request FIFO.
-	queue []core.Request
+	// queue is the cycle-driven request FIFO; queueCap bounds it (0 means
+	// unbounded) and maxQueue records its high-water mark including the
+	// request in service.
+	queue    []core.Request
+	queueCap int
+	maxQueue int
 	// serviceTime is cycles per request (≥ 1).
 	serviceTime int
 	// busy counts remaining cycles of the in-flight request.
@@ -63,6 +67,16 @@ func WithServiceTime(cycles int) Option {
 		}
 		m.serviceTime = cycles
 	}
+}
+
+// WithQueueCap bounds the cycle-driven input FIFO (including the request in
+// service): a full module refuses Enqueue, and the network holds the request
+// upstream instead — the backpressure that lets hot-spot congestion surface
+// as tree saturation in the switches rather than as unbounded memory-side
+// buffering no hardware could provide.  cap ≤ 0 means unbounded (the
+// pre-flow-control behavior).
+func WithQueueCap(cap int) Option {
+	return func(m *Module) { m.queueCap = cap }
 }
 
 // WithReplyCache arms the module's exactly-once ledger.  Requests are then
@@ -166,12 +180,49 @@ func (m *Module) DedupHitCount() int64 {
 	return m.DedupHits
 }
 
-// Enqueue appends a request to the module's FIFO (cycle-driven mode).
+// Enqueue appends a request to the module's FIFO (cycle-driven mode).  On a
+// bounded module the caller must check CanEnqueue first and hold the request
+// upstream when it reports false; overflowing a bounded queue is an engine
+// bug and panics.
 func (m *Module) Enqueue(req core.Request) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
+	if m.queueCap > 0 && m.queueLenLocked() >= m.queueCap {
+		panic("memory: Enqueue on a full bounded module (caller must check CanEnqueue)")
+	}
 	m.queue = append(m.queue, req)
+	if n := m.queueLenLocked(); n > m.maxQueue {
+		m.maxQueue = n
+	}
+}
+
+// CanEnqueue reports whether the module has room for one more request.
+func (m *Module) CanEnqueue() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	return m.queueCap <= 0 || m.queueLenLocked() < m.queueCap
+}
+
+// QueueCap returns the configured input-queue bound (0 when unbounded).
+func (m *Module) QueueCap() int { return m.queueCap }
+
+// MaxQueue returns the input-queue high-water mark (including the request
+// in service).
+func (m *Module) MaxQueue() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	return m.maxQueue
+}
+
+func (m *Module) queueLenLocked() int {
+	n := len(m.queue)
+	if m.busy > 0 {
+		n++
+	}
+	return n
 }
 
 // QueueLen reports pending requests, including the one in service.
@@ -179,11 +230,7 @@ func (m *Module) QueueLen() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
-	n := len(m.queue)
-	if m.busy > 0 {
-		n++
-	}
-	return n
+	return m.queueLenLocked()
 }
 
 // Tick advances the module one cycle.  It returns a completed reply, if

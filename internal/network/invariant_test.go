@@ -1,6 +1,7 @@
 package network
 
 import (
+	"strings"
 	"testing"
 
 	"combining/internal/core"
@@ -62,6 +63,121 @@ func TestInvariantsUnderLoad(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestReverseQueueBoundInvariant checks the reserved-credit bound that
+// used to be a prose claim in acceptReply's comment: a reply is accepted
+// only while every reverse port sits below RevQueueCap, and each extra
+// decombined leaf consumes a wait-buffer record, so per-port reverse
+// occupancy can never exceed RevQueueCap + WaitBufCap.  Checked every
+// cycle against the live queues and at the end against the maxRev
+// high-water marks folded into Stats.
+func TestReverseQueueBoundInvariant(t *testing.T) {
+	const (
+		n       = 32
+		revCap  = 2
+		waitCap = 3
+		bound   = revCap + waitCap
+		cycles  = 3000
+	)
+	inj := make([]Injector, n)
+	stoch := make([]*Stochastic, n)
+	for p := 0; p < n; p++ {
+		stoch[p] = NewStochastic(p, n, TrafficConfig{Rate: 0.9, HotFraction: 0.6, Window: 8}, 97)
+		inj[p] = stoch[p]
+	}
+	sim := NewSim(Config{Procs: n, QueueCap: 2, RevQueueCap: revCap, WaitBufCap: waitCap}, inj)
+	for c := 0; c < cycles; c++ {
+		sim.Step()
+		for s, stage := range sim.stages {
+			for i, sw := range stage {
+				for port, q := range sw.revQ {
+					if len(q) > bound {
+						t.Fatalf("cycle %d: stage %d switch %d port %d reverse queue %d > bound %d",
+							c, s, i, port, len(q), bound)
+					}
+				}
+			}
+		}
+	}
+	for _, s := range stoch {
+		s.cfg.Rate = 0
+	}
+	if !sim.Drain(100000) {
+		t.Fatalf("did not drain: %s", sim.StallReport())
+	}
+	st := sim.Stats()
+	if st.MaxRevQueue > bound {
+		t.Fatalf("MaxRevQueue = %d exceeds reserved-credit bound %d", st.MaxRevQueue, bound)
+	}
+	if st.MaxRevQueue == 0 {
+		t.Fatal("reverse queues never held a reply — load too light to test the bound")
+	}
+	if st.HoldsRev == 0 {
+		t.Fatal("no reverse holds recorded — credits were never exhausted, bound untested")
+	}
+}
+
+// TestNegativeWindowPanics: a negative TrafficConfig.Window is a config
+// error and must be rejected loudly, not silently replaced by the
+// default (the old behaviour applied Window=4 for any Window ≤ 0).
+func TestNegativeWindowPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("NewStochastic accepted a negative Window")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "Window must be ≥ 0") {
+			t.Fatalf("panic message %v does not explain the Window contract", r)
+		}
+	}()
+	NewStochastic(0, 8, TrafficConfig{Rate: 0.5, Window: -1}, 1)
+}
+
+// TestWatchdogTripsOnWedgedNetwork forces the one condition a correct
+// network cannot reach on its own — in-flight work with a frozen
+// progress signature — by planting an orphaned wait record that no reply
+// will ever match (the signature of a decombining bug).  The watchdog
+// must declare the livelock right after its limit, count the trip in the
+// snapshot, emit a queue-snapshot report, and make Run return early.
+func TestWatchdogTripsOnWedgedNetwork(t *testing.T) {
+	const limit = 200
+	inj, _ := emptyInjectors(8)
+	sim := NewSim(Config{Procs: 8, WaitBufCap: 4, WatchdogCycles: limit}, inj)
+	if !sim.stages[0][0].wait.Push(word.ReqID(999), netRecord{}) {
+		t.Fatal("could not plant the orphan wait record")
+	}
+	steps := 0
+	for ; steps < 100000 && !sim.Stalled(); steps++ {
+		sim.Step()
+	}
+	if !sim.Stalled() {
+		t.Fatal("watchdog never tripped with a permanently wedged wait record")
+	}
+	if steps > limit+10 {
+		t.Fatalf("tripped only after %d cycles, limit %d", steps, limit)
+	}
+	if got := sim.Snapshot().Counters["watchdog_trips"]; got != 1 {
+		t.Fatalf("watchdog_trips = %d, want exactly 1", got)
+	}
+	rep := sim.StallReport()
+	if !strings.Contains(rep, "watchdog tripped") || !strings.Contains(rep, "wait=") {
+		t.Fatalf("stall report lacks the diagnostic queue snapshot:\n%s", rep)
+	}
+	// Run must refuse to burn a fresh budget on a tripped machine.
+	start := sim.cycle
+	sim.Run(10000)
+	if sim.cycle != start {
+		t.Fatalf("Run stepped %d more cycles after the watchdog tripped", sim.cycle-start)
+	}
+}
+
+// TestZeroWindowDefaults: the documented zero value means the default of 4.
+func TestZeroWindowDefaults(t *testing.T) {
+	s := NewStochastic(0, 8, TrafficConfig{Rate: 0.5}, 1)
+	if got := s.Window(); got != 4 {
+		t.Fatalf("zero-value Window resolved to %d, want the documented default 4", got)
 	}
 }
 

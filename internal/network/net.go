@@ -5,6 +5,7 @@ import (
 
 	"combining/internal/core"
 	"combining/internal/faults"
+	"combining/internal/flow"
 	"combining/internal/memory"
 	"combining/internal/rmw"
 	"combining/internal/stats"
@@ -22,8 +23,26 @@ type Config struct {
 	Radix int
 	// QueueCap bounds each switch forward output queue; this finite
 	// buffering is what produces tree saturation under hot spots.
-	// Values ≤ 0 mean unbounded.  Default 4.
+	// Values < 0 mean unbounded.  Default 4.
 	QueueCap int
+	// RevQueueCap is the per-port base credit of each switch reverse
+	// queue: replies are admitted only while every port sits below it, and
+	// wait-buffer records then act as reserved credits for the decombining
+	// fan-out (per-port occupancy ≤ RevQueueCap + WaitBufCap — see
+	// switchNode.canAcceptReply and DESIGN.md).  0 defaults to QueueCap;
+	// negative means unbounded (the pre-flow-control behavior).
+	RevQueueCap int
+	// MemQueueCap bounds each memory module's input queue, including the
+	// request in service; a full module holds the last network stage
+	// instead of absorbing unbounded backlog.  0 defaults to QueueCap;
+	// negative means unbounded.
+	MemQueueCap int
+	// WatchdogCycles is the progress watchdog limit: with work in flight
+	// and no message movement for this many cycles the machine declares
+	// livelock/deadlock (Stalled() reports it, soaks fail fast with a
+	// replayable seed).  0 defaults to 10000 — comfortably above the
+	// fault plans' capped retry backoff — and negative disables it.
+	WatchdogCycles int64
 	// WaitBufCap bounds each switch's wait buffer: 0 disables combining
 	// entirely, core.Unbounded removes the limit, and small positive
 	// values give partial combining (ablation A1).
@@ -65,10 +84,24 @@ func (c *Config) fill() {
 	if c.QueueCap == 0 {
 		c.QueueCap = 4
 	}
+	if c.RevQueueCap == 0 {
+		c.RevQueueCap = c.QueueCap
+	}
+	if c.MemQueueCap == 0 {
+		c.MemQueueCap = c.QueueCap
+	}
 	if c.MemService == 0 {
 		c.MemService = 1
 	}
+	if c.WatchdogCycles == 0 {
+		c.WatchdogCycles = DefaultWatchdogCycles
+	}
 }
+
+// DefaultWatchdogCycles is the default no-progress limit: far above the
+// fault plans' capped retransmit backoff (RetryCap defaults to 512 cycles),
+// so only a genuine livelock or deadlock can trip it.
+const DefaultWatchdogCycles = 10000
 
 // isPowerOf reports whether n is a positive power of k.
 func isPowerOf(n, k int) bool {
@@ -100,8 +133,27 @@ type Stats struct {
 	Combines int64
 	Rejects  int64
 
-	// MaxOutQueue is the deepest forward queue observed.
+	// MaxOutQueue is the deepest forward queue observed; MaxRevQueue and
+	// MaxMemQueue are the reverse-queue and memory-input high-water marks
+	// the flow-control bounds are checked against.
 	MaxOutQueue int
+	MaxRevQueue int
+	MaxMemQueue int
+
+	// Backpressure accounting: HoldsRev counts replies held upstream by
+	// the reserved-credit check, HoldsMem requests held at the last stage
+	// by a full module, HoldsMemOut module completions held by a full
+	// last-stage switch.
+	HoldsRev, HoldsMem, HoldsMemOut int64
+
+	// SaturationCycles counts cycles the queue tree was saturated end to
+	// end (every stage had a full forward queue); SaturationMaxStreak is
+	// the longest such run — the tree-saturation signature of E14.
+	SaturationCycles    int64
+	SaturationMaxStreak int64
+
+	// WatchdogTrips is 1 if the progress watchdog declared a stall.
+	WatchdogTrips int64
 
 	// Latency is the round-trip histogram (cycles), recorded per
 	// completion through the shared instrumentation subsystem.
@@ -193,6 +245,10 @@ type Sim struct {
 	// lat records per-completion round-trip latency in cycles.
 	lat stats.Histogram
 
+	// wd is the progress watchdog; sat the tree-saturation monitor.
+	wd  *flow.Watchdog
+	sat flow.Saturation
+
 	// Fault-mode state (nil/zero on a healthy machine).
 	flt *faults.Injector
 	trk *faults.Tracker
@@ -225,10 +281,13 @@ func NewSim(cfg Config, inj []Injector) *Sim {
 	for s := range stages {
 		stages[s] = make([]*switchNode, n/radix)
 		for i := range stages[s] {
-			stages[s][i] = newSwitch(s, i, radix, cfg.QueueCap, cfg.WaitBufCap, pol, cfg.BuggyLoadForwarding)
+			stages[s][i] = newSwitch(s, i, radix, cfg.QueueCap, cfg.RevQueueCap, cfg.WaitBufCap, pol, cfg.BuggyLoadForwarding)
 		}
 	}
 	memOpts := []memory.Option{memory.WithServiceTime(cfg.MemService)}
+	if cfg.MemQueueCap > 0 {
+		memOpts = append(memOpts, memory.WithQueueCap(cfg.MemQueueCap))
+	}
 	if cfg.Faults != nil {
 		memOpts = append(memOpts, memory.WithReplyCache())
 	}
@@ -242,6 +301,7 @@ func NewSim(cfg Config, inj []Injector) *Sim {
 		inj:     inj,
 		pending: make([]*fwdMsg, n),
 		meta:    make(map[word.ReqID]fwdMsg),
+		wd:      flow.NewWatchdog(cfg.WatchdogCycles),
 	}
 	if cfg.Faults != nil {
 		s.flt = faults.NewInjector(*cfg.Faults)
@@ -313,11 +373,102 @@ func (s *Sim) Step() {
 	s.tickMemory()
 	s.drainForward()
 	s.injectAll()
+
+	s.sat.Observe(s.treeSaturated())
+	s.stats.SaturationCycles = s.sat.Cycles()
+	s.stats.SaturationMaxStreak = s.sat.MaxStreak()
+	if s.wd.Observe(s.cycle, s.InFlight(), s.progressSig()) {
+		s.stats.WatchdogTrips++
+	}
 }
 
-// Run advances the machine the given number of cycles.
+// treeSaturated reports whether the queue tree is saturated end to end this
+// cycle: every stage holds at least one forward queue at capacity.  A full
+// queue at one stage is ordinary queueing; full queues at every stage mean
+// hot-spot backpressure has propagated from the memory modules back to the
+// injection ports — Pfister & Norton's tree saturation.
+func (s *Sim) treeSaturated() bool {
+	if s.cfg.QueueCap <= 0 {
+		return false // unbounded queues never fill
+	}
+	for _, stage := range s.stages {
+		full := false
+		for _, sw := range stage {
+			for port := 0; port < s.radix && !full; port++ {
+				full = len(sw.outQ[port]) >= s.cfg.QueueCap
+			}
+			if full {
+				break
+			}
+		}
+		if !full {
+			return false
+		}
+	}
+	return true
+}
+
+// progressSig is the watchdog's monotone progress signature: any message
+// movement — injection, a hop in either direction, a memory service cycle,
+// a delivery, or a fault event that consumes a message — changes it.  If it
+// freezes with work in flight, nothing is moving anywhere.
+func (s *Sim) progressSig() int64 {
+	sig := s.stats.Issued + s.stats.Completed + s.stats.FwdHops +
+		s.stats.RevHops + s.stats.MemAcks + s.orphans
+	for mod := 0; mod < s.n; mod++ {
+		sig += s.mem.Module(mod).BusyCycles
+	}
+	if s.flt != nil {
+		sig += s.flt.Injected()
+	}
+	return sig
+}
+
+// Stalled reports whether the progress watchdog has tripped: work was in
+// flight and nothing moved for Config.WatchdogCycles cycles.
+func (s *Sim) Stalled() bool { return s.wd.Tripped() }
+
+// StallReport formats the watchdog diagnostic with a queue snapshot — the
+// state dump a failing soak prints next to its replay seed.
+func (s *Sim) StallReport() string {
+	detail := fmt.Sprintf("pending=%d meta=%d", s.pendingCount(), len(s.meta))
+	for st, stage := range s.stages {
+		fwd, rev, wait := 0, 0, 0
+		for _, sw := range stage {
+			for port := 0; port < s.radix; port++ {
+				fwd += len(sw.outQ[port])
+				rev += len(sw.revQ[port])
+			}
+			wait += sw.wait.Len()
+		}
+		detail += fmt.Sprintf("\nstage %d: fwd=%d rev=%d wait=%d", st, fwd, rev, wait)
+	}
+	memQ := 0
+	for mod := 0; mod < s.n; mod++ {
+		memQ += s.mem.Module(mod).QueueLen()
+	}
+	detail += fmt.Sprintf("\nmemory queued=%d", memQ)
+	return flow.StallReport("network", s.wd, s.InFlight(), detail)
+}
+
+func (s *Sim) pendingCount() int {
+	n := 0
+	for _, p := range s.pending {
+		if p != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Run advances the machine the given number of cycles, stopping early if
+// the progress watchdog trips (a stalled machine makes no further progress
+// by definition; callers check Stalled / StallReport).
 func (s *Sim) Run(cycles int) {
 	for i := 0; i < cycles; i++ {
+		if s.wd.Tripped() {
+			return
+		}
 		s.Step()
 	}
 }
@@ -340,6 +491,21 @@ func (s *Sim) drainReverse() {
 				if len(sw.revQ[port]) == 0 {
 					continue
 				}
+				inLine := sw.index*s.radix + port
+				var prev *switchNode
+				if stage > 0 {
+					prevLine := s.unshuffle(inLine)
+					prev = s.stages[stage-1][prevLine/s.radix]
+					if !prev.canAcceptReply() {
+						// Downstream reverse credits exhausted: hold the
+						// reply here.  Stage order is ascending, so the
+						// credits this pop would need were already
+						// replenished this cycle if the downstream switch
+						// moved anything.
+						s.stats.HoldsRev++
+						continue
+					}
+				}
 				r := sw.popRev(port)
 				if s.flt != nil && s.flt.DropReply(
 					faults.Site(stage, sw.index, port), r.rep.ID, r.rep.Attempt) {
@@ -347,14 +513,11 @@ func (s *Sim) drainReverse() {
 				}
 				s.stats.RevHops++
 				s.stats.RevSlots += int64(r.slots)
-				inLine := sw.index*s.radix + port
 				if stage == 0 {
 					proc := s.unshuffle(inLine)
 					s.deliver(proc, r)
 					continue
 				}
-				prevLine := s.unshuffle(inLine)
-				prev := s.stages[stage-1][prevLine/s.radix]
 				prev.acceptReply(r)
 			}
 		}
@@ -391,6 +554,13 @@ func (s *Sim) tickMemory() {
 	for mod := 0; mod < s.n; mod++ {
 		if s.flt != nil && s.flt.MemStalled(mod, s.cycle) {
 			continue // module inside a slowdown window serves nothing
+		}
+		if !s.stages[s.k-1][mod/s.radix].canAcceptReply() {
+			// The last-stage switch has no reverse credit: the module's
+			// output port is blocked, so it holds its completed request
+			// rather than emitting a reply with nowhere to go.
+			s.stats.HoldsMemOut++
+			continue
 		}
 		rep, ok := s.mem.Module(mod).Tick()
 		if !ok {
@@ -445,6 +615,14 @@ func (s *Sim) drainForward() {
 				outLine := sw.index*s.radix + port
 				if stage == s.k-1 {
 					// The link into module outLine.
+					if !s.mem.Module(outLine).CanEnqueue() {
+						// Bounded module input full: hold the request in
+						// the switch — the backpressure that turns a hot
+						// module into tree saturation instead of unbounded
+						// memory-side buffering.
+						s.stats.HoldsMem++
+						continue
+					}
 					sw.popFwd(port)
 					if s.flt != nil && s.flt.DropForward(
 						faults.Site(s.k, outLine, 0), m.req.ID, m.req.Attempt) {
@@ -553,8 +731,12 @@ func (s *Sim) Stats() Stats {
 	for _, stage := range s.stages {
 		for _, sw := range stage {
 			st.Rejects += sw.wait.Rejections
+			if sw.maxRev > st.MaxRevQueue {
+				st.MaxRevQueue = sw.maxRev
+			}
 		}
 	}
+	st.MaxMemQueue = s.mem.MaxQueueDepth()
 	return st
 }
 
@@ -565,22 +747,30 @@ func (s *Sim) Snapshot() stats.Snapshot {
 	snap := stats.Snapshot{
 		Engine: "network",
 		Counters: map[string]int64{
-			"cycles":          st.Cycles,
-			"issued":          st.Issued,
-			"completed":       st.Completed,
-			"hot_completed":   st.HotCompleted,
-			"cold_completed":  st.ColdCompleted,
-			"combines":        st.Combines,
-			"combine_rejects": st.Rejects,
-			"fwd_hops":        st.FwdHops,
-			"rev_hops":        st.RevHops,
-			"fwd_slots":       st.FwdSlots,
-			"rev_slots":       st.RevSlots,
-			"mem_requests":    st.MemRequests,
-			"mem_acks":        st.MemAcks,
+			"cycles":            st.Cycles,
+			"issued":            st.Issued,
+			"completed":         st.Completed,
+			"hot_completed":     st.HotCompleted,
+			"cold_completed":    st.ColdCompleted,
+			"combines":          st.Combines,
+			"combine_rejects":   st.Rejects,
+			"fwd_hops":          st.FwdHops,
+			"rev_hops":          st.RevHops,
+			"fwd_slots":         st.FwdSlots,
+			"rev_slots":         st.RevSlots,
+			"mem_requests":      st.MemRequests,
+			"mem_acks":          st.MemAcks,
+			"saturation_cycles": st.SaturationCycles,
+			"holds_rev":         st.HoldsRev,
+			"holds_mem":         st.HoldsMem,
+			"holds_mem_out":     st.HoldsMemOut,
+			"watchdog_trips":    st.WatchdogTrips,
 		},
 		Gauges: map[string]int64{
-			"max_out_queue": int64(st.MaxOutQueue),
+			"max_out_queue":         int64(st.MaxOutQueue),
+			"max_rev_queue":         int64(st.MaxRevQueue),
+			"max_mem_queue":         int64(st.MaxMemQueue),
+			"saturation_max_streak": st.SaturationMaxStreak,
 		},
 		Histograms: map[string]stats.HistogramSnapshot{
 			"latency_cycles": st.Latency,
@@ -637,6 +827,9 @@ func (s *Sim) InFlight() int {
 // It reports whether the machine fully drained.
 func (s *Sim) Drain(maxCycles int) bool {
 	for i := 0; i < maxCycles; i++ {
+		if s.wd.Tripped() {
+			return false // stalled: no amount of further cycles drains it
+		}
 		s.Step()
 		if s.InFlight() == 0 {
 			return true

@@ -20,6 +20,10 @@ type switchNode struct {
 	wait   *core.WaitBuffer[netRecord]
 	pol    core.Policy
 	outCap int // forward queue capacity; <= 0 means unbounded
+	revCap int // reverse base credit per port; <= 0 means unbounded
+	// maxRev is the reverse-queue high-water mark across this switch's
+	// ports — the observable the bounded-fan-out invariant is asserted on.
+	maxRev int
 	// buggyForward enables the incorrect early-reply optimization of
 	// Section 5.1 (Config.BuggyLoadForwarding).
 	buggyForward bool
@@ -36,13 +40,14 @@ type switchNode struct {
 // combine scan.
 func fwdReq(m *fwdMsg) *core.Request { return &m.req }
 
-func newSwitch(stage, index, radix, outCap, waitCap int, pol core.Policy, buggyForward bool) *switchNode {
+func newSwitch(stage, index, radix, outCap, revCap, waitCap int, pol core.Policy, buggyForward bool) *switchNode {
 	return &switchNode{
 		stage:        stage,
 		index:        index,
 		outQ:         make([][]fwdMsg, radix),
 		revQ:         make([][]revMsg, radix),
 		outCap:       outCap,
+		revCap:       revCap,
 		wait:         core.NewWaitBuffer[netRecord](waitCap),
 		pol:          pol,
 		buggyForward: buggyForward,
@@ -139,12 +144,37 @@ func (sw *switchNode) tryAccept(m fwdMsg, outPort int, inPort uint8, st *Stats) 
 	return true
 }
 
+// canAcceptReply is the reserved-credit acceptance check: a reply may enter
+// this switch only while every reverse queue sits below the base credit
+// revCap.  The check must cover all ports because the reply's decombining
+// fan-out is unknown until the wait buffer is consulted — a combined reply
+// can scatter leaves across every port.  An accepted reply then appends its
+// entire fan-out unconditionally: each leaf beyond the first consumes a wait
+// record this switch itself created, so the records double as reserved
+// reverse credits and per-port occupancy stays ≤ revCap + wait-buffer
+// capacity (the invariant TestReverseBound asserts).  Holding a reply
+// upstream when the check fails cannot deadlock: reverse queues drain
+// toward the processors, whose delivery ports always consume.
+func (sw *switchNode) canAcceptReply() bool {
+	if sw.revCap <= 0 {
+		return true
+	}
+	for _, q := range sw.revQ {
+		if len(q) >= sw.revCap {
+			return false
+		}
+	}
+	return true
+}
+
 // acceptReply processes a reply arriving from the memory side: it pops this
 // stage's port from the path header, undoes every combine recorded here for
 // the id (LIFO, possibly several for k-way combining), and places the
-// resulting replies in the reverse queues.  Reverse queues are unbounded —
-// the decombining fan-out restores exactly the messages combining removed,
-// so total reverse traffic never exceeds the uncombined load.
+// resulting replies in the reverse queues.  The decombining fan-out restores
+// exactly the messages combining removed, so total reverse traffic never
+// exceeds the uncombined load — recorded as the maxRev high-water mark and
+// asserted in invariant_test.go; admission is gated by canAcceptReply, which
+// is why the appends below need no capacity check.
 func (sw *switchNode) acceptReply(r revMsg) {
 	// PopMatch skips records the reply cannot answer: under fault
 	// injection a record goes stale when its combined message is dropped
@@ -178,6 +208,9 @@ func (sw *switchNode) acceptReply(r revMsg) {
 	port := r.path[sw.stage]
 	r.path = r.path[:sw.stage]
 	sw.revQ[port] = append(sw.revQ[port], r)
+	if n := len(sw.revQ[port]); n > sw.maxRev {
+		sw.maxRev = n
+	}
 }
 
 func boolSlots(needs bool) int {

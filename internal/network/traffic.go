@@ -1,9 +1,11 @@
 package network
 
 import (
+	"fmt"
 	"math/rand/v2"
 
 	"combining/internal/core"
+	"combining/internal/flow"
 	"combining/internal/rmw"
 	"combining/internal/word"
 )
@@ -19,9 +21,21 @@ type TrafficConfig struct {
 	HotFraction float64
 	// HotAddr is the hot-spot location.
 	HotAddr word.Addr
-	// Window bounds outstanding requests per processor (default 4 —
-	// processors pipeline accesses, Section 3.2).
+	// Window bounds outstanding requests per processor (processors
+	// pipeline accesses, Section 3.2).  The zero value means the default
+	// of 4; negative windows are invalid and NewStochastic panics with a
+	// clear error rather than silently substituting the default.  With
+	// Adaptive set, Window is the *initial* window of the AIMD
+	// controller, not a fixed bound.
 	Window int
+	// Adaptive turns on AIMD admission control: the effective window
+	// shrinks multiplicatively when round-trip latency signals congestion
+	// (tree saturation on the path to a hot module) and recovers
+	// additively as the tree drains.  MinWindow/MaxWindow clamp the range
+	// (defaults 1 and 4×Window).
+	Adaptive  bool
+	MinWindow int
+	MaxWindow int
 	// AddrSpace sizes the uniform address range (default 64·N).
 	AddrSpace word.Addr
 	// MakeOp builds the operation for a request; nil means
@@ -38,32 +52,67 @@ type Stochastic struct {
 	nprocs      int
 	outstanding int
 
+	// aimd is the adaptive admission controller (nil unless
+	// cfg.Adaptive); issued remembers each in-flight request's issue
+	// cycle so Deliver can feed the controller round-trip times.
+	aimd   *flow.AIMD
+	issued map[word.ReqID]int64
+
 	// Hot and Cold count issued requests by class.
 	Hot, Cold int64
 }
 
 var _ Injector = (*Stochastic)(nil)
 
-// NewStochastic builds the injector for processor proc of nprocs.
+// NewStochastic builds the injector for processor proc of nprocs.  A
+// negative cfg.Window is rejected with a panic; zero means the default.
 func NewStochastic(proc, nprocs int, cfg TrafficConfig, seed uint64) *Stochastic {
-	if cfg.Window <= 0 {
+	if cfg.Window < 0 {
+		panic(fmt.Sprintf("network: TrafficConfig.Window must be ≥ 0 (0 means the default of 4), got %d", cfg.Window))
+	}
+	if cfg.Window == 0 {
 		cfg.Window = 4
 	}
-	if cfg.AddrSpace == 0 {
-		cfg.AddrSpace = word.Addr(64 * nprocs)
-	}
-	return &Stochastic{
+	s := &Stochastic{
 		proc:   word.ProcID(proc),
 		cfg:    cfg,
 		rng:    rand.New(rand.NewPCG(seed, uint64(proc)*0x9e3779b97f4a7c15+1)),
 		ids:    word.Partition(proc, nprocs),
 		nprocs: nprocs,
 	}
+	if cfg.AddrSpace == 0 {
+		s.cfg.AddrSpace = word.Addr(64 * nprocs)
+	}
+	if cfg.Adaptive {
+		min, max := cfg.MinWindow, cfg.MaxWindow
+		if min <= 0 {
+			min = 1
+		}
+		if max <= 0 {
+			max = 4 * cfg.Window
+		}
+		s.aimd = flow.NewAIMD(cfg.Window, min, max)
+		s.issued = make(map[word.ReqID]int64)
+	}
+	return s
 }
+
+// Window returns the current admission window — fixed, or the AIMD
+// controller's live value under Adaptive.
+func (s *Stochastic) Window() int {
+	if s.aimd != nil {
+		return s.aimd.Window()
+	}
+	return s.cfg.Window
+}
+
+// Admission exposes the AIMD controller (nil unless Adaptive), for
+// experiment reporting: mean window, decrease count.
+func (s *Stochastic) Admission() *flow.AIMD { return s.aimd }
 
 // Next draws the next request per the Bernoulli issue process.
 func (s *Stochastic) Next(cycle int64) (Injection, bool) {
-	if s.outstanding >= s.cfg.Window {
+	if s.outstanding >= s.Window() {
 		return Injection{}, false
 	}
 	if s.rng.Float64() >= s.cfg.Rate {
@@ -88,12 +137,22 @@ func (s *Stochastic) Next(cycle int64) (Injection, bool) {
 	}
 	s.outstanding++
 	id := s.ids.NextPartitioned(s.nprocs)
+	if s.issued != nil {
+		s.issued[id] = cycle
+	}
 	return Injection{Req: core.NewRequest(id, addr, op, s.proc), Hot: hot}, true
 }
 
-// Deliver releases a window slot.
-func (s *Stochastic) Deliver(core.Reply, int64) {
+// Deliver releases a window slot and, under Adaptive, feeds the round-trip
+// time to the AIMD controller.
+func (s *Stochastic) Deliver(rep core.Reply, cycle int64) {
 	s.outstanding--
+	if s.issued != nil {
+		if at, ok := s.issued[rep.ID]; ok {
+			delete(s.issued, rep.ID)
+			s.aimd.OnDeliver(cycle-at, cycle)
+		}
+	}
 }
 
 // HotspotResult is one point of the hot-spot sweep (experiment E8/E9).
