@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all check test race bench bench-smoke gobench experiments soak fmt vet cover
+.PHONY: all check test race bench bench-smoke gobench experiments soak parbench fmt vet cover
 
 all: vet test
 
@@ -36,7 +36,12 @@ experiments:
 	go run ./cmd/experiments
 
 soak:
-	go run ./cmd/check -rounds 200
+	go run ./cmd/check -rounds 200 -faults -overload -parallel
+
+# parbench runs the parallel-stepper microbenchmark (E15 curve; the full
+# sweep also lands in BENCH_combining.json under parallel_speedup).
+parbench:
+	go test -bench=BenchmarkParallelStep -benchmem ./internal/network/
 
 fmt:
 	gofmt -w .

@@ -17,11 +17,18 @@
 // runs must complete with zero watchdog trips and replies matching the
 // serial prefix sums.
 //
+// With -parallel it runs the determinism soak for the sharded steppers:
+// each cycle engine executes the same seeded workload at Workers = 1, 2
+// and 4, and every run must produce a byte-identical stats snapshot and
+// identical per-processor reply sequences (DESIGN.md §6), clean and
+// under fault plans.
+//
 // Usage: check [-rounds 50] [-procs 16] [-ops 20] [-addrs 4] [-seed 1]
-// [-quick] [-faults] [-overload] [-v]
+// [-quick] [-faults] [-overload] [-parallel] [-v]
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"math/rand/v2"
@@ -42,6 +49,7 @@ func main() {
 		quick    = flag.Bool("quick", false, "small CI-sized soak (shrinks rounds/procs/ops)")
 		doFaults = flag.Bool("faults", false, "also soak all four engines under fault plans")
 		overload = flag.Bool("overload", false, "deadlock-freedom soak: every queue at capacity 1 on all four engines")
+		parallel = flag.Bool("parallel", false, "determinism soak: cycle engines at Workers = 1, 2, 4 must match byte-for-byte")
 		verbose  = flag.Bool("v", false, "log every execution")
 	)
 	flag.Parse()
@@ -59,6 +67,11 @@ func main() {
 		oc, of := overloadSoak(*rounds, *procs, *ops, *seed, *verbose)
 		checked += oc
 		failed += of
+	}
+	if *parallel {
+		pc, pf := parallelSoak(*rounds, *procs, *ops, *addrs, *seed, *verbose)
+		checked += pc
+		failed += pf
 	}
 	fmt.Printf("\n%d executions checked, %d failures\n", checked, failed)
 	if failed > 0 {
@@ -432,6 +445,103 @@ func asyncOverloadRound(procs, opsPerPort int, plan *combining.FaultPlan) error 
 		}
 	}
 	return nil
+}
+
+// parallelSoak verifies the determinism contract of the sharded cycle
+// steppers (DESIGN.md §6): the same seeded randomized programs run on
+// each cycle engine at Workers = 1, 2 and 4, clean and under the default
+// fault plan, and every width must reproduce the serial run exactly —
+// byte-identical stats snapshot and identical per-processor reply
+// sequences.
+func parallelSoak(rounds, procs, ops, addrs int, seed uint64, verbose bool) (checked, failed int) {
+	engines := []struct {
+		name  string
+		build func(workers int, plan *combining.FaultPlan, inj []combining.Injector) faultEngine
+	}{
+		{"network", func(w int, p *combining.FaultPlan, inj []combining.Injector) faultEngine {
+			return combining.NewSim(combining.NetConfig{
+				Procs: procs, WaitBufCap: 64, Faults: p, Workers: w}, inj)
+		}},
+		{"busnet", func(w int, p *combining.FaultPlan, inj []combining.Injector) faultEngine {
+			return combining.NewBusSim(combining.BusConfig{
+				Procs: procs, Banks: 4, WaitBufCap: 64, Faults: p, Workers: w}, inj)
+		}},
+		{"hypercube", func(w int, p *combining.FaultPlan, inj []combining.Injector) faultEngine {
+			return combining.NewCubeSim(combining.CubeConfig{
+				Nodes: procs, WaitBufCap: 64, Faults: p, Workers: w}, inj)
+		}},
+	}
+	modes := []struct {
+		name string
+		plan func(uint64) *combining.FaultPlan
+	}{
+		{"clean", func(uint64) *combining.FaultPlan { return nil }},
+		{"faults", func(s uint64) *combining.FaultPlan { return combining.DefaultFaultPlan(s) }},
+	}
+	type outcome struct {
+		snap    []byte
+		replies []int64
+		ok      bool
+	}
+	for _, e := range engines {
+		for _, mode := range modes {
+			name := e.name + "/parallel-" + mode.name
+			for r := 0; r < rounds; r++ {
+				eff := seed + uint64(r)
+				run := func(workers int) outcome {
+					rng := rand.New(rand.NewPCG(eff, 1234))
+					progs := randomPrograms(rng, procs, ops, addrs)
+					m, inj := combining.NewMachineInjectors(progs)
+					eng := e.build(workers, mode.plan(eff), inj)
+					m.BindEngine(eng)
+					if !m.Run(10_000_000) {
+						fmt.Printf("FAIL %s seed %d workers %d: did not complete, %d in flight (replay: -seed %d -rounds 1 -parallel)\n",
+							name, eff, workers, eng.InFlight(), eff)
+						return outcome{}
+					}
+					var replies []int64
+					for p := 0; p < procs; p++ {
+						for i := 0; i < ops; i++ {
+							replies = append(replies, m.Proc(p).Reply(i).Val)
+						}
+					}
+					return outcome{snap: eng.Snapshot().JSON(), replies: replies, ok: true}
+				}
+				want := run(1)
+				if !want.ok {
+					failed++
+					continue
+				}
+				checked++
+				for _, w := range []int{2, 4} {
+					got := run(w)
+					if !got.ok {
+						failed++
+						continue
+					}
+					if !bytes.Equal(got.snap, want.snap) {
+						fmt.Printf("FAIL %s seed %d: Workers=%d snapshot differs from serial (replay: -seed %d -rounds 1 -parallel)\n",
+							name, eff, w, eff)
+						failed++
+						continue
+					}
+					for i := range want.replies {
+						if got.replies[i] != want.replies[i] {
+							fmt.Printf("FAIL %s seed %d: Workers=%d reply %d = %d, serial %d (replay: -seed %d -rounds 1 -parallel)\n",
+								name, eff, w, i, got.replies[i], want.replies[i], eff)
+							failed++
+							break
+						}
+					}
+				}
+				if verbose {
+					fmt.Printf("ok   %s seed %d: widths 1/2/4 identical\n", name, eff)
+				}
+			}
+			fmt.Printf("%-26s %d executions verified\n", name, rounds)
+		}
+	}
+	return checked, failed
 }
 
 func isPow(n, k int) bool {

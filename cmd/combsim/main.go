@@ -6,6 +6,7 @@
 //	combsim [-n 64] [-rate 0.6] [-cycles 4000] [-window 4] [-seed 1]
 //	        [-h 0,0.0625,0.125,0.25] [-queue 4] [-revqueue 0] [-memqueue 0]
 //	        [-adaptive] [-csv] [-topology omega|hypercube|bus] [-drop 0.01]
+//	        [-workers 1]
 //
 // With -drop > 0 the sweep runs under a deterministic fault plan (that
 // drop probability per forward and reply hop, seeded by -seed) and the
@@ -16,7 +17,13 @@
 // takes the engine default, negative is unbounded; on the bus topology
 // -memqueue sets the bank queue).  -adaptive replaces the fixed window
 // with AIMD admission control (the E14 experiment): -window becomes the
-// controller's initial window.
+// controller's initial window.  -workers shards each cycle's engine work
+// across that many goroutines (output is identical at any setting; see
+// DESIGN.md §6).
+//
+// Nonsense flag values are rejected at parse time with a one-line error
+// and exit status 2 rather than panicking (or silently producing a bogus
+// table) deep inside an engine.
 package main
 
 import (
@@ -31,12 +38,12 @@ import (
 
 func main() {
 	var (
-		n      = flag.Int("n", 64, "processors (power of two)")
-		rate   = flag.Float64("rate", 0.6, "per-cycle issue probability")
-		cycles = flag.Int("cycles", 4000, "cycles per point")
-		window = flag.Int("window", 4, "outstanding requests per processor")
-		seed   = flag.Uint64("seed", 1, "workload seed")
-		hList  = flag.String("h", "0,0.0625,0.125,0.25", "comma-separated hot fractions")
+		n        = flag.Int("n", 64, "processors (power of two)")
+		rate     = flag.Float64("rate", 0.6, "per-cycle issue probability")
+		cycles   = flag.Int("cycles", 4000, "cycles per point")
+		window   = flag.Int("window", 4, "outstanding requests per processor")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		hList    = flag.String("h", "0,0.0625,0.125,0.25", "comma-separated hot fractions")
 		queue    = flag.Int("queue", 4, "switch output queue capacity")
 		revQueue = flag.Int("revqueue", 0, "reverse queue capacity (0 = engine default, negative = unbounded)")
 		memQueue = flag.Int("memqueue", 0, "memory-side queue capacity (0 = engine default, negative = unbounded; bank queue on -topology bus)")
@@ -44,17 +51,57 @@ func main() {
 		csv      = flag.Bool("csv", false, "emit CSV instead of a table")
 		topo     = flag.String("topology", "omega", "omega, hypercube, or bus")
 		drop     = flag.Float64("drop", 0, "per-hop drop probability (arms the fault/recovery layer)")
+		workers  = flag.Int("workers", 1, "goroutines sharding each cycle's engine work (0/1 = serial)")
 	)
 	flag.Parse()
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "combsim: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	switch *topo {
+	case "omega", "hypercube", "bus":
+	default:
+		fail("unknown topology %q (want omega, hypercube, or bus)", *topo)
+	}
+	// The bus machine takes any processor count; the indirect topologies
+	// need a power of two (the omega engine would panic, the hypercube
+	// engine would mis-route).
+	if *n < 1 {
+		fail("-n must be ≥ 1, got %d", *n)
+	}
+	if *topo != "bus" && (*n < 2 || *n&(*n-1) != 0) {
+		fail("-n must be a power of two ≥ 2 for -topology %s, got %d", *topo, *n)
+	}
+	if *rate <= 0 || *rate > 1 {
+		fail("-rate must be in (0, 1], got %g", *rate)
+	}
+	if *cycles < 1 {
+		fail("-cycles must be ≥ 1, got %d", *cycles)
+	}
+	if *window < 0 {
+		fail("-window must be ≥ 0 (0 means the default of 4), got %d", *window)
+	}
+	if *drop < 0 || *drop >= 1 {
+		fail("-drop must be in [0, 1) — a probability per hop, got %g", *drop)
+	}
+	if *workers < 0 {
+		fail("-workers must be ≥ 0 (0/1 = serial), got %d", *workers)
+	}
 
 	var hs []float64
 	for _, s := range strings.Split(*hList, ",") {
 		h, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "combsim: bad hot fraction %q: %v\n", s, err)
-			os.Exit(2)
+			fail("bad hot fraction %q in -h: %v", s, err)
+		}
+		if h < 0 || h > 1 {
+			fail("hot fraction %g in -h outside [0, 1]", h)
 		}
 		hs = append(hs, h)
+	}
+	if len(hs) == 0 {
+		fail("-h lists no hot fractions")
 	}
 
 	type point struct {
@@ -84,21 +131,21 @@ func main() {
 		switch *topo {
 		case "omega":
 			cfg := combining.NetConfig{Procs: *n, QueueCap: *queue, RevQueueCap: *revQueue,
-				MemQueueCap: *memQueue, WaitBufCap: waitCap, Faults: plan}
+				MemQueueCap: *memQueue, WaitBufCap: waitCap, Faults: plan, Workers: *workers}
 			sim := combining.NewSim(cfg, injectors(h))
 			sim.Run(*cycles)
 			st := sim.Stats()
 			return point{st.Bandwidth(), st.MeanLatency(), st.ColdMeanLatency(), st.Combines}
 		case "hypercube":
 			cfg := combining.CubeConfig{Nodes: *n, QueueCap: *queue, RevQueueCap: *revQueue,
-				MemQueueCap: *memQueue, WaitBufCap: waitCap, Faults: plan}
+				MemQueueCap: *memQueue, WaitBufCap: waitCap, Faults: plan, Workers: *workers}
 			sim := combining.NewCubeSim(cfg, injectors(h))
 			sim.Run(*cycles)
 			st := sim.Stats()
 			return point{st.Bandwidth(), st.MeanLatency(), 0, st.Combines}
 		case "bus":
 			cfg := combining.BusConfig{Procs: *n, Banks: 8, QueueCap: *queue,
-				BankQueueCap: *memQueue, WaitBufCap: waitCap, Faults: plan}
+				BankQueueCap: *memQueue, WaitBufCap: waitCap, Faults: plan, Workers: *workers}
 			sim := combining.NewBusSim(cfg, injectors(h))
 			sim.Run(*cycles)
 			st := sim.Stats()

@@ -1,10 +1,12 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
 	"time"
 
@@ -31,6 +33,7 @@ type benchReport struct {
 	AsyncFAA    []asyncPoint       `json:"asyncnet_faa"`
 	Degradation []degradationPoint `json:"degradation_curve"`
 	Saturation  []saturationPoint  `json:"saturation_curve"`
+	Parallel    []parallelPoint    `json:"parallel_speedup"`
 }
 
 // hotspotPoint is one cell of the N × h × combining sweep (experiment E8).
@@ -125,6 +128,48 @@ type saturationPoint struct {
 	Snapshot combining.StatsSnapshot `json:"snapshot"`
 }
 
+// parallelPoint is one cell of the E15 parallel-stepper curve: wall-clock
+// cost per simulated cycle of the omega engine with its per-cycle work
+// sharded across Workers goroutines (DESIGN.md §6).  HostCPUs records the
+// cores the measurement actually had — on a single-core host every
+// Workers > 1 point is pure scheduling overhead and the speedup sits at
+// or below 1.  SnapshotIdentical asserts the determinism contract on the
+// exact runs being timed.
+type parallelPoint struct {
+	Procs             int     `json:"procs"`
+	Workers           int     `json:"workers"`
+	Cycles            int     `json:"cycles"`
+	ElapsedNs         int64   `json:"elapsed_ns"`
+	NsPerCycle        float64 `json:"ns_per_cycle"`
+	Speedup           float64 `json:"speedup_vs_serial"`
+	SnapshotIdentical bool    `json:"snapshot_identical_to_serial"`
+	HostCPUs          int     `json:"host_cpus"`
+}
+
+// benchParallel times the sharded stepper at one width and returns the
+// point plus the end-of-run snapshot for the determinism cross-check.
+func benchParallel(n, workers, warmup, cycles int) (parallelPoint, []byte) {
+	inj := make([]combining.Injector, n)
+	for p := 0; p < n; p++ {
+		inj[p] = combining.NewStochastic(p, n, combining.TrafficConfig{Rate: 0.9, HotFraction: 0.3}, 1)
+	}
+	sim := combining.NewSim(combining.NetConfig{
+		Procs: n, QueueCap: 4, WaitBufCap: combining.Unbounded, Workers: workers,
+	}, inj)
+	sim.Run(warmup)
+	start := time.Now()
+	sim.Run(cycles)
+	elapsed := time.Since(start)
+	return parallelPoint{
+		Procs:      n,
+		Workers:    workers,
+		Cycles:     cycles,
+		ElapsedNs:  elapsed.Nanoseconds(),
+		NsPerCycle: float64(elapsed.Nanoseconds()) / float64(cycles),
+		HostCPUs:   runtime.NumCPU(),
+	}, sim.Snapshot().JSON()
+}
+
 func runBench() {
 	rep := benchReport{Schema: "combining-bench/v1", Quick: *quick}
 
@@ -181,6 +226,31 @@ func runBench() {
 		}
 	}
 
+	parN, parWarmup, parCycles := []int{256, 1024}, 64, 512
+	if *quick {
+		parN, parCycles = []int{64}, 64
+	}
+	for _, n := range parN {
+		var serial parallelPoint
+		var serialSnap []byte
+		for _, w := range []int{1, 2, 4, 8} {
+			pt, snap := benchParallel(n, w, parWarmup, parCycles)
+			if w == 1 {
+				serial, serialSnap = pt, snap
+				pt.Speedup = 1
+				pt.SnapshotIdentical = true
+			} else {
+				pt.Speedup = float64(serial.ElapsedNs) / float64(pt.ElapsedNs)
+				pt.SnapshotIdentical = bytes.Equal(snap, serialSnap)
+				if !pt.SnapshotIdentical {
+					fmt.Fprintf(os.Stderr, "bench: N=%d Workers=%d snapshot differs from serial — determinism broken\n", n, w)
+					os.Exit(1)
+				}
+			}
+			rep.Parallel = append(rep.Parallel, pt)
+		}
+	}
+
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		panic(err)
@@ -190,8 +260,8 @@ func runBench() {
 		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("bench baseline written to %s (%d hot-spot points, %d permutations, %d async runs, %d degradation points, %d saturation points)\n",
-		*benchOut, len(rep.Hotspot), len(rep.Permutation), len(rep.AsyncFAA), len(rep.Degradation), len(rep.Saturation))
+	fmt.Printf("bench baseline written to %s (%d hot-spot points, %d permutations, %d async runs, %d degradation points, %d saturation points, %d parallel points)\n",
+		*benchOut, len(rep.Hotspot), len(rep.Permutation), len(rep.AsyncFAA), len(rep.Degradation), len(rep.Saturation), len(rep.Parallel))
 }
 
 // benchHotspot mirrors RunHotspot but keeps the simulator so the point can

@@ -704,16 +704,23 @@ func (sw *aswitch) run() {
 // combines same-address batches, and forwards the survivors.
 func (sw *aswitch) handleFwd(first fwdMsg) {
 	batch := []fwdMsg{first}
-	// Drain twice with a scheduling point between: a burst of requests
-	// from concurrently released goroutines arrives within a few
-	// scheduler quanta, and the yield lets the stragglers land so they
-	// can combine — the asynchronous analogue of messages meeting in a
-	// switch queue.  The batch is capped at both inboxes' worth of
-	// messages so that switch-internal buffering stays bounded even while
-	// blocked upstream senders keep refilling the channels; with the
-	// (large) default ChanCap the cap is never reached.
+	// Bounded spin, then park: poll both inboxes, give concurrently
+	// released stragglers one scheduling quantum to land (so they can
+	// combine — the asynchronous analogue of messages meeting in a switch
+	// queue), and yield again only while polls keep finding new messages,
+	// up to maxYields.  The first dry poll after a yield ends collection,
+	// returning the switch to run()'s select — a channel wait that costs
+	// no CPU — where the old unconditional per-batch Gosched burned a
+	// scheduler round-trip even with the batch already full (every three
+	// messages under ChanCap=1) or no burst in flight at all.  The batch
+	// is capped at both inboxes' worth of messages so switch-internal
+	// buffering stays bounded even while blocked upstream senders keep
+	// refilling the channels; with the (large) default ChanCap the cap is
+	// never reached.
 	batchMax := 2*sw.net.cfg.ChanCap + 1
-	for round := 0; round < 2; round++ {
+	const maxYields = 2
+	for yields := 0; len(batch) < batchMax; {
+		before := len(batch)
 		for drained := true; drained && len(batch) < batchMax; {
 			select {
 			case m := <-sw.fwdIn[0]:
@@ -724,9 +731,11 @@ func (sw *aswitch) handleFwd(first fwdMsg) {
 				drained = false
 			}
 		}
-		if round == 0 {
-			runtime.Gosched()
+		if yields >= maxYields || (yields > 0 && len(batch) == before) {
+			break
 		}
+		yields++
+		runtime.Gosched()
 	}
 	sw.net.batchHW[sw.stage].Observe(int64(len(batch)))
 	var combined, rejected int64

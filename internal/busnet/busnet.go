@@ -21,6 +21,7 @@ import (
 	"combining/internal/flow"
 	"combining/internal/memory"
 	"combining/internal/network"
+	"combining/internal/par"
 	"combining/internal/stats"
 	"combining/internal/word"
 )
@@ -50,6 +51,12 @@ type Config struct {
 	BankService int
 	// AllowReversal enables the Section 5.1 optimization.
 	AllowReversal bool
+	// Workers shards the bank-service scan of each cycle across this many
+	// goroutines (see internal/par and DESIGN.md §6): banks tick in
+	// parallel — each touches only its own module — and completions commit
+	// serially in bank order, so output is byte-for-byte identical at any
+	// setting.  0 or 1 keep the single-threaded stepper.
+	Workers int
 	// Faults, when non-nil, arms the deterministic fault plan and the
 	// recovery layer (see internal/faults and internal/network.Config).
 	// The bus machine has one switch site (0, 0): a stall window there
@@ -140,6 +147,19 @@ type Sim struct {
 	trk     *faults.Tracker
 	retry   [][]qmsg
 	orphans int64
+
+	// Parallel bank-scan state (Config.Workers > 1, nil otherwise): the
+	// worker pool and the per-bank completion buffer filled in the compute
+	// phase and committed serially in bank order.  See DESIGN.md §6.
+	pool    *par.Pool
+	tickBuf []bankTick
+}
+
+// bankTick is one bank's compute-phase result: the reply its module
+// completed this cycle, if any.
+type bankTick struct {
+	rep core.Reply
+	ok  bool
 }
 
 // NewSim builds the machine.
@@ -184,6 +204,10 @@ func NewSim(cfg Config, inj []network.Injector) *Sim {
 		s.trk = faults.NewTracker(s.flt)
 		s.retry = make([][]qmsg, cfg.Procs)
 	}
+	if cfg.Workers > 1 {
+		s.pool = par.NewPool(cfg.Workers)
+		s.tickBuf = make([]bankTick, cfg.Banks)
+	}
 	return s
 }
 
@@ -210,11 +234,11 @@ func (s *Sim) Snapshot() stats.Snapshot {
 	snap := stats.Snapshot{
 		Engine: "busnet",
 		Counters: map[string]int64{
-			"cycles":          s.stats.Cycles,
-			"issued":          s.stats.Issued,
-			"completed":       s.stats.Completed,
-			"combines":        s.stats.Combines,
-			"combine_rejects": s.wait.Rejections,
+			"cycles":            s.stats.Cycles,
+			"issued":            s.stats.Issued,
+			"completed":         s.stats.Completed,
+			"combines":          s.stats.Combines,
+			"combine_rejects":   s.wait.Rejections,
 			"bank_ops":          s.stats.BankOps,
 			"bus_ops":           s.stats.BusOps,
 			"hol_blocked":       s.stats.HOLBlocked,
@@ -315,29 +339,28 @@ func (s *Sim) step() {
 		}
 	}
 
-	// Bank completions.
-	for b := 0; b < s.cfg.Banks; b++ {
-		if s.flt != nil && s.flt.MemStalled(b, s.cycle) {
-			continue // bank inside a slowdown window serves nothing
-		}
-		rep, ok := s.mem.Module(b).Tick()
-		if !ok {
-			continue
-		}
-		m, found := s.meta[rep.ID]
-		if !found {
-			if s.flt != nil {
-				s.orphans++ // losing copy of an original/retransmit pair
-				continue
+	// Bank completions: tick every bank (compute — bank-local), then
+	// commit the completed replies in ascending bank order (metadata, drop
+	// decisions, decombining and delivery all touch shared state).
+	if s.pool != nil {
+		workers := s.pool.Workers()
+		s.pool.Run(func(w int) {
+			lo, hi := par.Split(s.cfg.Banks, workers, w)
+			for b := lo; b < hi; b++ {
+				s.tickBuf[b].rep, s.tickBuf[b].ok = s.tickBank(b)
 			}
-			panic(fmt.Sprintf("busnet: cycle %d, bank %d: reply id %d (%v) without metadata",
-				s.cycle, b, rep.ID, rep))
+		})
+		for b := 0; b < s.cfg.Banks; b++ {
+			if s.tickBuf[b].ok {
+				s.commitBank(b, s.tickBuf[b].rep)
+			}
 		}
-		delete(s.meta, rep.ID)
-		if s.flt != nil && s.flt.DropReply(faults.Site(2, 0, m.src), rep.ID, rep.Attempt) {
-			continue // reply lost on the return path
+	} else {
+		for b := 0; b < s.cfg.Banks; b++ {
+			if rep, ok := s.tickBank(b); ok {
+				s.commitBank(b, rep)
+			}
 		}
-		s.deliver(rep, m.src, m.issue)
 	}
 
 	if s.flt != nil && s.flt.Stalled(0, 0, s.cycle) {
@@ -410,6 +433,36 @@ func (s *Sim) step() {
 			break // the bus carries one request per cycle
 		}
 	}
+}
+
+// tickBank advances bank b one service cycle, returning a completed reply
+// if one emerged.  Everything here is bank-local (the slowdown-window
+// decision is a pure hash with atomic counters), so banks tick in parallel
+// under Config.Workers.
+func (s *Sim) tickBank(b int) (core.Reply, bool) {
+	if s.flt != nil && s.flt.MemStalled(b, s.cycle) {
+		return core.Reply{}, false // bank inside a slowdown window serves nothing
+	}
+	return s.mem.Module(b).Tick()
+}
+
+// commitBank resolves one completed reply against the shared machine state:
+// metadata, the reply-drop decision, and delivery with decombining.
+func (s *Sim) commitBank(b int, rep core.Reply) {
+	m, found := s.meta[rep.ID]
+	if !found {
+		if s.flt != nil {
+			s.orphans++ // losing copy of an original/retransmit pair
+			return
+		}
+		panic(fmt.Sprintf("busnet: cycle %d, bank %d: reply id %d (%v) without metadata",
+			s.cycle, b, rep.ID, rep))
+	}
+	delete(s.meta, rep.ID)
+	if s.flt != nil && s.flt.DropReply(faults.Site(2, 0, m.src), rep.ID, rep.Attempt) {
+		return // reply lost on the return path
+	}
+	s.deliver(rep, m.src, m.issue)
 }
 
 // deliver routes a reply (and its decombined fan-out) back to processors.

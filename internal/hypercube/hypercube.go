@@ -23,6 +23,7 @@ import (
 	"combining/internal/flow"
 	"combining/internal/memory"
 	"combining/internal/network"
+	"combining/internal/par"
 	"combining/internal/stats"
 	"combining/internal/word"
 )
@@ -56,6 +57,13 @@ type Config struct {
 	AllowReversal bool
 	// MemService is the local memory service time (default 1).
 	MemService int
+	// Workers shards the memory-tick phase of each cycle — module service,
+	// metadata, decombining, all node-local — across this many goroutines
+	// (see internal/par and DESIGN.md §6).  0 or 1 keep the single-threaded
+	// stepper; either way output is byte-for-byte identical.  The forward
+	// and reverse drains stay serial: their credit checks read neighbor
+	// queues mutated earlier in the same sweep.
+	Workers int
 	// Faults, when non-nil, arms the deterministic fault plan and the
 	// recovery layer (see internal/faults and internal/network.Config).
 	// Stall windows select a router by Index (node number, Stage ignored
@@ -170,8 +178,12 @@ type Sim struct {
 	mem     *memory.Array
 	inj     []network.Injector
 	pending []*fwdM
-	meta    map[word.ReqID]fwdM
-	pol     core.Policy
+	// meta preserves message metadata across the memory module.  It is
+	// sharded per node: module i's requests are fed and reaped only by node
+	// i's memory tick, so each shard has exactly one owner under the
+	// parallel stepper.
+	meta []map[word.ReqID]fwdM
+	pol  core.Policy
 
 	cycle int64
 	stats Stats
@@ -191,6 +203,18 @@ type Sim struct {
 	retry     [][]fwdM
 	stallMask []bool
 	orphans   int64
+
+	// Parallel memory-tick state (Config.Workers > 1, nil/empty
+	// otherwise): worker pool, per-worker stats shards, and per-node
+	// delivery buffers replayed serially in node order.  See DESIGN.md §6.
+	pool     *par.Pool
+	shards   []cubeShard
+	delivBuf [][]revM
+}
+
+// cubeShard is one worker's slice of the memory-tick statistics.
+type cubeShard struct {
+	memOps, holdsMemOut, orphans int64
 }
 
 // NewSim builds the machine with one injector per node.
@@ -222,6 +246,10 @@ func NewSim(cfg Config, inj []network.Injector) *Sim {
 	if cfg.Faults != nil {
 		memOpts = append(memOpts, memory.WithReplyCache())
 	}
+	meta := make([]map[word.ReqID]fwdM, n)
+	for i := range meta {
+		meta[i] = make(map[word.ReqID]fwdM)
+	}
 	s := &Sim{
 		cfg:     cfg,
 		n:       n,
@@ -229,9 +257,14 @@ func NewSim(cfg Config, inj []network.Injector) *Sim {
 		mem:     memory.NewArray(n, memOpts...),
 		inj:     inj,
 		pending: make([]*fwdM, n),
-		meta:    make(map[word.ReqID]fwdM),
+		meta:    meta,
 		pol:     core.Policy{AllowReversal: cfg.AllowReversal},
 		wd:      flow.NewWatchdog(cfg.WatchdogCycles),
+	}
+	if cfg.Workers > 1 {
+		s.pool = par.NewPool(cfg.Workers)
+		s.shards = make([]cubeShard, s.pool.Workers())
+		s.delivBuf = make([][]revM, n)
 	}
 	if cfg.Faults != nil {
 		s.flt = faults.NewInjector(*cfg.Faults)
@@ -353,7 +386,11 @@ func (s *Sim) StallReport() string {
 		memq += len(nd.memQ)
 		wait += nd.wait.Len()
 	}
-	detail := fmt.Sprintf("fwd=%d rev=%d memq=%d wait=%d meta=%d", fwd, rev, memq, wait, len(s.meta))
+	metaN := 0
+	for _, shard := range s.meta {
+		metaN += len(shard)
+	}
+	detail := fmt.Sprintf("fwd=%d rev=%d memq=%d wait=%d meta=%d", fwd, rev, memq, wait, metaN)
 	return flow.StallReport("hypercube", s.wd, s.InFlight(), detail)
 }
 
@@ -529,26 +566,26 @@ func (s *Sim) arriveFwd(cur int, m fwdM) bool {
 func fwdMReq(m *fwdM) *core.Request { return &m.req }
 
 // arriveRev lands a reply at node cur: decombine against the wait buffer,
-// deliver when home, otherwise queue on the next reverse dimension.
-func (s *Sim) arriveRev(cur int, r revM) {
+// deliver when home, otherwise queue on the next reverse dimension.  The
+// recursion never leaves node cur, so everything it touches is node-local
+// except the home delivery itself — which, when sink is non-nil (parallel
+// memory tick), is buffered there for the serial commit instead, because
+// injectors, the retry ledger and completion stats are single-goroutine.
+func (s *Sim) arriveRev(cur int, r revM, sink *[]revM) {
 	match := func(h hrec) bool { return core.CanDecombine(h.Record, r.rep) }
 	if rec, ok := s.nodes[cur].wait.PopMatch(r.rep.ID, match); ok {
 		r1, r2 := core.DecombineExact(rec.Record, r.rep)
-		s.arriveRev(cur, revM{rep: r1, dst: r.dst, issue: r.issue, hot: r.hot})
-		s.arriveRev(cur, revM{rep: r2, dst: rec.dst2, issue: rec.issue2, hot: rec.hot2})
+		s.arriveRev(cur, revM{rep: r1, dst: r.dst, issue: r.issue, hot: r.hot}, sink)
+		s.arriveRev(cur, revM{rep: r2, dst: rec.dst2, issue: rec.issue2, hot: rec.hot2}, sink)
 		return
 	}
 	dim := revDim(cur, r.dst)
 	if dim < 0 {
-		if s.trk != nil {
-			if _, ok := s.trk.Deliver(r.rep.ID, s.cycle); !ok {
-				return // duplicate of an already-delivered reply; suppressed
-			}
+		if sink != nil {
+			*sink = append(*sink, r)
+			return
 		}
-		s.stats.Completed++
-		s.stats.LatencySum += s.cycle - r.issue
-		s.lat.Record(s.cycle - r.issue)
-		s.inj[cur].Deliver(r.rep, s.cycle)
+		s.deliverHome(cur, r)
 		return
 	}
 	r.moved = s.cycle
@@ -557,6 +594,19 @@ func (s *Sim) arriveRev(cur int, r revM) {
 	if n := len(nd.rout[dim]); n > nd.maxRev {
 		nd.maxRev = n
 	}
+}
+
+// deliverHome completes a reply at its requesting node.
+func (s *Sim) deliverHome(cur int, r revM) {
+	if s.trk != nil {
+		if _, ok := s.trk.Deliver(r.rep.ID, s.cycle); !ok {
+			return // duplicate of an already-delivered reply; suppressed
+		}
+	}
+	s.stats.Completed++
+	s.stats.LatencySum += s.cycle - r.issue
+	s.lat.Record(s.cycle - r.issue)
+	s.inj[cur].Deliver(r.rep, s.cycle)
 }
 
 func (s *Sim) drainReverse() {
@@ -586,51 +636,91 @@ func (s *Sim) drainReverse() {
 				continue // reply lost on the reverse link
 			}
 			s.stats.RevHops++
-			s.arriveRev(next, r)
+			s.arriveRev(next, r, nil)
 		}
 	}
 }
 
 func (s *Sim) tickMemory() {
-	for i := 0; i < s.n; i++ {
-		// Feed the module from the combining queue one request at a
-		// time, so requests stay combinable until the moment service
-		// starts.
-		nd := s.nodes[i]
-		routerUp := s.flt == nil || !s.stallMask[i]
-		if routerUp && len(nd.memQ) > 0 && s.mem.Module(i).QueueLen() == 0 {
-			m := nd.memQ[0]
-			copy(nd.memQ, nd.memQ[1:])
-			nd.memQ = nd.memQ[:len(nd.memQ)-1]
-			s.meta[m.req.ID] = m
-			s.mem.Module(i).Enqueue(m.req)
-			s.stats.MemOps++
-		}
-		if s.flt != nil && s.flt.MemStalled(i, s.cycle) {
-			continue // module inside a slowdown window serves nothing
-		}
-		if !nd.canAcceptRev(s.cfg.RevQueueCap) {
-			// No reverse credit at this node: the module holds its
-			// completion rather than emitting a reply with nowhere to go.
-			s.stats.HoldsMemOut++
-			continue
-		}
-		rep, ok := s.mem.Module(i).Tick()
-		if !ok {
-			continue
-		}
-		m, found := s.meta[rep.ID]
-		if !found {
-			if s.flt != nil {
-				s.orphans++ // losing copy of an original/retransmit pair
-				continue
-			}
-			panic(fmt.Sprintf("hypercube: cycle %d, node %d: reply id %d (%v) without metadata",
-				s.cycle, i, rep.ID, rep))
-		}
-		delete(s.meta, rep.ID)
-		s.arriveRev(i, revM{rep: rep, dst: m.src, issue: m.issue, hot: m.hot})
+	if s.pool != nil {
+		s.tickMemoryParallel()
+		return
 	}
+	for i := 0; i < s.n; i++ {
+		s.tickNode(i, &s.stats.MemOps, &s.stats.HoldsMemOut, &s.orphans, nil)
+	}
+}
+
+// tickMemoryParallel shards the memory tick across the pool: every node's
+// tick touches only that node's combining queue, metadata shard, module,
+// wait buffer and reverse queues, so each node is its own conflict group.
+// Home-node deliveries — the one non-local effect (injectors, the retry
+// ledger and completion stats are shared) — buffer per node and replay
+// serially in ascending node order, the serial sweep's order.
+func (s *Sim) tickMemoryParallel() {
+	workers := s.pool.Workers()
+	s.pool.Run(func(w int) {
+		sh := &s.shards[w]
+		lo, hi := par.Split(s.n, workers, w)
+		for i := lo; i < hi; i++ {
+			s.delivBuf[i] = s.delivBuf[i][:0]
+			s.tickNode(i, &sh.memOps, &sh.holdsMemOut, &sh.orphans, &s.delivBuf[i])
+		}
+	})
+	for i := 0; i < s.n; i++ {
+		for _, r := range s.delivBuf[i] {
+			s.deliverHome(i, r)
+		}
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		s.stats.MemOps += sh.memOps
+		s.stats.HoldsMemOut += sh.holdsMemOut
+		s.orphans += sh.orphans
+		*sh = cubeShard{}
+	}
+}
+
+// tickNode advances node i's memory one cycle: feed the module from the
+// combining queue one request at a time (so requests stay combinable until
+// the moment service starts), then emit a completed reply into the reverse
+// path.  Counters accumulate through the pointers so parallel workers stay
+// on their own shards; deliveries land in sink when non-nil.
+func (s *Sim) tickNode(i int, memOps, holdsMemOut, orphans *int64, sink *[]revM) {
+	nd := s.nodes[i]
+	routerUp := s.flt == nil || !s.stallMask[i]
+	if routerUp && len(nd.memQ) > 0 && s.mem.Module(i).QueueLen() == 0 {
+		m := nd.memQ[0]
+		copy(nd.memQ, nd.memQ[1:])
+		nd.memQ = nd.memQ[:len(nd.memQ)-1]
+		s.meta[i][m.req.ID] = m
+		s.mem.Module(i).Enqueue(m.req)
+		*memOps++
+	}
+	if s.flt != nil && s.flt.MemStalled(i, s.cycle) {
+		return // module inside a slowdown window serves nothing
+	}
+	if !nd.canAcceptRev(s.cfg.RevQueueCap) {
+		// No reverse credit at this node: the module holds its
+		// completion rather than emitting a reply with nowhere to go.
+		*holdsMemOut++
+		return
+	}
+	rep, ok := s.mem.Module(i).Tick()
+	if !ok {
+		return
+	}
+	m, found := s.meta[i][rep.ID]
+	if !found {
+		if s.flt != nil {
+			*orphans++ // losing copy of an original/retransmit pair
+			return
+		}
+		panic(fmt.Sprintf("hypercube: cycle %d, node %d: reply id %d (%v) without metadata",
+			s.cycle, i, rep.ID, rep))
+	}
+	delete(s.meta[i], rep.ID)
+	s.arriveRev(i, revM{rep: rep, dst: m.src, issue: m.issue, hot: m.hot}, sink)
 }
 
 func (s *Sim) drainForward() {

@@ -193,13 +193,15 @@ func TestPathHeadersConsistent(t *testing.T) {
 	k := sim.k
 	for c := 0; c < 500; c++ {
 		sim.Step()
-		for id, m := range sim.meta {
-			if len(m.path) != k {
-				t.Fatalf("request %d at memory has %d path entries, want %d", id, len(m.path), k)
-			}
-			for _, p := range m.path {
-				if p > 1 {
-					t.Fatalf("request %d has port %d in its path", id, p)
+		for _, shard := range sim.meta {
+			for id, m := range shard {
+				if len(m.path) != k {
+					t.Fatalf("request %d at memory has %d path entries, want %d", id, len(m.path), k)
+				}
+				for _, p := range m.path {
+					if p > 1 {
+						t.Fatalf("request %d has port %d in its path", id, p)
+					}
 				}
 			}
 		}

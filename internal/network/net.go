@@ -7,6 +7,7 @@ import (
 	"combining/internal/faults"
 	"combining/internal/flow"
 	"combining/internal/memory"
+	"combining/internal/par"
 	"combining/internal/rmw"
 	"combining/internal/stats"
 	"combining/internal/word"
@@ -58,6 +59,13 @@ type Config struct {
 	BuggyLoadForwarding bool
 	// MemService is the memory module service time in cycles (default 1).
 	MemService int
+	// Workers shards each cycle's switch, memory-module and delivery work
+	// across this many goroutines (see internal/par and DESIGN.md §6).
+	// 0 or 1 keep the single-threaded stepper.  Worker count is
+	// unobservable in the simulation: every counter, histogram and reply
+	// is byte-for-byte identical at any setting.  Tracing (Trace non-nil)
+	// forces the serial stepper so event order stays the serial order.
+	Workers int
 	// Faults, when non-nil, arms the deterministic fault plan (see
 	// internal/faults) and with it the full recovery layer: requests carry
 	// representation leaves, memory modules keep reply caches, processors
@@ -237,8 +245,11 @@ type Sim struct {
 	// admitted into stage 0 (backpressure at the processor port).
 	pending []*fwdMsg
 	// meta preserves message metadata across the memory module, which
-	// only transports core requests.
-	meta map[word.ReqID]fwdMsg
+	// only transports core requests.  It is sharded per module: entry
+	// meta[mod][id] is written by the stage-(k−1) switch feeding module
+	// mod and consumed when that module's reply emerges, so under the
+	// parallel stepper each shard has exactly one owner per phase.
+	meta []map[word.ReqID]fwdMsg
 
 	cycle int64
 	stats Stats
@@ -262,6 +273,16 @@ type Sim struct {
 	// expected fate of the losing copy when an original and a retransmit
 	// both reach memory (satellite of the metadata panic).
 	orphans int64
+
+	// Parallel stepper state (Config.Workers > 1, nil/empty otherwise):
+	// the worker pool and phase barrier, one stats shard per worker merged
+	// serially after the phases, and the per-rotation-position stage-0
+	// delivery buffers replayed in serial order by worker 0.  See
+	// parallel.go and DESIGN.md §6.
+	pool     *par.Pool
+	bar      *par.Barrier
+	shards   []netShard
+	delivBuf [][]delivery
 }
 
 // NewSim builds a machine; injectors must supply exactly cfg.Procs entries.
@@ -291,6 +312,10 @@ func NewSim(cfg Config, inj []Injector) *Sim {
 	if cfg.Faults != nil {
 		memOpts = append(memOpts, memory.WithReplyCache())
 	}
+	meta := make([]map[word.ReqID]fwdMsg, n)
+	for i := range meta {
+		meta[i] = make(map[word.ReqID]fwdMsg)
+	}
 	s := &Sim{
 		cfg:     cfg,
 		n:       n,
@@ -300,7 +325,7 @@ func NewSim(cfg Config, inj []Injector) *Sim {
 		mem:     memory.NewArray(n, memOpts...),
 		inj:     inj,
 		pending: make([]*fwdMsg, n),
-		meta:    make(map[word.ReqID]fwdMsg),
+		meta:    meta,
 		wd:      flow.NewWatchdog(cfg.WatchdogCycles),
 	}
 	if cfg.Faults != nil {
@@ -319,6 +344,12 @@ func NewSim(cfg Config, inj []Injector) *Sim {
 				sw.cycleRef = &s.cycle
 			}
 		}
+	}
+	if cfg.Workers > 1 && cfg.Trace == nil {
+		s.pool = par.NewPool(cfg.Workers)
+		s.bar = par.NewBarrier(s.pool.Workers())
+		s.shards = make([]netShard, s.pool.Workers())
+		s.delivBuf = make([][]delivery, n/radix)
 	}
 	return s
 }
@@ -369,9 +400,13 @@ func (s *Sim) Step() {
 				fwdMsg{req: p.Req, issueCycle: p.IssueCycle, hot: p.Hot})
 		}
 	}
-	s.drainReverse()
-	s.tickMemory()
-	s.drainForward()
+	if s.pool != nil {
+		s.runPhases()
+	} else {
+		s.drainReverse()
+		s.tickMemory()
+		s.drainForward()
+	}
 	s.injectAll()
 
 	s.sat.Observe(s.treeSaturated())
@@ -431,7 +466,7 @@ func (s *Sim) Stalled() bool { return s.wd.Tripped() }
 // StallReport formats the watchdog diagnostic with a queue snapshot — the
 // state dump a failing soak prints next to its replay seed.
 func (s *Sim) StallReport() string {
-	detail := fmt.Sprintf("pending=%d meta=%d", s.pendingCount(), len(s.meta))
+	detail := fmt.Sprintf("pending=%d meta=%d", s.pendingCount(), s.metaCount())
 	for st, stage := range s.stages {
 		fwd, rev, wait := 0, 0, 0
 		for _, sw := range stage {
@@ -449,6 +484,15 @@ func (s *Sim) StallReport() string {
 	}
 	detail += fmt.Sprintf("\nmemory queued=%d", memQ)
 	return flow.StallReport("network", s.wd, s.InFlight(), detail)
+}
+
+// metaCount sums the per-module metadata shards (requests in memory).
+func (s *Sim) metaCount() int {
+	n := 0
+	for _, shard := range s.meta {
+		n += len(shard)
+	}
+	return n
 }
 
 func (s *Sim) pendingCount() int {
@@ -479,48 +523,88 @@ func (s *Sim) Run(cycles int) {
 // queue fairly (round-robin arbitration, as in real switches).
 func (s *Sim) drainReverse() {
 	rot := int(s.cycle)
-	for stage := 0; stage < s.k; stage++ {
-		for si := range s.stages[stage] {
-			idx := (si + rot) % len(s.stages[stage])
-			if s.flt != nil && s.stallMask[stage][idx] {
-				continue // blacked-out switch moves nothing this cycle
-			}
-			sw := s.stages[stage][idx]
-			for pi := 0; pi < s.radix; pi++ {
-				port := (pi + rot) % s.radix
-				if len(sw.revQ[port]) == 0 {
-					continue
-				}
-				inLine := sw.index*s.radix + port
-				var prev *switchNode
-				if stage > 0 {
-					prevLine := s.unshuffle(inLine)
-					prev = s.stages[stage-1][prevLine/s.radix]
-					if !prev.canAcceptReply() {
-						// Downstream reverse credits exhausted: hold the
-						// reply here.  Stage order is ascending, so the
-						// credits this pop would need were already
-						// replenished this cycle if the downstream switch
-						// moved anything.
-						s.stats.HoldsRev++
-						continue
-					}
-				}
-				r := sw.popRev(port)
-				if s.flt != nil && s.flt.DropReply(
-					faults.Site(stage, sw.index, port), r.rep.ID, r.rep.Attempt) {
-					continue // reply lost on the reverse link
-				}
-				s.stats.RevHops++
-				s.stats.RevSlots += int64(r.slots)
-				if stage == 0 {
-					proc := s.unshuffle(inLine)
-					s.deliver(proc, r)
-					continue
-				}
-				prev.acceptReply(r)
-			}
+	n0 := len(s.stages[0])
+	for si := 0; si < n0; si++ {
+		s.revSwitch0((si+rot)%n0, &s.stats, nil)
+	}
+	for stage := 1; stage < s.k; stage++ {
+		ns := len(s.stages[stage])
+		for si := 0; si < ns; si++ {
+			s.revSwitch(stage, (si+rot)%ns, &s.stats)
 		}
+	}
+}
+
+// revSwitch0 makes the reverse move for one stage-0 switch: pop one reply
+// per port and deliver it to its processor.  Stage 0 touches no other
+// switch, so under the parallel stepper every stage-0 switch is its own
+// conflict group; deliveries are appended to sink (when non-nil) for the
+// serial replay instead of delivered inline, because injectors and the
+// retry tracker are single-goroutine.
+func (s *Sim) revSwitch0(idx int, st *Stats, sink *[]delivery) {
+	if s.flt != nil && s.stallMask[0][idx] {
+		return // blacked-out switch moves nothing this cycle
+	}
+	sw := s.stages[0][idx]
+	rot := int(s.cycle)
+	for pi := 0; pi < s.radix; pi++ {
+		port := (pi + rot) % s.radix
+		if len(sw.revQ[port]) == 0 {
+			continue
+		}
+		inLine := sw.index*s.radix + port
+		r := sw.popRev(port)
+		if s.flt != nil && s.flt.DropReply(
+			faults.Site(0, sw.index, port), r.rep.ID, r.rep.Attempt) {
+			continue // reply lost on the reverse link
+		}
+		st.RevHops++
+		st.RevSlots += int64(r.slots)
+		proc := s.unshuffle(inLine)
+		if sink != nil {
+			*sink = append(*sink, delivery{proc: proc, r: r})
+			continue
+		}
+		s.deliver(proc, r)
+	}
+}
+
+// revSwitch makes the reverse move for one switch of stage ≥ 1: pop one
+// reply per port and hand it to the previous-stage switch when its reserved
+// credits allow.  The previous-stage switches of stage-s switch idx are
+// idx/radix + port·(n/radix²), so exactly the radix switches sharing
+// idx/radix touch the same previous-stage set — the conflict groups the
+// parallel stepper partitions on.
+func (s *Sim) revSwitch(stage, idx int, st *Stats) {
+	if s.flt != nil && s.stallMask[stage][idx] {
+		return // blacked-out switch moves nothing this cycle
+	}
+	sw := s.stages[stage][idx]
+	rot := int(s.cycle)
+	for pi := 0; pi < s.radix; pi++ {
+		port := (pi + rot) % s.radix
+		if len(sw.revQ[port]) == 0 {
+			continue
+		}
+		inLine := sw.index*s.radix + port
+		prevLine := s.unshuffle(inLine)
+		prev := s.stages[stage-1][prevLine/s.radix]
+		if !prev.canAcceptReply() {
+			// Downstream reverse credits exhausted: hold the reply here.
+			// Stage order is ascending, so the credits this pop would need
+			// were already replenished this cycle if the downstream switch
+			// moved anything.
+			st.HoldsRev++
+			continue
+		}
+		r := sw.popRev(port)
+		if s.flt != nil && s.flt.DropReply(
+			faults.Site(stage, sw.index, port), r.rep.ID, r.rep.Attempt) {
+			continue // reply lost on the reverse link
+		}
+		st.RevHops++
+		st.RevSlots += int64(r.slots)
+		prev.acceptReply(r)
 	}
 }
 
@@ -552,47 +636,56 @@ func (s *Sim) deliver(proc int, r revMsg) {
 // reverse side of the last stage.
 func (s *Sim) tickMemory() {
 	for mod := 0; mod < s.n; mod++ {
-		if s.flt != nil && s.flt.MemStalled(mod, s.cycle) {
-			continue // module inside a slowdown window serves nothing
-		}
-		if !s.stages[s.k-1][mod/s.radix].canAcceptReply() {
-			// The last-stage switch has no reverse credit: the module's
-			// output port is blocked, so it holds its completed request
-			// rather than emitting a reply with nowhere to go.
-			s.stats.HoldsMemOut++
-			continue
-		}
-		rep, ok := s.mem.Module(mod).Tick()
-		if !ok {
-			continue
-		}
-		s.stats.MemAcks++
-		m, found := s.meta[rep.ID]
-		if !found {
-			if s.flt != nil {
-				// Expected under retransmission: when an original and a
-				// retransmit both reach memory, the first reply consumes
-				// the metadata and the second becomes an orphan.
-				s.orphans++
-				continue
-			}
-			panic(fmt.Sprintf("network: cycle %d, module %d: reply id %d (%v) with no request metadata",
-				s.cycle, mod, rep.ID, rep))
-		}
-		delete(s.meta, rep.ID)
-		if s.cfg.Trace != nil {
-			s.cfg.Trace(Event{Cycle: s.cycle, Kind: EvMemServe,
-				ID: rep.ID, Addr: m.req.Addr, Stage: -1, Switch: mod})
-		}
-		sw := s.stages[s.k-1][mod/s.radix]
-		sw.acceptReply(revMsg{
-			rep:        rep,
-			path:       m.path,
-			issueCycle: m.issueCycle,
-			hot:        m.hot,
-			slots:      boolSlots(rmw.NeedsValue(m.req.Op)),
-		})
+		s.tickModule(mod, &s.stats, &s.orphans)
 	}
+}
+
+// tickModule advances one module one cycle.  A module touches only its own
+// metadata shard and the last-stage switch mod/radix, so the radix modules
+// behind one last-stage switch form a conflict group under the parallel
+// stepper; orphans accumulate through the pointer so each worker's count
+// stays on its own shard.
+func (s *Sim) tickModule(mod int, st *Stats, orphans *int64) {
+	if s.flt != nil && s.flt.MemStalled(mod, s.cycle) {
+		return // module inside a slowdown window serves nothing
+	}
+	sw := s.stages[s.k-1][mod/s.radix]
+	if !sw.canAcceptReply() {
+		// The last-stage switch has no reverse credit: the module's
+		// output port is blocked, so it holds its completed request
+		// rather than emitting a reply with nowhere to go.
+		st.HoldsMemOut++
+		return
+	}
+	rep, ok := s.mem.Module(mod).Tick()
+	if !ok {
+		return
+	}
+	st.MemAcks++
+	m, found := s.meta[mod][rep.ID]
+	if !found {
+		if s.flt != nil {
+			// Expected under retransmission: when an original and a
+			// retransmit both reach memory, the first reply consumes
+			// the metadata and the second becomes an orphan.
+			*orphans++
+			return
+		}
+		panic(fmt.Sprintf("network: cycle %d, module %d: reply id %d (%v) with no request metadata",
+			s.cycle, mod, rep.ID, rep))
+	}
+	delete(s.meta[mod], rep.ID)
+	if s.cfg.Trace != nil {
+		s.cfg.Trace(Event{Cycle: s.cycle, Kind: EvMemServe,
+			ID: rep.ID, Addr: m.req.Addr, Stage: -1, Switch: mod})
+	}
+	sw.acceptReply(revMsg{
+		rep:        rep,
+		path:       m.path,
+		issueCycle: m.issueCycle,
+		hot:        m.hot,
+		slots:      boolSlots(rmw.NeedsValue(m.req.Op)),
+	})
 }
 
 // drainForward moves one request per forward link per cycle, memory side
@@ -600,55 +693,67 @@ func (s *Sim) tickMemory() {
 func (s *Sim) drainForward() {
 	rot := int(s.cycle)
 	for stage := s.k - 1; stage >= 0; stage-- {
-		for si := range s.stages[stage] {
-			idx := (si + rot) % len(s.stages[stage])
-			if s.flt != nil && s.stallMask[stage][idx] {
-				continue // blacked-out switch moves nothing this cycle
+		ns := len(s.stages[stage])
+		for si := 0; si < ns; si++ {
+			s.fwdSwitch(stage, (si+rot)%ns, &s.stats)
+		}
+	}
+}
+
+// fwdSwitch makes the forward move for one switch: one request per output
+// port, into the memory modules (last stage) or the next stage.  A
+// last-stage switch touches only its own radix modules and their metadata
+// shards — no cross-switch sharing; an earlier-stage switch idx feeds the
+// next-stage switches (idx mod n/radix²)·radix + port, so exactly the radix
+// switches congruent mod n/radix² share a next-stage set — the strided
+// conflict groups the parallel stepper partitions on.
+func (s *Sim) fwdSwitch(stage, idx int, st *Stats) {
+	if s.flt != nil && s.stallMask[stage][idx] {
+		return // blacked-out switch moves nothing this cycle
+	}
+	sw := s.stages[stage][idx]
+	rot := int(s.cycle)
+	for pi := 0; pi < s.radix; pi++ {
+		port := (pi + rot) % s.radix
+		if len(sw.outQ[port]) == 0 {
+			continue
+		}
+		m := sw.outQ[port][0]
+		outLine := sw.index*s.radix + port
+		if stage == s.k-1 {
+			// The link into module outLine.
+			if !s.mem.Module(outLine).CanEnqueue() {
+				// Bounded module input full: hold the request in
+				// the switch — the backpressure that turns a hot
+				// module into tree saturation instead of unbounded
+				// memory-side buffering.
+				st.HoldsMem++
+				continue
 			}
-			sw := s.stages[stage][idx]
-			for pi := 0; pi < s.radix; pi++ {
-				port := (pi + rot) % s.radix
-				if len(sw.outQ[port]) == 0 {
-					continue
-				}
-				m := sw.outQ[port][0]
-				outLine := sw.index*s.radix + port
-				if stage == s.k-1 {
-					// The link into module outLine.
-					if !s.mem.Module(outLine).CanEnqueue() {
-						// Bounded module input full: hold the request in
-						// the switch — the backpressure that turns a hot
-						// module into tree saturation instead of unbounded
-						// memory-side buffering.
-						s.stats.HoldsMem++
-						continue
-					}
-					sw.popFwd(port)
-					if s.flt != nil && s.flt.DropForward(
-						faults.Site(s.k, outLine, 0), m.req.ID, m.req.Attempt) {
-						continue // request lost on the memory link
-					}
-					s.stats.FwdHops++
-					s.stats.FwdSlots += int64(core.ValueSlots(m.req.Op))
-					s.stats.MemRequests++
-					s.meta[m.req.ID] = m
-					s.mem.Module(outLine).Enqueue(m.req)
-					continue
-				}
-				nextLine := s.shuffle(outLine)
-				next := s.stages[stage+1][nextLine/s.radix]
-				if s.flt != nil && s.flt.DropForward(
-					faults.Site(stage+1, nextLine/s.radix, nextLine%s.radix), m.req.ID, m.req.Attempt) {
-					sw.popFwd(port)
-					continue // request lost on the inter-stage link
-				}
-				dst := s.destModule(m.req.Addr)
-				if next.tryAccept(m, s.outPortFor(stage+1, dst), uint8(nextLine%s.radix), &s.stats) {
-					sw.popFwd(port)
-					s.stats.FwdHops++
-					s.stats.FwdSlots += int64(core.ValueSlots(m.req.Op))
-				}
+			sw.popFwd(port)
+			if s.flt != nil && s.flt.DropForward(
+				faults.Site(s.k, outLine, 0), m.req.ID, m.req.Attempt) {
+				continue // request lost on the memory link
 			}
+			st.FwdHops++
+			st.FwdSlots += int64(core.ValueSlots(m.req.Op))
+			st.MemRequests++
+			s.meta[outLine][m.req.ID] = m
+			s.mem.Module(outLine).Enqueue(m.req)
+			continue
+		}
+		nextLine := s.shuffle(outLine)
+		next := s.stages[stage+1][nextLine/s.radix]
+		if s.flt != nil && s.flt.DropForward(
+			faults.Site(stage+1, nextLine/s.radix, nextLine%s.radix), m.req.ID, m.req.Attempt) {
+			sw.popFwd(port)
+			continue // request lost on the inter-stage link
+		}
+		dst := s.destModule(m.req.Addr)
+		if next.tryAccept(m, s.outPortFor(stage+1, dst), uint8(nextLine%s.radix), st) {
+			sw.popFwd(port)
+			st.FwdHops++
+			st.FwdSlots += int64(core.ValueSlots(m.req.Op))
 		}
 	}
 }

@@ -1,0 +1,189 @@
+package network
+
+// Parallel stepper for the omega engine (Config.Workers > 1): each cycle's
+// switch/module sweeps run as barrier-separated phases on an internal/par
+// pool, with the work of every phase partitioned into conflict groups —
+// sets of switches (or modules) that touch overlapping machine state.
+// Groups are spread across workers; within a group the owning worker
+// replays the exact serial rotation order, so the machine state after each
+// phase is identical to the single-threaded stepper.  The group shapes per
+// phase (derivations in DESIGN.md §6):
+//
+//   reverse stage 0     each switch alone (delivers only to processors;
+//                       deliveries buffer per rotation slot and commit
+//                       serially, because injectors are single-goroutine)
+//   reverse stage ≥ 1   radix contiguous switches sharing idx/radix — the
+//                       previous-stage switch of (idx, port) is
+//                       idx/radix + port·(n/radix²)
+//   memory tick         radix modules behind one last-stage switch
+//   forward stage k−1   each switch alone (owns its radix modules and
+//                       their metadata shards)
+//   forward stage < k−1 radix switches congruent mod n/radix² — the
+//                       next-stage switch of (idx, port) is
+//                       (idx mod n/radix²)·radix + port
+//
+// Mutable state a phase shares across groups is commutative: stats go to
+// per-worker shards merged (sum / max) after the phases, and the fault
+// injector's counters are atomic with purely hash-derived decisions.
+
+import (
+	"combining/internal/par"
+)
+
+// netShard is one worker's private slice of the per-cycle statistics,
+// merged into Sim.stats by mergeShards after the phases.
+type netShard struct {
+	st      Stats
+	orphans int64
+}
+
+// delivery is a stage-0 reply buffered during the parallel reverse phase
+// for the serial worker-0 commit.
+type delivery struct {
+	proc int
+	r    revMsg
+}
+
+// runPhases is the parallel equivalent of drainReverse + tickMemory +
+// drainForward.  injectAll stays outside: injectors and the retry tracker
+// are single-goroutine by contract.
+func (s *Sim) runPhases() {
+	rot := int(s.cycle)
+	workers := s.pool.Workers()
+	s.pool.Run(func(w int) {
+		sh := &s.shards[w]
+
+		// Reverse, stage 0: split over rotation slots so each worker owns
+		// its delivery buffers; each switch is its own conflict group.
+		n0 := len(s.stages[0])
+		lo, hi := par.Split(n0, workers, w)
+		for si := lo; si < hi; si++ {
+			s.delivBuf[si] = s.delivBuf[si][:0]
+			s.revSwitch0((si+rot)%n0, &sh.st, &s.delivBuf[si])
+		}
+		s.bar.Sync()
+
+		// Delivery commit: worker 0 replays the buffered deliveries in
+		// serial (rotation-slot) order on the caller's goroutine.  This
+		// overlaps the next phases safely — deliveries touch injectors,
+		// the retry ledger and the completion stats, none of which the
+		// switch sweeps read or write.
+		if w == 0 {
+			for si := 0; si < n0; si++ {
+				for _, d := range s.delivBuf[si] {
+					s.deliver(d.proc, d.r)
+				}
+			}
+		}
+
+		// Reverse, stages ≥ 1, in ascending stage order as in serial; the
+		// barrier between stages keeps stage s+1's credit checks from
+		// observing stage s mid-sweep.
+		for stage := 1; stage < s.k; stage++ {
+			ng := len(s.stages[stage]) / s.radix
+			glo, ghi := par.Split(ng, workers, w)
+			for g := glo; g < ghi; g++ {
+				s.revGroup(stage, g, rot, &sh.st)
+			}
+			s.bar.Sync()
+		}
+
+		// Memory: the radix modules behind one last-stage switch form a
+		// group (they share that switch's reverse credits).
+		ngm := s.n / s.radix
+		mlo, mhi := par.Split(ngm, workers, w)
+		for b := mlo; b < mhi; b++ {
+			for j := 0; j < s.radix; j++ {
+				s.tickModule(b*s.radix+j, &sh.st, &sh.orphans)
+			}
+		}
+		s.bar.Sync()
+
+		// Forward, stage k−1: each switch owns its modules and metadata
+		// shards outright, so switch order is free.
+		nsLast := len(s.stages[s.k-1])
+		flo, fhi := par.Split(nsLast, workers, w)
+		for idx := flo; idx < fhi; idx++ {
+			s.fwdSwitch(s.k-1, idx, &sh.st)
+		}
+		if s.k > 1 {
+			s.bar.Sync()
+		}
+
+		// Forward, stages k−2 … 0, in descending stage order as in serial.
+		for stage := s.k - 2; stage >= 0; stage-- {
+			ns := len(s.stages[stage])
+			stride := ns / s.radix
+			glo, ghi := par.Split(stride, workers, w)
+			for rem := glo; rem < ghi; rem++ {
+				s.fwdGroup(stage, rem, rot, &sh.st)
+			}
+			if stage > 0 {
+				s.bar.Sync()
+			}
+		}
+	})
+	s.mergeShards()
+}
+
+// revGroup processes one reverse conflict group of a stage ≥ 1: the radix
+// contiguous switches [g·radix, (g+1)·radix), which share idx/radix and
+// therefore the same previous-stage switch set, in the serial rotation
+// order.
+func (s *Sim) revGroup(stage, g, rot int, st *Stats) {
+	ns := len(s.stages[stage])
+	base := g * s.radix
+	// Member j sits at rotation slot (base+j−rot) mod ns.  Members whose
+	// unwrapped slot si0+j reaches ns wrap to the front of the serial
+	// sweep, so the in-group serial order starts at the first wrapped
+	// member jw and cycles: j = (jw+c) mod radix.
+	si0 := ((base-rot)%ns + ns) % ns
+	jw := ns - si0
+	if jw >= s.radix {
+		jw = 0 // no member wraps: ascending j is the serial order
+	}
+	for c := 0; c < s.radix; c++ {
+		s.revSwitch(stage, base+(jw+c)%s.radix, st)
+	}
+}
+
+// fwdGroup processes one forward conflict group of a stage < k−1: the radix
+// switches congruent to rem mod ns/radix, which share the same next-stage
+// switch set, in the serial rotation order.
+func (s *Sim) fwdGroup(stage, rem, rot int, st *Stats) {
+	ns := len(s.stages[stage])
+	stride := ns / s.radix
+	// Member t (switch rem + t·stride) sits at rotation slot
+	// (si0 + t·stride) mod ns; qw is the first member to wrap past ns and
+	// the serial sweep meets wrapped members first: t = (qw+c) mod radix.
+	si0 := ((rem-rot)%ns + ns) % ns
+	qw := (ns - si0 + stride - 1) / stride
+	for c := 0; c < s.radix; c++ {
+		s.fwdSwitch(stage, rem+((qw+c)%s.radix)*stride, st)
+	}
+}
+
+// mergeShards folds the per-worker shards into the serial stats after the
+// phases.  The observation multiset equals the serial stepper's, so the
+// sums add exactly and the queue high-water merges by max to the same
+// value; shards reset for the next cycle.
+func (s *Sim) mergeShards() {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		s.stats.Combines += sh.st.Combines
+		s.stats.HoldsRev += sh.st.HoldsRev
+		s.stats.HoldsMem += sh.st.HoldsMem
+		s.stats.HoldsMemOut += sh.st.HoldsMemOut
+		s.stats.FwdHops += sh.st.FwdHops
+		s.stats.RevHops += sh.st.RevHops
+		s.stats.FwdSlots += sh.st.FwdSlots
+		s.stats.RevSlots += sh.st.RevSlots
+		s.stats.MemRequests += sh.st.MemRequests
+		s.stats.MemAcks += sh.st.MemAcks
+		if sh.st.MaxOutQueue > s.stats.MaxOutQueue {
+			s.stats.MaxOutQueue = sh.st.MaxOutQueue
+		}
+		s.orphans += sh.orphans
+		*sh = netShard{}
+	}
+}

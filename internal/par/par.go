@@ -1,0 +1,126 @@
+// Package par is the deterministic barrier-phase worker pool the
+// cycle-driven engines shard their per-cycle work across.
+//
+// The design target is bit-identical output, not scheduling freedom.  An
+// engine splits each simulated cycle into phases whose work items are
+// partitioned into conflict groups — items in different groups touch
+// disjoint machine state — spreads whole groups across workers with Split,
+// and separates phases with Barrier sync points.  Within a group the owning
+// worker replays the exact serial processing order, and everything a group
+// shares with the rest of the machine (fault-injector counters, memory
+// module mutexes, per-worker stats shards merged after the step) is
+// commutative, so the machine state after every phase — and therefore every
+// counter, histogram and reply the run produces — is identical to the
+// single-threaded stepper no matter how many workers run or how the runtime
+// schedules them.  DESIGN.md §6 carries the full argument.
+//
+// A Pool spawns its workers fresh on every Run and joins them before
+// returning: there are no persistent goroutines to leak, no Close to
+// forget, and a Workers=8 pool stepped once costs eight goroutine starts,
+// not eight idle spinners for the life of the simulation.  Worker 0 runs on
+// the caller's goroutine, so engine phases that must stay single-threaded
+// (injector callbacks, delivery commits) can simply be guarded with
+// `if w == 0` and still satisfy APIs that assume the simulator's own
+// goroutine.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool runs a function on a fixed set of workers.
+type Pool struct{ workers int }
+
+// NewPool returns a pool of the given width; widths below 1 clamp to 1.
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers reports the pool width.
+func (p *Pool) Workers() int { return p.workers }
+
+// Run executes fn(w) for every worker index w in [0, Workers) concurrently
+// and returns when all have finished.  fn(0) runs on the calling goroutine.
+func (p *Pool) Run(fn func(w int)) {
+	if p.workers == 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(p.workers - 1)
+	for w := 1; w < p.workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			fn(w)
+		}(w)
+	}
+	fn(0)
+	wg.Wait()
+}
+
+// Barrier is a reusable phase barrier for exactly n participants: every
+// caller of Sync blocks until all n have arrived, then all proceed.  It is
+// a counting (sense-via-phase-number) barrier: waiters spin briefly — phase
+// gaps inside a simulated cycle are sub-microsecond — and fall back to
+// yielding the processor, so oversubscribed pools make progress too.
+type Barrier struct {
+	n     int32
+	spin  int
+	count atomic.Int32
+	phase atomic.Uint64
+}
+
+// NewBarrier returns a barrier for n participants (n ≥ 1).
+func NewBarrier(n int) *Barrier {
+	if n < 1 {
+		n = 1
+	}
+	b := &Barrier{n: int32(n), spin: spinLimit}
+	if n > runtime.GOMAXPROCS(0) {
+		// Oversubscribed: the stragglers this waiter is spinning for may
+		// need this very processor to run, so spinning only delays them.
+		b.spin = 0
+	}
+	return b
+}
+
+// spinLimit bounds the pure spin before a waiter starts yielding.
+const spinLimit = 256
+
+// Sync blocks until all n participants have called it for the current
+// phase.  The phase counter never repeats, so a fast worker racing ahead
+// into the next Sync cannot be confused with a slow one still leaving the
+// last (no ABA, unlike a flipping sense bit with a reused counter).
+func (b *Barrier) Sync() {
+	if b.n == 1 {
+		return
+	}
+	p := b.phase.Load()
+	if b.count.Add(1) == b.n {
+		// Last arriver: reset the count for the next phase, then open the
+		// gate.  The order matters — the count must be ready before any
+		// released waiter can add to it again.
+		b.count.Store(0)
+		b.phase.Add(1)
+		return
+	}
+	for spins := 0; b.phase.Load() == p; spins++ {
+		if spins >= b.spin {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Split partitions n work items into contiguous per-worker ranges,
+// returning worker w's half-open slice [lo, hi).  The split is balanced
+// (sizes differ by at most one) and purely arithmetic, so the assignment of
+// items to workers is the same on every run — though, because items in
+// different groups are independent, correctness never depends on it.
+func Split(n, workers, w int) (lo, hi int) {
+	return w * n / workers, (w + 1) * n / workers
+}

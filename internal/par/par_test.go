@@ -1,0 +1,106 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRunsEveryWorkerOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		p := NewPool(workers)
+		if p.Workers() != workers {
+			t.Fatalf("Workers() = %d, want %d", p.Workers(), workers)
+		}
+		seen := make([]atomic.Int32, workers)
+		p.Run(func(w int) { seen[w].Add(1) })
+		for w := range seen {
+			if got := seen[w].Load(); got != 1 {
+				t.Fatalf("workers=%d: worker %d ran %d times", workers, w, got)
+			}
+		}
+	}
+}
+
+func TestPoolClampsWidth(t *testing.T) {
+	if got := NewPool(0).Workers(); got != 1 {
+		t.Fatalf("NewPool(0).Workers() = %d, want 1", got)
+	}
+	if got := NewPool(-3).Workers(); got != 1 {
+		t.Fatalf("NewPool(-3).Workers() = %d, want 1", got)
+	}
+}
+
+func TestPoolWorkerZeroOnCaller(t *testing.T) {
+	// Phases guarded with `if w == 0` must run on the caller's goroutine so
+	// injector callbacks see a single consistent goroutine; verify via a
+	// plain (non-atomic) write that the race detector would flag otherwise.
+	p := NewPool(4)
+	ran := false
+	p.Run(func(w int) {
+		if w == 0 {
+			ran = true
+		}
+	})
+	if !ran {
+		t.Fatal("worker 0 did not run")
+	}
+}
+
+// TestBarrierPhases drives many barrier rounds and asserts no worker ever
+// observes a straggler from an earlier phase — the property the engines'
+// per-stage synchronization rests on.
+func TestBarrierPhases(t *testing.T) {
+	const workers = 4
+	const rounds = 2000
+	p := NewPool(workers)
+	b := NewBarrier(workers)
+	var counters [workers]atomic.Int64
+	p.Run(func(w int) {
+		for r := 0; r < rounds; r++ {
+			counters[w].Add(1)
+			b.Sync()
+			// After the barrier every worker must have completed round r.
+			for i := range counters {
+				if got := counters[i].Load(); got < int64(r+1) {
+					t.Errorf("round %d: worker %d at %d after barrier", r, i, got)
+					return
+				}
+			}
+			b.Sync()
+		}
+	})
+}
+
+func TestBarrierSingleParticipant(t *testing.T) {
+	b := NewBarrier(1)
+	for i := 0; i < 10; i++ {
+		b.Sync() // must not block
+	}
+}
+
+func TestSplitCoversExactly(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 16, 17, 1024} {
+		for _, workers := range []int{1, 2, 3, 7, 16} {
+			covered := make([]int, n)
+			prevHi := 0
+			for w := 0; w < workers; w++ {
+				lo, hi := Split(n, workers, w)
+				if lo != prevHi {
+					t.Fatalf("n=%d workers=%d: worker %d starts at %d, want %d", n, workers, w, lo, prevHi)
+				}
+				prevHi = hi
+				for i := lo; i < hi; i++ {
+					covered[i]++
+				}
+			}
+			if prevHi != n {
+				t.Fatalf("n=%d workers=%d: coverage ends at %d", n, workers, prevHi)
+			}
+			for i, c := range covered {
+				if c != 1 {
+					t.Fatalf("n=%d workers=%d: item %d covered %d times", n, workers, i, c)
+				}
+			}
+		}
+	}
+}

@@ -57,6 +57,7 @@ const NumBuckets = 48
 type Histogram struct {
 	count   atomic.Int64
 	sum     atomic.Int64
+	max     HighWater
 	buckets [NumBuckets]atomic.Int64
 }
 
@@ -72,13 +73,18 @@ func bucketOf(v int64) int {
 	return b
 }
 
-// Record adds one observation: three uncontended atomic adds, no allocation.
+// Record adds one observation: three uncontended atomic adds plus a
+// high-water CAS, no allocation.  The running max bounds the percentile
+// estimator, which would otherwise interpolate past the largest value ever
+// seen (all the way to the 2^NumBuckets sentinel for the clamped last
+// bucket).
 func (h *Histogram) Record(v int64) {
 	if v < 0 {
 		v = 0
 	}
 	h.count.Add(1)
 	h.sum.Add(v)
+	h.max.Observe(v)
 	h.buckets[bucketOf(v)].Add(1)
 }
 
@@ -93,6 +99,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{
 		Count: h.count.Load(),
 		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
 	}
 	last := -1
 	var buckets [NumBuckets]int64
@@ -117,6 +124,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 type HistogramSnapshot struct {
 	Count   int64   `json:"count"`
 	Sum     int64   `json:"sum"`
+	Max     int64   `json:"max,omitempty"`
 	Mean    float64 `json:"mean"`
 	P50     float64 `json:"p50"`
 	P90     float64 `json:"p90"`
@@ -132,8 +140,12 @@ func (s HistogramSnapshot) mean() float64 {
 }
 
 // Percentile returns the approximate q-quantile (0 < q ≤ 1), interpolating
-// within the power-of-two bucket — the same estimator the cycle simulator
-// has always reported.
+// within the power-of-two bucket.  Interpolation is clamped to the largest
+// value actually recorded, so an estimate never exceeds the true maximum —
+// without the clamp, the bucket holding the max would interpolate toward
+// its nominal upper edge (for the last bucket, which absorbs everything ≥
+// 2^(NumBuckets−1), that edge is the open-ended 2^NumBuckets sentinel,
+// over-reporting by orders of magnitude).
 func (s HistogramSnapshot) Percentile(q float64) float64 {
 	if s.Count == 0 {
 		return 0
@@ -148,12 +160,24 @@ func (s HistogramSnapshot) Percentile(q float64) float64 {
 				lo = 0
 			}
 			hi := float64(int64(1) << (i + 1))
+			if i == len(s.Buckets)-1 {
+				// The trimmed final bucket is the one holding the maximum,
+				// so its true upper edge is the max itself — below the
+				// nominal power-of-two for an ordinary bucket, above it for
+				// the open-ended last bucket that absorbs the whole tail.
+				hi = float64(s.Max)
+			}
+			if hi < lo {
+				// A racy snapshot can leave the max lagging the bucket
+				// counts; keep the estimate inside the bucket.
+				hi = lo
+			}
 			frac := (target - cum) / float64(c)
 			return lo + frac*(hi-lo)
 		}
 		cum = next
 	}
-	return float64(int64(1) << len(s.Buckets))
+	return float64(s.Max)
 }
 
 // Snapshot is a point-in-time view of one engine's instrumentation — the

@@ -67,6 +67,50 @@ func TestHistogramSnapshot(t *testing.T) {
 	}
 }
 
+// TestPercentileNeverExceedsMax: the estimator used to interpolate toward
+// the bucket's nominal upper edge, over-reporting whenever the true maximum
+// sat below it — catastrophically so for the clamped last bucket, whose
+// edge is the open-ended 2^NumBuckets sentinel.
+func TestPercentileNeverExceedsMax(t *testing.T) {
+	// All mass at one mid-range value: every percentile must stay ≤ 3.
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Record(3)
+	}
+	s := h.Snapshot()
+	if s.Max != 3 {
+		t.Fatalf("max = %d, want 3", s.Max)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 1.0} {
+		if p := s.Percentile(q); p > 3 {
+			t.Errorf("P%v = %.2f exceeds the true maximum 3", q*100, p)
+		}
+	}
+
+	// Values clamped into the last bucket: without the max clamp the
+	// estimator interpolates toward 2^NumBuckets ≈ 2.8e14 regardless of
+	// where in the open-ended bucket the mass actually sits.
+	var tail Histogram
+	const big = int64(1) << (NumBuckets + 2) // ≥ 2^(NumBuckets−1): clamped bucket
+	for i := 0; i < 100; i++ {
+		tail.Record(big)
+	}
+	ts := tail.Snapshot()
+	if ts.Max != big {
+		t.Fatalf("max = %d, want %d", ts.Max, big)
+	}
+	for _, q := range []float64{0.5, 0.99, 1.0} {
+		if p := ts.Percentile(q); p > float64(big) {
+			t.Errorf("clamped bucket: P%v = %g exceeds the true maximum %d", q*100, p, big)
+		}
+	}
+	// The old past-the-end fallback returned 2^len(Buckets); it must now
+	// report the recorded maximum.
+	if p := ts.Percentile(1.0); p != float64(big) {
+		t.Errorf("P100 = %g, want the true maximum %d", p, big)
+	}
+}
+
 func TestHistogramNegativeClamped(t *testing.T) {
 	var h Histogram
 	h.Record(-5)
