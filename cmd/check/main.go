@@ -4,11 +4,13 @@
 // checker and the linearizability checker.  It is the long-running version
 // of the test suite's E4, intended for overnight confidence runs.
 //
-// With -faults it additionally soaks all four engines under deterministic
-// fault plans (link drops, switch blackouts, memory slowdowns) and checks
-// that recovery preserves per-location serializability and exactly-once
-// RMW semantics.  Every failure prints the effective seed of the run, so
-// `check -seed <that seed> -rounds 1` replays it exactly.
+// With -faults it additionally soaks all four engines — the staged engine
+// on both the omega and fat-tree wirings, the direct engine on both the
+// hypercube and torus wirings — under deterministic fault plans (link
+// drops, switch blackouts, memory slowdowns) and checks that recovery
+// preserves per-location serializability and exactly-once RMW semantics.
+// Every failure prints the effective seed of the run, so `check -seed
+// <that seed> -rounds 1` replays it exactly.
 //
 // With -overload it runs the deadlock-freedom soak: a pure hot spot
 // driven through every engine with every queue at its minimum capacity
@@ -18,10 +20,10 @@
 // serial prefix sums.
 //
 // With -parallel it runs the determinism soak for the sharded steppers:
-// each cycle engine executes the same seeded workload at Workers = 1, 2
-// and 4, and every run must produce a byte-identical stats snapshot and
-// identical per-processor reply sequences (DESIGN.md §6), clean and
-// under fault plans.
+// each cycle engine (again on every wiring) executes the same seeded
+// workload at Workers = 1, 2 and 4, and every run must produce a
+// byte-identical stats snapshot and identical per-processor reply
+// sequences (DESIGN.md §6), clean and under fault plans.
 //
 // Usage: check [-rounds 50] [-procs 16] [-ops 20] [-addrs 4] [-seed 1]
 // [-quick] [-faults] [-overload] [-parallel] [-v]
@@ -55,6 +57,19 @@ func main() {
 	flag.Parse()
 	if *quick {
 		*rounds, *procs, *ops = 6, 8, 12
+	}
+	// Engine-shape validation up front, through the one Config.Validate
+	// path: a bad -procs is a one-line exit, not a stack trace from an
+	// engine constructor mid-soak.
+	for _, err := range []error{
+		combining.NetConfig{Procs: *procs}.Validate(),
+		combining.CubeConfig{Nodes: *procs}.Validate(),
+		combining.BusConfig{Procs: *procs, Banks: 4}.Validate(),
+	} {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "check: %v\n", err)
+			os.Exit(2)
+		}
 	}
 
 	checked, failed := healthySoak(*rounds, *procs, *ops, *addrs, *seed, *verbose)
@@ -153,11 +168,19 @@ func faultSoak(rounds, procs, ops, addrs int, seed uint64, verbose bool) (checke
 		{"network+faults", func(p *combining.FaultPlan, inj []combining.Injector) faultEngine {
 			return combining.NewSim(combining.NetConfig{Procs: procs, WaitBufCap: 64, Faults: p}, inj)
 		}},
+		{"fattree+faults", func(p *combining.FaultPlan, inj []combining.Injector) faultEngine {
+			return combining.NewSim(combining.NetConfig{
+				Topology: combining.FatTreeTopology(procs, 2), WaitBufCap: 64, Faults: p}, inj)
+		}},
 		{"busnet+faults", func(p *combining.FaultPlan, inj []combining.Injector) faultEngine {
 			return combining.NewBusSim(combining.BusConfig{Procs: procs, Banks: 4, WaitBufCap: 64, Faults: p}, inj)
 		}},
 		{"hypercube+faults", func(p *combining.FaultPlan, inj []combining.Injector) faultEngine {
 			return combining.NewCubeSim(combining.CubeConfig{Nodes: procs, WaitBufCap: 64, Faults: p}, inj)
+		}},
+		{"torus+faults", func(p *combining.FaultPlan, inj []combining.Injector) faultEngine {
+			return combining.NewCubeSim(combining.CubeConfig{
+				Topology: combining.SquareTorusTopology(procs), WaitBufCap: 64, Faults: p}, inj)
 		}},
 	}
 
@@ -462,6 +485,10 @@ func parallelSoak(rounds, procs, ops, addrs int, seed uint64, verbose bool) (che
 			return combining.NewSim(combining.NetConfig{
 				Procs: procs, WaitBufCap: 64, Faults: p, Workers: w}, inj)
 		}},
+		{"fattree", func(w int, p *combining.FaultPlan, inj []combining.Injector) faultEngine {
+			return combining.NewSim(combining.NetConfig{
+				Topology: combining.FatTreeTopology(procs, 2), WaitBufCap: 64, Faults: p, Workers: w}, inj)
+		}},
 		{"busnet", func(w int, p *combining.FaultPlan, inj []combining.Injector) faultEngine {
 			return combining.NewBusSim(combining.BusConfig{
 				Procs: procs, Banks: 4, WaitBufCap: 64, Faults: p, Workers: w}, inj)
@@ -469,6 +496,10 @@ func parallelSoak(rounds, procs, ops, addrs int, seed uint64, verbose bool) (che
 		{"hypercube", func(w int, p *combining.FaultPlan, inj []combining.Injector) faultEngine {
 			return combining.NewCubeSim(combining.CubeConfig{
 				Nodes: procs, WaitBufCap: 64, Faults: p, Workers: w}, inj)
+		}},
+		{"torus", func(w int, p *combining.FaultPlan, inj []combining.Injector) faultEngine {
+			return combining.NewCubeSim(combining.CubeConfig{
+				Topology: combining.SquareTorusTopology(procs), WaitBufCap: 64, Faults: p, Workers: w}, inj)
 		}},
 	}
 	modes := []struct {

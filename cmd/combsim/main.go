@@ -5,8 +5,8 @@
 //
 //	combsim [-n 64] [-rate 0.6] [-cycles 4000] [-window 4] [-seed 1]
 //	        [-h 0,0.0625,0.125,0.25] [-queue 4] [-revqueue 0] [-memqueue 0]
-//	        [-adaptive] [-csv] [-topology omega|hypercube|bus] [-drop 0.01]
-//	        [-workers 1]
+//	        [-adaptive] [-csv] [-topology omega|fattree|hypercube|torus|bus]
+//	        [-drop 0.01] [-workers 1]
 //
 // With -drop > 0 the sweep runs under a deterministic fault plan (that
 // drop probability per forward and reply hop, seeded by -seed) and the
@@ -21,9 +21,15 @@
 // across that many goroutines (output is identical at any setting; see
 // DESIGN.md §6).
 //
+// -topology picks the machine: the paper's omega network, a fat-tree
+// (k-ary butterfly) on the same staged engine, the binary hypercube, a
+// near-square torus on the same direct-connection engine, or the bus
+// machine.
+//
 // Nonsense flag values are rejected at parse time with a one-line error
 // and exit status 2 rather than panicking (or silently producing a bogus
-// table) deep inside an engine.
+// table) deep inside an engine: flag-shape checks here, everything the
+// engines police through Config.Validate before any point runs.
 package main
 
 import (
@@ -49,7 +55,7 @@ func main() {
 		memQueue = flag.Int("memqueue", 0, "memory-side queue capacity (0 = engine default, negative = unbounded; bank queue on -topology bus)")
 		adaptive = flag.Bool("adaptive", false, "AIMD admission control instead of a fixed window (-window is the initial window)")
 		csv      = flag.Bool("csv", false, "emit CSV instead of a table")
-		topo     = flag.String("topology", "omega", "omega, hypercube, or bus")
+		topo     = flag.String("topology", "omega", "omega, fattree, hypercube, torus, or bus")
 		drop     = flag.Float64("drop", 0, "per-hop drop probability (arms the fault/recovery layer)")
 		workers  = flag.Int("workers", 1, "goroutines sharding each cycle's engine work (0/1 = serial)")
 	)
@@ -60,18 +66,9 @@ func main() {
 		os.Exit(2)
 	}
 	switch *topo {
-	case "omega", "hypercube", "bus":
+	case "omega", "fattree", "hypercube", "torus", "bus":
 	default:
-		fail("unknown topology %q (want omega, hypercube, or bus)", *topo)
-	}
-	// The bus machine takes any processor count; the indirect topologies
-	// need a power of two (the omega engine would panic, the hypercube
-	// engine would mis-route).
-	if *n < 1 {
-		fail("-n must be ≥ 1, got %d", *n)
-	}
-	if *topo != "bus" && (*n < 2 || *n&(*n-1) != 0) {
-		fail("-n must be a power of two ≥ 2 for -topology %s, got %d", *topo, *n)
+		fail("unknown topology %q (want omega, fattree, hypercube, torus, or bus)", *topo)
 	}
 	if *rate <= 0 || *rate > 1 {
 		fail("-rate must be in (0, 1], got %g", *rate)
@@ -123,37 +120,68 @@ func main() {
 		// than congestion delay (see the E13 bench).
 		plan = &combining.FaultPlan{Seed: *seed, DropFwd: *drop, DropRev: *drop, RetryTimeout: 512}
 	}
+	// Config builders per topology: the staged engine runs omega and the
+	// fat-tree, the direct-connection engine the hypercube and the torus —
+	// new wirings are pure configuration, not new machines.
+	netCfg := func(waitCap int) combining.NetConfig {
+		cfg := combining.NetConfig{Procs: *n, QueueCap: *queue, RevQueueCap: *revQueue,
+			MemQueueCap: *memQueue, WaitBufCap: waitCap, Faults: plan, Workers: *workers}
+		if *topo == "fattree" {
+			cfg.Topology = combining.FatTreeTopology(*n, 2)
+		}
+		return cfg
+	}
+	cubeCfg := func(waitCap int) combining.CubeConfig {
+		cfg := combining.CubeConfig{Nodes: *n, QueueCap: *queue, RevQueueCap: *revQueue,
+			MemQueueCap: *memQueue, WaitBufCap: waitCap, Faults: plan, Workers: *workers}
+		if *topo == "torus" {
+			cfg.Topology = combining.SquareTorusTopology(*n)
+		}
+		return cfg
+	}
+	busCfg := func(waitCap int) combining.BusConfig {
+		return combining.BusConfig{Procs: *n, Banks: 8, QueueCap: *queue,
+			BankQueueCap: *memQueue, WaitBufCap: waitCap, Faults: plan, Workers: *workers}
+	}
+
+	// One representative config validates the whole sweep up front (points
+	// differ only in the wait-buffer capacity, which Validate never
+	// rejects): a bad -n or -workers is a one-line error, not a stack
+	// trace from inside an engine constructor.
+	var cfgErr error
+	switch *topo {
+	case "omega", "fattree":
+		cfgErr = netCfg(0).Validate()
+	case "hypercube", "torus":
+		cfgErr = cubeCfg(0).Validate()
+	case "bus":
+		cfgErr = busCfg(0).Validate()
+	}
+	if cfgErr != nil {
+		fail("%v", cfgErr)
+	}
+
 	run := func(h float64, comb bool) point {
 		waitCap := 0
 		if comb {
 			waitCap = combining.Unbounded
 		}
 		switch *topo {
-		case "omega":
-			cfg := combining.NetConfig{Procs: *n, QueueCap: *queue, RevQueueCap: *revQueue,
-				MemQueueCap: *memQueue, WaitBufCap: waitCap, Faults: plan, Workers: *workers}
-			sim := combining.NewSim(cfg, injectors(h))
+		case "omega", "fattree":
+			sim := combining.NewSim(netCfg(waitCap), injectors(h))
 			sim.Run(*cycles)
 			st := sim.Stats()
 			return point{st.Bandwidth(), st.MeanLatency(), st.ColdMeanLatency(), st.Combines}
-		case "hypercube":
-			cfg := combining.CubeConfig{Nodes: *n, QueueCap: *queue, RevQueueCap: *revQueue,
-				MemQueueCap: *memQueue, WaitBufCap: waitCap, Faults: plan, Workers: *workers}
-			sim := combining.NewCubeSim(cfg, injectors(h))
-			sim.Run(*cycles)
-			st := sim.Stats()
-			return point{st.Bandwidth(), st.MeanLatency(), 0, st.Combines}
-		case "bus":
-			cfg := combining.BusConfig{Procs: *n, Banks: 8, QueueCap: *queue,
-				BankQueueCap: *memQueue, WaitBufCap: waitCap, Faults: plan, Workers: *workers}
-			sim := combining.NewBusSim(cfg, injectors(h))
+		case "hypercube", "torus":
+			sim := combining.NewCubeSim(cubeCfg(waitCap), injectors(h))
 			sim.Run(*cycles)
 			st := sim.Stats()
 			return point{st.Bandwidth(), st.MeanLatency(), 0, st.Combines}
 		default:
-			fmt.Fprintf(os.Stderr, "combsim: unknown topology %q\n", *topo)
-			os.Exit(2)
-			return point{}
+			sim := combining.NewBusSim(busCfg(waitCap), injectors(h))
+			sim.Run(*cycles)
+			st := sim.Stats()
+			return point{st.Bandwidth(), st.MeanLatency(), 0, st.Combines}
 		}
 	}
 

@@ -34,6 +34,80 @@ type benchReport struct {
 	Degradation []degradationPoint `json:"degradation_curve"`
 	Saturation  []saturationPoint  `json:"saturation_curve"`
 	Parallel    []parallelPoint    `json:"parallel_speedup"`
+	Topology    []topologyPoint    `json:"topology_sweep"`
+}
+
+// topologyPoint is one cell of the topology sweep: the same hot-spot
+// workload driven through every wiring — the staged engine on omega and
+// the fat-tree, the direct engine on the hypercube and the near-square
+// torus — combining off and on, so the wirings are directly comparable
+// under identical offered load.
+type topologyPoint struct {
+	Topology    string  `json:"topology"`
+	Engine      string  `json:"engine"`
+	Procs       int     `json:"procs"`
+	HotFraction float64 `json:"hot_fraction"`
+	Combining   bool    `json:"combining"`
+	Cycles      int     `json:"cycles"`
+	Bandwidth   float64 `json:"bandwidth_ops_per_cycle"`
+	MeanLatency float64 `json:"mean_latency_cycles"`
+	P99Latency  float64 `json:"p99_latency_cycles"`
+	Combines    int64   `json:"combines"`
+
+	Snapshot combining.StatsSnapshot `json:"snapshot"`
+}
+
+// benchTopology runs one topology-sweep cell.  The wirings are pure
+// configuration on the two cycle engines; everything else about the run is
+// identical.
+func benchTopology(topo string, n int, h float64, comb bool, cycles int) topologyPoint {
+	waitCap := 0
+	if comb {
+		waitCap = combining.Unbounded
+	}
+	inj := make([]combining.Injector, n)
+	for p := 0; p < n; p++ {
+		inj[p] = combining.NewStochastic(p, n, combining.TrafficConfig{Rate: 0.6, HotFraction: h}, 1)
+	}
+	var (
+		bandwidth, meanLat float64
+		snap               combining.StatsSnapshot
+	)
+	switch topo {
+	case "omega", "fattree":
+		cfg := combining.NetConfig{Procs: n, QueueCap: 4, WaitBufCap: waitCap}
+		if topo == "fattree" {
+			cfg.Topology = combining.FatTreeTopology(n, 2)
+		}
+		sim := combining.NewSim(cfg, inj)
+		sim.Run(cycles)
+		st := sim.Stats()
+		bandwidth, meanLat, snap = st.Bandwidth(), st.MeanLatency(), sim.Snapshot()
+	case "hypercube", "torus":
+		cfg := combining.CubeConfig{Nodes: n, QueueCap: 4, WaitBufCap: waitCap}
+		if topo == "torus" {
+			cfg.Topology = combining.SquareTorusTopology(n)
+		}
+		sim := combining.NewCubeSim(cfg, inj)
+		sim.Run(cycles)
+		st := sim.Stats()
+		bandwidth, meanLat, snap = st.Bandwidth(), st.MeanLatency(), sim.Snapshot()
+	default:
+		panic("bench: unknown topology " + topo)
+	}
+	return topologyPoint{
+		Topology:    topo,
+		Engine:      snap.Engine,
+		Procs:       n,
+		HotFraction: h,
+		Combining:   comb,
+		Cycles:      cycles,
+		Bandwidth:   bandwidth,
+		MeanLatency: meanLat,
+		P99Latency:  snap.Histograms["latency_cycles"].Percentile(0.99),
+		Combines:    snap.Counters["combines"],
+		Snapshot:    snap,
+	}
 }
 
 // hotspotPoint is one cell of the N × h × combining sweep (experiment E8).
@@ -251,6 +325,16 @@ func runBench() {
 		}
 	}
 
+	topoN, topoCycles := 64, hotCycles
+	if *quick {
+		topoN = 16
+	}
+	for _, topo := range []string{"omega", "fattree", "hypercube", "torus"} {
+		for _, comb := range []bool{false, true} {
+			rep.Topology = append(rep.Topology, benchTopology(topo, topoN, 0.25, comb, topoCycles))
+		}
+	}
+
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		panic(err)
@@ -260,8 +344,8 @@ func runBench() {
 		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("bench baseline written to %s (%d hot-spot points, %d permutations, %d async runs, %d degradation points, %d saturation points, %d parallel points)\n",
-		*benchOut, len(rep.Hotspot), len(rep.Permutation), len(rep.AsyncFAA), len(rep.Degradation), len(rep.Saturation), len(rep.Parallel))
+	fmt.Printf("bench baseline written to %s (%d hot-spot points, %d permutations, %d async runs, %d degradation points, %d saturation points, %d parallel points, %d topology points)\n",
+		*benchOut, len(rep.Hotspot), len(rep.Permutation), len(rep.AsyncFAA), len(rep.Degradation), len(rep.Saturation), len(rep.Parallel), len(rep.Topology))
 }
 
 // benchHotspot mirrors RunHotspot but keeps the simulator so the point can

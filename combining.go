@@ -23,6 +23,7 @@ import (
 	"combining/internal/busnet"
 	"combining/internal/coord"
 	"combining/internal/core"
+	"combining/internal/engine"
 	"combining/internal/faults"
 	"combining/internal/flow"
 	"combining/internal/hypercube"
@@ -64,6 +65,37 @@ type Saturation = flow.Saturation
 
 // DefaultWatchdogCycles is the default watchdog limit.
 const DefaultWatchdogCycles = network.DefaultWatchdogCycles
+
+// ---- Engine core (internal/engine) ----
+
+// StagedTopology is the wiring contract of the staged-network engine: pure
+// line arithmetic (perfect-shuffle-style permutations between switch
+// columns) that the engine core turns into routing and parallel-stepper
+// conflict groups.  NetConfig.Topology accepts any implementation.
+type StagedTopology = engine.Staged
+
+// DirectTopology is the wiring contract of the direct-connection engine:
+// a node graph with deterministic forward/reverse link selection.
+// CubeConfig.Topology accepts any implementation.
+type DirectTopology = engine.Direct
+
+// Topology constructors: the paper's omega network and binary hypercube,
+// plus the fat-tree (k-ary butterfly) and mixed-radix torus wirings.
+var (
+	OmegaTopology       = engine.OmegaOf
+	FatTreeTopology     = engine.FatTreeOf
+	CubeTopology        = engine.CubeOf
+	TorusTopology       = engine.TorusOf
+	SquareTorusTopology = engine.SquareTorusOf
+)
+
+// EngineCounterKeys lists the canonical snapshot counter schema every
+// engine publishes; FaultCounterKeys the fault/recovery block appended
+// under a fault plan.
+var (
+	EngineCounterKeys = engine.CounterKeys
+	FaultCounterKeys  = faults.CounterKeys
+)
 
 // ---- Words and identifiers (internal/word) ----
 

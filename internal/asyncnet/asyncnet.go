@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"combining/internal/core"
+	"combining/internal/engine"
 	"combining/internal/faults"
 	"combining/internal/memory"
 	"combining/internal/rmw"
@@ -89,6 +90,13 @@ type Net struct {
 	// concurrently without serializing the combine hot path it measures.
 	combines stats.Counter
 	rejects  stats.Counter
+	// issuedReqs counts requests issued at the ports (the cross-engine
+	// "issued" counter; completions are rtt.Count()).
+	issuedReqs stats.Counter
+	// orphans counts replies discarded undeliverable at shutdown: a
+	// reverse send found the net closed (fault-mode residue by the Close
+	// contract).  Previously hardcoded to zero in Snapshot.
+	orphans stats.Counter
 	// rtt is the port round-trip latency histogram (nanoseconds),
 	// recorded as each reply reaches its issuing port.
 	rtt stats.Histogram
@@ -176,19 +184,41 @@ type inflightReq struct {
 	deadline time.Time
 }
 
+// Validate reports whether the configuration is usable, with the
+// documented zero-value defaults applied first; all config policing
+// funnels through the engine core's Spec path (New panics with the same
+// error).
+func (c Config) Validate() error {
+	return c.normalize()
+}
+
+// normalize applies the defaults in place and validates the result.
+func (c *Config) normalize() error {
+	if err := (engine.Spec{
+		Engine:  "asyncnet",
+		Procs:   c.Procs,
+		PowerOf: 2,
+		Banks:   1,
+		Window:  c.Window,
+	}).Validate(); err != nil {
+		return err
+	}
+	if c.Window == 0 {
+		c.Window = 8
+	}
+	if c.ChanCap <= 0 {
+		c.ChanCap = c.Procs * c.Window
+		if c.Faults != nil {
+			c.ChanCap *= 16
+		}
+	}
+	return nil
+}
+
 // New starts the network's switch goroutines.
 func New(cfg Config) *Net {
-	if cfg.Procs < 2 || cfg.Procs&(cfg.Procs-1) != 0 {
-		panic(fmt.Sprintf("asyncnet: Procs must be a power of two ≥ 2, got %d", cfg.Procs))
-	}
-	if cfg.Window <= 0 {
-		cfg.Window = 8
-	}
-	if cfg.ChanCap <= 0 {
-		cfg.ChanCap = cfg.Procs * cfg.Window
-		if cfg.Faults != nil {
-			cfg.ChanCap *= 16
-		}
+	if err := cfg.normalize(); err != nil {
+		panic(err)
 	}
 	n := cfg.Procs
 	k := bits.TrailingZeros(uint(n))
@@ -323,7 +353,9 @@ func New(cfg Config) *Net {
 						if net.flt != nil && net.flt.DropReply(site, r.rep.ID, r.rep.Attempt) {
 							return
 						}
-						send(net.done, port.reply, r)
+						if !send(net.done, port.reply, r) {
+							net.orphans.Inc()
+						}
 					}
 				} else {
 					prevLine := net.unshuffle(inLine)
@@ -332,7 +364,9 @@ func New(cfg Config) *Net {
 						if net.flt != nil && net.flt.DropReply(site, r.rep.ID, r.rep.Attempt) {
 							return
 						}
-						send(net.done, prev.revIn, r)
+						if !send(net.done, prev.revIn, r) {
+							net.orphans.Inc()
+						}
 					}
 				}
 			}
@@ -343,13 +377,16 @@ func New(cfg Config) *Net {
 	return net
 }
 
-// send delivers a message unless the net is shutting down: Close requires
-// idle ports, so anything still in flight then is fault-mode residue
-// (stale retransmit copies) that may be discarded.
-func send[T any](done chan struct{}, ch chan T, v T) {
+// send delivers a message unless the net is shutting down, reporting
+// whether it was delivered: Close requires idle ports, so anything still
+// in flight then is fault-mode residue (stale retransmit copies) that may
+// be discarded — reverse-path callers count such discards as orphans.
+func send[T any](done chan struct{}, ch chan T, v T) bool {
 	select {
 	case ch <- v:
+		return true
 	case <-done:
+		return false
 	}
 }
 
@@ -380,33 +417,37 @@ func (n *Net) Snapshot() stats.Snapshot {
 	}
 	snap := stats.Snapshot{
 		Engine: "asyncnet",
-		Counters: map[string]int64{
-			"combines":        n.combines.Load(),
-			"combine_rejects": n.rejects.Load(),
-			"replies":         n.rtt.Count(),
-			"credit_stalls":   n.creditStalls.Load(),
-		},
+		// Replies == completed (rtt records one entry per live reply
+		// absorbed at a port); cycles and the hop/hold counters are
+		// structurally zero on this clockless goroutine engine.
+		Counters: engine.Counters{
+			Issued:         n.issuedReqs.Load(),
+			Completed:      n.rtt.Count(),
+			Replies:        n.rtt.Count(),
+			Combines:       n.combines.Load(),
+			CombineRejects: n.rejects.Load(),
+			CreditStalls:   n.creditStalls.Load(),
+		}.Map(),
 		Gauges: gauges,
 		Histograms: map[string]stats.HistogramSnapshot{
 			"port_rtt_ns": n.rtt.Snapshot(),
 		},
 	}
 	if n.flt != nil {
-		// The shared fault-counter schema (see faults.AddCounters);
-		// stall windows and reply metadata don't exist on this engine,
-		// so those keys are structurally zero, and recovery latency is
-		// wall-clock rather than cycles.
-		c := snap.Counters
-		c["faults_injected"] = n.flt.Injected()
-		c["drops_fwd"] = n.flt.DropsFwd.Load()
-		c["drops_rev"] = n.flt.DropsRev.Load()
-		c["stall_cycles"] = 0
-		c["mem_stall_cycles"] = 0
-		c["retries"] = n.retries.Load()
-		c["duplicates_suppressed"] = n.duplicates.Load()
-		c["recovered"] = n.recovered.Load()
-		c["dedup_hits"] = n.mem.TotalDedupHits()
-		c["orphan_replies"] = 0
+		// The shared fault-counter schema (see faults.AddValues); stall
+		// windows don't exist on this engine, so those keys are
+		// structurally zero, and recovery latency is wall-clock rather
+		// than cycles.
+		faults.AddValues(&snap, faults.Values{
+			Injected:   n.flt.Injected(),
+			DropsFwd:   n.flt.DropsFwd.Load(),
+			DropsRev:   n.flt.DropsRev.Load(),
+			Retries:    n.retries.Load(),
+			Duplicates: n.duplicates.Load(),
+			Recovered:  n.recovered.Load(),
+			DedupHits:  n.mem.TotalDedupHits(),
+			Orphans:    n.orphans.Load(),
+		})
 		snap.Histograms["recovery_latency_ns"] = n.recoveryLat.Snapshot()
 	}
 	return snap
@@ -595,6 +636,7 @@ func (p *Port) RMWAsync(addr word.Addr, op rmw.Mapping) *Pending {
 	req := core.NewRequest(id, addr, op, p.proc)
 	now := time.Now()
 	p.issued[id] = now
+	p.net.issuedReqs.Inc()
 	line := p.net.shuffle(int(p.proc))
 	sw := p.net.switches[0][line>>1]
 	if p.net.flt != nil {

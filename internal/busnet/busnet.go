@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"combining/internal/core"
+	"combining/internal/engine"
 	"combining/internal/faults"
 	"combining/internal/flow"
 	"combining/internal/memory"
@@ -162,25 +163,49 @@ type bankTick struct {
 	ok  bool
 }
 
+// Validate reports whether the configuration is usable, with the
+// documented zero-value defaults applied first; all config policing
+// funnels through the engine core's Spec path (NewSim panics with the
+// same error).
+func (c Config) Validate() error {
+	return c.normalize()
+}
+
+// normalize applies the defaults in place and validates the result.
+func (c *Config) normalize() error {
+	spec := engine.Spec{
+		Engine:   "busnet",
+		Procs:    c.Procs,
+		MinProcs: 1,
+		Banks:    c.Banks,
+		Workers:  c.Workers,
+		Service:  c.BankService,
+	}
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = 8
+	}
+	if c.BankQueueCap == 0 {
+		c.BankQueueCap = 1
+	}
+	if c.WatchdogCycles == 0 {
+		c.WatchdogCycles = network.DefaultWatchdogCycles
+	}
+	if c.BankService == 0 {
+		c.BankService = 4
+	}
+	return nil
+}
+
 // NewSim builds the machine.
 func NewSim(cfg Config, inj []network.Injector) *Sim {
-	if cfg.Procs < 1 || cfg.Banks < 1 {
-		panic("busnet: need at least one processor and one bank")
+	if err := cfg.normalize(); err != nil {
+		panic(err)
 	}
 	if len(inj) != cfg.Procs {
-		panic(fmt.Sprintf("busnet: %d injectors for %d processors", len(inj), cfg.Procs))
-	}
-	if cfg.QueueCap == 0 {
-		cfg.QueueCap = 8
-	}
-	if cfg.BankQueueCap == 0 {
-		cfg.BankQueueCap = 1
-	}
-	if cfg.WatchdogCycles == 0 {
-		cfg.WatchdogCycles = network.DefaultWatchdogCycles
-	}
-	if cfg.BankService == 0 {
-		cfg.BankService = 4
+		panic(fmt.Sprintf("busnet: got %d injectors for %d processors", len(inj), cfg.Procs))
 	}
 	memOpts := []memory.Option{memory.WithServiceTime(cfg.BankService)}
 	if cfg.BankQueueCap > 0 {
@@ -233,19 +258,24 @@ func (s *Sim) Stats() Stats { return s.stats }
 func (s *Sim) Snapshot() stats.Snapshot {
 	snap := stats.Snapshot{
 		Engine: "busnet",
-		Counters: map[string]int64{
-			"cycles":            s.stats.Cycles,
-			"issued":            s.stats.Issued,
-			"completed":         s.stats.Completed,
-			"combines":          s.stats.Combines,
-			"combine_rejects":   s.wait.Rejections,
-			"bank_ops":          s.stats.BankOps,
-			"bus_ops":           s.stats.BusOps,
-			"hol_blocked":       s.stats.HOLBlocked,
-			"saturation_cycles": s.stats.SaturationCycles,
-			"holds_mem":         s.stats.HOLBlocked,
-			"watchdog_trips":    s.stats.WatchdogTrips,
-		},
+		// HOLBlocked doubles as holds_mem: a head-of-line block IS this
+		// machine's memory-input hold (the blocked request sits at the
+		// FIFO head waiting for its bank), published under both the
+		// bus-specific and the cross-engine name.
+		Counters: engine.Counters{
+			Cycles:           s.stats.Cycles,
+			Issued:           s.stats.Issued,
+			Completed:        s.stats.Completed,
+			Replies:          s.stats.Completed,
+			Combines:         s.stats.Combines,
+			CombineRejects:   s.wait.Rejections,
+			BankOps:          s.stats.BankOps,
+			BusOps:           s.stats.BusOps,
+			HOLBlocked:       s.stats.HOLBlocked,
+			SaturationCycles: s.stats.SaturationCycles,
+			HoldsMem:         s.stats.HOLBlocked,
+			WatchdogTrips:    s.stats.WatchdogTrips,
+		}.Map(),
 		Gauges: map[string]int64{
 			"fifo_max":              s.fifoHW.Load(),
 			"max_mem_queue":         int64(s.mem.MaxQueueDepth()),

@@ -1,0 +1,196 @@
+package engine
+
+import "fmt"
+
+// Direct is the link structure of a direct-connection machine: every node
+// hosts a processor, a combining router, and a memory module, and links
+// run between neighbors.  A Direct value supplies only pure arithmetic and
+// must satisfy the retrace invariant the paper's combining scheme depends
+// on — following RevLink from the destination leads back to the source
+// through exactly the nodes FwdLink visited, in reverse, so every wait
+// buffer that recorded a combine on the way out sees the reply on the way
+// back (TestDirectRetrace checks this exhaustively for every wiring).
+type Direct interface {
+	Name() string
+	Nodes() int
+	// Degree is the number of outgoing links per node; queues are indexed
+	// by link in [0, Degree).
+	Degree() int
+	// Neighbor returns the node at the far end of `link` out of `node`.
+	Neighbor(node, link int) int
+	// FwdLink picks the outgoing link at cur for a request homing on node
+	// `home`, or -1 when cur == home (the request has arrived).
+	FwdLink(cur, home int) int
+	// RevLink picks the outgoing link at cur for a reply returning to the
+	// issuing node src; it must retrace the forward route.
+	RevLink(cur, src int) int
+	// Validate checks the wiring parameters; constructors never panic so
+	// that invalid command-line parameters surface through Config.Validate.
+	Validate() error
+}
+
+// Cube is the binary-hypercube wiring: node addresses are bit strings,
+// link d flips bit d, and routes correct the lowest differing bit first
+// (forward) or the highest first (reverse) — two disjoint digit orders
+// over the same differing-bit set, so the reverse path is the forward
+// path reversed.
+type Cube struct{ nodes, dims int }
+
+// CubeOf returns the hypercube wiring on nodes = 2^d nodes.  Parameters
+// are checked by Validate, not here.
+func CubeOf(nodes int) Cube {
+	d := 0
+	for m := 1; m < nodes; m <<= 1 {
+		d++
+	}
+	return Cube{nodes: nodes, dims: d}
+}
+
+func (c Cube) Name() string { return "hypercube" }
+func (c Cube) Nodes() int   { return c.nodes }
+func (c Cube) Degree() int  { return c.dims }
+
+func (c Cube) Validate() error {
+	if c.nodes < 2 || c.nodes&(c.nodes-1) != 0 {
+		return fmt.Errorf("hypercube: Nodes must be a power of two >= 2, got %d", c.nodes)
+	}
+	return nil
+}
+
+func (c Cube) Neighbor(node, link int) int { return node ^ (1 << link) }
+
+func (c Cube) FwdLink(cur, home int) int {
+	diff := cur ^ home
+	if diff == 0 {
+		return -1
+	}
+	d := 0
+	for diff&1 == 0 {
+		diff >>= 1
+		d++
+	}
+	return d
+}
+
+func (c Cube) RevLink(cur, src int) int {
+	diff := cur ^ src
+	d := -1
+	for diff != 0 {
+		diff >>= 1
+		d++
+	}
+	return d
+}
+
+// Torus is a D-dimensional wraparound mesh: node addresses are mixed-radix
+// coordinate vectors over dims (dimension 0 least significant), and links
+// come in +/- pairs per dimension (link 2d steps coordinate d up, 2d+1
+// down, modulo the dimension size).  Forward routes correct dimensions in
+// ascending order taking the shorter way around each ring (ties break
+// toward +); reverse routes correct in descending order with ties toward
+// -.  Within one ring the shorter direction back is the opposite of the
+// shorter direction out (and on a tie the rules pick opposite links), so
+// each ring is retraced hop for hop and the dimension orders mirror —
+// the retrace invariant holds.
+type Torus struct{ dims []int }
+
+// TorusOf returns the torus wiring with the given per-dimension sizes.
+// Parameters are checked by Validate, not here.
+func TorusOf(dims ...int) Torus {
+	d := make([]int, len(dims))
+	copy(d, dims)
+	return Torus{dims: d}
+}
+
+// SquareTorusOf splits a node count into the standard sweep shape: a
+// near-square two-dimensional torus when nodes is a power of two with both
+// sides >= 2, and a single ring otherwise.  The soaks and benches use it
+// when only a node count is given.
+func SquareTorusOf(nodes int) Torus {
+	if nodes >= 4 && nodes&(nodes-1) == 0 {
+		k := 0
+		for m := 1; m < nodes; m <<= 1 {
+			k++
+		}
+		return TorusOf(1<<(k-k/2), 1<<(k/2))
+	}
+	return TorusOf(nodes)
+}
+
+func (t Torus) Name() string { return "torus" }
+
+func (t Torus) Nodes() int {
+	n := 1
+	for _, d := range t.dims {
+		n *= d
+	}
+	if len(t.dims) == 0 {
+		return 0
+	}
+	return n
+}
+
+func (t Torus) Degree() int { return 2 * len(t.dims) }
+
+func (t Torus) Validate() error {
+	if len(t.dims) == 0 {
+		return fmt.Errorf("torus: need at least one dimension")
+	}
+	for i, d := range t.dims {
+		if d < 2 {
+			return fmt.Errorf("torus: dimension %d must have size >= 2, got %d", i, d)
+		}
+	}
+	return nil
+}
+
+func (t Torus) Neighbor(node, link int) int {
+	dim, down := link/2, link%2 == 1
+	stride := 1
+	for i := 0; i < dim; i++ {
+		stride *= t.dims[i]
+	}
+	size := t.dims[dim]
+	c := (node / stride) % size
+	nc := (c + 1) % size
+	if down {
+		nc = (c + size - 1) % size
+	}
+	return node + (nc-c)*stride
+}
+
+func (t Torus) FwdLink(cur, home int) int {
+	for dim, stride := 0, 1; dim < len(t.dims); dim++ {
+		size := t.dims[dim]
+		cc, hc := (cur/stride)%size, (home/stride)%size
+		if cc != hc {
+			if (hc-cc+size)%size <= (cc-hc+size)%size {
+				return 2 * dim
+			}
+			return 2*dim + 1
+		}
+		stride *= size
+	}
+	return -1
+}
+
+func (t Torus) RevLink(cur, src int) int {
+	stride := 1
+	for i := 0; i+1 < len(t.dims); i++ {
+		stride *= t.dims[i]
+	}
+	for dim := len(t.dims) - 1; dim >= 0; dim-- {
+		size := t.dims[dim]
+		cc, sc := (cur/stride)%size, (src/stride)%size
+		if cc != sc {
+			if (cc-sc+size)%size <= (sc-cc+size)%size {
+				return 2*dim + 1
+			}
+			return 2 * dim
+		}
+		if dim > 0 {
+			stride /= t.dims[dim-1]
+		}
+	}
+	return -1
+}

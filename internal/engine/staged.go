@@ -1,0 +1,213 @@
+package engine
+
+import "fmt"
+
+// Staged is the wiring of a multistage interconnection network built from
+// k = log_radix(procs) columns of radix×radix combining switches.  Lines
+// are numbered 0..procs-1 at every column boundary; the switch holding
+// line L is L/radix and the port is L%radix.  A Staged value supplies only
+// pure arithmetic — no state — and must satisfy:
+//
+//   - LineProc inverts ProcLine, and PrevLine(s+1, ·) inverts NextLine(s, ·).
+//   - Destination-tag routing terminates at the destination: entering on
+//     line ProcLine(p) and leaving each stage s on port OutPort(s, dst) of
+//     the current switch ends, after the last stage, on output line dst —
+//     which is wired straight to memory module dst.  (TestStagedRouting
+//     checks this exhaustively for every wiring.)
+//
+// The reverse path needs no routing function: forward messages record the
+// input port taken at each stage, replies pop those ports, and PrevLine
+// carries them back across the inter-stage permutations.
+type Staged interface {
+	Name() string
+	Procs() int
+	Radix() int
+	Stages() int
+	// ProcLine maps processor p to its stage-0 input line; LineProc is the
+	// inverse (which processor a stage-0 reply on this line belongs to).
+	ProcLine(proc int) int
+	LineProc(line int) int
+	// NextLine maps output line `line` of stage `stage` to the input line
+	// it is wired to at stage+1; PrevLine(stage, line) is the inverse
+	// (which stage-1 output line feeds input line `line` of `stage`).
+	NextLine(stage, line int) int
+	PrevLine(stage, line int) int
+	// OutPort selects the output port at `stage` for a request homing on
+	// memory module dst (destination-tag routing).
+	OutPort(stage, dst int) int
+	// Validate checks the wiring parameters; constructors never panic so
+	// that invalid command-line parameters surface through Config.Validate.
+	Validate() error
+}
+
+// stagedBase holds the parameters and digit arithmetic shared by the
+// staged wirings: procs = radix^stages, and line digits in base radix.
+type stagedBase struct {
+	procs, radix, stages int
+}
+
+func stagedParams(procs, radix int) stagedBase {
+	k := 0
+	if radix >= 2 {
+		for m := radix; m < procs; m *= radix {
+			k++
+		}
+		k++ // procs == radix^k when valid; Validate rejects the rest
+	}
+	return stagedBase{procs: procs, radix: radix, stages: k}
+}
+
+func (b stagedBase) Procs() int  { return b.procs }
+func (b stagedBase) Radix() int  { return b.radix }
+func (b stagedBase) Stages() int { return b.stages }
+
+func (b stagedBase) validate(name string) error {
+	if b.radix < 2 {
+		return fmt.Errorf("%s: Radix must be >= 2, got %d", name, b.radix)
+	}
+	if !IsPowerOf(b.procs, b.radix) {
+		return fmt.Errorf("%s: Procs must be a positive power of Radix %d, got %d", name, b.radix, b.procs)
+	}
+	return nil
+}
+
+// digit returns base-radix digit i of line; setDigit0 replaces digit 0.
+func (b stagedBase) digit(line, i int) int {
+	for ; i > 0; i-- {
+		line /= b.radix
+	}
+	return line % b.radix
+}
+
+// swapDigits exchanges base-radix digits 0 and i of line.
+func (b stagedBase) swapDigits(line, i int) int {
+	stride := 1
+	for j := 0; j < i; j++ {
+		stride *= b.radix
+	}
+	d0 := line % b.radix
+	di := (line / stride) % b.radix
+	return line + (di - d0) + (d0-di)*stride
+}
+
+// OutPort is the destination-tag rule shared by omega and the butterfly:
+// stage s consumes digit k-1-s of the destination module.
+func (b stagedBase) OutPort(stage, dst int) int {
+	return b.digit(dst, b.stages-1-stage)
+}
+
+// Omega is the paper's wiring: a perfect shuffle (rotate the base-radix
+// digits left by one) before every column, including processor placement.
+type Omega struct{ stagedBase }
+
+// OmegaOf returns the omega wiring for procs processors and radix-wide
+// switches.  Parameters are checked by Validate, not here.
+func OmegaOf(procs, radix int) Omega { return Omega{stagedParams(procs, radix)} }
+
+func (o Omega) Name() string          { return "omega" }
+func (o Omega) Validate() error       { return o.validate("omega") }
+func (o Omega) ProcLine(proc int) int { return o.shuffle(proc) }
+func (o Omega) LineProc(line int) int { return o.unshuffle(line) }
+
+// NextLine is the shuffle at every inter-stage boundary; PrevLine the
+// inverse shuffle.  Both are stage-independent for omega.
+func (o Omega) NextLine(_, line int) int { return o.shuffle(line) }
+func (o Omega) PrevLine(_, line int) int { return o.unshuffle(line) }
+
+func (o Omega) shuffle(line int) int {
+	return (line*o.radix)%o.procs + line*o.radix/o.procs
+}
+
+func (o Omega) unshuffle(line int) int {
+	return line/o.radix + (line%o.radix)*(o.procs/o.radix)
+}
+
+// FatTree is the k-ary butterfly wiring — the channel graph a fat-tree
+// (folded Clos) presents to messages climbing to their root switch and
+// descending to memory, unfolded into k one-directional columns so the
+// staged engine can run it unchanged.  Processors enter on their own line
+// (identity placement); the permutation after stage s swaps base-radix
+// digit 0 with digit k-1-s, parking the destination digit that stage s
+// just resolved in its final position.
+type FatTree struct{ stagedBase }
+
+// FatTreeOf returns the butterfly/fat-tree wiring for procs processors
+// and radix-wide switches.  Parameters are checked by Validate, not here.
+func FatTreeOf(procs, radix int) FatTree { return FatTree{stagedParams(procs, radix)} }
+
+func (f FatTree) Name() string          { return "fattree" }
+func (f FatTree) Validate() error       { return f.validate("fattree") }
+func (f FatTree) ProcLine(proc int) int { return proc }
+func (f FatTree) LineProc(line int) int { return line }
+
+// NextLine applies the stage-s butterfly exchange; each digit swap is its
+// own inverse, so PrevLine(s, ·) undoes NextLine(s-1, ·).
+func (f FatTree) NextLine(stage, line int) int {
+	return f.swapDigits(line, f.stages-1-stage)
+}
+
+func (f FatTree) PrevLine(stage, line int) int {
+	return f.swapDigits(line, f.stages-stage)
+}
+
+// RevGroups partitions the switches of stage >= 1 into the reverse-sweep
+// conflict groups: switches sharing any previous-stage switch are grouped,
+// because a reply leaving either can land credits on the same upstream
+// reverse queues.  Groups are derived from the wiring by union-find, so
+// any Staged implementation gets a correct parallel partition for free;
+// for omega this reproduces the radix-contiguous groups DESIGN.md §6
+// derives analytically.  Each group's members are ascending, and groups
+// are ordered by smallest member — a deterministic shape the parallel
+// stepper splits across workers.
+func RevGroups(t Staged, stage int) [][]int {
+	return stageGroups(t, func(line int) int { return t.PrevLine(stage, line) })
+}
+
+// FwdGroups partitions the switches of stage < k-1 into the forward-sweep
+// conflict groups: switches sharing any next-stage switch, whose input
+// queues both sweeps' tryAccept calls contend on.
+func FwdGroups(t Staged, stage int) [][]int {
+	return stageGroups(t, func(line int) int { return t.NextLine(stage, line) })
+}
+
+func stageGroups(t Staged, wire func(line int) int) [][]int {
+	ns := t.Procs() / t.Radix()
+	parent := make([]int, ns)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	// Switches wired to the same far-side switch join one group.
+	farOwner := make(map[int]int, ns)
+	for idx := 0; idx < ns; idx++ {
+		for p := 0; p < t.Radix(); p++ {
+			far := wire(idx*t.Radix()+p) / t.Radix()
+			if owner, ok := farOwner[far]; ok {
+				parent[find(idx)] = find(owner)
+			} else {
+				farOwner[far] = idx
+			}
+		}
+	}
+	members := make(map[int][]int, ns)
+	order := make([]int, 0, ns)
+	for idx := 0; idx < ns; idx++ {
+		r := find(idx)
+		if len(members[r]) == 0 {
+			order = append(order, r)
+		}
+		members[r] = append(members[r], idx)
+	}
+	groups := make([][]int, 0, len(order))
+	for _, r := range order {
+		groups = append(groups, members[r])
+	}
+	return groups
+}

@@ -2,21 +2,67 @@ package faults
 
 import "combining/internal/stats"
 
-// AddCounters folds one run's fault/recovery counters into an engine
-// snapshot.  Every engine publishes the same key set so tooling (cmd/check,
-// the bench reports) reads one schema regardless of transport.
-func AddCounters(snap *stats.Snapshot, flt *Injector, trk *Tracker, dedupHits, orphans int64) {
+// Values is the fault/recovery counter block shared by every engine's
+// snapshot: one value per key of the schema AddValues writes.  The cycle
+// engines fill it from an Injector/Tracker pair via AddCounters; the
+// clockless asyncnet engine fills it from its own atomics (stall windows
+// are cycle-based and structurally zero there).
+type Values struct {
+	Injected       int64
+	DropsFwd       int64
+	DropsRev       int64
+	StallCycles    int64
+	MemStallCycles int64
+	Retries        int64
+	Duplicates     int64
+	Recovered      int64
+	DedupHits      int64
+	Orphans        int64
+}
+
+// AddValues writes the shared fault-counter schema into a snapshot.  Every
+// engine publishes the same key set so tooling (cmd/check, the bench
+// reports) reads one schema regardless of transport.
+func AddValues(snap *stats.Snapshot, v Values) {
 	c := snap.Counters
-	c["faults_injected"] = flt.Injected()
-	c["drops_fwd"] = flt.DropsFwd.Load()
-	c["drops_rev"] = flt.DropsRev.Load()
-	c["stall_cycles"] = flt.StallCycles.Load()
-	c["mem_stall_cycles"] = flt.MemStallCycles.Load()
-	c["retries"] = trk.Retries.Load()
-	c["duplicates_suppressed"] = trk.Duplicates.Load()
-	c["recovered"] = trk.Recovered.Load()
-	c["dedup_hits"] = dedupHits
-	c["orphan_replies"] = orphans
+	c["faults_injected"] = v.Injected
+	c["drops_fwd"] = v.DropsFwd
+	c["drops_rev"] = v.DropsRev
+	c["stall_cycles"] = v.StallCycles
+	c["mem_stall_cycles"] = v.MemStallCycles
+	c["retries"] = v.Retries
+	c["duplicates_suppressed"] = v.Duplicates
+	c["recovered"] = v.Recovered
+	c["dedup_hits"] = v.DedupHits
+	c["orphan_replies"] = v.Orphans
+}
+
+// CounterKeys lists the keys AddValues writes, sorted — the fault half of
+// the snapshot-schema parity contract.
+func CounterKeys() []string {
+	return []string{
+		"dedup_hits", "drops_fwd", "drops_rev", "duplicates_suppressed",
+		"faults_injected", "mem_stall_cycles", "orphan_replies",
+		"recovered", "retries", "stall_cycles",
+	}
+}
+
+// AddCounters folds one run's fault/recovery counters into an engine
+// snapshot from the cycle engines' injector and tracker, plus the
+// cycle-denominated recovery-latency histogram.
+func AddCounters(snap *stats.Snapshot, flt *Injector, trk *Tracker, dedupHits, orphans int64) {
+	AddValues(snap, Values{
+		Injected:       flt.Injected(),
+		DropsFwd:       flt.DropsFwd.Load(),
+		DropsRev:       flt.DropsRev.Load(),
+		StallCycles:    flt.StallCycles.Load(),
+		MemStallCycles: flt.MemStallCycles.Load(),
+		Retries:        trk.Retries.Load(),
+		Duplicates:     trk.Duplicates.Load(),
+		Recovered:      trk.Recovered.Load(),
+		DedupHits:      dedupHits,
+		Orphans:        orphans,
+	})
 	if snap.Histograms == nil {
 		snap.Histograms = map[string]stats.HistogramSnapshot{}
 	}

@@ -5,20 +5,23 @@
 // memories at each node are all viewed as part of a distributed, shared
 // memory."
 //
-// The machine is a store-and-forward binary d-cube: each node hosts a
-// processor, one interleaved slice of shared memory, and a router with one
-// bounded FIFO output queue per dimension.  Requests route e-cube
-// (ascending dimension order); replies descend the dimensions, which
-// retraces the request path node for node — satisfying the paper's "only
-// major restriction", that replies return via the same route — so the
-// per-node wait buffers see every reply whose request they combined.
+// The machine is a store-and-forward direct-connection machine: each node
+// hosts a processor, one interleaved slice of shared memory, and a router
+// with one bounded FIFO output queue per link.  The link structure comes
+// from an engine.Direct topology (binary hypercube by default, torus as an
+// alternative wiring); the topology guarantees that replies retrace the
+// request path node for node — satisfying the paper's "only major
+// restriction", that replies return via the same route — so the per-node
+// wait buffers see every reply whose request they combined.  For the
+// default cube, requests route e-cube (ascending dimension order) and
+// replies descend the dimensions.
 package hypercube
 
 import (
 	"fmt"
-	"math/bits"
 
 	"combining/internal/core"
+	"combining/internal/engine"
 	"combining/internal/faults"
 	"combining/internal/flow"
 	"combining/internal/memory"
@@ -28,11 +31,16 @@ import (
 	"combining/internal/word"
 )
 
-// Config parameterizes the cube.
+// Config parameterizes the machine.
 type Config struct {
-	// Nodes is N = 2^d, d ≥ 1.
+	// Topology selects the link structure (engine.CubeOf, engine.TorusOf,
+	// ...).  nil means the binary hypercube on Nodes nodes.  When set,
+	// Nodes may be left 0 to adopt the topology's node count, and must
+	// agree with it otherwise.
+	Topology engine.Direct
+	// Nodes is N; for the default cube wiring, a power of two ≥ 2.
 	Nodes int
-	// QueueCap bounds each per-dimension forward queue (default 4).
+	// QueueCap bounds each per-link forward queue (default 4).
 	QueueCap int
 	// RevQueueCap is the per-dimension base credit of each node's reverse
 	// queues: a reply hops to a node only while every reverse queue there
@@ -173,7 +181,8 @@ func (s Stats) Bandwidth() float64 {
 // Sim is the cycle-driven hypercube machine.
 type Sim struct {
 	cfg     Config
-	n, d    int
+	topo    engine.Direct // the link structure; all routing lives here
+	n, d    int           // node count and link degree
 	nodes   []*node
 	mem     *memory.Array
 	inj     []network.Injector
@@ -217,31 +226,77 @@ type cubeShard struct {
 	memOps, holdsMemOut, orphans int64
 }
 
+// Validate reports whether the configuration is usable, with the
+// documented zero-value defaults applied first; all config policing
+// funnels through the engine core's Spec path (NewSim panics with the
+// same error).
+func (c Config) Validate() error {
+	return c.normalize()
+}
+
+// normalize applies the defaults in place and validates the result.
+func (c *Config) normalize() error {
+	spec := engine.Spec{
+		Engine:  "hypercube",
+		Procs:   c.Nodes,
+		Field:   "Nodes",
+		Banks:   1,
+		Workers: c.Workers,
+		Service: c.MemService,
+	}
+	if c.Topology != nil {
+		if c.Nodes == 0 {
+			c.Nodes = c.Topology.Nodes()
+			spec.Procs = c.Nodes
+		}
+		spec.MinProcs = 2
+		spec.Topology = c.Topology
+		spec.TopologySize = c.Topology.Nodes()
+		spec.TopologyField = "node count"
+	} else {
+		spec.PowerOf = 2
+	}
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	deg := c.resolveTopology().Degree()
+	if c.QueueCap == 0 {
+		c.QueueCap = 4
+	}
+	if c.WatchdogCycles == 0 {
+		c.WatchdogCycles = network.DefaultWatchdogCycles
+	}
+	if c.MemService == 0 {
+		c.MemService = 1
+	}
+	if c.MemQueueCap == 0 {
+		c.MemQueueCap = deg * c.QueueCap
+	}
+	if c.RevQueueCap == 0 {
+		c.RevQueueCap = deg * c.QueueCap
+	}
+	return nil
+}
+
+// resolveTopology returns the configured wiring, defaulting to the cube.
+func (c Config) resolveTopology() engine.Direct {
+	if c.Topology != nil {
+		return c.Topology
+	}
+	return engine.CubeOf(c.Nodes)
+}
+
 // NewSim builds the machine with one injector per node.
 func NewSim(cfg Config, inj []network.Injector) *Sim {
-	if cfg.Nodes < 2 || cfg.Nodes&(cfg.Nodes-1) != 0 {
-		panic(fmt.Sprintf("hypercube: Nodes must be a power of two ≥ 2, got %d", cfg.Nodes))
+	if err := cfg.normalize(); err != nil {
+		panic(err)
 	}
 	if len(inj) != cfg.Nodes {
-		panic("hypercube: one injector per node required")
+		panic(fmt.Sprintf("hypercube: got %d injectors for %d nodes", len(inj), cfg.Nodes))
 	}
-	if cfg.QueueCap == 0 {
-		cfg.QueueCap = 4
-	}
-	if cfg.WatchdogCycles == 0 {
-		cfg.WatchdogCycles = network.DefaultWatchdogCycles
-	}
-	if cfg.MemService == 0 {
-		cfg.MemService = 1
-	}
+	topo := cfg.resolveTopology()
 	n := cfg.Nodes
-	d := bits.TrailingZeros(uint(n))
-	if cfg.MemQueueCap == 0 {
-		cfg.MemQueueCap = d * cfg.QueueCap
-	}
-	if cfg.RevQueueCap == 0 {
-		cfg.RevQueueCap = d * cfg.QueueCap
-	}
+	d := topo.Degree()
 	memOpts := []memory.Option{memory.WithServiceTime(cfg.MemService)}
 	if cfg.Faults != nil {
 		memOpts = append(memOpts, memory.WithReplyCache())
@@ -252,6 +307,7 @@ func NewSim(cfg Config, inj []network.Injector) *Sim {
 	}
 	s := &Sim{
 		cfg:     cfg,
+		topo:    topo,
 		n:       n,
 		d:       d,
 		mem:     memory.NewArray(n, memOpts...),
@@ -289,24 +345,8 @@ func (s *Sim) Memory() *memory.Array { return s.mem }
 // homeOf returns the node owning an address.
 func (s *Sim) homeOf(addr word.Addr) int { return s.mem.HomeOf(addr) }
 
-// fwdDim returns the next dimension to correct en route to dst (ascending
-// e-cube), or -1 at the destination.
-func fwdDim(cur, dst int) int {
-	diff := cur ^ dst
-	if diff == 0 {
-		return -1
-	}
-	return bits.TrailingZeros(uint(diff))
-}
-
-// revDim returns the next dimension on the reply path (descending), or -1.
-func revDim(cur, dst int) int {
-	diff := cur ^ dst
-	if diff == 0 {
-		return -1
-	}
-	return bits.Len(uint(diff)) - 1
-}
+// Topology exposes the link structure the machine was built with.
+func (s *Sim) Topology() engine.Direct { return s.topo }
 
 // Step advances one cycle.
 func (s *Sim) Step() {
@@ -421,21 +461,22 @@ func (s *Sim) Snapshot() stats.Snapshot {
 	}
 	snap := stats.Snapshot{
 		Engine: "hypercube",
-		Counters: map[string]int64{
-			"cycles":            s.stats.Cycles,
-			"issued":            s.stats.Issued,
-			"completed":         s.stats.Completed,
-			"combines":          s.stats.Combines,
-			"combine_rejects":   rejects,
-			"mem_ops":           s.stats.MemOps,
-			"fwd_hops":          s.stats.FwdHops,
-			"rev_hops":          s.stats.RevHops,
-			"saturation_cycles": s.stats.SaturationCycles,
-			"holds_rev":         s.stats.HoldsRev,
-			"holds_mem":         s.stats.HoldsMem,
-			"holds_mem_out":     s.stats.HoldsMemOut,
-			"watchdog_trips":    s.stats.WatchdogTrips,
-		},
+		Counters: engine.Counters{
+			Cycles:           s.stats.Cycles,
+			Issued:           s.stats.Issued,
+			Completed:        s.stats.Completed,
+			Replies:          s.stats.Completed,
+			Combines:         s.stats.Combines,
+			CombineRejects:   rejects,
+			MemOps:           s.stats.MemOps,
+			FwdHops:          s.stats.FwdHops,
+			RevHops:          s.stats.RevHops,
+			SaturationCycles: s.stats.SaturationCycles,
+			HoldsRev:         s.stats.HoldsRev,
+			HoldsMem:         s.stats.HoldsMem,
+			HoldsMemOut:      s.stats.HoldsMemOut,
+			WatchdogTrips:    s.stats.WatchdogTrips,
+		}.Map(),
 		Gauges: map[string]int64{
 			"memq_max":              s.memQHW.Load(),
 			"max_mem_queue":         s.memQHW.Load(),
@@ -509,7 +550,7 @@ func (s *Sim) Drain(maxCycles int) bool {
 // combining when possible.  Reports false when the target queue is full.
 func (s *Sim) arriveFwd(cur int, m fwdM) bool {
 	home := s.homeOf(m.req.Addr)
-	dim := fwdDim(cur, home)
+	dim := s.topo.FwdLink(cur, home)
 	nd := s.nodes[cur]
 	var q *[]fwdM
 	if dim < 0 {
@@ -579,7 +620,7 @@ func (s *Sim) arriveRev(cur int, r revM, sink *[]revM) {
 		s.arriveRev(cur, revM{rep: r2, dst: rec.dst2, issue: rec.issue2, hot: rec.hot2}, sink)
 		return
 	}
-	dim := revDim(cur, r.dst)
+	dim := s.topo.RevLink(cur, r.dst)
 	if dim < 0 {
 		if sink != nil {
 			*sink = append(*sink, r)
@@ -619,7 +660,7 @@ func (s *Sim) drainReverse() {
 			if len(q) == 0 || q[0].moved == s.cycle {
 				continue
 			}
-			next := i ^ (1 << dim)
+			next := s.topo.Neighbor(i, dim)
 			if !s.nodes[next].canAcceptRev(s.cfg.RevQueueCap) {
 				// Downstream reverse credits exhausted: hold the reply.
 				// Reverse hops strictly descend in dimension and the last
@@ -738,13 +779,14 @@ func (s *Sim) drainForward() {
 				continue
 			}
 			m := q[0]
+			next := s.topo.Neighbor(i, dim)
 			if s.flt != nil && s.flt.DropForward(
-				faults.Site(1, i^(1<<dim), dim), m.req.ID, m.req.Attempt) {
+				faults.Site(1, next, dim), m.req.ID, m.req.Attempt) {
 				copy(q, q[1:])
 				nd.out[dim] = q[:len(q)-1]
 				continue // request lost on the forward link
 			}
-			if !s.arriveFwd(i^(1<<dim), m) {
+			if !s.arriveFwd(next, m) {
 				continue
 			}
 			s.stats.FwdHops++

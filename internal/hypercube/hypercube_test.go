@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"combining/internal/core"
+	"combining/internal/engine"
 	"combining/internal/network"
 	"combining/internal/rmw"
 	"combining/internal/word"
@@ -181,23 +182,24 @@ func TestHypercubeSameNodeOrdering(t *testing.T) {
 }
 
 func TestECubeRouting(t *testing.T) {
-	// fwdDim ascends, revDim descends, and the reply path retraces the
-	// request path in reverse for every pair.
+	// The cube wiring ascends dimensions forward, descends in reverse, and
+	// the reply path retraces the request path in reverse for every pair.
 	const n = 16
+	topo := engine.CubeOf(n)
 	for src := 0; src < n; src++ {
 		for dst := 0; dst < n; dst++ {
 			var fwd []int
 			cur := src
 			for cur != dst {
-				d := fwdDim(cur, dst)
-				cur ^= 1 << d
+				d := topo.FwdLink(cur, dst)
+				cur = topo.Neighbor(cur, d)
 				fwd = append(fwd, cur)
 			}
 			var rev []int
 			cur = dst
 			for cur != src {
-				d := revDim(cur, src)
-				cur ^= 1 << d
+				d := topo.RevLink(cur, src)
+				cur = topo.Neighbor(cur, d)
 				rev = append(rev, cur)
 			}
 			// rev visits fwd's nodes in reverse (shifted by one:

@@ -15,8 +15,9 @@ import (
 )
 
 // Cross-worker determinism: Config.Workers must be unobservable.  Each
-// engine runs the same seeded hot-spot workload at Workers = 1, 2, 4 and
-// GOMAXPROCS, and every run must produce a byte-identical Snapshot JSON
+// engine runs the same seeded hot-spot workload at Workers = 1, 2, 3, 4
+// and GOMAXPROCS (3 exercises a width that does not divide the group
+// counts evenly), and every run must produce a byte-identical Snapshot JSON
 // (counters, gauges, latency histogram), the same per-processor reply
 // sequences, and the same final memory — with the Workers=1 run itself
 // checked against the core.SerialReplies ground truth.  Clean and under a
@@ -70,7 +71,7 @@ func runDeterminismCheck(t *testing.T, name string, nprocs, reqs, maxCycles int,
 		}
 	}
 
-	widths := []int{2, 4, runtime.GOMAXPROCS(0)}
+	widths := []int{2, 3, 4, runtime.GOMAXPROCS(0)}
 	for _, w := range widths {
 		got := runAtWidth(t, name, nprocs, reqs, maxCycles, build(w))
 		if !bytes.Equal(got.snap, want.snap) {

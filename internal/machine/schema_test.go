@@ -1,0 +1,108 @@
+package machine
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"combining/internal/asyncnet"
+	"combining/internal/busnet"
+	"combining/internal/engine"
+	"combining/internal/faults"
+	"combining/internal/hypercube"
+	"combining/internal/network"
+	"combining/internal/rmw"
+	"combining/internal/word"
+)
+
+// Snapshot-schema parity: every engine must publish exactly the canonical
+// counter key set — engine.CounterKeys() on a clean run, plus
+// faults.CounterKeys() under a fault plan — so tooling that reads one
+// engine's snapshot reads them all.  This is the regression test for the
+// schema drift the four hand-rolled snapshot builders had accumulated
+// (asyncnet hardcoding orphan_replies to zero was the worst of it): the
+// key sets are compared across engines, not just against the constant, so
+// a key added to one engine without the core helper fails loudly.
+
+func counterKeys(t *testing.T, name string, counters map[string]int64) []string {
+	t.Helper()
+	if len(counters) == 0 {
+		t.Fatalf("%s: snapshot has no counters", name)
+	}
+	keys := make([]string, 0, len(counters))
+	for k := range counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// runSchemaEngine drives a soak engine through a short hot-spot workload
+// and returns its sorted snapshot counter keys.
+func runSchemaEngine(t *testing.T, name string, build func([]network.Injector) soakEngine) []string {
+	t.Helper()
+	const nprocs, reqs = 16, 4
+	progs := hotPrograms(nprocs, reqs)
+	m, inj := NewInjectors(progs)
+	eng := build(inj)
+	m.BindEngine(eng)
+	if !m.Run(2000000) {
+		t.Fatalf("%s: did not complete (%d in flight)", name, eng.InFlight())
+	}
+	return counterKeys(t, name, eng.Snapshot().Counters)
+}
+
+// runSchemaAsync runs the goroutine engine through the same shape of
+// workload and returns its sorted snapshot counter keys.
+func runSchemaAsync(t *testing.T, name string, plan *faults.Plan) []string {
+	t.Helper()
+	net := asyncnet.New(asyncnet.Config{Procs: 16, Combining: true, Window: 4, Faults: plan})
+	defer net.Close()
+	for p := 0; p < 16; p++ {
+		port := net.Port(p)
+		for i := 0; i < 4; i++ {
+			port.RMW(word.Addr(7), rmw.FetchAdd(1))
+		}
+	}
+	return counterKeys(t, name, net.Snapshot().Counters)
+}
+
+func TestSnapshotSchemaParity(t *testing.T) {
+	for _, faulted := range []bool{false, true} {
+		want := engine.CounterKeys()
+		if faulted {
+			want = append(want, faults.CounterKeys()...)
+			sort.Strings(want)
+		}
+
+		var netPlan, cubePlan, busPlan *faults.Plan
+		var asyncPlan *faults.Plan
+		if faulted {
+			netPlan, cubePlan, busPlan = faults.Default(41), faults.Default(42), faults.Default(43)
+			// The goroutine engine retries on wall-clock timeouts; a zero
+			// plan (no injected faults) keeps the run fast while still
+			// enabling the whole fault/recovery schema.
+			asyncPlan = &faults.Plan{Seed: 44}
+		}
+
+		got := map[string][]string{
+			"network": runSchemaEngine(t, "network", func(inj []network.Injector) soakEngine {
+				return network.NewSim(network.Config{Procs: 16, Faults: netPlan}, inj)
+			}),
+			"hypercube": runSchemaEngine(t, "hypercube", func(inj []network.Injector) soakEngine {
+				return hypercube.NewSim(hypercube.Config{Nodes: 16, Faults: cubePlan}, inj)
+			}),
+			"busnet": runSchemaEngine(t, "busnet", func(inj []network.Injector) soakEngine {
+				return busnet.NewSim(busnet.Config{Procs: 16, Banks: 4, Faults: busPlan}, inj)
+			}),
+			"asyncnet": runSchemaAsync(t, "asyncnet", asyncPlan),
+		}
+
+		for name, keys := range got {
+			if !reflect.DeepEqual(keys, want) {
+				t.Errorf("faulted=%v: %s counter keys diverge from canonical schema:\ngot:  %v\nwant: %v",
+					faulted, name, keys, want)
+			}
+		}
+	}
+}

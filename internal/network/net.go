@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"combining/internal/core"
+	"combining/internal/engine"
 	"combining/internal/faults"
 	"combining/internal/flow"
 	"combining/internal/memory"
@@ -13,10 +14,17 @@ import (
 	"combining/internal/word"
 )
 
-// Config parameterizes a simulated machine: N processors, an Omega network
-// of log_k N stages of k×k combining switches, and N interleaved memory
-// modules.
+// Config parameterizes a simulated machine: N processors, a staged network
+// of log_k N columns of k×k combining switches, and N interleaved memory
+// modules.  The wiring between columns comes from Topology (omega by
+// default); everything else — switches, queues, flow control, faults, the
+// parallel stepper — is wiring-independent.
 type Config struct {
+	// Topology selects the inter-stage wiring (engine.OmegaOf,
+	// engine.FatTreeOf, ...).  nil means the paper's omega network.  When
+	// set, Procs and Radix may be left 0 to adopt the topology's, and must
+	// agree with it otherwise.
+	Topology engine.Staged
 	// Procs is N, a power of Radix ≥ Radix.
 	Procs int
 	// Radix is the switch degree k (default 2, the paper's concrete
@@ -78,16 +86,51 @@ type Config struct {
 	Trace func(Event)
 }
 
-func (c *Config) fill() {
+// Validate reports whether the configuration is usable, with the
+// documented zero-value defaults applied first.  All config policing
+// funnels through the engine core's one Spec path; NewSim panics with the
+// same error, so commands call Validate first and turn it into a one-line
+// exit instead of a stack trace.
+func (c Config) Validate() error {
+	return c.normalize()
+}
+
+// normalize applies the defaults in place and validates the result.
+func (c *Config) normalize() error {
+	if c.Topology != nil {
+		if c.Radix == 0 {
+			c.Radix = c.Topology.Radix()
+		}
+		if c.Procs == 0 {
+			c.Procs = c.Topology.Procs()
+		}
+	}
 	if c.Radix == 0 {
 		c.Radix = 2
 	}
 	if c.Radix < 2 {
-		panic(fmt.Sprintf("network: Radix must be ≥ 2, got %d", c.Radix))
+		return fmt.Errorf("network: Radix must be >= 2, got %d", c.Radix)
 	}
-	if c.Procs < c.Radix || !isPowerOf(c.Procs, c.Radix) {
-		panic(fmt.Sprintf("network: Procs must be a power of Radix %d ≥ %d, got %d",
-			c.Radix, c.Radix, c.Procs))
+	spec := engine.Spec{
+		Engine:      "network",
+		Procs:       c.Procs,
+		PowerOf:     c.Radix,
+		Banks:       1,
+		Workers:     c.Workers,
+		Service:     c.MemService,
+		TraceSerial: c.Trace != nil && c.Workers > 1,
+	}
+	if c.Topology != nil {
+		spec.Topology = c.Topology
+		spec.TopologySize = c.Topology.Procs()
+		spec.TopologyField = "processor count"
+	}
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	if c.Topology != nil && c.Radix != c.Topology.Radix() {
+		return fmt.Errorf("network: Radix %d disagrees with the topology's radix (%d)",
+			c.Radix, c.Topology.Radix())
 	}
 	if c.QueueCap == 0 {
 		c.QueueCap = 4
@@ -104,23 +147,13 @@ func (c *Config) fill() {
 	if c.WatchdogCycles == 0 {
 		c.WatchdogCycles = DefaultWatchdogCycles
 	}
+	return nil
 }
 
 // DefaultWatchdogCycles is the default no-progress limit: far above the
 // fault plans' capped retransmit backoff (RetryCap defaults to 512 cycles),
 // so only a genuine livelock or deadlock can trip it.
 const DefaultWatchdogCycles = 10000
-
-// isPowerOf reports whether n is a positive power of k.
-func isPowerOf(n, k int) bool {
-	for n > 1 {
-		if n%k != 0 {
-			return false
-		}
-		n /= k
-	}
-	return n == 1
-}
 
 // Stats aggregates one simulation run.
 type Stats struct {
@@ -234,9 +267,10 @@ type Injector interface {
 // reverse Omega network, and the memory modules.
 type Sim struct {
 	cfg    Config
-	n      int // processors
-	k      int // stages
-	radix  int // switch degree
+	topo   engine.Staged // the wiring; all routing arithmetic lives here
+	n      int           // processors
+	k      int           // stages
+	radix  int           // switch degree
 	stages [][]*switchNode
 	mem    *memory.Array
 	inj    []Injector
@@ -283,20 +317,27 @@ type Sim struct {
 	bar      *par.Barrier
 	shards   []netShard
 	delivBuf [][]delivery
+	// Conflict-group partitions per stage, derived from the wiring at
+	// construction (nil when serial); see engine.FwdGroups/RevGroups.
+	fwdGroups [][][]int
+	revGroups [][][]int
 }
 
 // NewSim builds a machine; injectors must supply exactly cfg.Procs entries.
 func NewSim(cfg Config, inj []Injector) *Sim {
-	cfg.fill()
+	if err := cfg.normalize(); err != nil {
+		panic(err)
+	}
 	if len(inj) != cfg.Procs {
-		panic(fmt.Sprintf("network: %d injectors for %d processors", len(inj), cfg.Procs))
+		panic(fmt.Sprintf("network: got %d injectors for %d processors", len(inj), cfg.Procs))
+	}
+	topo := cfg.Topology
+	if topo == nil {
+		topo = engine.OmegaOf(cfg.Procs, cfg.Radix)
 	}
 	n := cfg.Procs
 	radix := cfg.Radix
-	k := 0
-	for v := 1; v < n; v *= radix {
-		k++
-	}
+	k := topo.Stages()
 	pol := core.Policy{AllowReversal: cfg.AllowReversal}
 	stages := make([][]*switchNode, k)
 	for s := range stages {
@@ -318,6 +359,7 @@ func NewSim(cfg Config, inj []Injector) *Sim {
 	}
 	s := &Sim{
 		cfg:     cfg,
+		topo:    topo,
 		n:       n,
 		k:       k,
 		radix:   radix,
@@ -345,11 +387,21 @@ func NewSim(cfg Config, inj []Injector) *Sim {
 			}
 		}
 	}
-	if cfg.Workers > 1 && cfg.Trace == nil {
+	// Validation rejected Workers > 1 with tracing on, so reaching here
+	// with a pool means the serial fallback can no longer happen silently.
+	if cfg.Workers > 1 {
 		s.pool = par.NewPool(cfg.Workers)
 		s.bar = par.NewBarrier(s.pool.Workers())
 		s.shards = make([]netShard, s.pool.Workers())
 		s.delivBuf = make([][]delivery, n/radix)
+		s.fwdGroups = make([][][]int, k)
+		s.revGroups = make([][][]int, k)
+		for st := 0; st+1 < k; st++ {
+			s.fwdGroups[st] = engine.FwdGroups(topo, st)
+		}
+		for st := 1; st < k; st++ {
+			s.revGroups[st] = engine.RevGroups(topo, st)
+		}
 	}
 	return s
 }
@@ -360,26 +412,13 @@ func (s *Sim) Memory() *memory.Array { return s.mem }
 // Cycle returns the current cycle number.
 func (s *Sim) Cycle() int64 { return s.cycle }
 
-// shuffle is the perfect k-shuffle on n lines: rotate the base-radix line
-// index left by one digit.
-func (s *Sim) shuffle(line int) int {
-	return (line*s.radix)%s.n + line*s.radix/s.n
-}
+// Topology exposes the wiring the machine was built with.
+func (s *Sim) Topology() engine.Staged { return s.topo }
 
-// unshuffle is the inverse permutation (rotate right one digit).
-func (s *Sim) unshuffle(line int) int {
-	return line/s.radix + (line%s.radix)*(s.n/s.radix)
-}
-
-// outPortFor selects the switch output port at a stage by destination-tag
-// routing: stage s examines base-radix digit k−1−s of the destination
-// module.
+// outPortFor selects the switch output port at a stage by the topology's
+// destination-tag routing rule.
 func (s *Sim) outPortFor(stage int, dst int) int {
-	d := dst
-	for i := 0; i < s.k-1-stage; i++ {
-		d /= s.radix
-	}
-	return d % s.radix
+	return s.topo.OutPort(stage, dst)
 }
 
 // destModule is the home module of an address.
@@ -560,7 +599,7 @@ func (s *Sim) revSwitch0(idx int, st *Stats, sink *[]delivery) {
 		}
 		st.RevHops++
 		st.RevSlots += int64(r.slots)
-		proc := s.unshuffle(inLine)
+		proc := s.topo.LineProc(inLine)
 		if sink != nil {
 			*sink = append(*sink, delivery{proc: proc, r: r})
 			continue
@@ -587,7 +626,7 @@ func (s *Sim) revSwitch(stage, idx int, st *Stats) {
 			continue
 		}
 		inLine := sw.index*s.radix + port
-		prevLine := s.unshuffle(inLine)
+		prevLine := s.topo.PrevLine(stage, inLine)
 		prev := s.stages[stage-1][prevLine/s.radix]
 		if !prev.canAcceptReply() {
 			// Downstream reverse credits exhausted: hold the reply here.
@@ -742,7 +781,7 @@ func (s *Sim) fwdSwitch(stage, idx int, st *Stats) {
 			s.mem.Module(outLine).Enqueue(m.req)
 			continue
 		}
-		nextLine := s.shuffle(outLine)
+		nextLine := s.topo.NextLine(stage, outLine)
 		next := s.stages[stage+1][nextLine/s.radix]
 		if s.flt != nil && s.flt.DropForward(
 			faults.Site(stage+1, nextLine/s.radix, nextLine%s.radix), m.req.ID, m.req.Attempt) {
@@ -770,7 +809,7 @@ func (s *Sim) injectAll() {
 			// there (HeldBack) may be waiting on exactly the delivery
 			// this retransmit recovers.
 			m := s.retry[proc][0]
-			line := s.shuffle(proc)
+			line := s.topo.ProcLine(proc)
 			if s.flt.DropForward(faults.Site(0, line/s.radix, line%s.radix), m.req.ID, m.req.Attempt) {
 				s.retry[proc] = s.retry[proc][1:]
 				continue
@@ -813,7 +852,7 @@ func (s *Sim) injectAll() {
 			// processor's own accesses to the location.
 			continue
 		}
-		line := s.shuffle(proc)
+		line := s.topo.ProcLine(proc)
 		if s.flt != nil && s.flt.DropForward(
 			faults.Site(0, line/s.radix, line%s.radix), m.req.ID, m.req.Attempt) {
 			s.pending[proc] = nil // lost on the processor-to-stage-0 link
@@ -851,26 +890,27 @@ func (s *Sim) Snapshot() stats.Snapshot {
 	st := s.Stats()
 	snap := stats.Snapshot{
 		Engine: "network",
-		Counters: map[string]int64{
-			"cycles":            st.Cycles,
-			"issued":            st.Issued,
-			"completed":         st.Completed,
-			"hot_completed":     st.HotCompleted,
-			"cold_completed":    st.ColdCompleted,
-			"combines":          st.Combines,
-			"combine_rejects":   st.Rejects,
-			"fwd_hops":          st.FwdHops,
-			"rev_hops":          st.RevHops,
-			"fwd_slots":         st.FwdSlots,
-			"rev_slots":         st.RevSlots,
-			"mem_requests":      st.MemRequests,
-			"mem_acks":          st.MemAcks,
-			"saturation_cycles": st.SaturationCycles,
-			"holds_rev":         st.HoldsRev,
-			"holds_mem":         st.HoldsMem,
-			"holds_mem_out":     st.HoldsMemOut,
-			"watchdog_trips":    st.WatchdogTrips,
-		},
+		Counters: engine.Counters{
+			Cycles:           st.Cycles,
+			Issued:           st.Issued,
+			Completed:        st.Completed,
+			HotCompleted:     st.HotCompleted,
+			ColdCompleted:    st.ColdCompleted,
+			Replies:          st.Completed,
+			Combines:         st.Combines,
+			CombineRejects:   st.Rejects,
+			FwdHops:          st.FwdHops,
+			RevHops:          st.RevHops,
+			FwdSlots:         st.FwdSlots,
+			RevSlots:         st.RevSlots,
+			MemRequests:      st.MemRequests,
+			MemAcks:          st.MemAcks,
+			SaturationCycles: st.SaturationCycles,
+			HoldsRev:         st.HoldsRev,
+			HoldsMem:         st.HoldsMem,
+			HoldsMemOut:      st.HoldsMemOut,
+			WatchdogTrips:    st.WatchdogTrips,
+		}.Map(),
 		Gauges: map[string]int64{
 			"max_out_queue":         int64(st.MaxOutQueue),
 			"max_rev_queue":         int64(st.MaxRevQueue),

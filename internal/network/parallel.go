@@ -1,32 +1,36 @@
 package network
 
-// Parallel stepper for the omega engine (Config.Workers > 1): each cycle's
+// Parallel stepper for the staged engine (Config.Workers > 1): each cycle's
 // switch/module sweeps run as barrier-separated phases on an internal/par
 // pool, with the work of every phase partitioned into conflict groups —
 // sets of switches (or modules) that touch overlapping machine state.
 // Groups are spread across workers; within a group the owning worker
 // replays the exact serial rotation order, so the machine state after each
 // phase is identical to the single-threaded stepper.  The group shapes per
-// phase (derivations in DESIGN.md §6):
+// phase:
 //
 //   reverse stage 0     each switch alone (delivers only to processors;
 //                       deliveries buffer per rotation slot and commit
 //                       serially, because injectors are single-goroutine)
-//   reverse stage ≥ 1   radix contiguous switches sharing idx/radix — the
-//                       previous-stage switch of (idx, port) is
-//                       idx/radix + port·(n/radix²)
+//   reverse stage ≥ 1   switches sharing a previous-stage switch —
+//                       engine.RevGroups, derived from the wiring at
+//                       construction (for omega, the radix contiguous
+//                       switches DESIGN.md §6 derives analytically)
 //   memory tick         radix modules behind one last-stage switch
+//                       (wiring-independent: output line L is module L)
 //   forward stage k−1   each switch alone (owns its radix modules and
 //                       their metadata shards)
-//   forward stage < k−1 radix switches congruent mod n/radix² — the
-//                       next-stage switch of (idx, port) is
-//                       (idx mod n/radix²)·radix + port
+//   forward stage < k−1 switches sharing a next-stage switch —
+//                       engine.FwdGroups (for omega, the radix switches
+//                       congruent mod n/radix²)
 //
 // Mutable state a phase shares across groups is commutative: stats go to
 // per-worker shards merged (sum / max) after the phases, and the fault
 // injector's counters are atomic with purely hash-derived decisions.
 
 import (
+	"sort"
+
 	"combining/internal/par"
 )
 
@@ -80,10 +84,10 @@ func (s *Sim) runPhases() {
 		// barrier between stages keeps stage s+1's credit checks from
 		// observing stage s mid-sweep.
 		for stage := 1; stage < s.k; stage++ {
-			ng := len(s.stages[stage]) / s.radix
-			glo, ghi := par.Split(ng, workers, w)
+			groups := s.revGroups[stage]
+			glo, ghi := par.Split(len(groups), workers, w)
 			for g := glo; g < ghi; g++ {
-				s.revGroup(stage, g, rot, &sh.st)
+				s.runRevGroup(stage, groups[g], rot, &sh.st)
 			}
 			s.bar.Sync()
 		}
@@ -112,11 +116,10 @@ func (s *Sim) runPhases() {
 
 		// Forward, stages k−2 … 0, in descending stage order as in serial.
 		for stage := s.k - 2; stage >= 0; stage-- {
-			ns := len(s.stages[stage])
-			stride := ns / s.radix
-			glo, ghi := par.Split(stride, workers, w)
-			for rem := glo; rem < ghi; rem++ {
-				s.fwdGroup(stage, rem, rot, &sh.st)
+			groups := s.fwdGroups[stage]
+			glo, ghi := par.Split(len(groups), workers, w)
+			for g := glo; g < ghi; g++ {
+				s.runFwdGroup(stage, groups[g], rot, &sh.st)
 			}
 			if stage > 0 {
 				s.bar.Sync()
@@ -126,40 +129,31 @@ func (s *Sim) runPhases() {
 	s.mergeShards()
 }
 
-// revGroup processes one reverse conflict group of a stage ≥ 1: the radix
-// contiguous switches [g·radix, (g+1)·radix), which share idx/radix and
-// therefore the same previous-stage switch set, in the serial rotation
-// order.
-func (s *Sim) revGroup(stage, g, rot int, st *Stats) {
+// runRevGroup processes one reverse conflict group of a stage ≥ 1 in the
+// serial rotation order: switch idx sits at rotation slot (idx−rot) mod ns,
+// so with ascending members the serial order is members ≥ rot mod ns first
+// (they have the smaller slots), then the wrapped prefix.
+func (s *Sim) runRevGroup(stage int, members []int, rot int, st *Stats) {
 	ns := len(s.stages[stage])
-	base := g * s.radix
-	// Member j sits at rotation slot (base+j−rot) mod ns.  Members whose
-	// unwrapped slot si0+j reaches ns wrap to the front of the serial
-	// sweep, so the in-group serial order starts at the first wrapped
-	// member jw and cycles: j = (jw+c) mod radix.
-	si0 := ((base-rot)%ns + ns) % ns
-	jw := ns - si0
-	if jw >= s.radix {
-		jw = 0 // no member wraps: ascending j is the serial order
+	split := sort.SearchInts(members, ((rot%ns)+ns)%ns)
+	for _, idx := range members[split:] {
+		s.revSwitch(stage, idx, st)
 	}
-	for c := 0; c < s.radix; c++ {
-		s.revSwitch(stage, base+(jw+c)%s.radix, st)
+	for _, idx := range members[:split] {
+		s.revSwitch(stage, idx, st)
 	}
 }
 
-// fwdGroup processes one forward conflict group of a stage < k−1: the radix
-// switches congruent to rem mod ns/radix, which share the same next-stage
-// switch set, in the serial rotation order.
-func (s *Sim) fwdGroup(stage, rem, rot int, st *Stats) {
+// runFwdGroup processes one forward conflict group of a stage < k−1 in the
+// serial rotation order (same slot arithmetic as runRevGroup).
+func (s *Sim) runFwdGroup(stage int, members []int, rot int, st *Stats) {
 	ns := len(s.stages[stage])
-	stride := ns / s.radix
-	// Member t (switch rem + t·stride) sits at rotation slot
-	// (si0 + t·stride) mod ns; qw is the first member to wrap past ns and
-	// the serial sweep meets wrapped members first: t = (qw+c) mod radix.
-	si0 := ((rem-rot)%ns + ns) % ns
-	qw := (ns - si0 + stride - 1) / stride
-	for c := 0; c < s.radix; c++ {
-		s.fwdSwitch(stage, rem+((qw+c)%s.radix)*stride, st)
+	split := sort.SearchInts(members, ((rot%ns)+ns)%ns)
+	for _, idx := range members[split:] {
+		s.fwdSwitch(stage, idx, st)
+	}
+	for _, idx := range members[:split] {
+		s.fwdSwitch(stage, idx, st)
 	}
 }
 

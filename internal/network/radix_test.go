@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"combining/internal/core"
+	"combining/internal/engine"
 	"combining/internal/rmw"
 	"combining/internal/word"
 )
@@ -49,7 +50,7 @@ func TestRadixRoutingAllPairs(t *testing.T) {
 func TestRadixFAASerialization(t *testing.T) {
 	for _, radix := range []int{4, 8} {
 		const n = 16
-		if !isPowerOf(n, radix) && radix != 4 {
+		if !engine.IsPowerOf(n, radix) && radix != 4 {
 			continue
 		}
 		nn := n
