@@ -5,14 +5,16 @@
 all: vet test
 
 # check is the CI gate: build everything, vet, lint (when staticcheck is
-# on PATH; CI installs it, local runs skip it silently otherwise), and run
-# the full test suite under the race detector.
+# on PATH; CI installs it, local runs skip it silently otherwise), run
+# the full test suite under the race detector, then the crash–restart
+# soak (checkpointed recovery on every wiring, crash-only and crash+drop).
 check:
 	go build ./...
 	go vet ./...
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
 	else echo "staticcheck not installed; skipping (CI runs it)"; fi
 	go test -race ./...
+	go run -race ./cmd/check -quick -crash
 
 test:
 	go test ./...
@@ -36,7 +38,7 @@ experiments:
 	go run ./cmd/experiments
 
 soak:
-	go run ./cmd/check -rounds 200 -faults -overload -parallel
+	go run ./cmd/check -rounds 200 -faults -overload -parallel -crash
 
 # parbench runs the parallel-stepper microbenchmark (E15 curve; the full
 # sweep also lands in BENCH_combining.json under parallel_speedup).

@@ -25,8 +25,18 @@
 // byte-identical stats snapshot and identical per-processor reply
 // sequences (DESIGN.md §6), clean and under fault plans.
 //
+// With -crash it runs the crash–restart soak (experiment E16): every
+// cycle-engine wiring executes randomized programs while whole components
+// die and come back — a switch flushing its queues, a memory module
+// rolling back to its last checkpoint, a link going dark for a burst —
+// first under crash windows alone, then under crashes combined with
+// message drops.  Acceptance is exactly-once completion (issued ==
+// completed, every crash-flushed operation replayed), per-location
+// serializability, and the crash machinery demonstrably engaging
+// (nonzero crashes/restores/checkpoints across the soak).
+//
 // Usage: check [-rounds 50] [-procs 16] [-ops 20] [-addrs 4] [-seed 1]
-// [-quick] [-faults] [-overload] [-parallel] [-v]
+// [-quick] [-faults] [-overload] [-parallel] [-crash] [-v]
 package main
 
 import (
@@ -52,6 +62,7 @@ func main() {
 		doFaults = flag.Bool("faults", false, "also soak all four engines under fault plans")
 		overload = flag.Bool("overload", false, "deadlock-freedom soak: every queue at capacity 1 on all four engines")
 		parallel = flag.Bool("parallel", false, "determinism soak: cycle engines at Workers = 1, 2, 4 must match byte-for-byte")
+		doCrash  = flag.Bool("crash", false, "crash–restart soak: checkpointed recovery on every wiring, crash-only and crash+drop")
 		verbose  = flag.Bool("v", false, "log every execution")
 	)
 	flag.Parse()
@@ -87,6 +98,11 @@ func main() {
 		pc, pf := parallelSoak(*rounds, *procs, *ops, *addrs, *seed, *verbose)
 		checked += pc
 		failed += pf
+	}
+	if *doCrash {
+		cc, cf := crashSoak(*rounds, *procs, *ops, *addrs, *seed, *verbose)
+		checked += cc
+		failed += cf
 	}
 	fmt.Printf("\n%d executions checked, %d failures\n", checked, failed)
 	if failed > 0 {
@@ -468,6 +484,122 @@ func asyncOverloadRound(procs, opsPerPort int, plan *combining.FaultPlan) error 
 		}
 	}
 	return nil
+}
+
+// crashSoak runs randomized programs on every cycle-engine wiring under
+// crash–restart plans — crash windows alone, then crashes combined with the
+// message-drop plan — and verifies exactly-once recovery: the run completes,
+// per-location serializability holds against final memory, issued equals
+// completed, and every operation a crash flushed was replayed.  Crash and
+// restore counts are aggregated per engine/mode; a soak in which no
+// component ever died is a vacuous pass and fails.
+func crashSoak(rounds, procs, ops, addrs int, seed uint64, verbose bool) (checked, failed int) {
+	engines := []struct {
+		name  string
+		build func(plan *combining.FaultPlan, inj []combining.Injector) faultEngine
+	}{
+		{"network", func(p *combining.FaultPlan, inj []combining.Injector) faultEngine {
+			return combining.NewSim(combining.NetConfig{Procs: procs, WaitBufCap: 64, Faults: p}, inj)
+		}},
+		{"fattree", func(p *combining.FaultPlan, inj []combining.Injector) faultEngine {
+			return combining.NewSim(combining.NetConfig{
+				Topology: combining.FatTreeTopology(procs, 2), WaitBufCap: 64, Faults: p}, inj)
+		}},
+		{"busnet", func(p *combining.FaultPlan, inj []combining.Injector) faultEngine {
+			return combining.NewBusSim(combining.BusConfig{Procs: procs, Banks: 4, WaitBufCap: 64, Faults: p}, inj)
+		}},
+		{"hypercube", func(p *combining.FaultPlan, inj []combining.Injector) faultEngine {
+			return combining.NewCubeSim(combining.CubeConfig{Nodes: procs, WaitBufCap: 64, Faults: p}, inj)
+		}},
+		{"torus", func(p *combining.FaultPlan, inj []combining.Injector) faultEngine {
+			return combining.NewCubeSim(combining.CubeConfig{
+				Topology: combining.SquareTorusTopology(procs), WaitBufCap: 64, Faults: p}, inj)
+		}},
+	}
+	modes := []struct {
+		name string
+		plan func(uint64) *combining.FaultPlan
+	}{
+		{"crash", func(s uint64) *combining.FaultPlan { return combining.DefaultCrashPlan(s) }},
+		{"crash+drop", func(s uint64) *combining.FaultPlan {
+			p := combining.DefaultFaultPlan(s)
+			c := combining.DefaultCrashPlan(s)
+			p.Crashes, p.MemCrashes, p.LinkCrashes = c.Crashes, c.MemCrashes, c.LinkCrashes
+			p.CheckpointEvery = c.CheckpointEvery
+			return p
+		}},
+	}
+	for _, e := range engines {
+		for _, mode := range modes {
+			name := e.name + "/" + mode.name
+			var crashesTotal, restoresTotal, checkpointsTotal int64
+			for r := 0; r < rounds; r++ {
+				eff := seed + uint64(r)
+				rng := rand.New(rand.NewPCG(eff, 1234))
+				progs := randomPrograms(rng, procs, ops, addrs)
+				// Hold each program's last operation until past the default
+				// plan's final crash window, so a short run can't finish
+				// before a single component has died.
+				for p := range progs {
+					progs[p][len(progs[p])-1].MinCycle = 1000
+				}
+				m, inj := combining.NewMachineInjectors(progs)
+				eng := e.build(mode.plan(eff), inj)
+				m.BindEngine(eng)
+				if !m.Run(10_000_000) {
+					fmt.Printf("FAIL %s seed %d: programs did not complete, %d in flight (replay: -seed %d -rounds 1 -crash)\n",
+						name, eff, eng.InFlight(), eff)
+					failed++
+					continue
+				}
+				final := map[combining.Addr]combining.Word{}
+				for a := 0; a < addrs; a++ {
+					final[combining.Addr(a)] = eng.Memory().Peek(combining.Addr(a))
+				}
+				checked++
+				snap := eng.Snapshot()
+				crashesTotal += snap.Counters["crashes"]
+				restoresTotal += snap.Counters["restores"]
+				checkpointsTotal += snap.Counters["checkpoints"]
+				if err := combining.CheckM2WithFinal(m.History(), nil, final); err != nil {
+					fmt.Printf("FAIL %s seed %d: %v (replay: -seed %d -rounds 1 -crash)\n", name, eff, err, eff)
+					failed++
+					continue
+				}
+				if snap.Counters["issued"] != snap.Counters["completed"] {
+					fmt.Printf("FAIL %s seed %d: issued %d != completed %d (replay: -seed %d -rounds 1 -crash)\n",
+						name, eff, snap.Counters["issued"], snap.Counters["completed"], eff)
+					failed++
+					continue
+				}
+				if snap.Counters["replayed_requests"] != snap.Counters["lost_in_flight"] {
+					fmt.Printf("FAIL %s seed %d: %d lost in flight but %d replayed (replay: -seed %d -rounds 1 -crash)\n",
+						name, eff, snap.Counters["lost_in_flight"], snap.Counters["replayed_requests"], eff)
+					failed++
+					continue
+				}
+				if n := eng.InFlight(); n != 0 {
+					fmt.Printf("FAIL %s seed %d: %d requests never delivered (replay: -seed %d -rounds 1 -crash)\n",
+						name, eff, n, eff)
+					failed++
+					continue
+				}
+				if verbose {
+					fmt.Printf("ok   %s seed %d: %d crashes, %d restores, %d checkpoints, %d replayed\n",
+						name, eff, snap.Counters["crashes"], snap.Counters["restores"],
+						snap.Counters["checkpoints"], snap.Counters["replayed_requests"])
+				}
+			}
+			if crashesTotal == 0 || restoresTotal == 0 || checkpointsTotal == 0 {
+				fmt.Printf("FAIL %s: crash machinery never engaged across %d rounds (crashes %d, restores %d, checkpoints %d)\n",
+					name, rounds, crashesTotal, restoresTotal, checkpointsTotal)
+				failed++
+			}
+			fmt.Printf("%-22s %d executions verified (%d crashes, %d restores)\n",
+				name, rounds, crashesTotal, restoresTotal)
+		}
+	}
+	return checked, failed
 }
 
 // parallelSoak verifies the determinism contract of the sharded cycle

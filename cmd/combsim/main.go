@@ -6,12 +6,19 @@
 //	combsim [-n 64] [-rate 0.6] [-cycles 4000] [-window 4] [-seed 1]
 //	        [-h 0,0.0625,0.125,0.25] [-queue 4] [-revqueue 0] [-memqueue 0]
 //	        [-adaptive] [-csv] [-topology omega|fattree|hypercube|torus|bus]
-//	        [-drop 0.01] [-workers 1]
+//	        [-drop 0.01] [-crash 0] [-crashseed 0] [-workers 1]
 //
 // With -drop > 0 the sweep runs under a deterministic fault plan (that
 // drop probability per forward and reply hop, seeded by -seed) and the
 // engine's retransmit/dedup recovery layer — the E13 degradation curve
 // at the command line.
+//
+// With -crash > 0 the plan additionally schedules that many seeded
+// crash–restart windows of each kind (switch, memory module, link) across
+// the run, arming deterministic checkpoints and the crash-recovery layer
+// (experiment E16).  -crashseed seeds the crash schedule independently of
+// the workload (0 reuses -seed), so the same traffic can be replayed under
+// different crash timings.
 //
 // -revqueue and -memqueue bound the reverse and memory-side queues (0
 // takes the engine default, negative is unbounded; on the bus topology
@@ -44,20 +51,22 @@ import (
 
 func main() {
 	var (
-		n        = flag.Int("n", 64, "processors (power of two)")
-		rate     = flag.Float64("rate", 0.6, "per-cycle issue probability")
-		cycles   = flag.Int("cycles", 4000, "cycles per point")
-		window   = flag.Int("window", 4, "outstanding requests per processor")
-		seed     = flag.Uint64("seed", 1, "workload seed")
-		hList    = flag.String("h", "0,0.0625,0.125,0.25", "comma-separated hot fractions")
-		queue    = flag.Int("queue", 4, "switch output queue capacity")
-		revQueue = flag.Int("revqueue", 0, "reverse queue capacity (0 = engine default, negative = unbounded)")
-		memQueue = flag.Int("memqueue", 0, "memory-side queue capacity (0 = engine default, negative = unbounded; bank queue on -topology bus)")
-		adaptive = flag.Bool("adaptive", false, "AIMD admission control instead of a fixed window (-window is the initial window)")
-		csv      = flag.Bool("csv", false, "emit CSV instead of a table")
-		topo     = flag.String("topology", "omega", "omega, fattree, hypercube, torus, or bus")
-		drop     = flag.Float64("drop", 0, "per-hop drop probability (arms the fault/recovery layer)")
-		workers  = flag.Int("workers", 1, "goroutines sharding each cycle's engine work (0/1 = serial)")
+		n         = flag.Int("n", 64, "processors (power of two)")
+		rate      = flag.Float64("rate", 0.6, "per-cycle issue probability")
+		cycles    = flag.Int("cycles", 4000, "cycles per point")
+		window    = flag.Int("window", 4, "outstanding requests per processor")
+		seed      = flag.Uint64("seed", 1, "workload seed")
+		hList     = flag.String("h", "0,0.0625,0.125,0.25", "comma-separated hot fractions")
+		queue     = flag.Int("queue", 4, "switch output queue capacity")
+		revQueue  = flag.Int("revqueue", 0, "reverse queue capacity (0 = engine default, negative = unbounded)")
+		memQueue  = flag.Int("memqueue", 0, "memory-side queue capacity (0 = engine default, negative = unbounded; bank queue on -topology bus)")
+		adaptive  = flag.Bool("adaptive", false, "AIMD admission control instead of a fixed window (-window is the initial window)")
+		csv       = flag.Bool("csv", false, "emit CSV instead of a table")
+		topo      = flag.String("topology", "omega", "omega, fattree, hypercube, torus, or bus")
+		drop      = flag.Float64("drop", 0, "per-hop drop probability (arms the fault/recovery layer)")
+		crash     = flag.Int("crash", 0, "crash–restart windows of each kind to schedule (0 = none)")
+		crashseed = flag.Uint64("crashseed", 0, "seed for the crash schedule (0 = reuse -seed)")
+		workers   = flag.Int("workers", 1, "goroutines sharding each cycle's engine work (0/1 = serial)")
 	)
 	flag.Parse()
 
@@ -84,6 +93,12 @@ func main() {
 	}
 	if *workers < 0 {
 		fail("-workers must be ≥ 0 (0/1 = serial), got %d", *workers)
+	}
+	if *crash < 0 {
+		fail("-crash must be ≥ 0 — a count of crash windows, got %d", *crash)
+	}
+	if *crashseed != 0 && *crash == 0 {
+		fail("-crashseed %d without -crash — nothing to schedule", *crashseed)
 	}
 
 	var hs []float64
@@ -119,6 +134,26 @@ func main() {
 		// A long base timeout keeps retransmits about real drops rather
 		// than congestion delay (see the E13 bench).
 		plan = &combining.FaultPlan{Seed: *seed, DropFwd: *drop, DropRev: *drop, RetryTimeout: 512}
+	}
+	if *crash > 0 {
+		cs := *crashseed
+		if cs == 0 {
+			cs = *seed
+		}
+		// Dead time scales with the run so short sweeps still restart
+		// inside the measured window.
+		dead := int64(*cycles / 25)
+		if dead < 20 {
+			dead = 20
+		}
+		gen := combining.GenCrashPlan(cs, *crash, int64(*cycles), dead)
+		if plan == nil {
+			plan = &combining.FaultPlan{Seed: *seed, RetryTimeout: 512}
+		}
+		plan.Crashes = gen.Crashes
+		plan.MemCrashes = gen.MemCrashes
+		plan.LinkCrashes = gen.LinkCrashes
+		plan.CheckpointEvery = gen.CheckpointEvery
 	}
 	// Config builders per topology: the staged engine runs omega and the
 	// fat-tree, the direct-connection engine the hypercube and the torus —

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -35,6 +36,8 @@ type benchReport struct {
 	Saturation  []saturationPoint  `json:"saturation_curve"`
 	Parallel    []parallelPoint    `json:"parallel_speedup"`
 	Topology    []topologyPoint    `json:"topology_sweep"`
+	Recovery    []recoveryPoint    `json:"recovery_curve"`
+	RMEAcquire  []rmePoint         `json:"rme_acquire_latency"`
 }
 
 // topologyPoint is one cell of the topology sweep: the same hot-spot
@@ -335,6 +338,18 @@ func runBench() {
 		}
 	}
 
+	recN, recCycles := 64, 2*hotCycles
+	rmeN, rmeRounds := 16, 64
+	if *quick {
+		recN, rmeRounds = 16, 16
+	}
+	for _, windows := range []int{0, 1, 2, 4} {
+		rep.Recovery = append(rep.Recovery, benchRecovery(recN, 0.125, windows, recCycles))
+	}
+	for _, windows := range []int{0, 2} {
+		rep.RMEAcquire = append(rep.RMEAcquire, benchRME(rmeN, rmeRounds, windows))
+	}
+
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		panic(err)
@@ -344,8 +359,223 @@ func runBench() {
 		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("bench baseline written to %s (%d hot-spot points, %d permutations, %d async runs, %d degradation points, %d saturation points, %d parallel points, %d topology points)\n",
-		*benchOut, len(rep.Hotspot), len(rep.Permutation), len(rep.AsyncFAA), len(rep.Degradation), len(rep.Saturation), len(rep.Parallel), len(rep.Topology))
+	fmt.Printf("bench baseline written to %s (%d hot-spot points, %d permutations, %d async runs, %d degradation points, %d saturation points, %d parallel points, %d topology points, %d recovery points, %d RME points)\n",
+		*benchOut, len(rep.Hotspot), len(rep.Permutation), len(rep.AsyncFAA), len(rep.Degradation), len(rep.Saturation), len(rep.Parallel), len(rep.Topology), len(rep.Recovery), len(rep.RMEAcquire))
+}
+
+// recoveryPoint is one cell of the E16 recovery curve: hot-spot traffic with
+// combining under a generated crash–restart schedule, sweeping the number of
+// crash windows per kind (0 = clean baseline).  Throughput and tail latency
+// show what checkpointed crash recovery costs as components die more often;
+// the replay ledger shows the exactly-once machinery at work.
+type recoveryPoint struct {
+	Procs        int     `json:"procs"`
+	HotFraction  float64 `json:"hot_fraction"`
+	CrashWindows int     `json:"crash_windows_per_kind"`
+	Cycles       int     `json:"cycles"`
+	Bandwidth    float64 `json:"bandwidth_ops_per_cycle"`
+	MeanLatency  float64 `json:"mean_latency_cycles"`
+	P99Latency   float64 `json:"p99_latency_cycles"`
+	Crashes      int64   `json:"crashes"`
+	Restores     int64   `json:"restores"`
+	Checkpoints  int64   `json:"checkpoints"`
+	LostInFlight int64   `json:"lost_in_flight"`
+	Replayed     int64   `json:"replayed_requests"`
+	HostCPUs     int     `json:"host_cpus"`
+
+	Snapshot combining.StatsSnapshot `json:"snapshot"`
+}
+
+// benchRecovery runs one recovery-curve cell: benchHotspot's workload under
+// a GenCrashPlan schedule of the given intensity (0 windows = no plan, the
+// clean baseline).
+func benchRecovery(n int, h float64, windows, cycles int) recoveryPoint {
+	var plan *combining.FaultPlan
+	if windows > 0 {
+		dead := int64(cycles / 25)
+		if dead < 20 {
+			dead = 20
+		}
+		plan = combining.GenCrashPlan(13, windows, int64(cycles), dead)
+		plan.RetryTimeout = 512
+	}
+	inj := make([]combining.Injector, n)
+	for p := 0; p < n; p++ {
+		inj[p] = combining.NewStochastic(p, n, combining.TrafficConfig{Rate: 0.6, HotFraction: h}, 1)
+	}
+	sim := combining.NewSim(combining.NetConfig{
+		Procs: n, QueueCap: 4, WaitBufCap: combining.Unbounded, Faults: plan}, inj)
+	sim.Run(cycles)
+	st := sim.Stats()
+	snap := sim.Snapshot()
+	return recoveryPoint{
+		Procs:        n,
+		HotFraction:  h,
+		CrashWindows: windows,
+		Cycles:       cycles,
+		Bandwidth:    st.Bandwidth(),
+		MeanLatency:  st.MeanLatency(),
+		P99Latency:   st.Percentile(0.99),
+		Crashes:      snap.Counters["crashes"],
+		Restores:     snap.Counters["restores"],
+		Checkpoints:  snap.Counters["checkpoints"],
+		LostInFlight: snap.Counters["lost_in_flight"],
+		Replayed:     snap.Counters["replayed_requests"],
+		HostCPUs:     runtime.NumCPU(),
+		Snapshot:     snap,
+	}
+}
+
+// rmePoint is recoverable-mutual-exclusion acquire latency, clean versus
+// crashed: every processor loops acquire → critical section → release on
+// one lock through the combining network, and the point reports how long a
+// grant takes from the first attempt of each round (NAK spins and crash
+// recovery included).
+type rmePoint struct {
+	Procs        int     `json:"procs"`
+	Rounds       int     `json:"rounds_per_proc"`
+	CrashWindows int     `json:"crash_windows_per_kind"`
+	RunCycles    int64   `json:"run_cycles"`
+	AcquireMean  float64 `json:"acquire_mean_cycles"`
+	AcquireP99   float64 `json:"acquire_p99_cycles"`
+	AcquireMax   int64   `json:"acquire_max_cycles"`
+	NAKs         int64   `json:"acquire_naks"`
+	HostCPUs     int     `json:"host_cpus"`
+}
+
+// rmeBenchClient is the lock-protocol injector of the RME bench: acquire
+// (spin on NAK), a deliberately split read-modify-write of a shared counter
+// inside the critical section, release.  The engine's tracking and
+// retransmission apply to it like any injector.
+type rmeBenchClient struct {
+	proc   combining.ProcID
+	ids    *combining.IDGen
+	nprocs int
+	rounds int
+
+	phase     int
+	round     int
+	pending   bool
+	pendingID combining.ReqID
+	loaded    int64
+
+	naks      int64
+	trying    bool
+	tryStart  int64
+	latencies []int64
+}
+
+const (
+	rmeLock = combining.Addr(0)
+	rmeCtr  = combining.Addr(1)
+)
+
+func (c *rmeBenchClient) Next(cycle int64) (combining.Injection, bool) {
+	if c.pending || c.round >= c.rounds {
+		return combining.Injection{}, false
+	}
+	var op combining.Mapping
+	addr := rmeLock
+	switch c.phase {
+	case 0:
+		op = combining.RMEAcquire(int64(c.proc) + 1)
+		if !c.trying {
+			c.trying, c.tryStart = true, cycle
+		}
+	case 1:
+		op, addr = combining.Load{}, rmeCtr
+	case 2:
+		op, addr = combining.StoreOf(c.loaded+1), rmeCtr
+	default:
+		op = combining.RMERelease()
+	}
+	id := c.ids.NextPartitioned(c.nprocs)
+	c.pending, c.pendingID = true, id
+	return combining.Injection{Req: combining.NewRequest(id, addr, op, c.proc)}, true
+}
+
+func (c *rmeBenchClient) Deliver(rep combining.Reply, cycle int64) {
+	c.pending = false
+	switch c.phase {
+	case 0:
+		if combining.RMEAcquired(rep.Val) {
+			c.latencies = append(c.latencies, cycle-c.tryStart)
+			c.trying = false
+			c.phase = 1
+		} else {
+			c.naks++
+		}
+	case 1:
+		c.loaded = rep.Val.Val
+		c.phase = 2
+	case 2:
+		c.phase = 3
+	default:
+		c.phase = 0
+		c.round++
+	}
+}
+
+// benchRME runs the lock protocol to completion and distills the acquire
+// latencies.  The final counter is asserted (mutual exclusion would be a
+// correctness bug, not a slow point).
+func benchRME(n, rounds, windows int) rmePoint {
+	var plan *combining.FaultPlan
+	if windows > 0 {
+		plan = combining.GenCrashPlan(13, windows, 4000, 80)
+		plan.RetryTimeout = 512
+	}
+	clients := make([]*rmeBenchClient, n)
+	inj := make([]combining.Injector, n)
+	for i := range clients {
+		clients[i] = &rmeBenchClient{
+			proc: combining.ProcID(i), ids: combining.PartitionIDs(i, n),
+			nprocs: n, rounds: rounds,
+		}
+		inj[i] = clients[i]
+	}
+	sim := combining.NewSim(combining.NetConfig{
+		Procs: n, QueueCap: 4, WaitBufCap: combining.Unbounded, Faults: plan}, inj)
+	done := func() bool {
+		for _, c := range clients {
+			if c.round < c.rounds {
+				return false
+			}
+		}
+		return sim.InFlight() == 0
+	}
+	var ran int64
+	for ; ran < 4_000_000 && !done(); ran++ {
+		sim.Step()
+	}
+	if !done() {
+		panic(fmt.Sprintf("bench: RME protocol incomplete after %d cycles (windows %d)", ran, windows))
+	}
+	if got := sim.Memory().Peek(rmeCtr).Val; got != int64(n*rounds) {
+		panic(fmt.Sprintf("bench: RME counter %d, want %d — mutual exclusion violated", got, n*rounds))
+	}
+	var lat []int64
+	var naks int64
+	for _, c := range clients {
+		lat = append(lat, c.latencies...)
+		naks += c.naks
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	var sum int64
+	for _, l := range lat {
+		sum += l
+	}
+	return rmePoint{
+		Procs:        n,
+		Rounds:       rounds,
+		CrashWindows: windows,
+		RunCycles:    ran,
+		AcquireMean:  float64(sum) / float64(len(lat)),
+		AcquireP99:   float64(lat[len(lat)*99/100]),
+		AcquireMax:   lat[len(lat)-1],
+		NAKs:         naks,
+		HostCPUs:     runtime.NumCPU(),
+	}
 }
 
 // benchHotspot mirrors RunHotspot but keeps the simulator so the point can

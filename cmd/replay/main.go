@@ -3,13 +3,20 @@
 //
 // Usage:
 //
-//	replay -n 16 [-combining] [-queue 4] trace.txt
+//	replay -n 16 [-combining] [-queue 4] [-crash 0] [-crashseed 0] trace.txt
 //	replay -gen -n 16 -ops 200 -h 0.25   (emit a synthetic trace to stdout)
 //
 // Trace format: one request per line, "#" comments:
 //
 //	<cycle> <proc> <addr> <op> [arg]
 //	op ∈ load | store v | swap v | add a | or a | and a | xor a | min a | max a
+//
+// With -crash > 0 the trace replays under a deterministic crash–restart
+// plan: that many seeded crash windows of each kind (switch, memory
+// module, link), periodic checkpoints, and exactly-once recovery of
+// everything a crash flushes.  -crashseed seeds the schedule (0 uses the
+// default schedule for seed 1); the same trace under the same crash seed
+// replays identically.
 package main
 
 import (
@@ -23,15 +30,26 @@ import (
 
 func main() {
 	var (
-		n       = flag.Int("n", 16, "processors (power of two)")
-		comb    = flag.Bool("combining", true, "enable combining")
-		queue   = flag.Int("queue", 4, "switch queue capacity")
-		gen     = flag.Bool("gen", false, "generate a synthetic trace to stdout instead of replaying")
-		genOps  = flag.Int("ops", 200, "requests per processor when generating")
-		genHot  = flag.Float64("h", 0.25, "hot fraction when generating")
-		genSeed = flag.Uint64("seed", 1, "generation seed")
+		n         = flag.Int("n", 16, "processors (power of two)")
+		comb      = flag.Bool("combining", true, "enable combining")
+		queue     = flag.Int("queue", 4, "switch queue capacity")
+		gen       = flag.Bool("gen", false, "generate a synthetic trace to stdout instead of replaying")
+		genOps    = flag.Int("ops", 200, "requests per processor when generating")
+		genHot    = flag.Float64("h", 0.25, "hot fraction when generating")
+		genSeed   = flag.Uint64("seed", 1, "generation seed")
+		crash     = flag.Int("crash", 0, "crash–restart windows of each kind to schedule (0 = none)")
+		crashseed = flag.Uint64("crashseed", 0, "seed for the crash schedule (0 = seed 1)")
 	)
 	flag.Parse()
+
+	if *crash < 0 {
+		fmt.Fprintf(os.Stderr, "replay: -crash must be ≥ 0 — a count of crash windows, got %d\n", *crash)
+		os.Exit(2)
+	}
+	if *crashseed != 0 && *crash == 0 {
+		fmt.Fprintf(os.Stderr, "replay: -crashseed %d without -crash — nothing to schedule\n", *crashseed)
+		os.Exit(2)
+	}
 
 	if *gen {
 		generate(*n, *genOps, *genHot, *genSeed)
@@ -62,7 +80,24 @@ func main() {
 	if *comb {
 		waitCap = combining.Unbounded
 	}
-	sim := combining.NewSim(combining.NetConfig{Procs: *n, QueueCap: *queue, WaitBufCap: waitCap}, inj)
+	var plan *combining.FaultPlan
+	if *crash > 0 {
+		cs := *crashseed
+		if cs == 0 {
+			cs = 1
+		}
+		// Spread the crash windows over the trace's issue span so they
+		// actually overlap live traffic.
+		horizon := int64(2000)
+		for _, e := range entries {
+			if e.Cycle+2000 > horizon {
+				horizon = e.Cycle + 2000
+			}
+		}
+		plan = combining.GenCrashPlan(cs, *crash, horizon, 80)
+		plan.RetryTimeout = 512
+	}
+	sim := combining.NewSim(combining.NetConfig{Procs: *n, QueueCap: *queue, WaitBufCap: waitCap, Faults: plan}, inj)
 	const maxCycles = 10_000_000
 	cycles := 0
 	for ; cycles < maxCycles; cycles++ {
@@ -76,6 +111,12 @@ func main() {
 	fmt.Printf("bandwidth %.3f ops/cycle, mean latency %.1f cycles\n", st.Bandwidth(), st.MeanLatency())
 	fmt.Printf("combines %d, wait-buffer rejects %d, memory accesses %d\n",
 		st.Combines, st.Rejects, st.MemRequests)
+	if *crash > 0 {
+		c := sim.Snapshot().Counters
+		fmt.Printf("crashes %d, restores %d, checkpoints %d, lost in flight %d, replayed %d\n",
+			c["crashes"], c["restores"], c["checkpoints"],
+			c["lost_in_flight"], c["replayed_requests"])
+	}
 	if !allDone(reps) {
 		fmt.Fprintln(os.Stderr, "replay: trace did not complete within the cycle bound")
 		os.Exit(1)

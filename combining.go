@@ -33,6 +33,7 @@ import (
 	"combining/internal/network"
 	"combining/internal/pathexpr"
 	"combining/internal/prefix"
+	"combining/internal/recover"
 	"combining/internal/rmw"
 	"combining/internal/serial"
 	"combining/internal/stats"
@@ -115,6 +116,12 @@ type ProcID = word.ProcID
 // ReqID identifies a request.
 type ReqID = word.ReqID
 
+// IDGen issues request ids; PartitionIDs gives processor i of n its own
+// id stream, disjoint from every other processor's, for custom injectors.
+type IDGen = word.IDGen
+
+var PartitionIDs = word.Partition
+
 // Full/empty tags.
 const (
 	Empty = word.Empty
@@ -185,6 +192,16 @@ var (
 	FELoadIfSetClear    = rmw.FELoadIfSetClear
 	FEStoreIfClear      = rmw.FEStoreIfClear
 	FEStoreIfSet        = rmw.FEStoreIfSet
+
+	// Recoverable mutual exclusion (Section 5.5 full/empty operations as
+	// a crash-survivable lock; internal/rmw/rme.go): acquire spins on
+	// NAK, release clears, inspect recovers the outcome of a lost
+	// acquire reply.  All three are combinable Tables.
+	RMEAcquire  = rmw.RMEAcquire
+	RMERelease  = rmw.RMERelease
+	RMEInspect  = rmw.RMEInspect
+	RMEAcquired = rmw.RMEAcquired
+	RMEHolder   = rmw.RMEHolder
 
 	NewTable     = rmw.NewTable
 	PartialStore = rmw.PartialStore
@@ -406,7 +423,19 @@ var (
 	DefaultFaultPlan = faults.Default
 	// NewFaultInjector builds an injector for a plan.
 	NewFaultInjector = faults.NewInjector
+	// DefaultCrashPlan is the standard crash–restart soak plan for a
+	// seed: one switch crash, one module crash, one link-down burst,
+	// checkpoints every 64 cycles.
+	DefaultCrashPlan = faults.DefaultCrash
+	// GenCrashPlan derives a seeded crash schedule: n crashes of each
+	// kind scattered over [0, horizon) with the given dead time.
+	GenCrashPlan = faults.GenCrashPlan
 )
+
+// RecoveryManager is the per-run crash–restart ledger (internal/recover):
+// checkpoint cadence plus the crash/restore/lost/replayed counters every
+// engine folds into its Snapshot under a crash plan.
+type RecoveryManager = recover.Manager
 
 // ---- Asynchronous combining network (internal/asyncnet) ----
 

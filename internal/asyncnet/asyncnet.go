@@ -435,7 +435,8 @@ func (n *Net) Snapshot() stats.Snapshot {
 	}
 	if n.flt != nil {
 		// The shared fault-counter schema (see faults.AddValues); stall
-		// windows don't exist on this engine, so those keys are
+		// and crash windows are cycle-denominated, so on this clockless
+		// engine those keys (and the checkpoint/crash counters) are
 		// structurally zero, and recovery latency is wall-clock rather
 		// than cycles.
 		faults.AddValues(&snap, faults.Values{

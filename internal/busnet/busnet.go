@@ -23,6 +23,7 @@ import (
 	"combining/internal/memory"
 	"combining/internal/network"
 	"combining/internal/par"
+	"combining/internal/recover"
 	"combining/internal/stats"
 	"combining/internal/word"
 )
@@ -78,6 +79,9 @@ type brec struct {
 	src2   int
 	issue2 int64
 	hot2   bool
+	// reps2 names the second request's leaves so a crash flushing this
+	// record can report exactly which operations lost their reply path.
+	reps2 []core.Leaf
 }
 
 // Stats summarizes a run.
@@ -102,6 +106,10 @@ type Stats struct {
 
 	// WatchdogTrips is 1 if the progress watchdog declared a stall.
 	WatchdogTrips int64
+
+	// Checkpoints counts bank checkpoints committed (crash plans only;
+	// see internal/recover).
+	Checkpoints int64
 }
 
 // MeanLatency is the average round trip in cycles.
@@ -148,6 +156,16 @@ type Sim struct {
 	trk     *faults.Tracker
 	retry   [][]qmsg
 	orphans int64
+
+	// Crash–restart state (crash plans only, nil/false otherwise): rec is
+	// the recovery ledger; busDead and bankDead hold the previous cycle's
+	// crash masks for edge detection.  The bus machine has two fault
+	// domains: the bus + decoupling FIFO (switch site (0, 0) — a crash
+	// flushes the FIFO, the wait buffer and the reply metadata) and each
+	// bank (a crash rolls the module back to its last checkpoint).
+	rec      *recover.Manager
+	busDead  bool
+	bankDead []bool
 
 	// Parallel bank-scan state (Config.Workers > 1, nil otherwise): the
 	// worker pool and the per-bank completion buffer filled in the compute
@@ -213,6 +231,9 @@ func NewSim(cfg Config, inj []network.Injector) *Sim {
 	}
 	if cfg.Faults != nil {
 		memOpts = append(memOpts, memory.WithReplyCache())
+		if cfg.Faults.HasCrashes() {
+			memOpts = append(memOpts, memory.WithCheckpoints())
+		}
 	}
 	s := &Sim{
 		cfg:     cfg,
@@ -228,6 +249,10 @@ func NewSim(cfg Config, inj []network.Injector) *Sim {
 		s.flt = faults.NewInjector(*cfg.Faults)
 		s.trk = faults.NewTracker(s.flt)
 		s.retry = make([][]qmsg, cfg.Procs)
+		if plan := s.flt.Plan(); plan.HasCrashes() {
+			s.rec = recover.New(plan.CheckpointEvery)
+			s.bankDead = make([]bool, cfg.Banks)
+		}
 	}
 	if cfg.Workers > 1 {
 		s.pool = par.NewPool(cfg.Workers)
@@ -246,6 +271,9 @@ func (s *Sim) Tracker() *faults.Tracker { return s.trk }
 // Orphans reports replies that arrived with no request metadata (fault mode
 // only).
 func (s *Sim) Orphans() int64 { return s.orphans }
+
+// Recovery exposes the crash–restart ledger (nil without crash windows).
+func (s *Sim) Recovery() *recover.Manager { return s.rec }
 
 // Memory exposes the banks.
 func (s *Sim) Memory() *memory.Array { return s.mem }
@@ -275,6 +303,7 @@ func (s *Sim) Snapshot() stats.Snapshot {
 			SaturationCycles: s.stats.SaturationCycles,
 			HoldsMem:         s.stats.HOLBlocked,
 			WatchdogTrips:    s.stats.WatchdogTrips,
+			Checkpoints:      s.stats.Checkpoints,
 		}.Map(),
 		Gauges: map[string]int64{
 			"fifo_max":              s.fifoHW.Load(),
@@ -286,7 +315,7 @@ func (s *Sim) Snapshot() stats.Snapshot {
 		},
 	}
 	if s.flt != nil {
-		faults.AddCounters(&snap, s.flt, s.trk, s.mem.TotalDedupHits(), s.orphans)
+		faults.AddCounters(&snap, s.flt, s.trk, s.mem.TotalDedupHits(), s.orphans, s.rec.Counters())
 	}
 	return snap
 }
@@ -356,12 +385,25 @@ func (s *Sim) StallReport() string {
 		banks += s.mem.Module(b).QueueLen()
 	}
 	detail := fmt.Sprintf("fifo=%d wait=%d banks=%d meta=%d", len(s.queue), s.wait.Len(), banks, len(s.meta))
-	return flow.StallReport("busnet", s.wd, s.InFlight(), detail)
+	crashed := ""
+	if s.flt != nil {
+		crashed = s.flt.ActiveCrashes(s.wd.TripCycle())
+	}
+	return flow.StallReport("busnet", s.wd, s.InFlight(), crashed, detail)
 }
 
 func (s *Sim) step() {
 	s.cycle++
 	s.stats.Cycles++
+	s.updateCrashState()
+	if s.rec != nil && s.rec.CheckpointDue(s.cycle) {
+		for b := 0; b < s.cfg.Banks; b++ {
+			if !s.bankDead[b] {
+				s.mem.Module(b).Checkpoint()
+				s.stats.Checkpoints++
+			}
+		}
+	}
 	if s.flt != nil {
 		for _, p := range s.trk.Expired(s.cycle) {
 			s.retry[p.Proc] = append(s.retry[p.Proc],
@@ -396,16 +438,22 @@ func (s *Sim) step() {
 	if s.flt != nil && s.flt.Stalled(0, 0, s.cycle) {
 		return // blackout: the bus and decoupling FIFO freeze
 	}
+	if s.busDead {
+		return // crashed bus/FIFO: nothing moves until the restart
+	}
 
 	// Dispatch the FIFO head when its bank has input-queue room (with the
 	// default BankQueueCap of 1: when the bank is idle).
 	if len(s.queue) > 0 {
 		head := s.queue[0]
 		bank := s.mem.HomeOf(head.req.Addr)
-		if s.mem.Module(bank).CanEnqueue() {
+		if s.bankDead != nil && s.bankDead[bank] {
+			s.stats.HOLBlocked++ // dead bank: the head holds, like a busy one
+		} else if s.mem.Module(bank).CanEnqueue() {
 			copy(s.queue, s.queue[1:])
 			s.queue = s.queue[:len(s.queue)-1]
-			if s.flt != nil && s.flt.DropForward(faults.Site(1, bank, 0), head.req.ID, head.req.Attempt) {
+			if s.flt != nil && (s.flt.DropForward(faults.Site(1, bank, 0), head.req.ID, head.req.Attempt) ||
+				s.flt.DropLinkFwd(1, bank, s.cycle)) {
 				// Request lost on the FIFO-to-bank link.
 			} else {
 				s.meta[head.req.ID] = head
@@ -425,7 +473,8 @@ func (s *Sim) step() {
 			// pending slot (a held fresh request may be waiting on
 			// exactly the delivery this retransmit recovers).
 			m := s.retry[p][0]
-			if s.flt.DropForward(faults.Site(0, 0, p), m.req.ID, m.req.Attempt) {
+			if s.flt.DropForward(faults.Site(0, 0, p), m.req.ID, m.req.Attempt) ||
+				s.flt.DropLinkFwd(0, 0, s.cycle) {
 				s.retry[p] = s.retry[p][1:]
 				break // the lost transfer still consumed the bus cycle
 			}
@@ -454,7 +503,8 @@ func (s *Sim) step() {
 		if s.trk != nil && m.req.Attempt == 0 && s.trk.HeldBack(p, m.req.Addr) {
 			continue // hold: earlier same-address request undelivered
 		}
-		if s.flt != nil && s.flt.DropForward(faults.Site(0, 0, p), m.req.ID, m.req.Attempt) {
+		if s.flt != nil && (s.flt.DropForward(faults.Site(0, 0, p), m.req.ID, m.req.Attempt) ||
+			s.flt.DropLinkFwd(0, 0, s.cycle)) {
 			s.pending[p] = nil
 			break // lost on the bus; the transfer consumed the cycle
 		}
@@ -465,11 +515,76 @@ func (s *Sim) step() {
 	}
 }
 
+// updateCrashState advances the crash masks one cycle, with edge detection:
+// a rising edge flushes the component (its queued work is lost and reported
+// to the recovery ledger), a falling edge is the restart.  It runs serially
+// at the top of every cycle so the masks are stable before any sweep reads
+// them, keeping parallel runs byte-identical.
+func (s *Sim) updateCrashState() {
+	if s.rec == nil {
+		return
+	}
+	busNow := s.flt.SwitchCrashed(0, 0, s.cycle)
+	switch {
+	case busNow && !s.busDead:
+		s.rec.NoteCrash()
+		s.rec.NoteLost(s.trk, s.crashBus())
+	case !busNow && s.busDead:
+		s.rec.NoteRestore()
+	}
+	s.busDead = busNow
+	for b := 0; b < s.cfg.Banks; b++ {
+		now := s.flt.MemCrashed(b, s.cycle)
+		switch {
+		case now && !s.bankDead[b]:
+			s.rec.NoteCrash()
+			s.rec.NoteLost(s.trk, s.mem.Module(b).Crash())
+		case !now && s.bankDead[b]:
+			s.rec.NoteRestore()
+		}
+		s.bankDead[b] = now
+	}
+}
+
+// crashBus flushes the bus fault domain: the decoupling FIFO, the wait
+// buffer, and the reply metadata all vanish.  Requests already inside a
+// bank keep executing, but with their metadata gone the replies surface as
+// orphans at a dead FIFO — the retransmission path re-drives them through
+// the bank reply caches, so exactly-once survives the flush.  The returned
+// leaf ids are the operations whose reply path was lost.
+func (s *Sim) crashBus() []word.ReqID {
+	var lost []word.ReqID
+	add := func(reps []core.Leaf, id word.ReqID) {
+		if len(reps) == 0 {
+			lost = append(lost, id)
+			return
+		}
+		for _, l := range reps {
+			lost = append(lost, l.ID)
+		}
+	}
+	for i := range s.queue {
+		add(s.queue[i].req.Reps, s.queue[i].req.ID)
+	}
+	for _, rec := range s.wait.Flush() {
+		add(rec.reps2, rec.ID2)
+	}
+	for _, m := range s.meta {
+		add(m.req.Reps, m.req.ID)
+	}
+	s.queue = s.queue[:0]
+	clear(s.meta)
+	return lost
+}
+
 // tickBank advances bank b one service cycle, returning a completed reply
 // if one emerged.  Everything here is bank-local (the slowdown-window
 // decision is a pure hash with atomic counters), so banks tick in parallel
 // under Config.Workers.
 func (s *Sim) tickBank(b int) (core.Reply, bool) {
+	if s.bankDead != nil && s.bankDead[b] {
+		return core.Reply{}, false // crashed bank serves nothing until restart
+	}
 	if s.flt != nil && s.flt.MemStalled(b, s.cycle) {
 		return core.Reply{}, false // bank inside a slowdown window serves nothing
 	}
@@ -489,7 +604,8 @@ func (s *Sim) commitBank(b int, rep core.Reply) {
 			s.cycle, b, rep.ID, rep))
 	}
 	delete(s.meta, rep.ID)
-	if s.flt != nil && s.flt.DropReply(faults.Site(2, 0, m.src), rep.ID, rep.Attempt) {
+	if s.flt != nil && (s.flt.DropReply(faults.Site(2, 0, m.src), rep.ID, rep.Attempt) ||
+		s.flt.DropLinkRev(2, 0, s.cycle)) {
 		return // reply lost on the return path
 	}
 	s.deliver(rep, m.src, m.issue)
@@ -509,6 +625,7 @@ func (s *Sim) deliver(rep core.Reply, src int, issue int64) {
 			return // duplicate of an already-delivered reply; suppressed
 		}
 	}
+	s.rec.NoteDelivered(rep.ID)
 	s.stats.Completed++
 	s.stats.LatencySum += s.cycle - issue
 	s.lat.Record(s.cycle - issue)
@@ -534,6 +651,7 @@ func (s *Sim) enqueue(m qmsg) bool {
 			src2:   second.src,
 			issue2: second.issue,
 			hot2:   second.hot,
+			reps2:  second.req.Reps,
 		}) {
 			*queued = qmsg{req: tc.Combined, src: first.src, issue: first.issue, hot: first.hot}
 			s.stats.Combines++

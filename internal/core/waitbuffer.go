@@ -84,6 +84,24 @@ func (b *WaitBuffer[R]) PopMatch(id word.ReqID, match func(R) bool) (R, bool) {
 	return zero, false
 }
 
+// Flush empties the buffer and returns every record — the crash path of a
+// switch losing its associative memory.  Record order is unspecified;
+// callers must fold the records into order-insensitive state (sets,
+// counters).  Combines/Rejections totals are left intact: they describe
+// work done, including work a crash later threw away.
+func (b *WaitBuffer[R]) Flush() []R {
+	if b.size == 0 {
+		return nil
+	}
+	out := make([]R, 0, b.size)
+	for id, stack := range b.recs {
+		out = append(out, stack...)
+		delete(b.recs, id)
+	}
+	b.size = 0
+	return out
+}
+
 // Pop retrieves and removes the most recent record for a reply id.  ok is
 // false when the reply was never combined at this buffer and should be
 // forwarded as is.

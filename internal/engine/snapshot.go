@@ -36,6 +36,7 @@ type Counters struct {
 	HoldsMem         int64 // memory-input holds (full module queue)
 	HoldsMemOut      int64 // memory-output holds (reverse credit at the exit)
 	WatchdogTrips    int64 // forward-progress watchdog expirations
+	Checkpoints      int64 // module checkpoints committed (internal/recover)
 }
 
 // Map renders the canonical schema; every key is always present.
@@ -65,6 +66,7 @@ func (c Counters) Map() map[string]int64 {
 		"holds_mem":         c.HoldsMem,
 		"holds_mem_out":     c.HoldsMemOut,
 		"watchdog_trips":    c.WatchdogTrips,
+		"checkpoints":       c.Checkpoints,
 	}
 }
 

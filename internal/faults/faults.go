@@ -62,6 +62,27 @@ type Plan struct {
 	// module; a stalled module serves nothing that cycle.
 	MemStalls []Window
 
+	// Crashes are switch crash–restart windows: on entry the switch loses
+	// its queues and wait buffers (in-flight combined trees are flushed and
+	// must be re-driven by retransmits), stays dead for the window, and
+	// rejoins empty when it closes.  Site semantics match Stalls.
+	Crashes []Window
+	// MemCrashes are memory-module crash–restart windows, keyed by Index =
+	// module.  A crashing module rolls back to its last checkpoint: cells
+	// and reply-cache entries newer than the checkpoint are lost, and the
+	// exactly-once retry machinery re-drives the lost operations.
+	MemCrashes []Window
+	// LinkCrashes are link-down windows keyed by (Stage, Index) = the
+	// forward-hop site of the link.  Messages traversing a dead link are
+	// dropped (counted as drops_fwd/drops_rev) for the whole window — a
+	// deterministic burst-loss fault, unlike the Bernoulli DropFwd/DropRev.
+	LinkCrashes []Window
+
+	// CheckpointEvery is the checkpoint period K in cycles for modules run
+	// with checkpointing (internal/recover).  0 defaults to 64 when the
+	// plan has crash windows; irrelevant otherwise.
+	CheckpointEvery int64
+
 	// RetryTimeout is the base retransmit timeout in cycles (cycle-driven
 	// engines; the goroutine engine uses a wall-clock timeout instead).
 	// Default 64.
@@ -72,8 +93,16 @@ type Plan struct {
 }
 
 func (p Plan) String() string {
-	return fmt.Sprintf("plan{seed=%d drop_fwd=%g drop_rev=%g stalls=%d mem_stalls=%d}",
-		p.Seed, p.DropFwd, p.DropRev, len(p.Stalls), len(p.MemStalls))
+	return fmt.Sprintf("plan{seed=%d drop_fwd=%g drop_rev=%g stalls=%d mem_stalls=%d crashes=%d mem_crashes=%d link_crashes=%d ckpt=%d}",
+		p.Seed, p.DropFwd, p.DropRev, len(p.Stalls), len(p.MemStalls),
+		len(p.Crashes), len(p.MemCrashes), len(p.LinkCrashes), p.CheckpointEvery)
+}
+
+// HasCrashes reports whether the plan contains any crash–restart windows.
+// Engines arm the checkpoint/crash machinery only when it does, so plans
+// without crashes behave byte-identically to the pre-crash engine.
+func (p Plan) HasCrashes() bool {
+	return len(p.Crashes) > 0 || len(p.MemCrashes) > 0 || len(p.LinkCrashes) > 0
 }
 
 // Default returns the standard soak plan for a seed: 1% forward drops, 1%
@@ -89,6 +118,48 @@ func Default(seed uint64) *Plan {
 	}
 }
 
+// DefaultCrash returns the standard crash soak plan for a seed: one early
+// switch crash, one memory-module crash, one link-down burst, checkpoints
+// every 64 cycles, no Bernoulli drops.  Merge with Default for the
+// crash+drop soak mode.
+func DefaultCrash(seed uint64) *Plan {
+	return &Plan{
+		Seed:            seed,
+		Crashes:         []Window{{Stage: 0, Index: 0, From: 300, To: 380}},
+		MemCrashes:      []Window{{Stage: -1, Index: 0, From: 600, To: 700}},
+		LinkCrashes:     []Window{{Stage: 1, Index: 0, From: 900, To: 940}},
+		CheckpointEvery: 64,
+	}
+}
+
+// GenCrashPlan derives a seeded crash scenario: n switch crashes, n module
+// crashes, and n link-down bursts with dead-time windows of the given
+// length scattered deterministically over [0, horizon).  The windows are a
+// pure function of (seed, n, horizon, dead) — the same arguments replay the
+// same schedule on every wiring; indexes are drawn from [0, 4) so every
+// topology in the menu owns the crashed sites (the bus machine's single
+// switch site (0, 0) sees only index-0 windows, matching its stall-window
+// convention).
+func GenCrashPlan(seed uint64, n int, horizon, dead int64) *Plan {
+	p := &Plan{Seed: seed, CheckpointEvery: 64}
+	draw := func(kind uint64, i int) (int, int64) {
+		h := splitmix64(seed ^ kind)
+		h = splitmix64(h ^ uint64(i))
+		idx := int(h % 4)
+		from := int64(splitmix64(h) % uint64(horizon))
+		return idx, from
+	}
+	for i := 0; i < n; i++ {
+		idx, from := draw(0x517cc1b727220a95, i)
+		p.Crashes = append(p.Crashes, Window{Stage: 0, Index: idx, From: from, To: from + dead})
+		idx, from = draw(0x2545f4914f6cdd1d, i)
+		p.MemCrashes = append(p.MemCrashes, Window{Stage: -1, Index: idx, From: from, To: from + dead})
+		idx, from = draw(0x9e3779b97f4a7c15, i)
+		p.LinkCrashes = append(p.LinkCrashes, Window{Stage: 1, Index: idx, From: from, To: from + dead/2})
+	}
+	return p
+}
+
 // Injector answers fault queries for one engine run and counts what it
 // injected.  Counters are lock-free so the goroutine engine can consult the
 // injector from every switch without serializing them.
@@ -97,12 +168,15 @@ type Injector struct {
 
 	// DropsFwd and DropsRev count dropped request and reply hops;
 	// StallCycles and MemStallCycles count switch-cycles and
-	// module-cycles lost to windows.
+	// module-cycles lost to windows; CrashCycles counts dead
+	// component-cycles inside crash windows.
 	DropsFwd, DropsRev          stats.Counter
 	StallCycles, MemStallCycles stats.Counter
+	CrashCycles                 stats.Counter
 }
 
-// NewInjector builds the injector for a plan, filling retry defaults.
+// NewInjector builds the injector for a plan, filling retry and checkpoint
+// defaults.
 func NewInjector(p Plan) *Injector {
 	if p.RetryTimeout <= 0 {
 		p.RetryTimeout = 64
@@ -110,16 +184,23 @@ func NewInjector(p Plan) *Injector {
 	if p.RetryCap <= 0 {
 		p.RetryCap = 8 * p.RetryTimeout
 	}
+	if p.CheckpointEvery <= 0 && p.HasCrashes() {
+		p.CheckpointEvery = 64
+	}
 	return &Injector{plan: p}
 }
 
 // Plan returns the (default-filled) plan the injector answers for.
 func (f *Injector) Plan() Plan { return f.plan }
 
-// Injected totals every fault the injector has fired.
+// Injected totals every fault the injector has fired.  Crash dead time
+// counts as injected progress so the livelock watchdog — whose progress
+// signature folds Injected() in — never mistakes a dead-time window for a
+// hang (the same mechanism that excludes stall windows).
 func (f *Injector) Injected() int64 {
 	return f.DropsFwd.Load() + f.DropsRev.Load() +
-		f.StallCycles.Load() + f.MemStallCycles.Load()
+		f.StallCycles.Load() + f.MemStallCycles.Load() +
+		f.CrashCycles.Load()
 }
 
 // Fault kinds, mixed into the decision hash so a forward drop and a reply
@@ -199,6 +280,94 @@ func (f *Injector) MemStalled(mod int, cycle int64) bool {
 		}
 	}
 	return false
+}
+
+// SwitchCrashed reports whether the switch at (stage, index) is inside a
+// crash window this cycle, counting the dead switch-cycle.  Engines call it
+// exactly once per component per cycle (serially, like the stall mask) so
+// crash_cycles equals dead component-cycles at every Workers width.
+func (f *Injector) SwitchCrashed(stage, index int, cycle int64) bool {
+	for _, w := range f.plan.Crashes {
+		if w.matches(stage, index, cycle) {
+			f.CrashCycles.Inc()
+			return true
+		}
+	}
+	return false
+}
+
+// MemCrashed reports whether memory module mod is inside a crash window
+// this cycle, counting the dead module-cycle.  MemCrashes windows select
+// the module with Index alone; Stage is ignored.
+func (f *Injector) MemCrashed(mod int, cycle int64) bool {
+	for _, w := range f.plan.MemCrashes {
+		if (w.Index == -1 || w.Index == mod) && cycle >= w.From && cycle < w.To {
+			f.CrashCycles.Inc()
+			return true
+		}
+	}
+	return false
+}
+
+// LinkDown reports whether the link at forward-hop site (stage, index) is
+// inside a link-crash window this cycle.  Pure query: callers count the
+// actual message losses through DropLinkFwd/DropLinkRev.
+func (f *Injector) LinkDown(stage, index int, cycle int64) bool {
+	for _, w := range f.plan.LinkCrashes {
+		if w.matches(stage, index, cycle) {
+			return true
+		}
+	}
+	return false
+}
+
+// DropLinkFwd reports whether a request hop at (stage, index) dies on a
+// crashed link this cycle, counting it with the Bernoulli forward drops.
+func (f *Injector) DropLinkFwd(stage, index int, cycle int64) bool {
+	if !f.LinkDown(stage, index, cycle) {
+		return false
+	}
+	f.DropsFwd.Inc()
+	return true
+}
+
+// DropLinkRev reports whether a reply hop at (stage, index) dies on a
+// crashed link this cycle, counting it with the Bernoulli reply drops.
+func (f *Injector) DropLinkRev(stage, index int, cycle int64) bool {
+	if !f.LinkDown(stage, index, cycle) {
+		return false
+	}
+	f.DropsRev.Inc()
+	return true
+}
+
+// ActiveCrashes formats the crash windows covering the cycle — the crashed
+// sites a StallReport names so a trip during recovery is attributable.
+// Empty when nothing is dead.
+func (f *Injector) ActiveCrashes(cycle int64) string {
+	s := ""
+	add := func(kind string, w Window) {
+		if s != "" {
+			s += " "
+		}
+		s += fmt.Sprintf("%s(stage=%d,index=%d,[%d,%d))", kind, w.Stage, w.Index, w.From, w.To)
+	}
+	for _, w := range f.plan.Crashes {
+		if cycle >= w.From && cycle < w.To {
+			add("switch", w)
+		}
+	}
+	for _, w := range f.plan.MemCrashes {
+		if cycle >= w.From && cycle < w.To {
+			add("mem", w)
+		}
+	}
+	for _, w := range f.plan.LinkCrashes {
+		if cycle >= w.From && cycle < w.To {
+			add("link", w)
+		}
+	}
+	return s
 }
 
 // Timeout returns the retransmit delay before the given attempt (1-based):

@@ -157,5 +157,23 @@ func (t *Tracker) oldestLive(p *Pending) bool {
 	return true
 }
 
-// Outstanding reports requests still awaiting their first delivery.
-func (t *Tracker) Outstanding() int { return len(t.live) }
+// Outstanding reports requests still awaiting their first delivery.  A nil
+// tracker (clean run, no fault plan) has none.
+func (t *Tracker) Outstanding() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.live)
+}
+
+// Live reports whether one request is still awaiting its first delivery.
+// The recovery ledger filters crash-flushed ids through it: a flushed copy
+// of an already-delivered request (a retransmit the original outraced) is
+// redundant state, not lost work.
+func (t *Tracker) Live(id word.ReqID) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.live[id]
+	return ok
+}

@@ -18,6 +18,15 @@ type Values struct {
 	Recovered      int64
 	DedupHits      int64
 	Orphans        int64
+
+	// Crash–restart block (internal/recover).  Structurally zero on
+	// engines without crash domains (the clockless asyncnet, whose crash
+	// windows are cycle-based like its stall windows).
+	Crashes      int64
+	Restores     int64
+	Replayed     int64
+	LostInFlight int64
+	CrashCycles  int64
 }
 
 // AddValues writes the shared fault-counter schema into a snapshot.  Every
@@ -35,22 +44,40 @@ func AddValues(snap *stats.Snapshot, v Values) {
 	c["recovered"] = v.Recovered
 	c["dedup_hits"] = v.DedupHits
 	c["orphan_replies"] = v.Orphans
+	c["crashes"] = v.Crashes
+	c["restores"] = v.Restores
+	c["replayed_requests"] = v.Replayed
+	c["lost_in_flight"] = v.LostInFlight
+	c["crash_cycles"] = v.CrashCycles
 }
 
 // CounterKeys lists the keys AddValues writes, sorted — the fault half of
 // the snapshot-schema parity contract.
 func CounterKeys() []string {
 	return []string{
-		"dedup_hits", "drops_fwd", "drops_rev", "duplicates_suppressed",
-		"faults_injected", "mem_stall_cycles", "orphan_replies",
-		"recovered", "retries", "stall_cycles",
+		"crash_cycles", "crashes", "dedup_hits", "drops_fwd", "drops_rev",
+		"duplicates_suppressed", "faults_injected", "lost_in_flight",
+		"mem_stall_cycles", "orphan_replies", "recovered",
+		"replayed_requests", "restores", "retries", "stall_cycles",
 	}
+}
+
+// Recovery is the crash–restart counter block a recover.Manager publishes;
+// the zero value is the clean-run block.
+type Recovery struct {
+	// Crashes counts crash transitions (components entering a window);
+	// Restores counts rejoin transitions.
+	Crashes, Restores int64
+	// Replayed counts lost in-flight operations later re-driven to
+	// completion by the retry machinery; LostInFlight counts operations
+	// flushed from crashed queues, wait buffers, and rolled-back state.
+	Replayed, LostInFlight int64
 }
 
 // AddCounters folds one run's fault/recovery counters into an engine
 // snapshot from the cycle engines' injector and tracker, plus the
 // cycle-denominated recovery-latency histogram.
-func AddCounters(snap *stats.Snapshot, flt *Injector, trk *Tracker, dedupHits, orphans int64) {
+func AddCounters(snap *stats.Snapshot, flt *Injector, trk *Tracker, dedupHits, orphans int64, rec Recovery) {
 	AddValues(snap, Values{
 		Injected:       flt.Injected(),
 		DropsFwd:       flt.DropsFwd.Load(),
@@ -62,6 +89,11 @@ func AddCounters(snap *stats.Snapshot, flt *Injector, trk *Tracker, dedupHits, o
 		Recovered:      trk.Recovered.Load(),
 		DedupHits:      dedupHits,
 		Orphans:        orphans,
+		Crashes:        rec.Crashes,
+		Restores:       rec.Restores,
+		Replayed:       rec.Replayed,
+		LostInFlight:   rec.LostInFlight,
+		CrashCycles:    flt.CrashCycles.Load(),
 	})
 	if snap.Histograms == nil {
 		snap.Histograms = map[string]stats.HistogramSnapshot{}

@@ -218,8 +218,15 @@ func (a *AIMD) OnDeliver(rtt, now int64) {
 // StallReport formats the standard watchdog diagnostic: where the machine
 // stood when progress stopped.  Engines prepend their queue snapshots; the
 // caller's harness supplies the replay seed (every soak prints it with the
-// failure).
-func StallReport(engine string, wd *Watchdog, inflight int, detail string) string {
-	return fmt.Sprintf("%s: watchdog tripped at cycle %d: %d in flight, no progress for %d cycles\n%s",
-		engine, wd.TripCycle(), inflight, wd.Limit(), detail)
+// failure).  crashed, when non-empty, names the components inside crash
+// windows at the trip cycle — a restarting module cannot trip the watchdog
+// (dead time counts as injected progress), so a trip during a crash window
+// points at what stayed stuck after the flush.
+func StallReport(engine string, wd *Watchdog, inflight int, crashed, detail string) string {
+	site := ""
+	if crashed != "" {
+		site = fmt.Sprintf("\ncrashed sites: %s", crashed)
+	}
+	return fmt.Sprintf("%s: watchdog tripped at cycle %d: %d in flight, no progress for %d cycles%s\n%s",
+		engine, wd.TripCycle(), inflight, wd.Limit(), site, detail)
 }

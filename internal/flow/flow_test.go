@@ -192,10 +192,17 @@ func TestStallReportFormat(t *testing.T) {
 	for c := int64(0); !w.Tripped(); c++ {
 		w.Observe(c, 2, 7)
 	}
-	got := StallReport("network", w, 2, "queues: fwd=[1 1] rev=[0 0]")
+	got := StallReport("network", w, 2, "", "queues: fwd=[1 1] rev=[0 0]")
 	for _, want := range []string{"network", "cycle 50", "2 in flight", "50 cycles", "queues:"} {
 		if !strings.Contains(got, want) {
 			t.Fatalf("report %q missing %q", got, want)
 		}
+	}
+	if strings.Contains(got, "crashed sites") {
+		t.Fatalf("report %q names crashed sites without any", got)
+	}
+	got = StallReport("network", w, 2, "mem(stage=-1,index=0,[600,700))", "queues:")
+	if !strings.Contains(got, "crashed sites: mem(stage=-1,index=0,[600,700))") {
+		t.Fatalf("report %q missing crashed-site line", got)
 	}
 }

@@ -27,6 +27,7 @@ import (
 	"combining/internal/memory"
 	"combining/internal/network"
 	"combining/internal/par"
+	"combining/internal/recover"
 	"combining/internal/stats"
 	"combining/internal/word"
 )
@@ -100,6 +101,9 @@ type hrec struct {
 	dst2   int
 	issue2 int64
 	hot2   bool
+	// reps2 names the second request's leaves so a node crash flushing
+	// this record reports exactly which operations lost their reply path.
+	reps2 []core.Leaf
 }
 
 type node struct {
@@ -160,6 +164,9 @@ type Stats struct {
 
 	// WatchdogTrips is 1 if the progress watchdog declared a stall.
 	WatchdogTrips int64
+
+	// Checkpoints counts module checkpoints committed (crash plans only).
+	Checkpoints int64
 }
 
 // MeanLatency is average round-trip cycles.
@@ -212,6 +219,14 @@ type Sim struct {
 	retry     [][]fwdM
 	stallMask []bool
 	orphans   int64
+	// Crash–restart state (nil/empty without crash windows): a Crashes
+	// window (Index = node) kills the whole node — router queues, wait
+	// buffer, memory combining queue and the module; a MemCrashes window
+	// kills the module alone.  Masks are advanced serially at the top of
+	// Step with edge detection (see internal/network.Sim.updateCrashState).
+	rec      *recover.Manager
+	nodeMask []bool
+	memMask  []bool
 
 	// Parallel memory-tick state (Config.Workers > 1, nil/empty
 	// otherwise): worker pool, per-worker stats shards, and per-node
@@ -223,7 +238,7 @@ type Sim struct {
 
 // cubeShard is one worker's slice of the memory-tick statistics.
 type cubeShard struct {
-	memOps, holdsMemOut, orphans int64
+	memOps, holdsMemOut, orphans, ckpts int64
 }
 
 // Validate reports whether the configuration is usable, with the
@@ -300,6 +315,9 @@ func NewSim(cfg Config, inj []network.Injector) *Sim {
 	memOpts := []memory.Option{memory.WithServiceTime(cfg.MemService)}
 	if cfg.Faults != nil {
 		memOpts = append(memOpts, memory.WithReplyCache())
+		if cfg.Faults.HasCrashes() {
+			memOpts = append(memOpts, memory.WithCheckpoints())
+		}
 	}
 	meta := make([]map[word.ReqID]fwdM, n)
 	for i := range meta {
@@ -327,6 +345,11 @@ func NewSim(cfg Config, inj []network.Injector) *Sim {
 		s.trk = faults.NewTracker(s.flt)
 		s.retry = make([][]fwdM, n)
 		s.stallMask = make([]bool, n)
+		if plan := s.flt.Plan(); plan.HasCrashes() {
+			s.rec = recover.New(plan.CheckpointEvery)
+			s.nodeMask = make([]bool, n)
+			s.memMask = make([]bool, n)
+		}
 	}
 	s.nodes = make([]*node, n)
 	for i := range s.nodes {
@@ -356,6 +379,9 @@ func (s *Sim) Step() {
 		for i := range s.stallMask {
 			s.stallMask[i] = s.flt.Stalled(0, i, s.cycle)
 		}
+		if s.rec != nil {
+			s.updateCrashState()
+		}
 		for _, p := range s.trk.Expired(s.cycle) {
 			s.retry[p.Proc] = append(s.retry[p.Proc],
 				fwdM{req: p.Req, src: p.Proc, issue: p.IssueCycle, hot: p.Hot})
@@ -372,6 +398,89 @@ func (s *Sim) Step() {
 	if s.wd.Observe(s.cycle, s.InFlight(), s.progressSig()) {
 		s.stats.WatchdogTrips++
 	}
+}
+
+// updateCrashState advances the crash–restart masks one cycle (serial, with
+// edge detection, as in internal/network).  A node crash flushes the whole
+// node — router queues, wait buffer, memory combining queue and the module;
+// a memory crash rolls back the module alone while the router keeps
+// forwarding through traffic.
+func (s *Sim) updateCrashState() {
+	for i := 0; i < s.n; i++ {
+		dead := s.flt.SwitchCrashed(0, i, s.cycle)
+		if dead && !s.nodeMask[i] {
+			s.rec.NoteCrash()
+			s.rec.NoteLost(s.trk, s.crashNode(i))
+		} else if !dead && s.nodeMask[i] {
+			s.rec.NoteRestore()
+		}
+		s.nodeMask[i] = dead
+		mdead := s.flt.MemCrashed(i, s.cycle)
+		if mdead && !s.memMask[i] {
+			s.rec.NoteCrash()
+			s.rec.NoteLost(s.trk, s.mem.Module(i).Crash())
+		} else if !mdead && s.memMask[i] {
+			s.rec.NoteRestore()
+		}
+		s.memMask[i] = mdead
+	}
+}
+
+// crashNode flushes node i's volatile router state and rolls its module
+// back to the last checkpoint, returning every lost leaf id.
+func (s *Sim) crashNode(i int) []word.ReqID {
+	nd := s.nodes[i]
+	var ids []word.ReqID
+	addReq := func(req *core.Request) {
+		if req.Reps == nil {
+			ids = append(ids, req.ID)
+			return
+		}
+		for _, lf := range req.Reps {
+			ids = append(ids, lf.ID)
+		}
+	}
+	for dim := 0; dim < s.d; dim++ {
+		for j := range nd.out[dim] {
+			addReq(&nd.out[dim][j].req)
+		}
+		nd.out[dim] = nil
+		for j := range nd.rout[dim] {
+			rep := &nd.rout[dim][j].rep
+			if rep.Leaves == nil {
+				ids = append(ids, rep.ID)
+				continue
+			}
+			for id := range rep.Leaves {
+				ids = append(ids, id)
+			}
+		}
+		nd.rout[dim] = nil
+	}
+	for j := range nd.memQ {
+		addReq(&nd.memQ[j].req)
+	}
+	nd.memQ = nil
+	for _, rec := range nd.wait.Flush() {
+		if rec.reps2 == nil {
+			ids = append(ids, rec.ID2)
+			continue
+		}
+		for _, lf := range rec.reps2 {
+			ids = append(ids, lf.ID)
+		}
+	}
+	ids = append(ids, s.mem.Module(i).Crash()...)
+	return ids
+}
+
+// nodeDead reports whether node i's router is crashed this cycle.
+func (s *Sim) nodeDead(i int) bool { return s.rec != nil && s.nodeMask[i] }
+
+// modDead reports whether node i's module is crashed this cycle (a dead
+// node takes its module down with it).
+func (s *Sim) modDead(i int) bool {
+	return s.rec != nil && (s.memMask[i] || s.nodeMask[i])
 }
 
 // treeSaturated reports whether hot-spot backpressure has propagated out of
@@ -431,7 +540,11 @@ func (s *Sim) StallReport() string {
 		metaN += len(shard)
 	}
 	detail := fmt.Sprintf("fwd=%d rev=%d memq=%d wait=%d meta=%d", fwd, rev, memq, wait, metaN)
-	return flow.StallReport("hypercube", s.wd, s.InFlight(), detail)
+	crashed := ""
+	if s.flt != nil {
+		crashed = s.flt.ActiveCrashes(s.wd.TripCycle())
+	}
+	return flow.StallReport("hypercube", s.wd, s.InFlight(), crashed, detail)
 }
 
 // Run advances the given number of cycles, stopping early if the watchdog
@@ -476,6 +589,7 @@ func (s *Sim) Snapshot() stats.Snapshot {
 			HoldsMem:         s.stats.HoldsMem,
 			HoldsMemOut:      s.stats.HoldsMemOut,
 			WatchdogTrips:    s.stats.WatchdogTrips,
+			Checkpoints:      s.stats.Checkpoints,
 		}.Map(),
 		Gauges: map[string]int64{
 			"memq_max":              s.memQHW.Load(),
@@ -488,10 +602,13 @@ func (s *Sim) Snapshot() stats.Snapshot {
 		},
 	}
 	if s.flt != nil {
-		faults.AddCounters(&snap, s.flt, s.trk, s.mem.TotalDedupHits(), s.orphans)
+		faults.AddCounters(&snap, s.flt, s.trk, s.mem.TotalDedupHits(), s.orphans, s.rec.Counters())
 	}
 	return snap
 }
+
+// Recovery exposes the crash–restart ledger (nil without crash windows).
+func (s *Sim) Recovery() *recover.Manager { return s.rec }
 
 // Faults exposes the fault injector (nil on a healthy machine).
 func (s *Sim) Faults() *faults.Injector { return s.flt }
@@ -574,6 +691,7 @@ func (s *Sim) arriveFwd(cur int, m fwdM) bool {
 			dst2:   second.src,
 			issue2: second.issue,
 			hot2:   second.hot,
+			reps2:  second.req.Reps,
 		}) {
 			*queued = fwdM{req: tc.Combined, src: first.src, issue: first.issue, hot: first.hot, moved: queued.moved}
 			s.stats.Combines++
@@ -644,6 +762,9 @@ func (s *Sim) deliverHome(cur int, r revM) {
 			return // duplicate of an already-delivered reply; suppressed
 		}
 	}
+	if s.rec != nil {
+		s.rec.NoteDelivered(r.rep.ID)
+	}
 	s.stats.Completed++
 	s.stats.LatencySum += s.cycle - r.issue
 	s.lat.Record(s.cycle - r.issue)
@@ -655,12 +776,21 @@ func (s *Sim) drainReverse() {
 		if s.flt != nil && s.stallMask[i] {
 			continue // stalled router moves nothing this cycle
 		}
+		if s.nodeDead(i) {
+			continue // crashed router moves nothing until it restarts
+		}
 		for dim := 0; dim < s.d; dim++ {
 			q := nd.rout[dim]
 			if len(q) == 0 || q[0].moved == s.cycle {
 				continue
 			}
 			next := s.topo.Neighbor(i, dim)
+			if s.nodeDead(next) {
+				// Dead downstream router: hold the reply so the crash costs
+				// only the flushed state, not a stream of new losses.
+				s.stats.HoldsRev++
+				continue
+			}
 			if !s.nodes[next].canAcceptRev(s.cfg.RevQueueCap) {
 				// Downstream reverse credits exhausted: hold the reply.
 				// Reverse hops strictly descend in dimension and the last
@@ -672,8 +802,9 @@ func (s *Sim) drainReverse() {
 			r := q[0]
 			copy(q, q[1:])
 			nd.rout[dim] = q[:len(q)-1]
-			if s.flt != nil && s.flt.DropReply(
-				faults.Site(1, next, dim), r.rep.ID, r.rep.Attempt) {
+			if s.flt != nil && (s.flt.DropReply(
+				faults.Site(1, next, dim), r.rep.ID, r.rep.Attempt) ||
+				s.flt.DropLinkRev(1, next, s.cycle)) {
 				continue // reply lost on the reverse link
 			}
 			s.stats.RevHops++
@@ -688,7 +819,7 @@ func (s *Sim) tickMemory() {
 		return
 	}
 	for i := 0; i < s.n; i++ {
-		s.tickNode(i, &s.stats.MemOps, &s.stats.HoldsMemOut, &s.orphans, nil)
+		s.tickNode(i, &s.stats.MemOps, &s.stats.HoldsMemOut, &s.orphans, &s.stats.Checkpoints, nil)
 	}
 }
 
@@ -705,7 +836,7 @@ func (s *Sim) tickMemoryParallel() {
 		lo, hi := par.Split(s.n, workers, w)
 		for i := lo; i < hi; i++ {
 			s.delivBuf[i] = s.delivBuf[i][:0]
-			s.tickNode(i, &sh.memOps, &sh.holdsMemOut, &sh.orphans, &s.delivBuf[i])
+			s.tickNode(i, &sh.memOps, &sh.holdsMemOut, &sh.orphans, &sh.ckpts, &s.delivBuf[i])
 		}
 	})
 	for i := 0; i < s.n; i++ {
@@ -718,6 +849,7 @@ func (s *Sim) tickMemoryParallel() {
 		s.stats.MemOps += sh.memOps
 		s.stats.HoldsMemOut += sh.holdsMemOut
 		s.orphans += sh.orphans
+		s.stats.Checkpoints += sh.ckpts
 		*sh = cubeShard{}
 	}
 }
@@ -727,7 +859,17 @@ func (s *Sim) tickMemoryParallel() {
 // the moment service starts), then emit a completed reply into the reverse
 // path.  Counters accumulate through the pointers so parallel workers stay
 // on their own shards; deliveries land in sink when non-nil.
-func (s *Sim) tickNode(i int, memOps, holdsMemOut, orphans *int64, sink *[]revM) {
+func (s *Sim) tickNode(i int, memOps, holdsMemOut, orphans, ckpts *int64, sink *[]revM) {
+	if s.nodeDead(i) {
+		return // crashed node: no feed, no service, no emission
+	}
+	if s.rec != nil && s.rec.CheckpointDue(s.cycle) && !s.modDead(i) {
+		s.mem.Module(i).Checkpoint()
+		*ckpts++
+	}
+	if s.modDead(i) {
+		return // crashed module: the router forwards, memory serves nothing
+	}
 	nd := s.nodes[i]
 	routerUp := s.flt == nil || !s.stallMask[i]
 	if routerUp && len(nd.memQ) > 0 && s.mem.Module(i).QueueLen() == 0 {
@@ -772,6 +914,9 @@ func (s *Sim) drainForward() {
 		if s.flt != nil && s.stallMask[i] {
 			continue // stalled router moves nothing this cycle
 		}
+		if s.nodeDead(i) {
+			continue // crashed router moves nothing until it restarts
+		}
 		for dd := 0; dd < s.d; dd++ {
 			dim := (dd + rot) % s.d
 			q := nd.out[dim]
@@ -780,8 +925,12 @@ func (s *Sim) drainForward() {
 			}
 			m := q[0]
 			next := s.topo.Neighbor(i, dim)
-			if s.flt != nil && s.flt.DropForward(
-				faults.Site(1, next, dim), m.req.ID, m.req.Attempt) {
+			if s.nodeDead(next) {
+				continue // dead downstream router: hold the request here
+			}
+			if s.flt != nil && (s.flt.DropForward(
+				faults.Site(1, next, dim), m.req.ID, m.req.Attempt) ||
+				s.flt.DropLinkFwd(1, next, s.cycle)) {
 				copy(q, q[1:])
 				nd.out[dim] = q[:len(q)-1]
 				continue // request lost on the forward link
@@ -801,6 +950,9 @@ func (s *Sim) injectAll() {
 	rot := int(s.cycle)
 	for off := 0; off < s.n; off++ {
 		i := (off + rot) % s.n
+		if s.nodeDead(i) {
+			continue // dead router: the processor port holds its traffic
+		}
 		if s.flt != nil && len(s.retry[i]) > 0 {
 			// Retransmissions take the node's injection slot, bypassing
 			// the pending slot (a held fresh request may be waiting on

@@ -68,20 +68,30 @@ func runSchemaAsync(t *testing.T, name string, plan *faults.Plan) []string {
 }
 
 func TestSnapshotSchemaParity(t *testing.T) {
-	for _, faulted := range []bool{false, true} {
+	// Three plan regimes: clean (engine keys only), message faults, and
+	// crash–restart plans.  Both faulted regimes must publish the same
+	// canonical key set — the crash counters (crashes, restores,
+	// checkpoints, lost_in_flight, replayed_requests, crash_cycles) are
+	// part of faults.CounterKeys(), present as structural zeros on engines
+	// or plans that never crash.
+	for _, mode := range []string{"clean", "faults", "crash"} {
 		want := engine.CounterKeys()
-		if faulted {
+		if mode != "clean" {
 			want = append(want, faults.CounterKeys()...)
 			sort.Strings(want)
 		}
 
 		var netPlan, cubePlan, busPlan *faults.Plan
 		var asyncPlan *faults.Plan
-		if faulted {
+		switch mode {
+		case "faults":
 			netPlan, cubePlan, busPlan = faults.Default(41), faults.Default(42), faults.Default(43)
 			// The goroutine engine retries on wall-clock timeouts; a zero
 			// plan (no injected faults) keeps the run fast while still
 			// enabling the whole fault/recovery schema.
+			asyncPlan = &faults.Plan{Seed: 44}
+		case "crash":
+			netPlan, cubePlan, busPlan = crashDropPlan(41), crashDropPlan(42), crashDropPlan(43)
 			asyncPlan = &faults.Plan{Seed: 44}
 		}
 
@@ -100,8 +110,8 @@ func TestSnapshotSchemaParity(t *testing.T) {
 
 		for name, keys := range got {
 			if !reflect.DeepEqual(keys, want) {
-				t.Errorf("faulted=%v: %s counter keys diverge from canonical schema:\ngot:  %v\nwant: %v",
-					faulted, name, keys, want)
+				t.Errorf("mode=%s: %s counter keys diverge from canonical schema:\ngot:  %v\nwant: %v",
+					mode, name, keys, want)
 			}
 		}
 	}

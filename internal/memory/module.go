@@ -54,6 +54,23 @@ type Module struct {
 	replyCache map[word.ReqID]word.Word
 	// DedupHits counts leaf executions answered from the cache.
 	DedupHits int64
+
+	// Checkpoint mode (WithCheckpoints): the module keeps an incremental
+	// recovery image so a crash rolls back to the last checkpoint in
+	// O(changes since checkpoint), not O(total state).  replyCache then
+	// holds only committed leaves; delta holds leaves executed since the
+	// last checkpoint; undo holds the pre-image of every cell modified
+	// since the last checkpoint.  held are replies produced since the last
+	// checkpoint — the output-commit rule keeps them inside the module
+	// until the checkpoint that covers their effects commits, so a crash
+	// can never un-execute an operation whose reply already escaped.
+	// releasable are committed replies draining to the network one per
+	// Tick.
+	ckpt       bool
+	delta      map[word.ReqID]word.Word
+	undo       map[word.Addr]word.Word
+	held       []core.Reply
+	releasable []core.Reply
 }
 
 // Option configures a Module.
@@ -89,6 +106,21 @@ func WithQueueCap(cap int) Option {
 func WithReplyCache() Option {
 	return func(m *Module) {
 		m.replyCache = make(map[word.ReqID]word.Word)
+	}
+}
+
+// WithCheckpoints arms checkpoint/crash–restart mode (implies
+// WithReplyCache).  The engine calls Checkpoint every K cycles and Crash on
+// a crash-window entry; replies are withheld until the checkpoint after
+// their execution commits (output commit) and then drain one per Tick.
+func WithCheckpoints() Option {
+	return func(m *Module) {
+		if m.replyCache == nil {
+			m.replyCache = make(map[word.ReqID]word.Word)
+		}
+		m.ckpt = true
+		m.delta = make(map[word.ReqID]word.Word)
+		m.undo = make(map[word.Addr]word.Word)
 	}
 }
 
@@ -156,19 +188,46 @@ func (m *Module) execCachedLocked(req core.Request) core.Reply {
 	cell := m.cells[req.Addr]
 	vals := make(map[word.ReqID]word.Word, len(leaves))
 	for _, lf := range leaves {
-		if v, ok := m.replyCache[lf.ID]; ok {
+		if v, ok := m.cacheGetLocked(lf.ID); ok {
 			m.DedupHits++
 			vals[lf.ID] = v
 			continue
 		}
 		old := cell
 		cell = lf.Op.Apply(old)
-		m.replyCache[lf.ID] = old
+		m.cachePutLocked(lf.ID, old)
 		vals[lf.ID] = old
+	}
+	if m.ckpt {
+		if _, logged := m.undo[req.Addr]; !logged {
+			m.undo[req.Addr] = m.cells[req.Addr]
+		}
 	}
 	m.cells[req.Addr] = cell
 	m.Served++
 	return core.Reply{ID: req.ID, Val: vals[req.ID], Attempt: req.Attempt, Leaves: vals}
+}
+
+// cacheGetLocked consults the exactly-once ledger: the uncommitted delta
+// first, then the committed cache.
+func (m *Module) cacheGetLocked(id word.ReqID) (word.Word, bool) {
+	if m.ckpt {
+		if v, ok := m.delta[id]; ok {
+			return v, true
+		}
+	}
+	v, ok := m.replyCache[id]
+	return v, ok
+}
+
+// cachePutLocked records a fresh leaf execution — uncommitted until the
+// next checkpoint when in checkpoint mode.
+func (m *Module) cachePutLocked(id word.ReqID, v word.Word) {
+	if m.ckpt {
+		m.delta[id] = v
+		return
+	}
+	m.replyCache[id] = v
 }
 
 // DedupHitCount returns the reply-cache hit count under the module lock,
@@ -240,6 +299,27 @@ func (m *Module) Tick() (core.Reply, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
+	if !m.ckpt {
+		return m.serviceLocked()
+	}
+	// Checkpoint mode: service continues (completed replies join held),
+	// while at most one previously committed reply drains per Tick — the
+	// output-commit gate adds latency but preserves the engines'
+	// one-reply-per-module-per-cycle contract and steady-state rate.
+	if rep, ok := m.serviceLocked(); ok {
+		m.held = append(m.held, rep)
+	}
+	if len(m.releasable) == 0 {
+		return core.Reply{}, false
+	}
+	rep := m.releasable[0]
+	copy(m.releasable, m.releasable[1:])
+	m.releasable = m.releasable[:len(m.releasable)-1]
+	return rep, true
+}
+
+// serviceLocked advances the service pipeline one cycle.
+func (m *Module) serviceLocked() (core.Reply, bool) {
 	if m.busy == 0 {
 		if len(m.queue) == 0 {
 			return core.Reply{}, false
@@ -255,4 +335,101 @@ func (m *Module) Tick() (core.Reply, bool) {
 		return core.Reply{}, false
 	}
 	return m.execLocked(m.current), true
+}
+
+// Checkpoint commits the module's recovery image: leaves executed since the
+// last checkpoint join the committed cache, the undo log clears, and held
+// replies become releasable.  Engines call it every Plan.CheckpointEvery
+// cycles; the cost is O(changes since the last checkpoint).
+func (m *Module) Checkpoint() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	if !m.ckpt {
+		return
+	}
+	for id, v := range m.delta {
+		m.replyCache[id] = v
+	}
+	clear(m.delta)
+	clear(m.undo)
+	m.releasable = append(m.releasable, m.held...)
+	m.held = m.held[:0]
+}
+
+// Crash loses the module's volatile state and rolls persistent state back
+// to the last checkpoint: cells revert via the undo log, uncommitted cache
+// entries vanish (those operations will re-execute on retransmit), and the
+// input queue, in-service request, and withheld replies are flushed.  It
+// returns the leaf request ids whose messages were lost — the recovery
+// layer tracks them and counts the ones the retry machinery later
+// re-drives to completion.  Committed cache entries survive, so leaves of
+// flushed-but-committed replies are answered from the cache on retransmit.
+func (m *Module) Crash() []word.ReqID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	if !m.ckpt {
+		return nil
+	}
+	lost := make(map[word.ReqID]struct{})
+	for id := range m.delta {
+		lost[id] = struct{}{}
+	}
+	addReq := func(req core.Request) {
+		if req.Reps == nil {
+			lost[req.ID] = struct{}{}
+			return
+		}
+		for _, lf := range req.Reps {
+			lost[lf.ID] = struct{}{}
+		}
+	}
+	for _, req := range m.queue {
+		addReq(req)
+	}
+	if m.busy > 0 {
+		addReq(m.current)
+	}
+	addRep := func(rep core.Reply) {
+		if rep.Leaves == nil {
+			lost[rep.ID] = struct{}{}
+			return
+		}
+		for id := range rep.Leaves {
+			lost[id] = struct{}{}
+		}
+	}
+	for _, rep := range m.held {
+		addRep(rep)
+	}
+	for _, rep := range m.releasable {
+		addRep(rep)
+	}
+	for addr, w := range m.undo {
+		m.cells[addr] = w
+	}
+	clear(m.undo)
+	clear(m.delta)
+	m.queue = m.queue[:0]
+	m.busy = 0
+	m.current = core.Request{}
+	m.held = m.held[:0]
+	m.releasable = m.releasable[:0]
+
+	ids := make([]word.ReqID, 0, len(lost))
+	for id := range lost {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// PendingReplies reports withheld plus releasable replies (checkpoint
+// mode) — in-flight work the engines fold into their InFlight gauge so
+// drain loops and the watchdog see output-committed replies coming.
+func (m *Module) PendingReplies() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	return len(m.held) + len(m.releasable)
 }

@@ -9,6 +9,7 @@ import (
 	"combining/internal/flow"
 	"combining/internal/memory"
 	"combining/internal/par"
+	"combining/internal/recover"
 	"combining/internal/rmw"
 	"combining/internal/stats"
 	"combining/internal/word"
@@ -196,6 +197,9 @@ type Stats struct {
 	// WatchdogTrips is 1 if the progress watchdog declared a stall.
 	WatchdogTrips int64
 
+	// Checkpoints counts module checkpoints committed (crash plans only).
+	Checkpoints int64
+
 	// Latency is the round-trip histogram (cycles), recorded per
 	// completion through the shared instrumentation subsystem.
 	Latency stats.HistogramSnapshot
@@ -303,6 +307,15 @@ type Sim struct {
 	// stallMask caches this cycle's per-switch stall decisions so each
 	// switch-cycle is counted once.
 	stallMask [][]bool
+	// Crash–restart state (nil/empty unless the plan has crash windows):
+	// rec is the recovery ledger, crashMask/memDead this cycle's dead
+	// components.  Both masks are filled serially at the top of Step with
+	// edge detection — a rising edge flushes the component, a falling edge
+	// counts the restore — so every Workers width sees identical crash
+	// schedules.
+	rec       *recover.Manager
+	crashMask [][]bool
+	memDead   []bool
 	// orphans counts replies arriving with no request metadata — the
 	// expected fate of the losing copy when an original and a retransmit
 	// both reach memory (satellite of the metadata panic).
@@ -352,6 +365,9 @@ func NewSim(cfg Config, inj []Injector) *Sim {
 	}
 	if cfg.Faults != nil {
 		memOpts = append(memOpts, memory.WithReplyCache())
+		if cfg.Faults.HasCrashes() {
+			memOpts = append(memOpts, memory.WithCheckpoints())
+		}
 	}
 	meta := make([]map[word.ReqID]fwdMsg, n)
 	for i := range meta {
@@ -377,6 +393,14 @@ func NewSim(cfg Config, inj []Injector) *Sim {
 		s.stallMask = make([][]bool, k)
 		for i := range s.stallMask {
 			s.stallMask[i] = make([]bool, n/radix)
+		}
+		if plan := s.flt.Plan(); plan.HasCrashes() {
+			s.rec = recover.New(plan.CheckpointEvery)
+			s.crashMask = make([][]bool, k)
+			for i := range s.crashMask {
+				s.crashMask[i] = make([]bool, n/radix)
+			}
+			s.memDead = make([]bool, n)
 		}
 	}
 	if cfg.Trace != nil {
@@ -434,6 +458,9 @@ func (s *Sim) Step() {
 				s.stallMask[stage][si] = s.flt.Stalled(stage, si, s.cycle)
 			}
 		}
+		if s.rec != nil {
+			s.updateCrashState()
+		}
 		for _, p := range s.trk.Expired(s.cycle) {
 			s.retry[p.Proc] = append(s.retry[p.Proc],
 				fwdMsg{req: p.Req, issueCycle: p.IssueCycle, hot: p.Hot})
@@ -454,6 +481,46 @@ func (s *Sim) Step() {
 	if s.wd.Observe(s.cycle, s.InFlight(), s.progressSig()) {
 		s.stats.WatchdogTrips++
 	}
+}
+
+// updateCrashState advances the crash–restart masks one cycle, serially so
+// every Workers width sees the same schedule.  A rising edge (component
+// entering its window) flushes the component's volatile state and records
+// the lost in-flight operations; a falling edge is the restart — the
+// component rejoins empty (switch) or at its last checkpoint (module).
+func (s *Sim) updateCrashState() {
+	for stage := range s.crashMask {
+		for si := range s.crashMask[stage] {
+			dead := s.flt.SwitchCrashed(stage, si, s.cycle)
+			if dead && !s.crashMask[stage][si] {
+				s.rec.NoteCrash()
+				s.rec.NoteLost(s.trk, s.stages[stage][si].crash())
+			} else if !dead && s.crashMask[stage][si] {
+				s.rec.NoteRestore()
+			}
+			s.crashMask[stage][si] = dead
+		}
+	}
+	for mod := 0; mod < s.n; mod++ {
+		dead := s.flt.MemCrashed(mod, s.cycle)
+		if dead && !s.memDead[mod] {
+			s.rec.NoteCrash()
+			s.rec.NoteLost(s.trk, s.mem.Module(mod).Crash())
+		} else if !dead && s.memDead[mod] {
+			s.rec.NoteRestore()
+		}
+		s.memDead[mod] = dead
+	}
+}
+
+// swDead reports whether the switch at (stage, idx) is crashed this cycle.
+func (s *Sim) swDead(stage, idx int) bool {
+	return s.rec != nil && s.crashMask[stage][idx]
+}
+
+// modDead reports whether module mod is crashed this cycle.
+func (s *Sim) modDead(mod int) bool {
+	return s.rec != nil && s.memDead[mod]
 }
 
 // treeSaturated reports whether the queue tree is saturated end to end this
@@ -522,7 +589,11 @@ func (s *Sim) StallReport() string {
 		memQ += s.mem.Module(mod).QueueLen()
 	}
 	detail += fmt.Sprintf("\nmemory queued=%d", memQ)
-	return flow.StallReport("network", s.wd, s.InFlight(), detail)
+	crashed := ""
+	if s.flt != nil {
+		crashed = s.flt.ActiveCrashes(s.wd.TripCycle())
+	}
+	return flow.StallReport("network", s.wd, s.InFlight(), crashed, detail)
 }
 
 // metaCount sums the per-module metadata shards (requests in memory).
@@ -584,6 +655,9 @@ func (s *Sim) revSwitch0(idx int, st *Stats, sink *[]delivery) {
 	if s.flt != nil && s.stallMask[0][idx] {
 		return // blacked-out switch moves nothing this cycle
 	}
+	if s.swDead(0, idx) {
+		return // crashed switch moves nothing until it restarts
+	}
 	sw := s.stages[0][idx]
 	rot := int(s.cycle)
 	for pi := 0; pi < s.radix; pi++ {
@@ -593,8 +667,9 @@ func (s *Sim) revSwitch0(idx int, st *Stats, sink *[]delivery) {
 		}
 		inLine := sw.index*s.radix + port
 		r := sw.popRev(port)
-		if s.flt != nil && s.flt.DropReply(
-			faults.Site(0, sw.index, port), r.rep.ID, r.rep.Attempt) {
+		if s.flt != nil && (s.flt.DropReply(
+			faults.Site(0, sw.index, port), r.rep.ID, r.rep.Attempt) ||
+			s.flt.DropLinkRev(0, sw.index, s.cycle)) {
 			continue // reply lost on the reverse link
 		}
 		st.RevHops++
@@ -618,6 +693,9 @@ func (s *Sim) revSwitch(stage, idx int, st *Stats) {
 	if s.flt != nil && s.stallMask[stage][idx] {
 		return // blacked-out switch moves nothing this cycle
 	}
+	if s.swDead(stage, idx) {
+		return // crashed switch moves nothing until it restarts
+	}
 	sw := s.stages[stage][idx]
 	rot := int(s.cycle)
 	for pi := 0; pi < s.radix; pi++ {
@@ -628,6 +706,12 @@ func (s *Sim) revSwitch(stage, idx int, st *Stats) {
 		inLine := sw.index*s.radix + port
 		prevLine := s.topo.PrevLine(stage, inLine)
 		prev := s.stages[stage-1][prevLine/s.radix]
+		if s.swDead(stage-1, prevLine/s.radix) {
+			// Downstream switch is dead: hold the reply here so the crash
+			// costs only the flushed state, not a stream of new losses.
+			st.HoldsRev++
+			continue
+		}
 		if !prev.canAcceptReply() {
 			// Downstream reverse credits exhausted: hold the reply here.
 			// Stage order is ascending, so the credits this pop would need
@@ -637,8 +721,9 @@ func (s *Sim) revSwitch(stage, idx int, st *Stats) {
 			continue
 		}
 		r := sw.popRev(port)
-		if s.flt != nil && s.flt.DropReply(
-			faults.Site(stage, sw.index, port), r.rep.ID, r.rep.Attempt) {
+		if s.flt != nil && (s.flt.DropReply(
+			faults.Site(stage, sw.index, port), r.rep.ID, r.rep.Attempt) ||
+			s.flt.DropLinkRev(stage, sw.index, s.cycle)) {
 			continue // reply lost on the reverse link
 		}
 		st.RevHops++
@@ -652,6 +737,11 @@ func (s *Sim) deliver(proc int, r revMsg) {
 		if _, ok := s.trk.Deliver(r.rep.ID, s.cycle); !ok {
 			return // duplicate of an already-delivered reply; suppressed
 		}
+	}
+	if s.rec != nil {
+		// A completion whose in-flight copy a crash flushed was re-driven
+		// here by the retry machinery — count the replay.
+		s.rec.NoteDelivered(r.rep.ID)
 	}
 	lat := s.cycle - r.issueCycle
 	s.stats.Completed++
@@ -685,6 +775,16 @@ func (s *Sim) tickMemory() {
 // stepper; orphans accumulate through the pointer so each worker's count
 // stays on its own shard.
 func (s *Sim) tickModule(mod int, st *Stats, orphans *int64) {
+	if s.modDead(mod) {
+		return // crashed module serves nothing until it restarts
+	}
+	if s.rec != nil && s.rec.CheckpointDue(s.cycle) {
+		// Commit the module's recovery image: executed-but-uncommitted
+		// leaves join the committed cache and withheld replies become
+		// releasable (output commit) — see memory.Module.Checkpoint.
+		s.mem.Module(mod).Checkpoint()
+		st.Checkpoints++
+	}
 	if s.flt != nil && s.flt.MemStalled(mod, s.cycle) {
 		return // module inside a slowdown window serves nothing
 	}
@@ -750,6 +850,9 @@ func (s *Sim) fwdSwitch(stage, idx int, st *Stats) {
 	if s.flt != nil && s.stallMask[stage][idx] {
 		return // blacked-out switch moves nothing this cycle
 	}
+	if s.swDead(stage, idx) {
+		return // crashed switch moves nothing until it restarts
+	}
 	sw := s.stages[stage][idx]
 	rot := int(s.cycle)
 	for pi := 0; pi < s.radix; pi++ {
@@ -761,6 +864,12 @@ func (s *Sim) fwdSwitch(stage, idx int, st *Stats) {
 		outLine := sw.index*s.radix + port
 		if stage == s.k-1 {
 			// The link into module outLine.
+			if s.modDead(outLine) {
+				// Dead module: hold the request in the switch — it was
+				// flushed once at the crash; nothing new is fed to it.
+				st.HoldsMem++
+				continue
+			}
 			if !s.mem.Module(outLine).CanEnqueue() {
 				// Bounded module input full: hold the request in
 				// the switch — the backpressure that turns a hot
@@ -770,8 +879,9 @@ func (s *Sim) fwdSwitch(stage, idx int, st *Stats) {
 				continue
 			}
 			sw.popFwd(port)
-			if s.flt != nil && s.flt.DropForward(
-				faults.Site(s.k, outLine, 0), m.req.ID, m.req.Attempt) {
+			if s.flt != nil && (s.flt.DropForward(
+				faults.Site(s.k, outLine, 0), m.req.ID, m.req.Attempt) ||
+				s.flt.DropLinkFwd(s.k, outLine, s.cycle)) {
 				continue // request lost on the memory link
 			}
 			st.FwdHops++
@@ -783,8 +893,12 @@ func (s *Sim) fwdSwitch(stage, idx int, st *Stats) {
 		}
 		nextLine := s.topo.NextLine(stage, outLine)
 		next := s.stages[stage+1][nextLine/s.radix]
-		if s.flt != nil && s.flt.DropForward(
-			faults.Site(stage+1, nextLine/s.radix, nextLine%s.radix), m.req.ID, m.req.Attempt) {
+		if s.swDead(stage+1, nextLine/s.radix) {
+			continue // dead downstream switch: hold the request here
+		}
+		if s.flt != nil && (s.flt.DropForward(
+			faults.Site(stage+1, nextLine/s.radix, nextLine%s.radix), m.req.ID, m.req.Attempt) ||
+			s.flt.DropLinkFwd(stage+1, nextLine/s.radix, s.cycle)) {
 			sw.popFwd(port)
 			continue // request lost on the inter-stage link
 		}
@@ -810,7 +924,11 @@ func (s *Sim) injectAll() {
 			// this retransmit recovers.
 			m := s.retry[proc][0]
 			line := s.topo.ProcLine(proc)
-			if s.flt.DropForward(faults.Site(0, line/s.radix, line%s.radix), m.req.ID, m.req.Attempt) {
+			if s.swDead(0, line/s.radix) {
+				continue // dead stage-0 switch: hold the retransmit
+			}
+			if s.flt.DropForward(faults.Site(0, line/s.radix, line%s.radix), m.req.ID, m.req.Attempt) ||
+				s.flt.DropLinkFwd(0, line/s.radix, s.cycle) {
 				s.retry[proc] = s.retry[proc][1:]
 				continue
 			}
@@ -853,8 +971,12 @@ func (s *Sim) injectAll() {
 			continue
 		}
 		line := s.topo.ProcLine(proc)
-		if s.flt != nil && s.flt.DropForward(
-			faults.Site(0, line/s.radix, line%s.radix), m.req.ID, m.req.Attempt) {
+		if s.swDead(0, line/s.radix) {
+			continue // dead stage-0 switch: hold the request at the port
+		}
+		if s.flt != nil && (s.flt.DropForward(
+			faults.Site(0, line/s.radix, line%s.radix), m.req.ID, m.req.Attempt) ||
+			s.flt.DropLinkFwd(0, line/s.radix, s.cycle)) {
 			s.pending[proc] = nil // lost on the processor-to-stage-0 link
 			continue
 		}
@@ -910,6 +1032,7 @@ func (s *Sim) Snapshot() stats.Snapshot {
 			HoldsMem:         st.HoldsMem,
 			HoldsMemOut:      st.HoldsMemOut,
 			WatchdogTrips:    st.WatchdogTrips,
+			Checkpoints:      st.Checkpoints,
 		}.Map(),
 		Gauges: map[string]int64{
 			"max_out_queue":         int64(st.MaxOutQueue),
@@ -922,10 +1045,13 @@ func (s *Sim) Snapshot() stats.Snapshot {
 		},
 	}
 	if s.flt != nil {
-		faults.AddCounters(&snap, s.flt, s.trk, s.mem.TotalDedupHits(), s.orphans)
+		faults.AddCounters(&snap, s.flt, s.trk, s.mem.TotalDedupHits(), s.orphans, s.rec.Counters())
 	}
 	return snap
 }
+
+// Recovery exposes the crash–restart ledger (nil without crash windows).
+func (s *Sim) Recovery() *recover.Manager { return s.rec }
 
 // Faults exposes the fault injector (nil on a healthy machine).
 func (s *Sim) Faults() *faults.Injector { return s.flt }

@@ -65,6 +65,9 @@ type netRecord struct {
 	// needs1 and needs2 record whether each constituent's reply carries
 	// a value, for traffic accounting.
 	needs1, needs2 bool
+	// reps2 names the second request's leaves so a crash flushing this
+	// record can report exactly which operations lost their reply path.
+	reps2 []core.Leaf
 }
 
 func (m fwdMsg) String() string {

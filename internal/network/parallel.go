@@ -174,6 +174,7 @@ func (s *Sim) mergeShards() {
 		s.stats.RevSlots += sh.st.RevSlots
 		s.stats.MemRequests += sh.st.MemRequests
 		s.stats.MemAcks += sh.st.MemAcks
+		s.stats.Checkpoints += sh.st.Checkpoints
 		if sh.st.MaxOutQueue > s.stats.MaxOutQueue {
 			s.stats.MaxOutQueue = sh.st.MaxOutQueue
 		}

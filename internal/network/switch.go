@@ -114,6 +114,7 @@ func (sw *switchNode) tryAccept(m fwdMsg, outPort int, inPort uint8, st *Stats) 
 			hot2:       second.hot,
 			needs1:     rmw.NeedsValue(first.req.Op),
 			needs2:     rmw.NeedsValue(second.req.Op),
+			reps2:      second.req.Reps,
 		}
 		if sw.wait.Push(tc.Rec.ID1, nr) {
 			*queued = fwdMsg{
@@ -211,6 +212,52 @@ func (sw *switchNode) acceptReply(r revMsg) {
 	if n := len(sw.revQ[port]); n > sw.maxRev {
 		sw.maxRev = n
 	}
+}
+
+// crash flushes the switch's volatile state — forward queues, reverse
+// queues, and the wait buffer's combine records — returning the leaf
+// request ids whose only copy here was lost.  A flushed wait record is a
+// double loss: the second requester's routing state is gone, so even if the
+// combined message's reply returns it passes through (PopMatch finds
+// nothing) and the second requester recovers by retransmitting.
+func (sw *switchNode) crash() []word.ReqID {
+	var ids []word.ReqID
+	addReq := func(req *core.Request) {
+		if req.Reps == nil {
+			ids = append(ids, req.ID)
+			return
+		}
+		for _, lf := range req.Reps {
+			ids = append(ids, lf.ID)
+		}
+	}
+	for port := range sw.outQ {
+		for i := range sw.outQ[port] {
+			addReq(&sw.outQ[port][i].req)
+		}
+		sw.outQ[port] = nil
+		for i := range sw.revQ[port] {
+			rep := &sw.revQ[port][i].rep
+			if rep.Leaves == nil {
+				ids = append(ids, rep.ID)
+				continue
+			}
+			for id := range rep.Leaves {
+				ids = append(ids, id)
+			}
+		}
+		sw.revQ[port] = nil
+	}
+	for _, rec := range sw.wait.Flush() {
+		if rec.reps2 == nil {
+			ids = append(ids, rec.ID2)
+			continue
+		}
+		for _, lf := range rec.reps2 {
+			ids = append(ids, lf.ID)
+		}
+	}
+	return ids
 }
 
 func boolSlots(needs bool) int {

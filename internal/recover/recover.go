@@ -1,0 +1,147 @@
+// Package recover is the crash–restart bookkeeping layer shared by the
+// cycle engines.  The engines own the mechanics — flushing a crashed
+// component's queues and wait buffers, rolling a module back to its last
+// checkpoint (memory.Module.Crash), re-driving lost operations through the
+// exactly-once retry machinery — while the Manager owns the accounting:
+// crash/restore transitions, the set of in-flight operations lost to a
+// flush, and how many of those the retransmit path later re-drove to
+// completion.  Every engine publishes the Manager's counters through the
+// shared faults.Recovery snapshot block, so "did recovery actually recover"
+// is answerable from any Snapshot().
+//
+// Why checkpoint + retry preserves exactly-once semantics: a module in
+// checkpoint mode withholds every reply until the checkpoint covering its
+// execution commits (output commit, memory.Module).  A crash therefore
+// rolls back only operations whose replies never escaped — the issuing
+// processors are still waiting, their retry trackers still hold the
+// requests, and the capped-backoff retransmits re-execute them at the
+// module's (single) recovered serialization point.  Operations whose
+// replies did escape are committed by construction; their retransmits hit
+// the committed reply cache and are answered without re-execution.  No
+// completion is lost and none duplicates — the same M2 argument as the
+// message-loss plans, extended to component loss.
+package recover
+
+import (
+	"sync"
+
+	"combining/internal/faults"
+	"combining/internal/word"
+)
+
+// Manager accounts one run's crash–restart activity.  A nil Manager is the
+// no-crash run: every method is a no-op and Counters returns the zero
+// block.
+type Manager struct {
+	mu sync.Mutex
+
+	every int64
+
+	crashes  int64
+	restores int64
+	replayed int64
+	lost     map[word.ReqID]struct{}
+	lostN    int64
+}
+
+// New builds a Manager with checkpoint period every (cycles).
+func New(every int64) *Manager {
+	if every <= 0 {
+		every = 64
+	}
+	return &Manager{every: every, lost: make(map[word.ReqID]struct{})}
+}
+
+// Every returns the checkpoint period in cycles.
+func (m *Manager) Every() int64 { return m.every }
+
+// CheckpointDue reports whether a checkpoint commits this cycle — a pure
+// function of the cycle so every Workers width checkpoints identically.
+func (m *Manager) CheckpointDue(cycle int64) bool {
+	return m != nil && cycle > 0 && cycle%m.every == 0
+}
+
+// NoteCrash records one component entering a crash window.
+func (m *Manager) NoteCrash() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.crashes++
+	m.mu.Unlock()
+}
+
+// NoteRestore records one component rejoining after its dead time.
+func (m *Manager) NoteRestore() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.restores++
+	m.mu.Unlock()
+}
+
+// NoteLost records leaf request ids flushed by a crash (queued messages,
+// wait-buffer trees, rolled-back executions, withheld replies).  Each id
+// counts once however many components lose copies of it, and only while the
+// tracker still owes it a delivery — a flushed duplicate of an operation
+// whose original reply already arrived is redundant state, not lost work,
+// and will never be re-driven.
+func (m *Manager) NoteLost(trk *faults.Tracker, ids []word.ReqID) {
+	if m == nil || len(ids) == 0 {
+		return
+	}
+	m.mu.Lock()
+	for _, id := range ids {
+		if trk != nil && !trk.Live(id) {
+			continue
+		}
+		if _, ok := m.lost[id]; !ok {
+			m.lost[id] = struct{}{}
+			m.lostN++
+		}
+	}
+	m.mu.Unlock()
+}
+
+// NoteDelivered marks a completion: if the operation had been lost to a
+// crash, it was re-driven by the retry machinery and counts as replayed.
+func (m *Manager) NoteDelivered(id word.ReqID) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	if _, ok := m.lost[id]; ok {
+		delete(m.lost, id)
+		m.replayed++
+	}
+	m.mu.Unlock()
+}
+
+// Outstanding reports lost operations not yet re-driven to completion.
+func (m *Manager) Outstanding() int {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	return len(m.lost)
+}
+
+// Counters publishes the crash–restart block for the fault snapshot
+// schema.
+func (m *Manager) Counters() faults.Recovery {
+	if m == nil {
+		return faults.Recovery{}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	return faults.Recovery{
+		Crashes:      m.crashes,
+		Restores:     m.restores,
+		Replayed:     m.replayed,
+		LostInFlight: m.lostN,
+	}
+}

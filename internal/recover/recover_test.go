@@ -1,0 +1,85 @@
+package recover
+
+import (
+	"testing"
+
+	"combining/internal/faults"
+	"combining/internal/word"
+)
+
+func TestNilManagerIsInert(t *testing.T) {
+	var m *Manager
+	m.NoteCrash()
+	m.NoteRestore()
+	m.NoteLost(nil, []word.ReqID{1, 2})
+	m.NoteDelivered(1)
+	if m.CheckpointDue(64) {
+		t.Error("nil manager reported a checkpoint due")
+	}
+	if m.Outstanding() != 0 {
+		t.Error("nil manager has outstanding losses")
+	}
+	if got := m.Counters(); got != (faults.Recovery{}) {
+		t.Errorf("nil manager counters = %+v, want zero", got)
+	}
+}
+
+func TestCheckpointCadence(t *testing.T) {
+	m := New(10)
+	if m.CheckpointDue(0) {
+		t.Error("checkpoint due at cycle 0")
+	}
+	for _, c := range []int64{10, 20, 1000} {
+		if !m.CheckpointDue(c) {
+			t.Errorf("checkpoint not due at cycle %d", c)
+		}
+	}
+	for _, c := range []int64{1, 9, 11, 1001} {
+		if m.CheckpointDue(c) {
+			t.Errorf("checkpoint due at off-period cycle %d", c)
+		}
+	}
+	if New(0).Every() != 64 {
+		t.Errorf("default period = %d, want 64", New(0).Every())
+	}
+}
+
+func TestLostReplayedLedger(t *testing.T) {
+	m := New(64)
+	m.NoteCrash()
+	m.NoteLost(nil, []word.ReqID{1, 2, 2, 3}) // dup in one flush counts once
+	m.NoteLost(nil, []word.ReqID{3})          // second component losing a copy counts once
+	m.NoteRestore()
+	if got := m.Outstanding(); got != 3 {
+		t.Fatalf("Outstanding = %d, want 3", got)
+	}
+	m.NoteDelivered(2)
+	m.NoteDelivered(2) // double delivery of the same id counts once
+	m.NoteDelivered(9) // never-lost id is not a replay
+	got := m.Counters()
+	want := faults.Recovery{Crashes: 1, Restores: 1, Replayed: 1, LostInFlight: 3}
+	if got != want {
+		t.Fatalf("counters = %+v, want %+v", got, want)
+	}
+	// An id lost again after delivery is new lost work.
+	m.NoteLost(nil, []word.ReqID{2})
+	m.NoteDelivered(2)
+	got = m.Counters()
+	if got.LostInFlight != 4 || got.Replayed != 2 {
+		t.Fatalf("re-lost id: counters = %+v, want lost 4 replayed 2", got)
+	}
+	if m.Outstanding() != 2 {
+		t.Fatalf("Outstanding = %d, want 2 (ids 1 and 3)", m.Outstanding())
+	}
+}
+
+func TestNoteLostFiltersDeliveredViaTracker(t *testing.T) {
+	// A tracker that no longer owes id 5 a delivery: flushing a stale copy
+	// of it is not lost work.
+	trk := faults.NewTracker(faults.NewInjector(faults.Plan{Seed: 1}))
+	m := New(64)
+	m.NoteLost(trk, []word.ReqID{5})
+	if got := m.Counters().LostInFlight; got != 0 {
+		t.Fatalf("lost_in_flight = %d for an untracked id, want 0", got)
+	}
+}

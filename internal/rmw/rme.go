@@ -1,0 +1,48 @@
+package rmw
+
+import "combining/internal/word"
+
+// Recoverable mutual exclusion (RME) over the full/empty-bit operations of
+// Section 5.5: a lock is one tagged word whose Full bit means "held" and
+// whose value names the holder.  All three protocol operations are
+// two-state Tables, so they ride the combining network like any other RMW —
+// colliding acquires combine in the switches, and under a hot lock the NAKs
+// fan back out of one memory access.
+//
+// The lock is *recoverable* because its entire state lives in the one
+// memory word the atomic acquire writes: after a crash anywhere in the
+// system, ownership is reconstructible from memory alone.  A processor
+// whose acquire was in flight when a component died simply lets the
+// exactly-once retry machinery re-drive the request: if the original
+// executed and its reply escaped, the reply cache re-answers it; if the
+// execution was rolled back to a checkpoint, the retransmit re-executes at
+// the recovered module.  Either way the acquire takes effect exactly once,
+// and RMEInspect recovers the outcome when the reply itself was what got
+// lost.
+
+// RMEAcquire returns the lock-acquire operation for the given owner id:
+// store-if-clear-and-set.  On an Empty (free) lock it stores the owner id
+// and sets Full; on a Full lock it fails, leaving the word untouched.  The
+// reply's old word decides the outcome — see RMEAcquired.
+func RMEAcquire(owner int64) Table { return FEStoreIfClearSet(owner) }
+
+// RMERelease returns the lock-release operation: store-and-clear, resetting
+// the word to (0, Empty).  Only the holder may issue it.
+func RMERelease() Table { return FEStoreClear(0) }
+
+// RMEInspect returns the recovery probe: a plain full/empty load.  A
+// processor recovering from a lost acquire reply reads the lock word and
+// applies RMEHolder to learn whether its (exactly-once) acquire took
+// effect before the crash.
+func RMEInspect() Table { return FELoad() }
+
+// RMEAcquired decodes an acquire reply: the operation succeeded exactly
+// when the old word was Empty.  A Full old tag is the negative
+// acknowledgment; its value names who held the lock.
+func RMEAcquired(old word.Word) bool { return old.Tag == word.Empty }
+
+// RMEHolder decodes a lock word (an RMEInspect reply or a NAKed acquire's
+// old value): the current owner id and whether the lock is held at all.
+func RMEHolder(w word.Word) (owner int64, held bool) {
+	return w.Val, w.Tag == word.Full
+}

@@ -1,0 +1,100 @@
+package rmw
+
+import (
+	"testing"
+
+	"combining/internal/word"
+)
+
+// The RME operations are plain full/empty tables; these tests pin their
+// shapes, the acquire/NAK decoding, and the combining behavior colliding
+// acquires rely on (the second of two combined acquires must see the
+// first's Full and decode as a NAK naming the first owner).
+
+func TestRMEShapes(t *testing.T) {
+	for _, c := range []struct {
+		op   Table
+		want string
+	}{
+		{RMEAcquire(3), "fe-store-if-clear-and-set"},
+		{RMERelease(), "fe-store-and-clear"},
+		{RMEInspect(), "fe-load"},
+	} {
+		got, ok := FEKind(c.op)
+		if !ok || got != c.want {
+			t.Errorf("FEKind(%v) = (%q, %v), want %q", c.op, got, ok, c.want)
+		}
+	}
+}
+
+func TestRMEAcquireReleaseSemantics(t *testing.T) {
+	free := word.Word{}
+	// Acquire on a free lock: succeeds, word becomes (owner, Full).
+	after := RMEAcquire(7).Apply(free)
+	if !RMEAcquired(free) {
+		t.Error("old Empty word did not decode as acquired")
+	}
+	if owner, held := RMEHolder(after); !held || owner != 7 {
+		t.Errorf("after acquire: holder = (%d, %v), want (7, true)", owner, held)
+	}
+	// Second acquire: word unchanged, old value decodes as a NAK naming
+	// the holder.
+	after2 := RMEAcquire(9).Apply(after)
+	if after2 != after {
+		t.Errorf("NAKed acquire changed the word: %v -> %v", after, after2)
+	}
+	if RMEAcquired(after) {
+		t.Error("old Full word decoded as acquired")
+	}
+	if owner, held := RMEHolder(after); !held || owner != 7 {
+		t.Errorf("NAK names holder (%d, %v), want (7, true)", owner, held)
+	}
+	// Release frees the lock for the next acquire.
+	freed := RMERelease().Apply(after)
+	if _, held := RMEHolder(freed); held {
+		t.Errorf("released word still held: %v", freed)
+	}
+	if !RMEAcquired(freed) {
+		t.Error("released word refuses a fresh acquire")
+	}
+}
+
+func TestRMECombinedAcquires(t *testing.T) {
+	// Two acquires colliding in a switch combine into one table; the
+	// serialization executes owner 1 first, then owner 2.  Decombining
+	// hands each constituent its own old value: owner 1 sees Empty (won),
+	// owner 2 sees (1, Full) — a NAK naming the winner.
+	a1, a2 := RMEAcquire(1), RMEAcquire(2)
+	comb, ok := Compose(a1, a2)
+	if !ok {
+		t.Fatal("colliding acquires did not combine")
+	}
+	free := word.Word{}
+	after := comb.Apply(free)
+	if owner, held := RMEHolder(after); !held || owner != 1 {
+		t.Fatalf("combined acquire left %v, want (1, Full)", after)
+	}
+	if !RMEAcquired(free) {
+		t.Error("first constituent's old value is not a win")
+	}
+	mid := a1.Apply(free) // the second constituent's old value, f(old)
+	if RMEAcquired(mid) {
+		t.Error("second constituent's old value is not a NAK")
+	}
+	if owner, _ := RMEHolder(mid); owner != 1 {
+		t.Errorf("second constituent's NAK names %d, want 1", owner)
+	}
+}
+
+func TestRMEInspectRecoversOutcome(t *testing.T) {
+	// The recovery probe: after a lost acquire reply, the owner reads the
+	// lock word.  Inspect must not disturb it.
+	held := RMEAcquire(5).Apply(word.Word{})
+	probe := RMEInspect().Apply(held)
+	if probe != held {
+		t.Errorf("inspect disturbed the lock word: %v -> %v", held, probe)
+	}
+	if owner, h := RMEHolder(held); !h || owner != 5 {
+		t.Errorf("recovery probe decodes (%d, %v), want (5, true)", owner, h)
+	}
+}
