@@ -7,7 +7,9 @@ all: vet test
 # check is the CI gate: build everything, vet, lint (when staticcheck is
 # on PATH; CI installs it, local runs skip it silently otherwise), run
 # the full test suite under the race detector, then the crash–restart
-# soak (checkpointed recovery on every wiring, crash-only and crash+drop).
+# soak (checkpointed recovery on every wiring, crash-only and crash+drop)
+# and the chaos fuzzer (randomized adversarial fault plans on all six
+# wirings, with the vacuous-pass guard).
 check:
 	go build ./...
 	go vet ./...
@@ -15,6 +17,7 @@ check:
 	else echo "staticcheck not installed; skipping (CI runs it)"; fi
 	go test -race ./...
 	go run -race ./cmd/check -quick -crash
+	go run -race ./cmd/check -quick -chaos
 
 test:
 	go test ./...

@@ -35,8 +35,20 @@
 // serializability, and the crash machinery demonstrably engaging
 // (nonzero crashes/restores/checkpoints across the soak).
 //
+// With -chaos it runs the fault-plan fuzzer (experiment E17): -rounds
+// sampled plans per wiring, each mixing every fault kind — drops, stalls,
+// slowdowns, crashes, reordering, duplication, corruption — under seeded
+// randomized programs on all six wirings.  Any invariant violation is
+// shrunk to a minimal scenario (windows dropped, fault kinds zeroed,
+// probabilities halved) and reported as a `cmd/replay -chaos` command
+// line that replays it deterministically.  A soak in which an adversarial
+// fault kind never fired is a vacuous pass and fails.  -canary arms a
+// named seeded bug (e.g. "nodedup", which disables reply-cache dedup) in
+// every sampled plan, to prove the fuzzer finds and shrinks real bugs.
+//
 // Usage: check [-rounds 50] [-procs 16] [-ops 20] [-addrs 4] [-seed 1]
-// [-quick] [-faults] [-overload] [-parallel] [-crash] [-v]
+// [-quick] [-faults] [-overload] [-parallel] [-crash] [-chaos]
+// [-canary nodedup] [-v]
 package main
 
 import (
@@ -63,9 +75,15 @@ func main() {
 		overload = flag.Bool("overload", false, "deadlock-freedom soak: every queue at capacity 1 on all four engines")
 		parallel = flag.Bool("parallel", false, "determinism soak: cycle engines at Workers = 1, 2, 4 must match byte-for-byte")
 		doCrash  = flag.Bool("crash", false, "crash–restart soak: checkpointed recovery on every wiring, crash-only and crash+drop")
+		doChaos  = flag.Bool("chaos", false, "fault-plan fuzzer: sampled plans mixing every fault kind on all six wirings; violations shrink to a replayable reproducer")
+		canary   = flag.String("canary", "", "arm a named seeded bug (e.g. nodedup) in every chaos plan — the fuzzer must find and shrink it")
 		verbose  = flag.Bool("v", false, "log every execution")
 	)
 	flag.Parse()
+	if *canary != "" && !*doChaos {
+		fmt.Fprintf(os.Stderr, "check: -canary %s without -chaos — nothing to fuzz\n", *canary)
+		os.Exit(2)
+	}
 	if *quick {
 		*rounds, *procs, *ops = 6, 8, 12
 	}
@@ -103,6 +121,11 @@ func main() {
 		cc, cf := crashSoak(*rounds, *procs, *ops, *addrs, *seed, *verbose)
 		checked += cc
 		failed += cf
+	}
+	if *doChaos {
+		hc, hf := chaosSoak(*rounds, *seed, *canary, *verbose)
+		checked += hc
+		failed += hf
 	}
 	fmt.Printf("\n%d executions checked, %d failures\n", checked, failed)
 	if failed > 0 {
@@ -704,6 +727,62 @@ func parallelSoak(rounds, procs, ops, addrs int, seed uint64, verbose bool) (che
 			fmt.Printf("%-26s %d executions verified\n", name, rounds)
 		}
 	}
+	return checked, failed
+}
+
+// chaosSoak runs the fault-plan fuzzer (experiment E17): rounds sampled
+// plans per wiring, all seven fault kinds in the mix, seeded randomized
+// programs, and the full invariant battery per run.  Violations are shrunk
+// to a minimal scenario and reported as a cmd/replay command line.  The
+// fuzz seed is -seed, so a CI failure replays with the same flags; the
+// vacuous-pass guard fails the soak if any adversarial fault kind never
+// fired across the whole budget.
+func chaosSoak(rounds int, seed uint64, canary string, verbose bool) (checked, failed int) {
+	wirings := combining.ChaosWirings()
+	total := map[string]int64{}
+	violations := 0
+	index := 0
+	for round := 0; round < rounds; round++ {
+		for _, topo := range wirings {
+			sc := combining.NewChaosScenario(topo, seed, index)
+			index++
+			if canary != "" {
+				sc.Plan.Canary = canary
+			}
+			counters, err := combining.RunChaos(sc)
+			checked++
+			for k, v := range counters {
+				total[k] += v
+			}
+			if err != nil {
+				violations++
+				shrunk, runs := combining.ShrinkChaos(sc, 200)
+				fmt.Printf("FAIL chaos %s #%d: %v\n", topo, index-1, err)
+				fmt.Printf("     shrunk after %d reruns to %d fault window(s): %v\n",
+					runs, combining.ChaosWindows(shrunk.Plan), shrunk.Plan)
+				fmt.Printf("     replay: %s\n", combining.ChaosRepro(shrunk))
+				failed++
+				continue
+			}
+			if verbose {
+				fmt.Printf("ok   chaos %s #%d: %d faults (%d reordered, %d dup, %d corrupt-dropped)\n",
+					topo, index-1, counters["faults_injected"], counters["reordered_held"],
+					counters["dup_injected"], counters["corrupt_dropped"])
+			}
+		}
+	}
+	for _, key := range []string{"faults_injected", "reordered_held", "dup_injected", "corrupt_dropped"} {
+		if total[key] == 0 {
+			fmt.Printf("FAIL chaos: vacuous soak — %s is zero across %d scenarios\n", key, checked)
+			failed++
+		}
+	}
+	if canary != "" && violations == 0 {
+		fmt.Printf("FAIL chaos: canary %q armed but no violation found across %d scenarios\n", canary, checked)
+		failed++
+	}
+	fmt.Printf("%-18s %d scenarios fuzzed on %d wirings (%d faults injected, %d violations)\n",
+		"chaos", checked, len(wirings), total["faults_injected"], violations)
 	return checked, failed
 }
 

@@ -6,12 +6,19 @@
 //	combsim [-n 64] [-rate 0.6] [-cycles 4000] [-window 4] [-seed 1]
 //	        [-h 0,0.0625,0.125,0.25] [-queue 4] [-revqueue 0] [-memqueue 0]
 //	        [-adaptive] [-csv] [-topology omega|fattree|hypercube|torus|bus]
-//	        [-drop 0.01] [-crash 0] [-crashseed 0] [-workers 1]
+//	        [-drop 0.01] [-crash 0] [-crashseed 0] [-plan <spec>] [-workers 1]
 //
 // With -drop > 0 the sweep runs under a deterministic fault plan (that
 // drop probability per forward and reply hop, seeded by -seed) and the
 // engine's retransmit/dedup recovery layer — the E13 degradation curve
 // at the command line.
+//
+// With -plan the sweep runs under an explicit fault plan written as the
+// comma-joined key=value spec EncodeFaultPlan emits — including the
+// adversarial delivery kinds (reorder, dup, corrupt) the shorthand flags
+// cannot express.  -plan is exclusive with -drop and -crash, and
+// adversarial plans require -workers 1 (the serial stepper defines limbo
+// release order).
 //
 // With -crash > 0 the plan additionally schedules that many seeded
 // crash–restart windows of each kind (switch, memory module, link) across
@@ -66,6 +73,7 @@ func main() {
 		drop      = flag.Float64("drop", 0, "per-hop drop probability (arms the fault/recovery layer)")
 		crash     = flag.Int("crash", 0, "crash–restart windows of each kind to schedule (0 = none)")
 		crashseed = flag.Uint64("crashseed", 0, "seed for the crash schedule (0 = reuse -seed)")
+		planSpec  = flag.String("plan", "", "explicit fault-plan spec (comma-joined key=value; exclusive with -drop/-crash)")
 		workers   = flag.Int("workers", 1, "goroutines sharding each cycle's engine work (0/1 = serial)")
 	)
 	flag.Parse()
@@ -100,6 +108,9 @@ func main() {
 	if *crashseed != 0 && *crash == 0 {
 		fail("-crashseed %d without -crash — nothing to schedule", *crashseed)
 	}
+	if *planSpec != "" && (*drop > 0 || *crash > 0) {
+		fail("-plan is exclusive with -drop and -crash — the spec carries the whole plan")
+	}
 
 	var hs []float64
 	for _, s := range strings.Split(*hList, ",") {
@@ -130,6 +141,12 @@ func main() {
 		return inj
 	}
 	var plan *combining.FaultPlan
+	if *planSpec != "" {
+		var err error
+		if plan, err = combining.ParseFaultPlan(*planSpec); err != nil {
+			fail("%v", err)
+		}
+	}
 	if *drop > 0 {
 		// A long base timeout keeps retransmits about real drops rather
 		// than congestion delay (see the E13 bench).

@@ -38,6 +38,179 @@ type benchReport struct {
 	Topology    []topologyPoint    `json:"topology_sweep"`
 	Recovery    []recoveryPoint    `json:"recovery_curve"`
 	RMEAcquire  []rmePoint         `json:"rme_acquire_latency"`
+	Zipf        []zipfPoint        `json:"zipf_sweep"`
+	Bursty      []burstyPoint      `json:"bursty_sweep"`
+	Adversarial []adversarialPoint `json:"adversarial_degradation"`
+}
+
+// zipfPoint is one cell of the Zipfian-popularity sweep: the two-class
+// hot/uniform split replaced by a power-law address distribution, so
+// combining meets a graded head instead of one hot cell.  The exponent s
+// sweeps from uniform-ish to hot-spot-like; rank 0 carries the hot tally.
+type zipfPoint struct {
+	Procs       int     `json:"procs"`
+	ZipfS       float64 `json:"zipf_s"`
+	ZipfN       int     `json:"zipf_n"`
+	Combining   bool    `json:"combining"`
+	Cycles      int     `json:"cycles"`
+	Bandwidth   float64 `json:"bandwidth_ops_per_cycle"`
+	MeanLatency float64 `json:"mean_latency_cycles"`
+	P99Latency  float64 `json:"p99_latency_cycles"`
+	Combines    int64   `json:"combines"`
+	HostCPUs    int     `json:"host_cpus"`
+
+	Snapshot combining.StatsSnapshot `json:"snapshot"`
+}
+
+// benchZipf runs one Zipfian-sweep cell on the omega network.
+func benchZipf(n int, s float64, zipfN int, comb bool, cycles int) zipfPoint {
+	waitCap := 0
+	if comb {
+		waitCap = combining.Unbounded
+	}
+	inj := make([]combining.Injector, n)
+	for p := 0; p < n; p++ {
+		inj[p] = combining.NewStochastic(p, n, combining.TrafficConfig{
+			Rate: 0.6, ZipfN: zipfN, ZipfS: s,
+		}, 1)
+	}
+	sim := combining.NewSim(combining.NetConfig{Procs: n, QueueCap: 4, WaitBufCap: waitCap}, inj)
+	sim.Run(cycles)
+	st := sim.Stats()
+	snap := sim.Snapshot()
+	return zipfPoint{
+		Procs:       n,
+		ZipfS:       s,
+		ZipfN:       zipfN,
+		Combining:   comb,
+		Cycles:      cycles,
+		Bandwidth:   st.Bandwidth(),
+		MeanLatency: st.MeanLatency(),
+		P99Latency:  st.Percentile(0.99),
+		Combines:    snap.Counters["combines"],
+		HostCPUs:    runtime.NumCPU(),
+		Snapshot:    snap,
+	}
+}
+
+// burstyPoint is one cell of the on/off burst sweep: every processor
+// issues only during the first BurstOn cycles of each BurstOn+BurstOff
+// period, in phase (the worst case — the whole machine slams the network
+// at once, then goes quiet).  Duty cycle is held near 1/2 while the
+// period sweeps, so the point isolates burst *coarseness* at fixed
+// offered load.
+type burstyPoint struct {
+	Procs       int     `json:"procs"`
+	BurstOn     int64   `json:"burst_on_cycles"`
+	BurstOff    int64   `json:"burst_off_cycles"`
+	Combining   bool    `json:"combining"`
+	Cycles      int     `json:"cycles"`
+	Bandwidth   float64 `json:"bandwidth_ops_per_cycle"`
+	MeanLatency float64 `json:"mean_latency_cycles"`
+	P99Latency  float64 `json:"p99_latency_cycles"`
+	HostCPUs    int     `json:"host_cpus"`
+
+	Snapshot combining.StatsSnapshot `json:"snapshot"`
+}
+
+// benchBursty runs one burst-sweep cell (on == off == 0 is the steady
+// baseline).
+func benchBursty(n int, on, off int64, comb bool, cycles int) burstyPoint {
+	waitCap := 0
+	if comb {
+		waitCap = combining.Unbounded
+	}
+	inj := make([]combining.Injector, n)
+	for p := 0; p < n; p++ {
+		inj[p] = combining.NewStochastic(p, n, combining.TrafficConfig{
+			Rate: 0.8, HotFraction: 0.25, BurstOn: on, BurstOff: off,
+		}, 1)
+	}
+	sim := combining.NewSim(combining.NetConfig{Procs: n, QueueCap: 4, WaitBufCap: waitCap}, inj)
+	sim.Run(cycles)
+	st := sim.Stats()
+	snap := sim.Snapshot()
+	return burstyPoint{
+		Procs:       n,
+		BurstOn:     on,
+		BurstOff:    off,
+		Combining:   comb,
+		Cycles:      cycles,
+		Bandwidth:   st.Bandwidth(),
+		MeanLatency: st.MeanLatency(),
+		P99Latency:  st.Percentile(0.99),
+		HostCPUs:    runtime.NumCPU(),
+		Snapshot:    snap,
+	}
+}
+
+// adversarialPoint is one cell of the E17 adversarial-degradation curve:
+// hot-spot traffic while terminal links reorder, duplicate, and corrupt
+// messages at the given per-hop rate, the integrity layer quarantining
+// what fails its checksum and the retry/dedup machinery keeping delivery
+// exactly-once.  The curve shows what end-to-end integrity costs as the
+// delivery substrate turns hostile.
+type adversarialPoint struct {
+	Procs          int     `json:"procs"`
+	HotFraction    float64 `json:"hot_fraction"`
+	AdversaryRate  float64 `json:"adversary_rate_per_kind"`
+	Combining      bool    `json:"combining"`
+	Cycles         int     `json:"cycles"`
+	Bandwidth      float64 `json:"bandwidth_ops_per_cycle"`
+	MeanLatency    float64 `json:"mean_latency_cycles"`
+	P99Latency     float64 `json:"p99_latency_cycles"`
+	FaultsInjected int64   `json:"faults_injected"`
+	ReorderedHeld  int64   `json:"reordered_held"`
+	DupInjected    int64   `json:"dup_injected"`
+	CorruptDropped int64   `json:"corrupt_dropped"`
+	Retries        int64   `json:"retries"`
+	DedupHits      int64   `json:"dedup_hits"`
+	HostCPUs       int     `json:"host_cpus"`
+
+	Snapshot combining.StatsSnapshot `json:"snapshot"`
+}
+
+// benchAdversarial runs one adversarial-degradation cell: rate arms
+// reorder, duplication, and corruption equally (adversarial plans pin the
+// serial stepper, which is the default here).
+func benchAdversarial(n int, h, rate float64, comb bool, cycles int) adversarialPoint {
+	waitCap := 0
+	if comb {
+		waitCap = combining.Unbounded
+	}
+	var plan *combining.FaultPlan
+	if rate > 0 {
+		plan = &combining.FaultPlan{
+			Seed: 13, Reorder: rate, ReorderMax: 8, Dup: rate, Corrupt: rate,
+			RetryTimeout: 512,
+		}
+	}
+	inj := make([]combining.Injector, n)
+	for p := 0; p < n; p++ {
+		inj[p] = combining.NewStochastic(p, n, combining.TrafficConfig{Rate: 0.6, HotFraction: h}, 1)
+	}
+	sim := combining.NewSim(combining.NetConfig{Procs: n, QueueCap: 4, WaitBufCap: waitCap, Faults: plan}, inj)
+	sim.Run(cycles)
+	st := sim.Stats()
+	snap := sim.Snapshot()
+	return adversarialPoint{
+		Procs:          n,
+		HotFraction:    h,
+		AdversaryRate:  rate,
+		Combining:      comb,
+		Cycles:         cycles,
+		Bandwidth:      st.Bandwidth(),
+		MeanLatency:    st.MeanLatency(),
+		P99Latency:     st.Percentile(0.99),
+		FaultsInjected: snap.Counters["faults_injected"],
+		ReorderedHeld:  snap.Counters["reordered_held"],
+		DupInjected:    snap.Counters["dup_injected"],
+		CorruptDropped: snap.Counters["corrupt_dropped"],
+		Retries:        snap.Counters["retries"],
+		DedupHits:      snap.Counters["dedup_hits"],
+		HostCPUs:       runtime.NumCPU(),
+		Snapshot:       snap,
+	}
 }
 
 // topologyPoint is one cell of the topology sweep: the same hot-spot
@@ -350,6 +523,32 @@ func runBench() {
 		rep.RMEAcquire = append(rep.RMEAcquire, benchRME(rmeN, rmeRounds, windows))
 	}
 
+	zipfN, zipfCycles := 64, hotCycles
+	if *quick {
+		zipfN = 16
+	}
+	for _, s := range []float64{0, 0.8, 1.2} {
+		for _, comb := range []bool{false, true} {
+			rep.Zipf = append(rep.Zipf, benchZipf(zipfN, s, 16, comb, zipfCycles))
+		}
+	}
+
+	for _, burst := range []struct{ on, off int64 }{{0, 0}, {20, 20}, {100, 100}, {400, 400}} {
+		for _, comb := range []bool{false, true} {
+			rep.Bursty = append(rep.Bursty, benchBursty(zipfN, burst.on, burst.off, comb, 2*zipfCycles))
+		}
+	}
+
+	advN, advCycles := 64, hotCycles
+	if *quick {
+		advN = 16
+	}
+	for _, rate := range []float64{0, 0.005, 0.01, 0.02} {
+		for _, comb := range []bool{false, true} {
+			rep.Adversarial = append(rep.Adversarial, benchAdversarial(advN, 0.125, rate, comb, advCycles))
+		}
+	}
+
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		panic(err)
@@ -359,8 +558,8 @@ func runBench() {
 		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("bench baseline written to %s (%d hot-spot points, %d permutations, %d async runs, %d degradation points, %d saturation points, %d parallel points, %d topology points, %d recovery points, %d RME points)\n",
-		*benchOut, len(rep.Hotspot), len(rep.Permutation), len(rep.AsyncFAA), len(rep.Degradation), len(rep.Saturation), len(rep.Parallel), len(rep.Topology), len(rep.Recovery), len(rep.RMEAcquire))
+	fmt.Printf("bench baseline written to %s (%d hot-spot points, %d permutations, %d async runs, %d degradation points, %d saturation points, %d parallel points, %d topology points, %d recovery points, %d RME points, %d zipf points, %d bursty points, %d adversarial points)\n",
+		*benchOut, len(rep.Hotspot), len(rep.Permutation), len(rep.AsyncFAA), len(rep.Degradation), len(rep.Saturation), len(rep.Parallel), len(rep.Topology), len(rep.Recovery), len(rep.RMEAcquire), len(rep.Zipf), len(rep.Bursty), len(rep.Adversarial))
 }
 
 // recoveryPoint is one cell of the E16 recovery curve: hot-spot traffic with

@@ -1,15 +1,33 @@
 // Command replay runs a request trace file through the cycle-accurate
-// combining machine.
+// combining machine, or replays one chaos-fuzzer scenario.
 //
 // Usage:
 //
-//	replay -n 16 [-combining] [-queue 4] [-crash 0] [-crashseed 0] trace.txt
+//	replay -n 16 [-topology omega] [-combining] [-queue 4] [-plan <spec>]
+//	       [-crash 0] [-crashseed 0] trace.txt
 //	replay -gen -n 16 -ops 200 -h 0.25   (emit a synthetic trace to stdout)
+//	replay -chaos -topology torus -n 8 -ops 10 -addrs 4 -seed 7 -plan <spec>
 //
 // Trace format: one request per line, "#" comments:
 //
 //	<cycle> <proc> <addr> <op> [arg]
 //	op ∈ load | store v | swap v | add a | or a | and a | xor a | min a | max a
+//
+// -topology picks the wiring: the radix-2 or radix-4 omega network or the
+// fat-tree on the staged engine, the binary hypercube or near-square torus
+// on the direct engine, or the bus machine.
+//
+// -plan replays under an explicit deterministic fault plan, written as the
+// comma-joined key=value spec EncodeFaultPlan emits (e.g.
+// "seed=7,droprev=0.01,dup=0.02,retry=256") — the form the chaos fuzzer's
+// shrunk reproducers travel in.
+//
+// With -chaos the positional trace is replaced by one fuzzer scenario:
+// the seeded randomized workload (-seed, -ops, -addrs) runs under -plan on
+// -topology, the invariant battery runs (completion, per-location
+// serializability against final memory, exactly-once), and a violation
+// prints and exits 1 — replaying a shrunk reproducer deterministically
+// reproduces the bug it was shrunk from.
 //
 // With -crash > 0 the trace replays under a deterministic crash–restart
 // plan: that many seeded crash windows of each kind (switch, memory
@@ -17,6 +35,9 @@
 // everything a crash flushes.  -crashseed seeds the schedule (0 uses the
 // default schedule for seed 1); the same trace under the same crash seed
 // replays identically.
+//
+// Nonsense flag values and flag combinations are rejected at parse time
+// with a one-line error and exit status 2.
 package main
 
 import (
@@ -30,35 +51,73 @@ import (
 
 func main() {
 	var (
-		n         = flag.Int("n", 16, "processors (power of two)")
+		n         = flag.Int("n", 16, "processors (power of two; power of four on -topology omega4)")
+		topo      = flag.String("topology", "omega", "omega, omega4, fattree, hypercube, torus, or bus")
 		comb      = flag.Bool("combining", true, "enable combining")
 		queue     = flag.Int("queue", 4, "switch queue capacity")
 		gen       = flag.Bool("gen", false, "generate a synthetic trace to stdout instead of replaying")
-		genOps    = flag.Int("ops", 200, "requests per processor when generating")
+		ops       = flag.Int("ops", 200, "requests per processor (generation and -chaos workloads)")
 		genHot    = flag.Float64("h", 0.25, "hot fraction when generating")
-		genSeed   = flag.Uint64("seed", 1, "generation seed")
+		seed      = flag.Uint64("seed", 1, "workload seed (generation and -chaos)")
+		addrs     = flag.Int("addrs", 4, "shared addresses for -chaos workloads")
+		chaosRun  = flag.Bool("chaos", false, "replay one chaos-fuzzer scenario instead of a trace (requires -plan)")
+		planSpec  = flag.String("plan", "", "fault-plan spec (comma-joined key=value; see EncodeFaultPlan)")
 		crash     = flag.Int("crash", 0, "crash–restart windows of each kind to schedule (0 = none)")
 		crashseed = flag.Uint64("crashseed", 0, "seed for the crash schedule (0 = seed 1)")
 	)
 	flag.Parse()
 
-	if *crash < 0 {
-		fmt.Fprintf(os.Stderr, "replay: -crash must be ≥ 0 — a count of crash windows, got %d\n", *crash)
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "replay: "+format+"\n", args...)
 		os.Exit(2)
+	}
+	switch *topo {
+	case "omega", "omega4", "fattree", "hypercube", "torus", "bus":
+	default:
+		fail("unknown topology %q (want omega, omega4, fattree, hypercube, torus, or bus)", *topo)
+	}
+	if *crash < 0 {
+		fail("-crash must be ≥ 0 — a count of crash windows, got %d", *crash)
 	}
 	if *crashseed != 0 && *crash == 0 {
-		fmt.Fprintf(os.Stderr, "replay: -crashseed %d without -crash — nothing to schedule\n", *crashseed)
-		os.Exit(2)
+		fail("-crashseed %d without -crash — nothing to schedule", *crashseed)
+	}
+	if *planSpec != "" && *crash > 0 {
+		fail("-plan and -crash both specify the fault plan — pick one")
+	}
+	if *chaosRun {
+		if *gen {
+			fail("-chaos and -gen are exclusive")
+		}
+		if *planSpec == "" {
+			fail("-chaos requires -plan — the scenario's fault plan")
+		}
+		if *addrs < 1 {
+			fail("-addrs must be ≥ 1, got %d", *addrs)
+		}
+		if flag.NArg() != 0 {
+			fail("-chaos takes no trace file")
+		}
+	}
+	var plan *combining.FaultPlan
+	if *planSpec != "" {
+		var err error
+		if plan, err = combining.ParseFaultPlan(*planSpec); err != nil {
+			fail("%v", err)
+		}
 	}
 
+	if *chaosRun {
+		runChaos(*topo, *n, *ops, *addrs, *seed, plan)
+		return
+	}
 	if *gen {
-		generate(*n, *genOps, *genHot, *genSeed)
+		generate(*n, *ops, *genHot, *seed)
 		return
 	}
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "replay: exactly one trace file required (or -gen)")
-		os.Exit(2)
+		fail("exactly one trace file required (or -gen / -chaos)")
 	}
 	f, err := os.Open(flag.Arg(0))
 	if err != nil {
@@ -80,7 +139,6 @@ func main() {
 	if *comb {
 		waitCap = combining.Unbounded
 	}
-	var plan *combining.FaultPlan
 	if *crash > 0 {
 		cs := *crashseed
 		if cs == 0 {
@@ -97,22 +155,37 @@ func main() {
 		plan = combining.GenCrashPlan(cs, *crash, horizon, 80)
 		plan.RetryTimeout = 512
 	}
-	sim := combining.NewSim(combining.NetConfig{Procs: *n, QueueCap: *queue, WaitBufCap: waitCap, Faults: plan}, inj)
+	eng, err := buildEngine(*topo, *n, *queue, waitCap, plan, inj)
+	if err != nil {
+		fail("%v", err)
+	}
 	const maxCycles = 10_000_000
-	cycles := 0
-	for ; cycles < maxCycles; cycles++ {
-		sim.Step()
-		if sim.InFlight() == 0 && allDone(reps) {
+	for cycles := 0; cycles < maxCycles; cycles++ {
+		eng.Step()
+		if eng.InFlight() == 0 && allDone(reps) {
 			break
 		}
 	}
-	st := sim.Stats()
-	fmt.Printf("replayed %d requests on %d processors in %d cycles\n", st.Issued, *n, st.Cycles)
-	fmt.Printf("bandwidth %.3f ops/cycle, mean latency %.1f cycles\n", st.Bandwidth(), st.MeanLatency())
-	fmt.Printf("combines %d, wait-buffer rejects %d, memory accesses %d\n",
-		st.Combines, st.Rejects, st.MemRequests)
+	c := eng.Snapshot().Counters
+	fmt.Printf("replayed %d requests on %d processors (%s) in %d cycles\n",
+		c["issued"], *n, *topo, c["cycles"])
+	cycles := c["cycles"]
+	if cycles == 0 {
+		cycles = 1
+	}
+	fmt.Printf("bandwidth %.3f ops/cycle, combines %d, memory accesses %d\n",
+		float64(c["completed"])/float64(cycles), c["combines"],
+		c["mem_requests"]+c["mem_ops"]+c["bank_ops"])
+	if sim, ok := eng.(*combining.Sim); ok {
+		st := sim.Stats()
+		fmt.Printf("mean latency %.1f cycles, wait-buffer rejects %d\n",
+			st.MeanLatency(), st.Rejects)
+	}
+	if plan != nil {
+		fmt.Printf("faults injected %d, retries %d, dedup hits %d\n",
+			c["faults_injected"], c["retries"], c["dedup_hits"])
+	}
 	if *crash > 0 {
-		c := sim.Snapshot().Counters
 		fmt.Printf("crashes %d, restores %d, checkpoints %d, lost in flight %d, replayed %d\n",
 			c["crashes"], c["restores"], c["checkpoints"],
 			c["lost_in_flight"], c["replayed_requests"])
@@ -121,6 +194,71 @@ func main() {
 		fmt.Fprintln(os.Stderr, "replay: trace did not complete within the cycle bound")
 		os.Exit(1)
 	}
+}
+
+// replayEngine is what trace replay needs from any wiring.
+type replayEngine interface {
+	combining.MachineEngine
+	Snapshot() combining.StatsSnapshot
+}
+
+// buildEngine constructs the selected wiring, validating its config for a
+// one-line error instead of a constructor panic.
+func buildEngine(topo string, n, queue, waitCap int, plan *combining.FaultPlan, inj []combining.Injector) (replayEngine, error) {
+	switch topo {
+	case "omega", "omega4", "fattree":
+		cfg := combining.NetConfig{Procs: n, QueueCap: queue, WaitBufCap: waitCap, Faults: plan}
+		if topo == "omega4" {
+			cfg.Radix = 4
+		}
+		if topo == "fattree" {
+			cfg.Topology = combining.FatTreeTopology(n, 2)
+		}
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		return combining.NewSim(cfg, inj), nil
+	case "hypercube", "torus":
+		cfg := combining.CubeConfig{Nodes: n, QueueCap: queue, WaitBufCap: waitCap, Faults: plan}
+		if topo == "torus" {
+			cfg.Topology = combining.SquareTorusTopology(n)
+		}
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		return combining.NewCubeSim(cfg, inj), nil
+	default:
+		cfg := combining.BusConfig{Procs: n, Banks: 4, QueueCap: queue, WaitBufCap: waitCap, Faults: plan}
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		return combining.NewBusSim(cfg, inj), nil
+	}
+}
+
+// runChaos replays one fuzzer scenario and reports the verdict: exit 0
+// with a counter summary when every invariant holds, exit 1 with the
+// violation when the scenario reproduces a bug.
+func runChaos(topo string, n, ops, addrs int, seed uint64, plan *combining.FaultPlan) {
+	sc := combining.ChaosScenario{
+		Topology: topo, Procs: n, Ops: ops, Addrs: addrs,
+		WorkloadSeed: seed, Plan: plan,
+	}
+	counters, err := combining.RunChaos(sc)
+	if err != nil {
+		fmt.Printf("chaos scenario VIOLATION: %v\n", err)
+		if counters != nil {
+			fmt.Printf("counters: faults %d, retries %d, reordered %d, dup %d, corrupt-dropped %d\n",
+				counters["faults_injected"], counters["retries"], counters["reordered_held"],
+				counters["dup_injected"], counters["corrupt_dropped"])
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("chaos scenario passed on %s: %d ops exactly-once, serializable\n",
+		topo, counters["completed"])
+	fmt.Printf("counters: faults %d, retries %d, reordered %d, dup %d, corrupt-dropped %d\n",
+		counters["faults_injected"], counters["retries"], counters["reordered_held"],
+		counters["dup_injected"], counters["corrupt_dropped"])
 }
 
 func allDone(reps []*combining.ReplayInjector) bool {

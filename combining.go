@@ -21,6 +21,7 @@ package combining
 import (
 	"combining/internal/asyncnet"
 	"combining/internal/busnet"
+	"combining/internal/chaos"
 	"combining/internal/coord"
 	"combining/internal/core"
 	"combining/internal/engine"
@@ -430,12 +431,48 @@ var (
 	// GenCrashPlan derives a seeded crash schedule: n crashes of each
 	// kind scattered over [0, horizon) with the given dead time.
 	GenCrashPlan = faults.GenCrashPlan
+	// DefaultAdversarialPlan is the standard adversarial-delivery soak
+	// plan for a seed: Default's drops and stall windows plus per-link
+	// reordering, network-born duplication, and payload corruption on the
+	// terminal links (DESIGN.md §8).
+	DefaultAdversarialPlan = faults.DefaultAdversarial
+	// EncodeFaultPlan and ParseFaultPlan are the command-line plan codec:
+	// a plan travels as one comma-joined key=value shell word, the form
+	// the chaos fuzzer emits reproducers in and cmd/replay / cmd/combsim
+	// accept back.
+	EncodeFaultPlan = faults.EncodePlan
+	ParseFaultPlan  = faults.ParsePlan
 )
 
 // RecoveryManager is the per-run crash–restart ledger (internal/recover):
 // checkpoint cadence plus the crash/restore/lost/replayed counters every
 // engine folds into its Snapshot under a crash plan.
 type RecoveryManager = recover.Manager
+
+// ---- Chaos fuzzing (internal/chaos) ----
+
+// ChaosScenario is one fuzz case of the randomized fault-plan fuzzer: a
+// wiring, a seeded randomized workload, and a sampled fault plan.  Running
+// a scenario is a pure function of its fields, so violations replay and
+// shrink deterministically.
+type ChaosScenario = chaos.Scenario
+
+var (
+	// ChaosWirings lists the six cycle-engine wirings the fuzzer rotates
+	// through.
+	ChaosWirings = chaos.Wirings
+	// NewChaosScenario derives the index-th scenario of a fuzz run.
+	NewChaosScenario = chaos.NewScenario
+	// RunChaos executes one scenario and returns its snapshot counters
+	// plus the first invariant violation (nil if clean).
+	RunChaos = chaos.Run
+	// ShrinkChaos minimizes a failing scenario under a rerun budget.
+	ShrinkChaos = chaos.Shrink
+	// ChaosWindows counts a plan's fault windows — the shrink metric.
+	ChaosWindows = chaos.Windows
+	// ChaosRepro renders a scenario as a replayable cmd/replay command.
+	ChaosRepro = chaos.ReproCommand
+)
 
 // ---- Asynchronous combining network (internal/asyncnet) ----
 

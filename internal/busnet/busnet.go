@@ -74,6 +74,24 @@ type qmsg struct {
 	hot   bool
 }
 
+// busHeldFwd is a request deferred by link-level reordering on its
+// terminal link (FIFO head → bank); it enters the bank at release, or one
+// cycle later per cycle the bank is crashed or full.
+type busHeldFwd struct {
+	release int64
+	bank    int
+	m       qmsg
+}
+
+// busHeldRev is a reply deferred by link-level reordering on its terminal
+// link (bank → return bus → processor); it is delivered at release.
+type busHeldRev struct {
+	release int64
+	rep     core.Reply
+	src     int
+	issue   int64
+}
+
 type brec struct {
 	core.Record
 	src2   int
@@ -156,6 +174,13 @@ type Sim struct {
 	trk     *faults.Tracker
 	retry   [][]qmsg
 	orphans int64
+	// Adversarial-delivery state (plan.HasAdversarial(); Validate rejects
+	// Workers > 1 with such plans): adv arms the integrity layer on the
+	// terminal links, and fwdLimbo/revLimbo hold reordered messages until
+	// their release cycle (drained serially at the top of step).
+	adv      bool
+	fwdLimbo []busHeldFwd
+	revLimbo []busHeldRev
 
 	// Crash–restart state (crash plans only, nil/false otherwise): rec is
 	// the recovery ledger; busDead and bankDead hold the previous cycle's
@@ -198,6 +223,8 @@ func (c *Config) normalize() error {
 		Banks:    c.Banks,
 		Workers:  c.Workers,
 		Service:  c.BankService,
+		AdversarialSerial: c.Faults != nil && c.Faults.HasAdversarial() &&
+			c.Workers > 1,
 	}
 	if err := spec.Validate(); err != nil {
 		return err
@@ -234,6 +261,9 @@ func NewSim(cfg Config, inj []network.Injector) *Sim {
 		if cfg.Faults.HasCrashes() {
 			memOpts = append(memOpts, memory.WithCheckpoints())
 		}
+		if cfg.Faults.Canary == "nodedup" {
+			memOpts = append(memOpts, memory.WithNoDedupCanary())
+		}
 	}
 	s := &Sim{
 		cfg:     cfg,
@@ -248,6 +278,7 @@ func NewSim(cfg Config, inj []network.Injector) *Sim {
 	if cfg.Faults != nil {
 		s.flt = faults.NewInjector(*cfg.Faults)
 		s.trk = faults.NewTracker(s.flt)
+		s.adv = s.flt.Plan().HasAdversarial()
 		s.retry = make([][]qmsg, cfg.Procs)
 		if plan := s.flt.Plan(); plan.HasCrashes() {
 			s.rec = recover.New(plan.CheckpointEvery)
@@ -409,6 +440,9 @@ func (s *Sim) step() {
 			s.retry[p.Proc] = append(s.retry[p.Proc],
 				qmsg{req: p.Req, src: p.Proc, issue: p.IssueCycle, hot: p.Hot})
 		}
+		if s.adv {
+			s.drainLimbo()
+		}
 	}
 
 	// Bank completions: tick every bank (compute — bank-local), then
@@ -455,6 +489,14 @@ func (s *Sim) step() {
 			if s.flt != nil && (s.flt.DropForward(faults.Site(1, bank, 0), head.req.ID, head.req.Attempt) ||
 				s.flt.DropLinkFwd(1, bank, s.cycle)) {
 				// Request lost on the FIFO-to-bank link.
+			} else if s.adv {
+				if d := s.flt.ReorderDelay(faults.Site(1, bank, 0),
+					head.req.ID, head.req.Attempt); d > 0 {
+					s.fwdLimbo = append(s.fwdLimbo,
+						busHeldFwd{release: s.cycle + d, bank: bank, m: head})
+				} else {
+					s.bankEnter(bank, head)
+				}
 			} else {
 				s.meta[head.req.ID] = head
 				s.mem.Module(bank).Enqueue(head.req)
@@ -608,7 +650,105 @@ func (s *Sim) commitBank(b int, rep core.Reply) {
 		s.flt.DropLinkRev(2, 0, s.cycle)) {
 		return // reply lost on the return path
 	}
+	if s.adv {
+		// The return bus is the adversarial terminal link: stamp at the
+		// bank's output latch (the last trusted hop), then the link may
+		// defer, duplicate, or corrupt before deliverVerified checks it.
+		rep = core.StampReply(rep)
+		if d := s.flt.ReorderDelay(faults.Site(2, 0, m.src), rep.ID, rep.Attempt); d > 0 {
+			s.revLimbo = append(s.revLimbo,
+				busHeldRev{release: s.cycle + d, rep: rep, src: m.src, issue: m.issue})
+			return
+		}
+		s.deliverVerified(rep, m.src, m.issue)
+		return
+	}
 	s.deliver(rep, m.src, m.issue)
+}
+
+// bankEnter crosses the adversarial terminal link into a bank: the
+// request is stamped at the FIFO head (combining is finished there, the
+// last trusted hop), possibly corrupted on the wire, verified, and
+// quarantined on mismatch; the retransmit machinery then repairs the loss
+// exactly-once.  The duplicate draw comes after verification; with the
+// classic BankQueueCap of 1 the second copy usually finds the bank full
+// and vanishes harmlessly, so forward duplication mostly exercises the
+// reply path's orphan accounting on deeper bank queues.
+func (s *Sim) bankEnter(bank int, m qmsg) {
+	m.req = core.StampRequest(m.req)
+	wire := m.req
+	site := faults.Site(1, bank, 0)
+	if mask := s.flt.CorruptMask(site, m.req.ID, m.req.Attempt); mask != 0 {
+		wire = core.CorruptRequest(wire, mask)
+	}
+	if !core.RequestOK(wire) {
+		s.flt.NoteCorruptDropped()
+		return // quarantined: equivalent to a detected drop on this link
+	}
+	s.meta[wire.ID] = m
+	s.mem.Module(bank).Enqueue(wire)
+	s.stats.BankOps++
+	if s.flt.Duplicate(site, wire.ID, wire.Attempt) && s.mem.Module(bank).CanEnqueue() {
+		s.mem.Module(bank).Enqueue(wire)
+		s.stats.BankOps++
+	}
+}
+
+// deliverVerified is the processor side of the adversarial return bus:
+// corrupt on the wire, verify the checksum, quarantine on mismatch (the
+// processor retransmits and the bank reply cache answers), and deliver —
+// twice when the link duplicates, with the tracker suppressing the
+// second copy after decombining consumed the wait records.
+func (s *Sim) deliverVerified(rep core.Reply, src int, issue int64) {
+	site := faults.Site(2, 0, src)
+	wire := rep
+	if mask := s.flt.CorruptMask(site, wire.ID, wire.Attempt); mask != 0 {
+		wire = core.CorruptReply(wire, mask)
+	}
+	if !core.ReplyOK(wire) {
+		s.flt.NoteCorruptDropped()
+		return // quarantined: the retransmit machinery re-drives the op
+	}
+	if s.flt.Duplicate(site, wire.ID, wire.Attempt) {
+		s.deliver(wire, src, issue)
+	}
+	s.deliver(wire, src, issue)
+}
+
+// drainLimbo releases reordered messages whose deferral has elapsed.  It
+// runs serially at the top of step — Validate rejects adversarial plans
+// with Workers > 1 — so release order is defined by the serial sweep.  A
+// forward release finding its bank crashed or full re-holds one cycle
+// (the deferral bound is on the adversarial link, not on ordinary
+// backpressure), and held messages are never re-reordered.
+func (s *Sim) drainLimbo() {
+	if len(s.fwdLimbo) > 0 {
+		keep := s.fwdLimbo[:0]
+		for _, h := range s.fwdLimbo {
+			if h.release > s.cycle {
+				keep = append(keep, h)
+				continue
+			}
+			if (s.bankDead != nil && s.bankDead[h.bank]) || !s.mem.Module(h.bank).CanEnqueue() {
+				h.release = s.cycle + 1
+				keep = append(keep, h)
+				continue
+			}
+			s.bankEnter(h.bank, h.m)
+		}
+		s.fwdLimbo = keep
+	}
+	if len(s.revLimbo) > 0 {
+		keep := s.revLimbo[:0]
+		for _, h := range s.revLimbo {
+			if h.release > s.cycle {
+				keep = append(keep, h)
+				continue
+			}
+			s.deliverVerified(h.rep, h.src, h.issue)
+		}
+		s.revLimbo = keep
+	}
 }
 
 // deliver routes a reply (and its decombined fan-out) back to processors.

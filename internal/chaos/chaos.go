@@ -1,0 +1,392 @@
+// Package chaos is the randomized fault-plan fuzzer behind `cmd/check
+// -chaos`.  It samples deterministic fault plans mixing every fault kind
+// the injector knows — Bernoulli message drops, switch/memory stall
+// windows, crash–restart windows, and the adversarial delivery trio
+// (per-link reordering, network-born duplication, payload corruption) —
+// runs seeded randomized programs under each plan on any of the six
+// cycle-engine wirings, and checks the invariants the recovery and
+// integrity layers promise: the programs complete, the history is
+// per-location serializable against final memory (Theorem 4.2), and RMW
+// semantics are exactly-once (issued == completed with nothing left in
+// flight).
+//
+// On a violation, Shrink minimizes the scenario while it still fails:
+// fault windows are dropped one at a time, whole fault kinds are zeroed,
+// and the surviving probabilities are halved to the smallest value that
+// still reproduces.  Because every probabilistic fault decision is a
+// fixed-threshold hash of (seed, kind, site, id, attempt), lowering a
+// probability keeps a strict subset of the original faults — shrinking
+// narrows the same execution instead of jumping to a different one.
+// ReproCommand renders the result as a `cmd/replay -chaos` command line
+// that replays the minimal scenario deterministically.
+package chaos
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+
+	"combining/internal/busnet"
+	"combining/internal/engine"
+	"combining/internal/faults"
+	"combining/internal/hypercube"
+	"combining/internal/machine"
+	"combining/internal/memory"
+	"combining/internal/network"
+	"combining/internal/rmw"
+	"combining/internal/serial"
+	"combining/internal/stats"
+	"combining/internal/word"
+)
+
+// Scenario is one fuzz case: a wiring, a seeded randomized workload, and a
+// sampled fault plan.  Run is a pure function of the Scenario, so a failing
+// case replays from its fields alone and Shrink can bisect it.
+type Scenario struct {
+	// Topology names the wiring, one of Wirings().
+	Topology string
+	// Procs, Ops and Addrs shape the workload: processors, operations per
+	// processor, and the (hot) shared address range.
+	Procs, Ops, Addrs int
+	// WorkloadSeed keys the randomized programs.
+	WorkloadSeed uint64
+	// Plan is the fault plan under test.
+	Plan *faults.Plan
+}
+
+// Wirings lists the six cycle-engine wirings the fuzzer rotates through:
+// the radix-2 and radix-4 omega networks and the fat-tree on the staged
+// engine, the bus machine, and the hypercube and torus on the direct
+// engine.
+func Wirings() []string {
+	return []string{"omega", "omega4", "fattree", "bus", "hypercube", "torus"}
+}
+
+// maxCycles bounds one scenario run; sampled windows end by cycle ~2100
+// and the workloads are tiny, so a run that needs more than this is wedged.
+const maxCycles = 1_000_000
+
+// NewScenario derives the index-th scenario of a fuzz run: every field is
+// a pure function of (topology, fuzzSeed, index), so a fuzz run replays
+// from its seed and the failing index alone.  The radix-4 omega needs a
+// power-of-four processor count and gets a shorter program — the
+// serializability checker's search grows steeply with operations per hot
+// address.
+func NewScenario(topology string, fuzzSeed uint64, index int) Scenario {
+	rng := rand.New(rand.NewPCG(fuzzSeed, uint64(index)*0x9e3779b97f4a7c15+0x1f83d9ab))
+	procs, ops := 8, 10
+	if topology == "omega4" {
+		procs, ops = 16, 6
+	}
+	return Scenario{
+		Topology:     topology,
+		Procs:        procs,
+		Ops:          ops,
+		Addrs:        4,
+		WorkloadSeed: rng.Uint64(),
+		Plan:         samplePlan(rng),
+	}
+}
+
+// samplePlan draws one mixed fault plan: each kind is present with
+// probability well under one, so plans vary from single-kind to
+// everything-at-once, and every window lands early enough to overlap the
+// short workloads.  The retry timeout is long so retransmits are about
+// real losses, not congestion.
+func samplePlan(rng *rand.Rand) *faults.Plan {
+	p := &faults.Plan{Seed: rng.Uint64(), RetryTimeout: 256}
+	if rng.Float64() < 0.7 {
+		p.DropFwd = 0.002 + 0.018*rng.Float64()
+	}
+	if rng.Float64() < 0.7 {
+		p.DropRev = 0.002 + 0.018*rng.Float64()
+	}
+	if rng.Float64() < 0.7 {
+		p.Reorder = 0.005 + 0.045*rng.Float64()
+		p.ReorderMax = int64(4 + rng.IntN(13))
+	}
+	if rng.Float64() < 0.7 {
+		p.Dup = 0.005 + 0.025*rng.Float64()
+	}
+	if rng.Float64() < 0.7 {
+		p.Corrupt = 0.005 + 0.025*rng.Float64()
+	}
+	win := func(stage, index int) faults.Window {
+		from := int64(rng.IntN(2000))
+		return faults.Window{Stage: stage, Index: index, From: from, To: from + int64(40+rng.IntN(80))}
+	}
+	for i := rng.IntN(3); i > 0; i-- {
+		p.Stalls = append(p.Stalls, win(-1, rng.IntN(4)))
+	}
+	for i := rng.IntN(3); i > 0; i-- {
+		p.MemStalls = append(p.MemStalls, win(-1, rng.IntN(4)))
+	}
+	if rng.Float64() < 0.4 {
+		p.Crashes = append(p.Crashes, win(0, rng.IntN(4)))
+	}
+	if rng.Float64() < 0.4 {
+		p.MemCrashes = append(p.MemCrashes, win(-1, rng.IntN(4)))
+	}
+	if rng.Float64() < 0.4 {
+		p.LinkCrashes = append(p.LinkCrashes, win(1, rng.IntN(4)))
+	}
+	if p.HasCrashes() {
+		p.CheckpointEvery = 64
+	}
+	return p
+}
+
+// Programs derives the scenario's randomized workload: a seeded
+// per-instruction mix biased toward non-idempotent operations
+// (fetch-and-add, affine, Boolean) so a double-executed RMW — the
+// signature of a dedup bug — always shows up in the history or the final
+// memory rather than hiding behind an idempotent store.
+func Programs(seed uint64, procs, ops, addrs int) [][]machine.Instr {
+	rng := rand.New(rand.NewPCG(seed, 1234))
+	progs := make([][]machine.Instr, procs)
+	for p := range progs {
+		for i := 0; i < ops; i++ {
+			addr := word.Addr(rng.IntN(addrs))
+			var op rmw.Mapping
+			switch r := rng.IntN(10); {
+			case r < 4:
+				op = rmw.FetchAdd(int64(rng.IntN(19) - 9))
+			case r < 6:
+				op = rmw.Affine{A: int64(rng.IntN(5) - 2), B: int64(rng.IntN(50))}
+			case r < 7:
+				op = rmw.Bool{A: rng.Uint64(), B: rng.Uint64()}
+			case r < 8:
+				op = rmw.SwapOf(int64(rng.IntN(100)))
+			default:
+				op = rmw.Load{}
+			}
+			progs[p] = append(progs[p], machine.RMW(addr, op))
+		}
+	}
+	return progs
+}
+
+// chaosEngine is what one scenario run needs from a cycle engine.
+type chaosEngine interface {
+	machine.Engine
+	Snapshot() stats.Snapshot
+	Memory() *memory.Array
+}
+
+// newEngine builds and validates the scenario's wiring.
+func newEngine(sc Scenario, inj []network.Injector) (chaosEngine, error) {
+	switch sc.Topology {
+	case "omega":
+		cfg := network.Config{Procs: sc.Procs, WaitBufCap: 64, Faults: sc.Plan}
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		return network.NewSim(cfg, inj), nil
+	case "omega4":
+		cfg := network.Config{Procs: sc.Procs, Radix: 4, WaitBufCap: 64, Faults: sc.Plan}
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		return network.NewSim(cfg, inj), nil
+	case "fattree":
+		cfg := network.Config{Topology: engine.FatTreeOf(sc.Procs, 2), WaitBufCap: 64, Faults: sc.Plan}
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		return network.NewSim(cfg, inj), nil
+	case "bus":
+		cfg := busnet.Config{Procs: sc.Procs, Banks: 4, WaitBufCap: 64, Faults: sc.Plan}
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		return busnet.NewSim(cfg, inj), nil
+	case "hypercube":
+		cfg := hypercube.Config{Nodes: sc.Procs, WaitBufCap: 64, Faults: sc.Plan}
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		return hypercube.NewSim(cfg, inj), nil
+	case "torus":
+		cfg := hypercube.Config{Topology: engine.SquareTorusOf(sc.Procs), WaitBufCap: 64, Faults: sc.Plan}
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		return hypercube.NewSim(cfg, inj), nil
+	default:
+		return nil, fmt.Errorf("chaos: unknown topology %q (want %s)", sc.Topology, strings.Join(Wirings(), ", "))
+	}
+}
+
+// Run executes one scenario and checks its invariants, returning the
+// engine's snapshot counters (for vacuous-pass accounting) and the first
+// violation found, nil if the run is clean.  Run is deterministic: the
+// same Scenario always produces the same counters and the same verdict.
+func Run(sc Scenario) (map[string]int64, error) {
+	progs := Programs(sc.WorkloadSeed, sc.Procs, sc.Ops, sc.Addrs)
+	m, inj := machine.NewInjectors(progs)
+	eng, err := newEngine(sc, inj)
+	if err != nil {
+		return nil, err
+	}
+	m.BindEngine(eng)
+	if !m.Run(maxCycles) {
+		return eng.Snapshot().Counters,
+			fmt.Errorf("programs did not complete within %d cycles (%d in flight)", maxCycles, eng.InFlight())
+	}
+	snap := eng.Snapshot()
+	final := map[word.Addr]word.Word{}
+	for a := 0; a < sc.Addrs; a++ {
+		final[word.Addr(a)] = eng.Memory().Peek(word.Addr(a))
+	}
+	if err := serial.CheckM2WithFinal(m.History(), nil, final); err != nil {
+		return snap.Counters, fmt.Errorf("per-location serializability violated: %v", err)
+	}
+	if snap.Counters["issued"] != snap.Counters["completed"] {
+		return snap.Counters, fmt.Errorf("exactly-once violated: issued %d != completed %d",
+			snap.Counters["issued"], snap.Counters["completed"])
+	}
+	if n := eng.InFlight(); n != 0 {
+		return snap.Counters, fmt.Errorf("%d requests still in flight after completion", n)
+	}
+	return snap.Counters, nil
+}
+
+// Windows counts the fault windows in a plan — the size metric the
+// shrinker minimizes and the acceptance bar ("shrunk to ≤ N windows")
+// measures.
+func Windows(p *faults.Plan) int {
+	return len(p.Stalls) + len(p.MemStalls) + len(p.Crashes) + len(p.MemCrashes) + len(p.LinkCrashes)
+}
+
+// windowLists gives the shrinker uniform access to the five window slices.
+var windowLists = []struct {
+	get func(*faults.Plan) []faults.Window
+	set func(*faults.Plan, []faults.Window)
+}{
+	{func(p *faults.Plan) []faults.Window { return p.Stalls }, func(p *faults.Plan, w []faults.Window) { p.Stalls = w }},
+	{func(p *faults.Plan) []faults.Window { return p.MemStalls }, func(p *faults.Plan, w []faults.Window) { p.MemStalls = w }},
+	{func(p *faults.Plan) []faults.Window { return p.Crashes }, func(p *faults.Plan, w []faults.Window) { p.Crashes = w }},
+	{func(p *faults.Plan) []faults.Window { return p.MemCrashes }, func(p *faults.Plan, w []faults.Window) { p.MemCrashes = w }},
+	{func(p *faults.Plan) []faults.Window { return p.LinkCrashes }, func(p *faults.Plan, w []faults.Window) { p.LinkCrashes = w }},
+}
+
+// probFields gives the shrinker uniform access to the five fault
+// probabilities.
+var probFields = []struct {
+	get func(*faults.Plan) float64
+	set func(*faults.Plan, float64)
+}{
+	{func(p *faults.Plan) float64 { return p.DropFwd }, func(p *faults.Plan, v float64) { p.DropFwd = v }},
+	{func(p *faults.Plan) float64 { return p.DropRev }, func(p *faults.Plan, v float64) { p.DropRev = v }},
+	{func(p *faults.Plan) float64 { return p.Reorder }, func(p *faults.Plan, v float64) { p.Reorder = v }},
+	{func(p *faults.Plan) float64 { return p.Dup }, func(p *faults.Plan, v float64) { p.Dup = v }},
+	{func(p *faults.Plan) float64 { return p.Corrupt }, func(p *faults.Plan, v float64) { p.Corrupt = v }},
+}
+
+func clonePlan(p *faults.Plan) *faults.Plan {
+	q := *p
+	q.Stalls = append([]faults.Window(nil), p.Stalls...)
+	q.MemStalls = append([]faults.Window(nil), p.MemStalls...)
+	q.Crashes = append([]faults.Window(nil), p.Crashes...)
+	q.MemCrashes = append([]faults.Window(nil), p.MemCrashes...)
+	q.LinkCrashes = append([]faults.Window(nil), p.LinkCrashes...)
+	return &q
+}
+
+// Shrink minimizes a failing scenario under a rerun budget and returns the
+// smallest still-failing scenario plus the reruns spent.  The passes run
+// to a fixpoint: shrink the program first (every later rerun gets
+// cheaper), then drop fault windows one at a time, zero whole fault
+// kinds, and finally walk each surviving probability and the reorder
+// bound down while the violation reproduces.  A candidate is accepted
+// only if it still fails, so the result always replays the violation.
+func Shrink(sc Scenario, maxRuns int) (Scenario, int) {
+	runs := 0
+	fails := func(c Scenario) bool {
+		if runs >= maxRuns {
+			return false
+		}
+		runs++
+		_, err := Run(c)
+		return err != nil
+	}
+	cur := sc
+	for changed := true; changed && runs < maxRuns; {
+		changed = false
+		// Shorter programs first: the serializability check dominates the
+		// rerun cost and its search grows steeply with ops per address.
+		for cur.Ops > 2 {
+			cand := cur
+			cand.Ops = cur.Ops / 2
+			if !fails(cand) {
+				break
+			}
+			cur = cand
+			changed = true
+		}
+		for _, wl := range windowLists {
+			for i := 0; i < len(wl.get(cur.Plan)); i++ {
+				cand := cur
+				cand.Plan = clonePlan(cur.Plan)
+				ws := wl.get(cand.Plan)
+				wl.set(cand.Plan, append(ws[:i:i], ws[i+1:]...))
+				if fails(cand) {
+					cur = cand
+					changed = true
+					i--
+				}
+			}
+		}
+		for _, f := range probFields {
+			if f.get(cur.Plan) == 0 {
+				continue
+			}
+			cand := cur
+			cand.Plan = clonePlan(cur.Plan)
+			f.set(cand.Plan, 0)
+			if fails(cand) {
+				cur = cand
+				changed = true
+			}
+		}
+		for _, f := range probFields {
+			// Halving keeps a strict subset of the fired faults (fixed
+			// hash thresholds), so this walks to the smallest probability
+			// that still triggers the violation.
+			for f.get(cur.Plan) > 1e-6 {
+				cand := cur
+				cand.Plan = clonePlan(cur.Plan)
+				f.set(cand.Plan, f.get(cur.Plan)/2)
+				if !fails(cand) {
+					break
+				}
+				cur = cand
+				changed = true
+			}
+		}
+		for cur.Plan.Reorder > 0 && cur.Plan.ReorderMax > 1 {
+			cand := cur
+			cand.Plan = clonePlan(cur.Plan)
+			cand.Plan.ReorderMax = cur.Plan.ReorderMax / 2
+			if !fails(cand) {
+				break
+			}
+			cur = cand
+			changed = true
+		}
+	}
+	// Cosmetic: a reorder bound without a reorder probability is inert.
+	if cur.Plan.Reorder == 0 && cur.Plan.ReorderMax != 0 {
+		cur.Plan = clonePlan(cur.Plan)
+		cur.Plan.ReorderMax = 0
+	}
+	return cur, runs
+}
+
+// ReproCommand renders a scenario as the cmd/replay command line that
+// replays it deterministically — the form a shrunk violation is reported
+// in.
+func ReproCommand(sc Scenario) string {
+	return fmt.Sprintf("go run ./cmd/replay -chaos -topology %s -n %d -ops %d -addrs %d -seed %d -plan '%s'",
+		sc.Topology, sc.Procs, sc.Ops, sc.Addrs, sc.WorkloadSeed, faults.EncodePlan(sc.Plan))
+}

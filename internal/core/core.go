@@ -47,6 +47,13 @@ type Request struct {
 	// issuing machine enables debug bookkeeping; production transports
 	// leave it nil.
 	Reps []Leaf
+
+	// Sum is the end-to-end payload checksum over (id, addr, op), stamped
+	// in the trusted zone — at issue time, and restamped by a combining
+	// switch since combining legitimately rewrites the op — and verified
+	// by receivers under adversarial fault plans.  0 means unstamped; see
+	// integrity.go.
+	Sum uint32
 }
 
 // Leaf records one original (uncombined) processor request inside a
@@ -94,6 +101,11 @@ type Reply struct {
 	// left behind when a combined message was dropped and its leaves
 	// retransmitted separately — can never synthesize a bogus reply.
 	Leaves map[word.ReqID]word.Word
+
+	// Sum is the end-to-end payload checksum over (id, val), stamped by
+	// the last trusted hop before an adversarial link and verified at
+	// delivery; see integrity.go.
+	Sum uint32
 }
 
 // String renders the reply.

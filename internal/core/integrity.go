@@ -1,0 +1,104 @@
+package core
+
+import (
+	"encoding/binary"
+
+	"combining/internal/rmw"
+	"combining/internal/word"
+)
+
+// End-to-end message integrity (DESIGN.md §8).
+//
+// Under adversarial fault plans, links may flip payload bits.  The defense
+// is a payload checksum carried out-of-band of the corruptor: Sum covers
+// exactly the fields a link-level corruption can damage — (id, addr, op)
+// for requests, (id, val) for replies — and is stamped in the trusted zone
+// (the issuing processor's network interface, or the last switch before an
+// adversarial link when combining has legitimately rewritten the op).  A
+// receiver that finds Sum disagreeing with the payload quarantines the
+// message; the PR-2 retransmit/reply-cache machinery then repairs the loss
+// exactly-once.  CorruptRequest/CorruptReply are the fault injector's
+// hands: they flip payload bits selected by a hash-drawn mask and never
+// touch Sum, so detection is certain whenever verification runs.
+
+// RequestSum computes the payload checksum of a request: FNV-1a over the
+// id, the address, and the op's wire encoding.  Attempt, Srcs, and Reps are
+// routing/bookkeeping metadata outside the corruptor's reach and are not
+// covered — a retransmit keeps its issue-time sum.
+func RequestSum(r Request) uint32 {
+	buf := make([]byte, 0, 64)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(r.ID))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(r.Addr))
+	buf = rmw.AppendEncode(buf, r.Op)
+	return fnv1a(buf)
+}
+
+// StampRequest returns the request with its checksum stamped.
+func StampRequest(r Request) Request {
+	r.Sum = RequestSum(r)
+	return r
+}
+
+// RequestOK reports whether the request's payload matches its checksum.
+func RequestOK(r Request) bool { return r.Sum == RequestSum(r) }
+
+// ReplySum computes the payload checksum of a reply: FNV-1a over the id
+// and the value word.  The leaf map is switch-internal state that never
+// crosses an adversarial link and is not covered.
+func ReplySum(p Reply) uint32 {
+	var buf [17]byte
+	le := binary.LittleEndian
+	le.PutUint64(buf[0:], uint64(p.ID))
+	le.PutUint64(buf[8:], uint64(p.Val.Val))
+	buf[16] = byte(p.Val.Tag)
+	return fnv1a(buf[:])
+}
+
+// StampReply returns the reply with its checksum stamped.
+func StampReply(p Reply) Reply {
+	p.Sum = ReplySum(p)
+	return p
+}
+
+// ReplyOK reports whether the reply's payload matches its checksum.
+func ReplyOK(p Reply) bool { return p.Sum == ReplySum(p) }
+
+// CorruptRequest flips payload bits selected by mask — the address always
+// (so any nonzero mask guarantees a detectable change), and the op's
+// argument when the op family carries one — leaving Sum untouched.
+func CorruptRequest(r Request, mask uint64) Request {
+	r.Addr ^= word.Addr(uint32(mask) | 1)
+	arg := int64(mask >> 32)
+	switch op := r.Op.(type) {
+	case rmw.Assoc:
+		op.A ^= arg
+		r.Op = op
+	case rmw.Const:
+		op.V ^= arg
+		r.Op = op
+	case rmw.Affine:
+		op.B ^= arg
+		r.Op = op
+	}
+	return r
+}
+
+// CorruptReply flips value bits selected by mask, leaving Sum untouched.
+func CorruptReply(p Reply, mask uint64) Reply {
+	p.Val.Val ^= int64(mask | 1)
+	return p
+}
+
+// fnv1a is the 32-bit FNV-1a hash, mapped away from 0 so a stamped sum is
+// always distinguishable from the zero (unstamped) field.
+func fnv1a(buf []byte) uint32 {
+	h := uint32(2166136261)
+	for _, b := range buf {
+		h ^= uint32(b)
+		h *= 16777619
+	}
+	if h == 0 {
+		return 1
+	}
+	return h
+}

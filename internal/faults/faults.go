@@ -83,6 +83,35 @@ type Plan struct {
 	// plan has crash windows; irrelevant otherwise.
 	CheckpointEvery int64
 
+	// Reorder is the probability a terminal-link hop's delivery is
+	// deferred past traffic that left the same link later (relaxing
+	// per-link FIFO): the engine parks the message in its limbo buffer
+	// for a hash-drawn delay in [1, ReorderMax] cycles and re-delivers it
+	// then.
+	Reorder float64
+	// ReorderMax bounds the reorder deferral in cycles; 0 defaults to 8
+	// when Reorder > 0.
+	ReorderMax int64
+	// Dup is the probability a link spontaneously re-emits a message the
+	// sender never retransmitted (network-born duplication).  The
+	// duplicate carries the same id and the same Attempt number, so it
+	// collides with the original in every dedup structure — exactly the
+	// case the leaf-keyed reply cache and the retry tracker must absorb.
+	Dup float64
+	// Corrupt is the probability a link flips payload bits (addr, op
+	// argument, or reply value) in a message.  The end-to-end checksum
+	// (core.Request.Sum / core.Reply.Sum, stamped in the trusted zone
+	// before the link) never passes through the corruptor, so the next
+	// receiver detects every corruption, quarantines the message
+	// (NoteCorruptDropped), and the retransmit layer repairs it.
+	Corrupt float64
+
+	// Canary names a deliberately seeded bug used to validate the chaos
+	// fuzzer end to end ("" = none).  "nodedup" disables the memory-side
+	// reply-cache dedup so duplicated deliveries double-execute — a bug
+	// cmd/check -chaos must find and shrink to a minimal reproducer.
+	Canary string
+
 	// RetryTimeout is the base retransmit timeout in cycles (cycle-driven
 	// engines; the goroutine engine uses a wall-clock timeout instead).
 	// Default 64.
@@ -93,9 +122,16 @@ type Plan struct {
 }
 
 func (p Plan) String() string {
-	return fmt.Sprintf("plan{seed=%d drop_fwd=%g drop_rev=%g stalls=%d mem_stalls=%d crashes=%d mem_crashes=%d link_crashes=%d ckpt=%d}",
+	s := fmt.Sprintf("plan{seed=%d drop_fwd=%g drop_rev=%g stalls=%d mem_stalls=%d crashes=%d mem_crashes=%d link_crashes=%d ckpt=%d",
 		p.Seed, p.DropFwd, p.DropRev, len(p.Stalls), len(p.MemStalls),
 		len(p.Crashes), len(p.MemCrashes), len(p.LinkCrashes), p.CheckpointEvery)
+	if p.HasAdversarial() {
+		s += fmt.Sprintf(" reorder=%g/%d dup=%g corrupt=%g", p.Reorder, p.ReorderMax, p.Dup, p.Corrupt)
+	}
+	if p.Canary != "" {
+		s += " canary=" + p.Canary
+	}
+	return s + "}"
 }
 
 // HasCrashes reports whether the plan contains any crash–restart windows.
@@ -103,6 +139,15 @@ func (p Plan) String() string {
 // without crashes behave byte-identically to the pre-crash engine.
 func (p Plan) HasCrashes() bool {
 	return len(p.Crashes) > 0 || len(p.MemCrashes) > 0 || len(p.LinkCrashes) > 0
+}
+
+// HasAdversarial reports whether the plan relaxes delivery beyond loss:
+// reordering, network-born duplication, or payload corruption.  Engines arm
+// the integrity layer (checksum stamping and verification, limbo buffers)
+// only when it does, and the parallel stepper refuses such plans — limbo
+// release order is defined by the serial sweep.
+func (p Plan) HasAdversarial() bool {
+	return p.Reorder > 0 || p.Dup > 0 || p.Corrupt > 0
 }
 
 // Default returns the standard soak plan for a seed: 1% forward drops, 1%
@@ -116,6 +161,22 @@ func Default(seed uint64) *Plan {
 		Stalls:    []Window{{Stage: -1, Index: 0, From: 50, To: 120}},
 		MemStalls: []Window{{Stage: -1, Index: 0, From: 200, To: 280}},
 	}
+}
+
+// DefaultAdversarial returns the standard adversarial soak plan for a
+// seed: Default's drops and stall windows plus per-link reordering (2% of
+// hops deferred up to 8 cycles), network-born duplication (2% of hops), and
+// payload corruption (2% of hops) — the "relaxed delivery" plan the
+// adversarial soaks and the schema-parity test run under.  The 2% rates
+// keep each kind firing even on the bus machine, where heavy FIFO
+// combining leaves relatively few terminal-link crossings to draw on.
+func DefaultAdversarial(seed uint64) *Plan {
+	p := Default(seed)
+	p.Reorder = 0.02
+	p.ReorderMax = 8
+	p.Dup = 0.02
+	p.Corrupt = 0.02
+	return p
 }
 
 // DefaultCrash returns the standard crash soak plan for a seed: one early
@@ -173,6 +234,16 @@ type Injector struct {
 	DropsFwd, DropsRev          stats.Counter
 	StallCycles, MemStallCycles stats.Counter
 	CrashCycles                 stats.Counter
+
+	// ReorderedHeld counts hops deferred into a limbo buffer (delivered
+	// out of per-link FIFO order); DupInjected counts network-born
+	// duplicates emitted; CorruptInjected counts payload corruptions
+	// applied; CorruptDropped counts corrupt messages a receiver's
+	// checksum verification detected and quarantined.  CorruptDropped can
+	// lag CorruptInjected when a corrupted message dies of another fault
+	// (a drop, a dead link, a crash flush) before any receiver sees it.
+	ReorderedHeld, DupInjected      stats.Counter
+	CorruptInjected, CorruptDropped stats.Counter
 }
 
 // NewInjector builds the injector for a plan, filling retry and checkpoint
@@ -187,6 +258,9 @@ func NewInjector(p Plan) *Injector {
 	if p.CheckpointEvery <= 0 && p.HasCrashes() {
 		p.CheckpointEvery = 64
 	}
+	if p.ReorderMax <= 0 && p.Reorder > 0 {
+		p.ReorderMax = 8
+	}
 	return &Injector{plan: p}
 }
 
@@ -200,14 +274,21 @@ func (f *Injector) Plan() Plan { return f.plan }
 func (f *Injector) Injected() int64 {
 	return f.DropsFwd.Load() + f.DropsRev.Load() +
 		f.StallCycles.Load() + f.MemStallCycles.Load() +
-		f.CrashCycles.Load()
+		f.CrashCycles.Load() +
+		f.ReorderedHeld.Load() + f.DupInjected.Load() +
+		f.CorruptInjected.Load()
 }
 
 // Fault kinds, mixed into the decision hash so a forward drop and a reply
 // drop at the same site draw independent randomness.
 const (
-	kindDropFwd uint64 = 0x9e3779b97f4a7c15
-	kindDropRev uint64 = 0xc2b2ae3d27d4eb4f
+	kindDropFwd      uint64 = 0x9e3779b97f4a7c15
+	kindDropRev      uint64 = 0xc2b2ae3d27d4eb4f
+	kindReorder      uint64 = 0xd6e8feb86659fd93
+	kindReorderDelay uint64 = 0xa0761d6478bd642f
+	kindDup          uint64 = 0xe7037ed1a0b428db
+	kindCorrupt      uint64 = 0x8ebc6af09c88c6e3
+	kindCorruptBits  uint64 = 0x589965cc75374cc3
 )
 
 // Site packs a (stage, index, port) coordinate into a hash key; engines
@@ -256,6 +337,56 @@ func (f *Injector) DropReply(site uint64, id word.ReqID, attempt uint32) bool {
 	f.DropsRev.Inc()
 	return true
 }
+
+// ReorderDelay returns the deferral, in cycles, for the hop of (id,
+// attempt) at site: 0 almost always (delivery proceeds in order), or a
+// hash-drawn delay in [1, ReorderMax] when the reorder fault fires,
+// counting the held message.  The caller parks the message in its limbo
+// buffer and re-delivers it at cycle+delay — after traffic that left the
+// same link later, relaxing per-link FIFO.
+func (f *Injector) ReorderDelay(site uint64, id word.ReqID, attempt uint32) int64 {
+	if !f.decide(kindReorder, site, id, attempt, f.plan.Reorder) {
+		return 0
+	}
+	h := splitmix64(f.plan.Seed ^ kindReorderDelay)
+	h = splitmix64(h ^ site ^ uint64(id)<<8 ^ uint64(attempt))
+	f.ReorderedHeld.Inc()
+	return 1 + int64(h%uint64(f.plan.ReorderMax))
+}
+
+// Duplicate reports whether the link spontaneously re-emits the message for
+// (id, attempt) at site — a network-born duplicate the sender never
+// retransmitted, carrying the same id and attempt — counting the injection.
+func (f *Injector) Duplicate(site uint64, id word.ReqID, attempt uint32) bool {
+	if !f.decide(kindDup, site, id, attempt, f.plan.Dup) {
+		return false
+	}
+	f.DupInjected.Inc()
+	return true
+}
+
+// CorruptMask returns a nonzero bit mask when the link flips payload bits
+// in the message for (id, attempt) at site, else 0, counting the injection.
+// Engines apply the mask to the payload (core.CorruptRequest /
+// core.CorruptReply — the checksum itself never passes through the
+// corruptor) and the next receiver's verification quarantines the message,
+// reporting it through NoteCorruptDropped.
+func (f *Injector) CorruptMask(site uint64, id word.ReqID, attempt uint32) uint64 {
+	if !f.decide(kindCorrupt, site, id, attempt, f.plan.Corrupt) {
+		return 0
+	}
+	h := splitmix64(f.plan.Seed ^ kindCorruptBits)
+	h = splitmix64(h ^ site ^ uint64(id)<<8 ^ uint64(attempt))
+	if h == 0 {
+		h = 1
+	}
+	f.CorruptInjected.Inc()
+	return h
+}
+
+// NoteCorruptDropped counts one corrupt message a receiver's checksum
+// verification detected and quarantined.
+func (f *Injector) NoteCorruptDropped() { f.CorruptDropped.Inc() }
 
 // Stalled reports whether the switch at (stage, index) is inside a stall
 // window this cycle, counting the lost switch-cycle.

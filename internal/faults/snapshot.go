@@ -19,6 +19,13 @@ type Values struct {
 	DedupHits      int64
 	Orphans        int64
 
+	// Adversarial-delivery block.  Structurally zero on the clockless
+	// asyncnet engine, whose limbo/dup/corrupt machinery is cycle-based
+	// like its stall windows.
+	ReorderedHeld  int64
+	DupInjected    int64
+	CorruptDropped int64
+
 	// Crash–restart block (internal/recover).  Structurally zero on
 	// engines without crash domains (the clockless asyncnet, whose crash
 	// windows are cycle-based like its stall windows).
@@ -44,6 +51,9 @@ func AddValues(snap *stats.Snapshot, v Values) {
 	c["recovered"] = v.Recovered
 	c["dedup_hits"] = v.DedupHits
 	c["orphan_replies"] = v.Orphans
+	c["reordered_held"] = v.ReorderedHeld
+	c["dup_injected"] = v.DupInjected
+	c["corrupt_dropped"] = v.CorruptDropped
 	c["crashes"] = v.Crashes
 	c["restores"] = v.Restores
 	c["replayed_requests"] = v.Replayed
@@ -55,9 +65,10 @@ func AddValues(snap *stats.Snapshot, v Values) {
 // the snapshot-schema parity contract.
 func CounterKeys() []string {
 	return []string{
-		"crash_cycles", "crashes", "dedup_hits", "drops_fwd", "drops_rev",
-		"duplicates_suppressed", "faults_injected", "lost_in_flight",
-		"mem_stall_cycles", "orphan_replies", "recovered",
+		"corrupt_dropped", "crash_cycles", "crashes", "dedup_hits",
+		"drops_fwd", "drops_rev", "dup_injected", "duplicates_suppressed",
+		"faults_injected", "lost_in_flight", "mem_stall_cycles",
+		"orphan_replies", "recovered", "reordered_held",
 		"replayed_requests", "restores", "retries", "stall_cycles",
 	}
 }
@@ -89,6 +100,9 @@ func AddCounters(snap *stats.Snapshot, flt *Injector, trk *Tracker, dedupHits, o
 		Recovered:      trk.Recovered.Load(),
 		DedupHits:      dedupHits,
 		Orphans:        orphans,
+		ReorderedHeld:  flt.ReorderedHeld.Load(),
+		DupInjected:    flt.DupInjected.Load(),
+		CorruptDropped: flt.CorruptDropped.Load(),
 		Crashes:        rec.Crashes,
 		Restores:       rec.Restores,
 		Replayed:       rec.Replayed,

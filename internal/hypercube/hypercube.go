@@ -96,6 +96,24 @@ type revM struct {
 	moved int64
 }
 
+// cubeHeldFwd is a request deferred by link-level reordering on its
+// terminal link (the node's combining queue → its memory module); it
+// re-enters the module at release, or one cycle later per cycle the
+// module is crashed or busy.
+type cubeHeldFwd struct {
+	release int64
+	node    int
+	m       fwdM
+}
+
+// cubeHeldRev is a reply deferred by link-level reordering on its
+// terminal link (the home node's router → its processor).
+type cubeHeldRev struct {
+	release int64
+	node    int
+	r       revM
+}
+
 type hrec struct {
 	core.Record
 	dst2   int
@@ -227,6 +245,13 @@ type Sim struct {
 	rec      *recover.Manager
 	nodeMask []bool
 	memMask  []bool
+	// Adversarial-delivery state (plan.HasAdversarial(); Validate rejects
+	// Workers > 1 with such plans): adv arms the integrity layer on the
+	// terminal links, and fwdLimbo/revLimbo hold reordered messages until
+	// their release cycle (drained serially at the top of Step).
+	adv      bool
+	fwdLimbo []cubeHeldFwd
+	revLimbo []cubeHeldRev
 
 	// Parallel memory-tick state (Config.Workers > 1, nil/empty
 	// otherwise): worker pool, per-worker stats shards, and per-node
@@ -258,6 +283,8 @@ func (c *Config) normalize() error {
 		Banks:   1,
 		Workers: c.Workers,
 		Service: c.MemService,
+		AdversarialSerial: c.Faults != nil && c.Faults.HasAdversarial() &&
+			c.Workers > 1,
 	}
 	if c.Topology != nil {
 		if c.Nodes == 0 {
@@ -318,6 +345,9 @@ func NewSim(cfg Config, inj []network.Injector) *Sim {
 		if cfg.Faults.HasCrashes() {
 			memOpts = append(memOpts, memory.WithCheckpoints())
 		}
+		if cfg.Faults.Canary == "nodedup" {
+			memOpts = append(memOpts, memory.WithNoDedupCanary())
+		}
 	}
 	meta := make([]map[word.ReqID]fwdM, n)
 	for i := range meta {
@@ -343,6 +373,7 @@ func NewSim(cfg Config, inj []network.Injector) *Sim {
 	if cfg.Faults != nil {
 		s.flt = faults.NewInjector(*cfg.Faults)
 		s.trk = faults.NewTracker(s.flt)
+		s.adv = s.flt.Plan().HasAdversarial()
 		s.retry = make([][]fwdM, n)
 		s.stallMask = make([]bool, n)
 		if plan := s.flt.Plan(); plan.HasCrashes() {
@@ -385,6 +416,9 @@ func (s *Sim) Step() {
 		for _, p := range s.trk.Expired(s.cycle) {
 			s.retry[p.Proc] = append(s.retry[p.Proc],
 				fwdM{req: p.Req, src: p.Proc, issue: p.IssueCycle, hot: p.Hot})
+		}
+		if s.adv {
+			s.drainLimbo()
 		}
 	}
 	s.drainReverse()
@@ -755,8 +789,111 @@ func (s *Sim) arriveRev(cur int, r revM, sink *[]revM) {
 	}
 }
 
-// deliverHome completes a reply at its requesting node.
+// memEnter crosses the adversarial terminal link into node i's module:
+// the request is stamped at the last trusted hop (combining finished in
+// the node's combining queue), possibly corrupted on the wire, verified,
+// and quarantined on mismatch; the retransmit machinery then repairs the
+// loss exactly-once.  The duplicate draw comes after verification so
+// dup_injected counts only messages that actually entered twice; the
+// second copy is answered from the reply cache and its reply orphans.
+func (s *Sim) memEnter(i int, m fwdM, memOps *int64) {
+	m.req = core.StampRequest(m.req)
+	wire := m.req
+	site := faults.Site(2, i, 0)
+	if mask := s.flt.CorruptMask(site, m.req.ID, m.req.Attempt); mask != 0 {
+		wire = core.CorruptRequest(wire, mask)
+	}
+	if !core.RequestOK(wire) {
+		s.flt.NoteCorruptDropped()
+		return // quarantined: equivalent to a detected drop on this link
+	}
+	s.meta[i][wire.ID] = m
+	s.mem.Module(i).Enqueue(wire)
+	*memOps++
+	if s.flt.Duplicate(site, wire.ID, wire.Attempt) && s.mem.Module(i).CanEnqueue() {
+		s.mem.Module(i).Enqueue(wire)
+		*memOps++
+	}
+}
+
+// drainLimbo releases reordered messages whose deferral has elapsed.  It
+// runs serially at the top of Step — Validate rejects adversarial plans
+// with Workers > 1 — so release order is defined by the serial sweep.  A
+// forward release finding its module crashed or busy re-holds one cycle
+// (the deferral bound is on the adversarial link, not on ordinary
+// backpressure), and held messages are never re-reordered.
+func (s *Sim) drainLimbo() {
+	if len(s.fwdLimbo) > 0 {
+		keep := s.fwdLimbo[:0]
+		for _, h := range s.fwdLimbo {
+			if h.release > s.cycle {
+				keep = append(keep, h)
+				continue
+			}
+			if s.modDead(h.node) || s.mem.Module(h.node).QueueLen() != 0 {
+				h.release = s.cycle + 1
+				keep = append(keep, h)
+				continue
+			}
+			s.memEnter(h.node, h.m, &s.stats.MemOps)
+		}
+		s.fwdLimbo = keep
+	}
+	if len(s.revLimbo) > 0 {
+		keep := s.revLimbo[:0]
+		for _, h := range s.revLimbo {
+			if h.release > s.cycle {
+				keep = append(keep, h)
+				continue
+			}
+			s.deliverHomeVerified(h.node, h.r)
+		}
+		s.revLimbo = keep
+	}
+}
+
+// deliverHome completes a reply at its requesting node.  Under an
+// adversarial plan the router→processor handoff is the terminal link:
+// the reply is stamped here — the last trusted hop — then possibly
+// deferred, duplicated, or corrupted before deliverHomeVerified checks it.
 func (s *Sim) deliverHome(cur int, r revM) {
+	if s.adv {
+		r.rep = core.StampReply(r.rep)
+		site := faults.Site(3, cur, 0)
+		if d := s.flt.ReorderDelay(site, r.rep.ID, r.rep.Attempt); d > 0 {
+			s.revLimbo = append(s.revLimbo,
+				cubeHeldRev{release: s.cycle + d, node: cur, r: r})
+			return
+		}
+		s.deliverHomeVerified(cur, r)
+		return
+	}
+	s.deliverHomeCommon(cur, r)
+}
+
+// deliverHomeVerified is the processor side of the adversarial terminal
+// link: corrupt on the wire, verify, quarantine on mismatch (the
+// processor retransmits and the reply cache answers), and deliver —
+// twice when the link duplicates, with the tracker suppressing the
+// second copy.
+func (s *Sim) deliverHomeVerified(cur int, r revM) {
+	site := faults.Site(3, cur, 0)
+	wire := r.rep
+	if mask := s.flt.CorruptMask(site, wire.ID, wire.Attempt); mask != 0 {
+		wire = core.CorruptReply(wire, mask)
+	}
+	if !core.ReplyOK(wire) {
+		s.flt.NoteCorruptDropped()
+		return // quarantined: the retransmit machinery re-drives the op
+	}
+	r.rep = wire
+	if s.flt.Duplicate(site, wire.ID, wire.Attempt) {
+		s.deliverHomeCommon(cur, r)
+	}
+	s.deliverHomeCommon(cur, r)
+}
+
+func (s *Sim) deliverHomeCommon(cur int, r revM) {
 	if s.trk != nil {
 		if _, ok := s.trk.Deliver(r.rep.ID, s.cycle); !ok {
 			return // duplicate of an already-delivered reply; suppressed
@@ -876,9 +1013,19 @@ func (s *Sim) tickNode(i int, memOps, holdsMemOut, orphans, ckpts *int64, sink *
 		m := nd.memQ[0]
 		copy(nd.memQ, nd.memQ[1:])
 		nd.memQ = nd.memQ[:len(nd.memQ)-1]
-		s.meta[i][m.req.ID] = m
-		s.mem.Module(i).Enqueue(m.req)
-		*memOps++
+		if s.adv {
+			if d := s.flt.ReorderDelay(faults.Site(2, i, 0),
+				m.req.ID, m.req.Attempt); d > 0 {
+				s.fwdLimbo = append(s.fwdLimbo,
+					cubeHeldFwd{release: s.cycle + d, node: i, m: m})
+			} else {
+				s.memEnter(i, m, memOps)
+			}
+		} else {
+			s.meta[i][m.req.ID] = m
+			s.mem.Module(i).Enqueue(m.req)
+			*memOps++
+		}
 	}
 	if s.flt != nil && s.flt.MemStalled(i, s.cycle) {
 		return // module inside a slowdown window serves nothing

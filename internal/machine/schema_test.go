@@ -68,13 +68,15 @@ func runSchemaAsync(t *testing.T, name string, plan *faults.Plan) []string {
 }
 
 func TestSnapshotSchemaParity(t *testing.T) {
-	// Three plan regimes: clean (engine keys only), message faults, and
-	// crash–restart plans.  Both faulted regimes must publish the same
-	// canonical key set — the crash counters (crashes, restores,
-	// checkpoints, lost_in_flight, replayed_requests, crash_cycles) are
-	// part of faults.CounterKeys(), present as structural zeros on engines
-	// or plans that never crash.
-	for _, mode := range []string{"clean", "faults", "crash"} {
+	// Four plan regimes: clean (engine keys only), message faults,
+	// crash–restart plans, and adversarial delivery (reorder, duplication,
+	// corruption).  Every faulted regime must publish the same canonical
+	// key set — the crash counters (crashes, restores, checkpoints,
+	// lost_in_flight, replayed_requests, crash_cycles) and the adversarial
+	// counters (reordered_held, dup_injected, corrupt_dropped) are part of
+	// faults.CounterKeys(), present as structural zeros on engines or
+	// plans that never exercise them.
+	for _, mode := range []string{"clean", "faults", "crash", "adversarial"} {
 		want := engine.CounterKeys()
 		if mode != "clean" {
 			want = append(want, faults.CounterKeys()...)
@@ -92,6 +94,12 @@ func TestSnapshotSchemaParity(t *testing.T) {
 			asyncPlan = &faults.Plan{Seed: 44}
 		case "crash":
 			netPlan, cubePlan, busPlan = crashDropPlan(41), crashDropPlan(42), crashDropPlan(43)
+			asyncPlan = &faults.Plan{Seed: 44}
+		case "adversarial":
+			// The adversarial kinds are terminal-link faults of the cycle
+			// engines; the goroutine engine runs the same zero plan as the
+			// other faulted regimes and must still publish the full schema.
+			netPlan, cubePlan, busPlan = faults.DefaultAdversarial(41), faults.DefaultAdversarial(42), faults.DefaultAdversarial(43)
 			asyncPlan = &faults.Plan{Seed: 44}
 		}
 

@@ -45,6 +45,13 @@ type Module struct {
 	// BusyCycles counts cycles the module spent serving.
 	BusyCycles int64
 
+	// canaryNoDedup disables reply-cache lookups (WithNoDedupCanary): the
+	// ledger still records executions but never answers from them, so any
+	// duplicated delivery double-executes.  Exists solely to give the
+	// chaos fuzzer a real bug to find; nothing enables it outside
+	// faults.Plan.Canary == "nodedup".
+	canaryNoDedup bool
+
 	// replyCache, when non-nil, is the exactly-once ledger: for every
 	// original (leaf) request already executed, the value its operation
 	// saw.  Request ids are partitioned per processor (word.IDGen), so
@@ -122,6 +129,17 @@ func WithCheckpoints() Option {
 		m.delta = make(map[word.ReqID]word.Word)
 		m.undo = make(map[word.Addr]word.Word)
 	}
+}
+
+// WithNoDedupCanary seeds the "nodedup" canary bug: the reply cache stops
+// answering lookups, so retransmit-born and network-born duplicates
+// double-execute their non-idempotent RMWs.  The chaos fuzzer
+// (internal/chaos, cmd/check -chaos) must detect the resulting
+// exactly-once/M2 violations and shrink a triggering plan to a minimal
+// reproducer — this option is the planted ground truth for that test, not
+// a feature.
+func WithNoDedupCanary() Option {
+	return func(m *Module) { m.canaryNoDedup = true }
 }
 
 // NewModule returns an empty module; all cells read as the zero word.
@@ -211,6 +229,9 @@ func (m *Module) execCachedLocked(req core.Request) core.Reply {
 // cacheGetLocked consults the exactly-once ledger: the uncommitted delta
 // first, then the committed cache.
 func (m *Module) cacheGetLocked(id word.ReqID) (word.Word, bool) {
+	if m.canaryNoDedup {
+		return word.Word{}, false
+	}
 	if m.ckpt {
 		if v, ok := m.delta[id]; ok {
 			return v, true

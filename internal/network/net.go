@@ -120,6 +120,8 @@ func (c *Config) normalize() error {
 		Workers:     c.Workers,
 		Service:     c.MemService,
 		TraceSerial: c.Trace != nil && c.Workers > 1,
+		AdversarialSerial: c.Faults != nil && c.Faults.HasAdversarial() &&
+			c.Workers > 1,
 	}
 	if c.Topology != nil {
 		spec.Topology = c.Topology
@@ -267,6 +269,23 @@ type Injector interface {
 	Deliver(rep core.Reply, cycle int64)
 }
 
+// heldFwd is a request deferred by link-level reordering on its terminal
+// link (last-stage switch → memory module): it re-enters the module at
+// release, or one cycle later per cycle the module is crashed or full.
+type heldFwd struct {
+	release int64
+	mod     int
+	m       fwdMsg
+}
+
+// heldRev is a reply deferred by link-level reordering on its terminal
+// link (stage-0 switch → processor); it is delivered at release.
+type heldRev struct {
+	release int64
+	proc    int
+	r       revMsg
+}
+
 // Sim is the cycle-driven machine: processors (injectors), the forward and
 // reverse Omega network, and the memory modules.
 type Sim struct {
@@ -320,6 +339,13 @@ type Sim struct {
 	// expected fate of the losing copy when an original and a retransmit
 	// both reach memory (satellite of the metadata panic).
 	orphans int64
+	// Adversarial-delivery state (plan.HasAdversarial(); Validate rejects
+	// Workers > 1 with such plans): adv arms the integrity layer on the
+	// terminal links, and fwdLimbo/revLimbo hold reordered messages until
+	// their release cycle (drained serially at the top of Step).
+	adv      bool
+	fwdLimbo []heldFwd
+	revLimbo []heldRev
 
 	// Parallel stepper state (Config.Workers > 1, nil/empty otherwise):
 	// the worker pool and phase barrier, one stats shard per worker merged
@@ -368,6 +394,9 @@ func NewSim(cfg Config, inj []Injector) *Sim {
 		if cfg.Faults.HasCrashes() {
 			memOpts = append(memOpts, memory.WithCheckpoints())
 		}
+		if cfg.Faults.Canary == "nodedup" {
+			memOpts = append(memOpts, memory.WithNoDedupCanary())
+		}
 	}
 	meta := make([]map[word.ReqID]fwdMsg, n)
 	for i := range meta {
@@ -389,6 +418,7 @@ func NewSim(cfg Config, inj []Injector) *Sim {
 	if cfg.Faults != nil {
 		s.flt = faults.NewInjector(*cfg.Faults)
 		s.trk = faults.NewTracker(s.flt)
+		s.adv = s.flt.Plan().HasAdversarial()
 		s.retry = make([][]fwdMsg, n)
 		s.stallMask = make([][]bool, k)
 		for i := range s.stallMask {
@@ -464,6 +494,9 @@ func (s *Sim) Step() {
 		for _, p := range s.trk.Expired(s.cycle) {
 			s.retry[p.Proc] = append(s.retry[p.Proc],
 				fwdMsg{req: p.Req, issueCycle: p.IssueCycle, hot: p.Hot})
+		}
+		if s.adv {
+			s.drainLimbo()
 		}
 	}
 	if s.pool != nil {
@@ -732,7 +765,116 @@ func (s *Sim) revSwitch(stage, idx int, st *Stats) {
 	}
 }
 
+// memEnter crosses the adversarial terminal link into module mod: the
+// request is stamped at the last trusted hop (the switch — combining has
+// legitimately rewritten the op by now), possibly corrupted on the wire,
+// verified, and quarantined on mismatch; the retransmit machinery then
+// repairs the loss exactly-once.  The duplicate draw comes after
+// verification so dup_injected counts only messages that actually entered
+// the module twice.  Metadata is keyed and stored before corruption can
+// strike, never after — a quarantined request leaves no shard entry.
+func (s *Sim) memEnter(mod int, m fwdMsg, st *Stats) {
+	m.req = core.StampRequest(m.req)
+	wire := m.req
+	site := faults.Site(s.k, mod, 0)
+	if mask := s.flt.CorruptMask(site, m.req.ID, m.req.Attempt); mask != 0 {
+		wire = core.CorruptRequest(wire, mask)
+	}
+	if !core.RequestOK(wire) {
+		s.flt.NoteCorruptDropped()
+		return // quarantined: equivalent to a detected drop on this link
+	}
+	st.MemRequests++
+	s.meta[mod][wire.ID] = m
+	s.mem.Module(mod).Enqueue(wire)
+	if s.flt.Duplicate(site, wire.ID, wire.Attempt) && s.mem.Module(mod).CanEnqueue() {
+		// Network-born duplicate: the link re-emits a message the sender
+		// never retransmitted.  The reply cache answers the second copy
+		// from its leaf values; its reply finds no metadata and orphans.
+		st.MemRequests++
+		s.mem.Module(mod).Enqueue(wire)
+	}
+}
+
+// drainLimbo releases reordered messages whose deferral has elapsed.  It
+// runs serially at the top of Step — Validate rejects adversarial plans
+// with Workers > 1 — so release order is defined by the serial sweep.  A
+// forward release finding its module crashed or full re-holds one cycle
+// (the deferral bound is on the adversarial link, not on ordinary
+// backpressure), and held messages are never re-reordered, so the
+// deferral is bounded by ReorderMax plus the backpressure already counted
+// against every request.
+func (s *Sim) drainLimbo() {
+	if len(s.fwdLimbo) > 0 {
+		keep := s.fwdLimbo[:0]
+		for _, h := range s.fwdLimbo {
+			if h.release > s.cycle {
+				keep = append(keep, h)
+				continue
+			}
+			if s.modDead(h.mod) || !s.mem.Module(h.mod).CanEnqueue() {
+				h.release = s.cycle + 1
+				keep = append(keep, h)
+				continue
+			}
+			s.memEnter(h.mod, h.m, &s.stats)
+		}
+		s.fwdLimbo = keep
+	}
+	if len(s.revLimbo) > 0 {
+		keep := s.revLimbo[:0]
+		for _, h := range s.revLimbo {
+			if h.release > s.cycle {
+				keep = append(keep, h)
+				continue
+			}
+			s.deliverVerified(h.proc, h.r)
+		}
+		s.revLimbo = keep
+	}
+}
+
+// deliver hands a reply across the terminal link to its processor.  Under
+// an adversarial plan the link may defer (reorder), duplicate, or corrupt
+// it; the reply is stamped here — the last trusted hop — and verified on
+// the far side by deliverVerified.
 func (s *Sim) deliver(proc int, r revMsg) {
+	if s.adv {
+		r.rep = core.StampReply(r.rep)
+		site := faults.Site(0, proc, 0)
+		if d := s.flt.ReorderDelay(site, r.rep.ID, r.rep.Attempt); d > 0 {
+			s.revLimbo = append(s.revLimbo,
+				heldRev{release: s.cycle + d, proc: proc, r: r})
+			return
+		}
+		s.deliverVerified(proc, r)
+		return
+	}
+	s.deliverCommon(proc, r)
+}
+
+// deliverVerified is the processor side of the adversarial terminal link:
+// corrupt on the wire, verify the checksum, quarantine on mismatch (the
+// processor retransmits and the reply cache answers), and deliver — twice
+// when the link duplicates, with the tracker suppressing the second copy.
+func (s *Sim) deliverVerified(proc int, r revMsg) {
+	site := faults.Site(0, proc, 0)
+	wire := r.rep
+	if mask := s.flt.CorruptMask(site, wire.ID, wire.Attempt); mask != 0 {
+		wire = core.CorruptReply(wire, mask)
+	}
+	if !core.ReplyOK(wire) {
+		s.flt.NoteCorruptDropped()
+		return // quarantined: the retransmit machinery re-drives the op
+	}
+	r.rep = wire
+	if s.flt.Duplicate(site, wire.ID, wire.Attempt) {
+		s.deliverCommon(proc, r)
+	}
+	s.deliverCommon(proc, r)
+}
+
+func (s *Sim) deliverCommon(proc int, r revMsg) {
 	if s.trk != nil {
 		if _, ok := s.trk.Deliver(r.rep.ID, s.cycle); !ok {
 			return // duplicate of an already-delivered reply; suppressed
@@ -886,6 +1028,16 @@ func (s *Sim) fwdSwitch(stage, idx int, st *Stats) {
 			}
 			st.FwdHops++
 			st.FwdSlots += int64(core.ValueSlots(m.req.Op))
+			if s.adv {
+				if d := s.flt.ReorderDelay(faults.Site(s.k, outLine, 0),
+					m.req.ID, m.req.Attempt); d > 0 {
+					s.fwdLimbo = append(s.fwdLimbo,
+						heldFwd{release: s.cycle + d, mod: outLine, m: m})
+					continue
+				}
+				s.memEnter(outLine, m, st)
+				continue
+			}
 			st.MemRequests++
 			s.meta[outLine][m.req.ID] = m
 			s.mem.Module(outLine).Enqueue(m.req)

@@ -2,7 +2,9 @@ package network
 
 import (
 	"fmt"
+	"math"
 	"math/rand/v2"
+	"sort"
 
 	"combining/internal/core"
 	"combining/internal/flow"
@@ -38,6 +40,26 @@ type TrafficConfig struct {
 	MaxWindow int
 	// AddrSpace sizes the uniform address range (default 64·N).
 	AddrSpace word.Addr
+	// ZipfN, when positive, replaces the two-class hot/uniform split with
+	// a Zipfian popularity law over ZipfN addresses: rank r (address
+	// HotAddr+r) is drawn with weight 1/(r+1)^ZipfS.  Rank 0 — HotAddr
+	// itself — counts as the hot class for the Hot/Cold tallies and the
+	// Injection.Hot flag, so combining instrumentation keeps working.
+	// HotFraction is ignored under Zipfian traffic.  ZipfS ≤ 0 with a
+	// positive ZipfN means uniform over the ZipfN addresses (the s → 0
+	// limit); negative ZipfN panics.
+	ZipfN int
+	ZipfS float64
+	// BurstOn/BurstOff impose deterministic on/off bursts on the issue
+	// process: the injector issues only during the first BurstOn cycles of
+	// every BurstOn+BurstOff period (phase taken from the global cycle
+	// count, so all injectors burst together — the worst case for the
+	// network).  BurstOn == 0 means no bursting; BurstOn > 0 with
+	// BurstOff == 0 is always-on; negative values panic.  The gate is
+	// checked before any randomness is drawn, so the same seed produces
+	// the same request stream shifted into the on-windows.
+	BurstOn  int64
+	BurstOff int64
 	// MakeOp builds the operation for a request; nil means
 	// fetch-and-add(1), the Ultracomputer hot-spot operation.
 	MakeOp func(rng *rand.Rand, hot bool) rmw.Mapping
@@ -58,6 +80,11 @@ type Stochastic struct {
 	aimd   *flow.AIMD
 	issued map[word.ReqID]int64
 
+	// zipfCDF is the normalized cumulative weight table for Zipfian
+	// address draws (nil unless cfg.ZipfN > 0): rank r is chosen when a
+	// uniform draw lands in (zipfCDF[r-1], zipfCDF[r]].
+	zipfCDF []float64
+
 	// Hot and Cold count issued requests by class.
 	Hot, Cold int64
 }
@@ -72,6 +99,15 @@ func NewStochastic(proc, nprocs int, cfg TrafficConfig, seed uint64) *Stochastic
 	}
 	if cfg.Window == 0 {
 		cfg.Window = 4
+	}
+	if cfg.ZipfN < 0 {
+		panic(fmt.Sprintf("network: TrafficConfig.ZipfN must be ≥ 0 (0 disables Zipfian traffic), got %d", cfg.ZipfN))
+	}
+	if cfg.BurstOn < 0 || cfg.BurstOff < 0 {
+		panic(fmt.Sprintf("network: TrafficConfig burst cycles must be ≥ 0, got on=%d off=%d", cfg.BurstOn, cfg.BurstOff))
+	}
+	if cfg.BurstOn == 0 && cfg.BurstOff > 0 {
+		panic(fmt.Sprintf("network: TrafficConfig.BurstOff %d without BurstOn — the injector would never issue", cfg.BurstOff))
 	}
 	s := &Stochastic{
 		proc:   word.ProcID(proc),
@@ -94,6 +130,20 @@ func NewStochastic(proc, nprocs int, cfg TrafficConfig, seed uint64) *Stochastic
 		s.aimd = flow.NewAIMD(cfg.Window, min, max)
 		s.issued = make(map[word.ReqID]int64)
 	}
+	if cfg.ZipfN > 0 {
+		// Inverse-CDF table: weight 1/(r+1)^s for rank r, normalized so
+		// the last entry is exactly 1 (no draw can fall off the end).
+		s.zipfCDF = make([]float64, cfg.ZipfN)
+		sum := 0.0
+		for r := 0; r < cfg.ZipfN; r++ {
+			sum += math.Pow(float64(r+1), -cfg.ZipfS)
+			s.zipfCDF[r] = sum
+		}
+		for r := range s.zipfCDF {
+			s.zipfCDF[r] /= sum
+		}
+		s.zipfCDF[cfg.ZipfN-1] = 1
+	}
 	return s
 }
 
@@ -110,20 +160,34 @@ func (s *Stochastic) Window() int {
 // experiment reporting: mean window, decrease count.
 func (s *Stochastic) Admission() *flow.AIMD { return s.aimd }
 
-// Next draws the next request per the Bernoulli issue process.
+// Next draws the next request per the Bernoulli issue process, gated by
+// the deterministic burst schedule when one is configured.
 func (s *Stochastic) Next(cycle int64) (Injection, bool) {
+	if s.cfg.BurstOn > 0 && s.cfg.BurstOff > 0 &&
+		cycle%(s.cfg.BurstOn+s.cfg.BurstOff) >= s.cfg.BurstOn {
+		// Off phase.  Checked before any rng draw so the burst gate only
+		// delays the request stream — it never reshuffles it.
+		return Injection{}, false
+	}
 	if s.outstanding >= s.Window() {
 		return Injection{}, false
 	}
 	if s.rng.Float64() >= s.cfg.Rate {
 		return Injection{}, false
 	}
-	hot := s.rng.Float64() < s.cfg.HotFraction
-	addr := s.cfg.HotAddr
-	if !hot {
-		addr = word.Addr(s.rng.Int64N(int64(s.cfg.AddrSpace)))
-		if addr == s.cfg.HotAddr {
-			addr++
+	var hot bool
+	var addr word.Addr
+	if s.zipfCDF != nil {
+		rank := sort.SearchFloat64s(s.zipfCDF, s.rng.Float64())
+		hot, addr = rank == 0, s.cfg.HotAddr+word.Addr(rank)
+	} else {
+		hot = s.rng.Float64() < s.cfg.HotFraction
+		addr = s.cfg.HotAddr
+		if !hot {
+			addr = word.Addr(s.rng.Int64N(int64(s.cfg.AddrSpace)))
+			if addr == s.cfg.HotAddr {
+				addr++
+			}
 		}
 	}
 	var op rmw.Mapping = rmw.FetchAdd(1)
