@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all check test race bench bench-smoke gobench experiments soak parbench fmt vet cover
+.PHONY: all check test race bench bench-smoke benchcmp gobench experiments soak parbench profile fmt vet cover
 
 all: vet test
 
@@ -33,6 +33,14 @@ bench:
 bench-smoke:
 	go run ./cmd/experiments -bench -quick -out /tmp/BENCH_combining_smoke.json
 
+# benchcmp regenerates the full baseline into /tmp and diffs it against
+# the committed one benchstat-style: cycle-domain metrics (bandwidth,
+# latency in cycles, combines) are deterministic and should report 0%;
+# wall-clock metrics are annotated and expected to wobble.
+benchcmp:
+	go run ./cmd/experiments -bench -out /tmp/BENCH_combining_new.json
+	go run ./cmd/benchcmp BENCH_combining.json /tmp/BENCH_combining_new.json
+
 # gobench runs the go-test microbenchmarks (formerly `make bench`).
 gobench:
 	go test -bench=. -benchmem ./...
@@ -43,10 +51,18 @@ experiments:
 soak:
 	go run ./cmd/check -rounds 200 -faults -overload -parallel -crash
 
-# parbench runs the parallel-stepper microbenchmark (E15 curve; the full
-# sweep also lands in BENCH_combining.json under parallel_speedup).
+# parbench runs the parallel-stepper and barrier microbenchmarks (E15
+# curve; the full sweeps also land in BENCH_combining.json under
+# parallel_speedup and barrier_microbench).
 parbench:
-	go test -bench=BenchmarkParallelStep -benchmem ./internal/network/
+	go test -bench='BenchmarkParallelStep|BenchmarkBarrier' -benchmem ./internal/network/ ./internal/par/
+
+# profile runs a representative hot-spot sweep under the pprof hooks and
+# leaves cpu.out/mem.out for `go tool pprof -top`.
+profile:
+	go run ./cmd/combsim -n 256 -rate 0.9 -cycles 2000 -h 0.125 -workers 4 \
+		-cpuprofile cpu.out -memprofile mem.out
+	@echo "profiles written: cpu.out mem.out (inspect with go tool pprof -top cpu.out)"
 
 fmt:
 	gofmt -w .

@@ -7,6 +7,7 @@
 //	        [-h 0,0.0625,0.125,0.25] [-queue 4] [-revqueue 0] [-memqueue 0]
 //	        [-adaptive] [-csv] [-topology omega|fattree|hypercube|torus|bus]
 //	        [-drop 0.01] [-crash 0] [-crashseed 0] [-plan <spec>] [-workers 1]
+//	        [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // With -drop > 0 the sweep runs under a deterministic fault plan (that
 // drop probability per forward and reply hop, seeded by -seed) and the
@@ -40,6 +41,12 @@
 // near-square torus on the same direct-connection engine, or the bus
 // machine.
 //
+// -cpuprofile and -memprofile write pprof profiles of the sweep (the CPU
+// profile covers the simulation loop; the heap profile is captured after
+// it, post-GC, so it shows retained state rather than transient garbage).
+// `make profile` wraps a representative hot-spot run.  Inspect with
+// `go tool pprof -top <file>`.
+//
 // Nonsense flag values are rejected at parse time with a one-line error
 // and exit status 2 rather than panicking (or silently producing a bogus
 // table) deep inside an engine: flag-shape checks here, everything the
@@ -50,6 +57,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -75,6 +84,8 @@ func main() {
 		crashseed = flag.Uint64("crashseed", 0, "seed for the crash schedule (0 = reuse -seed)")
 		planSpec  = flag.String("plan", "", "explicit fault-plan spec (comma-joined key=value; exclusive with -drop/-crash)")
 		workers   = flag.Int("workers", 1, "goroutines sharding each cycle's engine work (0/1 = serial)")
+		cpuprof   = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
+		memprof   = flag.String("memprofile", "", "write a pprof heap profile (captured after the sweep) to this file")
 	)
 	flag.Parse()
 
@@ -235,6 +246,39 @@ func main() {
 			st := sim.Stats()
 			return point{st.Bandwidth(), st.MeanLatency(), 0, st.Combines}
 		}
+	}
+
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fail("-cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail("-cpuprofile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fail("-cpuprofile: %v", err)
+			}
+		}()
+	}
+	if *memprof != "" {
+		f, err := os.Create(*memprof)
+		if err != nil {
+			fail("-memprofile: %v", err)
+		}
+		defer func() {
+			// Post-GC snapshot: retained simulator state, not the garbage
+			// the sweep happened to leave unreclaimed.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fail("-memprofile: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				fail("-memprofile: %v", err)
+			}
+		}()
 	}
 
 	if *csv {

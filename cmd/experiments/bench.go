@@ -12,6 +12,7 @@ import (
 	"time"
 
 	combining "combining"
+	"combining/internal/par"
 )
 
 // The -bench mode emits BENCH_combining.json — the measured baseline the
@@ -41,6 +42,54 @@ type benchReport struct {
 	Zipf        []zipfPoint        `json:"zipf_sweep"`
 	Bursty      []burstyPoint      `json:"bursty_sweep"`
 	Adversarial []adversarialPoint `json:"adversarial_degradation"`
+	Barrier     []barrierPoint     `json:"barrier_microbench"`
+}
+
+// barrierPoint is one cell of the barrier microbenchmark: ns per
+// episode for each internal/par implementation — counting (the original
+// shared-counter spin), central sense-reversing (one flag read per
+// waiter), and dissemination (log₂ n rounds of pairwise signals) — at
+// each worker width, on persistent pool workers.  On a single-core host
+// every number is scheduler round-trips, not cache traffic; the curve is
+// only meaningful relative to HostCPUs.
+type barrierPoint struct {
+	Kind      string  `json:"kind"`
+	Workers   int     `json:"workers"`
+	Syncs     int     `json:"syncs"`
+	NsPerSync float64 `json:"ns_per_sync"`
+	HostCPUs  int     `json:"host_cpus"`
+}
+
+// benchBarrier times syncs barrier episodes at the given width.
+func benchBarrier(kind string, workers, syncs int) barrierPoint {
+	var bar par.Barrier
+	switch kind {
+	case "counting":
+		bar = par.NewCountingBarrier(workers)
+	case "sense":
+		bar = par.NewSenseBarrier(workers)
+	case "dissemination":
+		bar = par.NewDisseminationBarrier(workers)
+	default:
+		panic("benchBarrier: unknown kind " + kind)
+	}
+	pool := par.NewPool(workers)
+	pool.Start()
+	defer pool.Stop()
+	start := time.Now()
+	pool.Run(func(w int) {
+		for i := 0; i < syncs; i++ {
+			bar.Sync(w)
+		}
+	})
+	elapsed := time.Since(start)
+	return barrierPoint{
+		Kind:      kind,
+		Workers:   workers,
+		Syncs:     syncs,
+		NsPerSync: float64(elapsed.Nanoseconds()) / float64(syncs),
+		HostCPUs:  runtime.NumCPU(),
+	}
 }
 
 // zipfPoint is one cell of the Zipfian-popularity sweep: the two-class
@@ -549,6 +598,16 @@ func runBench() {
 		}
 	}
 
+	barSyncs := 50000
+	if *quick {
+		barSyncs = 2000
+	}
+	for _, kind := range []string{"counting", "sense", "dissemination"} {
+		for _, w := range []int{2, 4, 8} {
+			rep.Barrier = append(rep.Barrier, benchBarrier(kind, w, barSyncs))
+		}
+	}
+
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		panic(err)
@@ -558,8 +617,8 @@ func runBench() {
 		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("bench baseline written to %s (%d hot-spot points, %d permutations, %d async runs, %d degradation points, %d saturation points, %d parallel points, %d topology points, %d recovery points, %d RME points, %d zipf points, %d bursty points, %d adversarial points)\n",
-		*benchOut, len(rep.Hotspot), len(rep.Permutation), len(rep.AsyncFAA), len(rep.Degradation), len(rep.Saturation), len(rep.Parallel), len(rep.Topology), len(rep.Recovery), len(rep.RMEAcquire), len(rep.Zipf), len(rep.Bursty), len(rep.Adversarial))
+	fmt.Printf("bench baseline written to %s (%d hot-spot points, %d permutations, %d async runs, %d degradation points, %d saturation points, %d parallel points, %d topology points, %d recovery points, %d RME points, %d zipf points, %d bursty points, %d adversarial points, %d barrier points)\n",
+		*benchOut, len(rep.Hotspot), len(rep.Permutation), len(rep.AsyncFAA), len(rep.Degradation), len(rep.Saturation), len(rep.Parallel), len(rep.Topology), len(rep.Recovery), len(rep.RMEAcquire), len(rep.Zipf), len(rep.Bursty), len(rep.Adversarial), len(rep.Barrier))
 }
 
 // recoveryPoint is one cell of the E16 recovery curve: hot-spot traffic with

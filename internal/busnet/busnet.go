@@ -193,17 +193,23 @@ type Sim struct {
 	bankDead []bool
 
 	// Parallel bank-scan state (Config.Workers > 1, nil otherwise): the
-	// worker pool and the per-bank completion buffer filled in the compute
+	// worker pool (persistent workers bracketed by Run/Drain), the scan
+	// function bound once at construction so the cycle loop builds no
+	// closures, and the per-bank completion buffer filled in the compute
 	// phase and committed serially in bank order.  See DESIGN.md §6.
 	pool    *par.Pool
+	tickFn  func(w int)
 	tickBuf []bankTick
 }
 
 // bankTick is one bank's compute-phase result: the reply its module
-// completed this cycle, if any.
+// completed this cycle, if any.  Padded: workers write adjacent entries
+// of the contiguous buffer during the compute phase, and unpadded
+// neighbors would false-share at the split boundaries.
 type bankTick struct {
 	rep core.Reply
 	ok  bool
+	_   [64]byte
 }
 
 // Validate reports whether the configuration is usable, with the
@@ -287,9 +293,19 @@ func NewSim(cfg Config, inj []network.Injector) *Sim {
 	}
 	if cfg.Workers > 1 {
 		s.pool = par.NewPool(cfg.Workers)
+		s.tickFn = s.tickWorker
 		s.tickBuf = make([]bankTick, cfg.Banks)
 	}
 	return s
+}
+
+// tickWorker is the per-worker body of the parallel bank compute phase,
+// bound to Sim.tickFn once at construction.
+func (s *Sim) tickWorker(w int) {
+	lo, hi := par.Split(s.cfg.Banks, s.pool.Workers(), w)
+	for b := lo; b < hi; b++ {
+		s.tickBuf[b].rep, s.tickBuf[b].ok = s.tickBank(b)
+	}
 }
 
 // Faults exposes the fault injector (nil on a healthy machine).
@@ -449,13 +465,7 @@ func (s *Sim) step() {
 	// commit the completed replies in ascending bank order (metadata, drop
 	// decisions, decombining and delivery all touch shared state).
 	if s.pool != nil {
-		workers := s.pool.Workers()
-		s.pool.Run(func(w int) {
-			lo, hi := par.Split(s.cfg.Banks, workers, w)
-			for b := lo; b < hi; b++ {
-				s.tickBuf[b].rep, s.tickBuf[b].ok = s.tickBank(b)
-			}
-		})
+		s.pool.Run(s.tickFn)
 		for b := 0; b < s.cfg.Banks; b++ {
 			if s.tickBuf[b].ok {
 				s.commitBank(b, s.tickBuf[b].rep)
@@ -689,7 +699,8 @@ func (s *Sim) bankEnter(bank int, m qmsg) {
 	s.mem.Module(bank).Enqueue(wire)
 	s.stats.BankOps++
 	if s.flt.Duplicate(site, wire.ID, wire.Attempt) && s.mem.Module(bank).CanEnqueue() {
-		s.mem.Module(bank).Enqueue(wire)
+		// Deep-copied so the two queued copies share no Srcs/Reps storage.
+		s.mem.Module(bank).Enqueue(wire.Clone())
 		s.stats.BankOps++
 	}
 }
@@ -710,7 +721,9 @@ func (s *Sim) deliverVerified(rep core.Reply, src int, issue int64) {
 		return // quarantined: the retransmit machinery re-drives the op
 	}
 	if s.flt.Duplicate(site, wire.ID, wire.Attempt) {
-		s.deliver(wire, src, issue)
+		// Deep-copied so the duplicate shares no Leaves storage with the
+		// reply delivered below (decombining reads both).
+		s.deliver(wire.Clone(), src, issue)
 	}
 	s.deliver(wire, src, issue)
 }
@@ -813,6 +826,10 @@ func qmsgReq(m *qmsg) *core.Request { return &m.req }
 
 // Run advances the machine, stopping early if the watchdog trips.
 func (s *Sim) Run(cycles int) {
+	if s.pool != nil {
+		s.pool.Start()
+		defer s.pool.Stop()
+	}
 	for i := 0; i < cycles; i++ {
 		if s.wd.Tripped() {
 			return
@@ -824,6 +841,10 @@ func (s *Sim) Run(cycles int) {
 // Drain runs until the machine is empty, up to the bound.  A watchdog trip
 // ends the drain immediately.
 func (s *Sim) Drain(maxCycles int) bool {
+	if s.pool != nil {
+		s.pool.Start()
+		defer s.pool.Stop()
+	}
 	for i := 0; i < maxCycles; i++ {
 		if s.wd.Tripped() {
 			return false

@@ -79,6 +79,22 @@ func (r Request) WithReps() Request {
 	return r
 }
 
+// Clone returns a copy of the request whose slice-typed fields (Srcs,
+// Reps) own their storage.  Engines that duplicate a message — the
+// adversarial dup links — must go through it: a plain struct copy shares
+// the backing arrays, so recycling or growing either copy's slices would
+// corrupt the other.
+func (r Request) Clone() Request {
+	c := r
+	if r.Srcs != nil {
+		c.Srcs = append(make([]word.ProcID, 0, len(r.Srcs)), r.Srcs...)
+	}
+	if r.Reps != nil {
+		c.Reps = append(make([]Leaf, 0, len(r.Reps)), r.Reps...)
+	}
+	return c
+}
+
 // String renders the message in the paper's ⟨id, addr, f⟩ form.
 func (r Request) String() string {
 	return fmt.Sprintf("⟨%d, @%d, %s⟩", r.ID, r.Addr, r.Op)
@@ -110,6 +126,20 @@ type Reply struct {
 
 // String renders the reply.
 func (p Reply) String() string { return fmt.Sprintf("⟨%d, %s⟩", p.ID, p.Val) }
+
+// Clone returns a copy of the reply whose Leaves map owns its storage —
+// the reply-side counterpart of Request.Clone, for transports that
+// duplicate a reply in flight.
+func (p Reply) Clone() Reply {
+	c := p
+	if p.Leaves != nil {
+		c.Leaves = make(map[word.ReqID]word.Word, len(p.Leaves))
+		for id, v := range p.Leaves {
+			c.Leaves[id] = v
+		}
+	}
+	return c
+}
 
 // Record is the wait-buffer entry saved when two requests combine: the two
 // ids and the first request's mapping, which synthesizes the second reply.

@@ -254,16 +254,22 @@ type Sim struct {
 	revLimbo []cubeHeldRev
 
 	// Parallel memory-tick state (Config.Workers > 1, nil/empty
-	// otherwise): worker pool, per-worker stats shards, and per-node
-	// delivery buffers replayed serially in node order.  See DESIGN.md §6.
+	// otherwise): worker pool (persistent workers bracketed by
+	// Run/Drain), the tick function bound once at construction so the
+	// cycle loop builds no closures, per-worker cache-line-padded stats
+	// shards, and per-node delivery buffers replayed serially in node
+	// order.  See DESIGN.md §6.
 	pool     *par.Pool
+	tickFn   func(w int)
 	shards   []cubeShard
 	delivBuf [][]revM
 }
 
-// cubeShard is one worker's slice of the memory-tick statistics.
+// cubeShard is one worker's slice of the memory-tick statistics, padded so
+// adjacent shards in the contiguous slice never share a cache line.
 type cubeShard struct {
 	memOps, holdsMemOut, orphans, ckpts int64
+	_                                   [64]byte
 }
 
 // Validate reports whether the configuration is usable, with the
@@ -367,6 +373,7 @@ func NewSim(cfg Config, inj []network.Injector) *Sim {
 	}
 	if cfg.Workers > 1 {
 		s.pool = par.NewPool(cfg.Workers)
+		s.tickFn = s.tickWorker
 		s.shards = make([]cubeShard, s.pool.Workers())
 		s.delivBuf = make([][]revM, n)
 	}
@@ -582,8 +589,13 @@ func (s *Sim) StallReport() string {
 }
 
 // Run advances the given number of cycles, stopping early if the watchdog
-// trips.
+// trips.  A parallel machine starts its persistent pool workers here, once
+// per Run, and retires them on return.
 func (s *Sim) Run(cycles int) {
+	if s.pool != nil {
+		s.pool.Start()
+		defer s.pool.Stop()
+	}
 	for i := 0; i < cycles; i++ {
 		if s.wd.Tripped() {
 			return
@@ -684,6 +696,10 @@ func (s *Sim) InFlight() int {
 // watchdog trip ends the drain immediately: a stalled machine will not
 // empty no matter how many more cycles it is given.
 func (s *Sim) Drain(maxCycles int) bool {
+	if s.pool != nil {
+		s.pool.Start()
+		defer s.pool.Stop()
+	}
 	for i := 0; i < maxCycles; i++ {
 		if s.wd.Tripped() {
 			return false
@@ -811,7 +827,9 @@ func (s *Sim) memEnter(i int, m fwdM, memOps *int64) {
 	s.mem.Module(i).Enqueue(wire)
 	*memOps++
 	if s.flt.Duplicate(site, wire.ID, wire.Attempt) && s.mem.Module(i).CanEnqueue() {
-		s.mem.Module(i).Enqueue(wire)
+		// The duplicate deep-copies its Srcs/Reps slices — a shallow
+		// second enqueue would share backing arrays with the first.
+		s.mem.Module(i).Enqueue(wire.Clone())
 		*memOps++
 	}
 }
@@ -888,7 +906,11 @@ func (s *Sim) deliverHomeVerified(cur int, r revM) {
 	}
 	r.rep = wire
 	if s.flt.Duplicate(site, wire.ID, wire.Attempt) {
-		s.deliverHomeCommon(cur, r)
+		// The duplicate's reply must own its Leaves map: a shallow copy
+		// shares it with the original (see core.Reply.Clone).
+		dup := r
+		dup.rep = r.rep.Clone()
+		s.deliverHomeCommon(cur, dup)
 	}
 	s.deliverHomeCommon(cur, r)
 }
@@ -967,15 +989,7 @@ func (s *Sim) tickMemory() {
 // ledger and completion stats are shared) — buffer per node and replay
 // serially in ascending node order, the serial sweep's order.
 func (s *Sim) tickMemoryParallel() {
-	workers := s.pool.Workers()
-	s.pool.Run(func(w int) {
-		sh := &s.shards[w]
-		lo, hi := par.Split(s.n, workers, w)
-		for i := lo; i < hi; i++ {
-			s.delivBuf[i] = s.delivBuf[i][:0]
-			s.tickNode(i, &sh.memOps, &sh.holdsMemOut, &sh.orphans, &sh.ckpts, &s.delivBuf[i])
-		}
-	})
+	s.pool.Run(s.tickFn)
 	for i := 0; i < s.n; i++ {
 		for _, r := range s.delivBuf[i] {
 			s.deliverHome(i, r)
@@ -988,6 +1002,18 @@ func (s *Sim) tickMemoryParallel() {
 		s.orphans += sh.orphans
 		s.stats.Checkpoints += sh.ckpts
 		*sh = cubeShard{}
+	}
+}
+
+// tickWorker is the per-worker body of the parallel memory tick, bound to
+// Sim.tickFn once at construction.
+func (s *Sim) tickWorker(w int) {
+	workers := s.pool.Workers()
+	sh := &s.shards[w]
+	lo, hi := par.Split(s.n, workers, w)
+	for i := lo; i < hi; i++ {
+		s.delivBuf[i] = s.delivBuf[i][:0]
+		s.tickNode(i, &sh.memOps, &sh.holdsMemOut, &sh.orphans, &sh.ckpts, &s.delivBuf[i])
 	}
 }
 

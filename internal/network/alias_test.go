@@ -1,0 +1,237 @@
+package network
+
+// Regression tests for the duplicate-delivery aliasing bug: before the
+// Clone/cloneForDup fixes, the dup branches shallow-copied messages, so
+// the original and the duplicate shared the path header's backing array
+// and the reply's Leaves map.  That was latent until path recycling
+// landed — deliverCommon returns every delivered header to the injection
+// pool, so a shared header was recycled twice, and two later in-flight
+// requests would build their routes in the same array.
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"combining/internal/core"
+	"combining/internal/faults"
+	"combining/internal/rmw"
+	"combining/internal/word"
+)
+
+// TestCloneForDupIndependence: a duplicated reply message must own its
+// path header and Leaves map outright.
+func TestCloneForDupIndependence(t *testing.T) {
+	r := revMsg{
+		rep: core.Reply{
+			ID:  7,
+			Val: word.W(42),
+			Leaves: map[word.ReqID]word.Word{
+				7: word.W(42), 9: word.W(43),
+			},
+		},
+		path:       append(make([]uint8, 0, 4), 1, 0),
+		issueCycle: 5,
+		hot:        true,
+		slots:      1,
+	}
+	c := r.cloneForDup()
+	if &c.path[0] == &r.path[0] {
+		t.Fatalf("cloneForDup shares the path backing array")
+	}
+	c.path[0] = 9
+	c.rep.Leaves[7] = word.W(99)
+	if r.path[0] != 1 {
+		t.Errorf("mutating the clone's path changed the original: %v", r.path)
+	}
+	if r.rep.Leaves[7] != word.W(42) {
+		t.Errorf("mutating the clone's Leaves changed the original: %v", r.rep.Leaves)
+	}
+	if c.issueCycle != r.issueCycle || c.hot != r.hot || c.slots != r.slots {
+		t.Errorf("cloneForDup dropped scalar fields: %+v vs %+v", c, r)
+	}
+}
+
+// TestRequestCloneIndependence: a duplicated request (memory-side dup
+// branch) must own its Srcs and Reps slices.
+func TestRequestCloneIndependence(t *testing.T) {
+	r := core.NewRequest(3, 17, rmw.FetchAdd(1), 2).WithReps()
+	c := r.Clone()
+	if &c.Srcs[0] == &r.Srcs[0] {
+		t.Fatalf("Clone shares the Srcs backing array")
+	}
+	if &c.Reps[0] == &r.Reps[0] {
+		t.Fatalf("Clone shares the Reps backing array")
+	}
+	c.Srcs[0] = 5
+	c.Reps[0].Src = 5
+	if r.Srcs[0] != 2 || r.Reps[0].Src != 2 {
+		t.Errorf("mutating the clone changed the original: %v %v", r.Srcs, r.Reps)
+	}
+}
+
+// TestDupDeliveryPathPoolIntegrity is the end-to-end regression: under a
+// duplication-heavy plan, drain to quiescence and check that no path
+// header was recycled into the pool twice.  With the pre-fix shallow dup
+// copy, the original and the duplicate recycled the same backing array
+// back to back, and the pool would hand one array to two in-flight
+// requests.
+func TestDupDeliveryPathPoolIntegrity(t *testing.T) {
+	const n = 16
+	inj := make([]Injector, n)
+	for p := range inj {
+		inj[p] = &stopAfter{
+			Stochastic: NewStochastic(p, n, TrafficConfig{
+				Rate: 0.8, HotFraction: 0.5, Window: 4,
+			}, 11),
+			remaining: 200,
+		}
+	}
+	plan := &faults.Plan{Seed: 5, Dup: 0.25}
+	sim := NewSim(Config{Procs: n, Faults: plan}, inj)
+	if !sim.Drain(50000) {
+		t.Fatalf("drain did not reach quiescence")
+	}
+	if sim.stats.Completed == 0 {
+		t.Fatalf("workload completed nothing — the dup plan never exercised delivery")
+	}
+	// At quiescence every delivered header is back in the pool; each entry
+	// must be a distinct array.  (&p[:1][0] is legal for the zero-length
+	// entries because every pooled array keeps capacity k.)
+	seen := make(map[*uint8]bool, len(sim.pathFree))
+	for _, p := range sim.pathFree {
+		ptr := &p[:1][0]
+		if seen[ptr] {
+			t.Fatalf("path array %p recycled into the pool twice — a dup delivery shared its header", ptr)
+		}
+		seen[ptr] = true
+	}
+}
+
+// stopAfter bounds a Stochastic injector to a fixed request budget, so a
+// Drain can reach quiescence (the raw injector offers traffic forever).
+type stopAfter struct {
+	*Stochastic
+	remaining int
+}
+
+func (z *stopAfter) Next(cycle int64) (Injection, bool) {
+	if z.remaining <= 0 {
+		return Injection{}, false
+	}
+	inj, ok := z.Stochastic.Next(cycle)
+	if ok {
+		z.remaining--
+	}
+	return inj, ok
+}
+
+// TestDeliveryCommitOverlap pins the claim in phaseWorker that worker 0's
+// delivery commit may overlap the later phases: at width 8 and at
+// GOMAXPROCS, under a lossy plan and a crash plan, the race detector sees
+// the overlap on every cycle and the snapshot still matches the serial
+// stepper byte for byte.
+func TestDeliveryCommitOverlap(t *testing.T) {
+	widths := []int{8, runtime.GOMAXPROCS(0)}
+	for _, tc := range []struct {
+		name string
+		plan *faults.Plan
+	}{
+		{"faulted", faults.Default(33)},
+		{"crash", faults.DefaultCrash(33)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			want := snapshotAfter(1, tc.plan, 2500)
+			for _, w := range widths {
+				if got := snapshotAfter(w, tc.plan, 2500); !bytes.Equal(got, want) {
+					t.Errorf("Workers=%d snapshot differs from serial under %s plan:\nserial: %s\nparallel: %s",
+						w, tc.name, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestAdversarialPlanRejectsParallel: relaxed-delivery plans pin the
+// serial stepper — limbo release order is defined by the serial sweep —
+// so Workers > 1 with such a plan must fail validation.
+func TestAdversarialPlanRejectsParallel(t *testing.T) {
+	cfg := Config{Procs: 16, Workers: 2, Faults: faults.DefaultAdversarial(1)}
+	if err := cfg.Validate(); err == nil {
+		t.Fatalf("adversarial plan with Workers > 1 passed validation")
+	}
+	cfg.Workers = 1
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("adversarial plan with Workers = 1 rejected: %v", err)
+	}
+}
+
+// fixedInjector drives the zero-allocation audit: window-4 fetch-and-add
+// traffic to a per-processor private address, so no two requests ever
+// combine (combining merges source sets into fresh storage, a semantic
+// allocation the audit must exclude).  The operation and the one-element
+// source set are cached, as in the production Stochastic injector.
+type fixedInjector struct {
+	ids         *word.IDGen
+	nprocs      int
+	addr        word.Addr
+	op          rmw.Mapping
+	srcs        []word.ProcID
+	outstanding int
+}
+
+func newFixedInjector(proc, nprocs int) *fixedInjector {
+	return &fixedInjector{
+		ids:    word.Partition(proc, nprocs),
+		nprocs: nprocs,
+		addr:   word.Addr(proc),
+		op:     rmw.FetchAdd(1),
+		srcs:   []word.ProcID{word.ProcID(proc)},
+	}
+}
+
+func (f *fixedInjector) Next(cycle int64) (Injection, bool) {
+	if f.outstanding >= 4 {
+		return Injection{}, false
+	}
+	f.outstanding++
+	id := f.ids.NextPartitioned(f.nprocs)
+	return Injection{Req: core.Request{ID: id, Addr: f.addr, Op: f.op, Srcs: f.srcs}}, true
+}
+
+func (f *fixedInjector) Deliver(core.Reply, int64) { f.outstanding-- }
+
+// TestParallelStepZeroAlloc: after warmup — queues, delivery buffers and
+// the path pool at capacity — a clean parallel cycle allocates nothing.
+func TestParallelStepZeroAlloc(t *testing.T) {
+	const n = 16
+	inj := make([]Injector, n)
+	for p := range inj {
+		inj[p] = newFixedInjector(p, n)
+	}
+	sim := NewSim(Config{Procs: n, Workers: 4}, inj)
+	// Bare Step() below bypasses Run's pool bracket; keep the workers
+	// persistent so the measurement covers channel dispatch, not spawns.
+	sim.pool.Start()
+	defer sim.pool.Stop()
+	sim.Run(512)
+	if allocs := testing.AllocsPerRun(200, func() { sim.Step() }); allocs != 0 {
+		t.Errorf("steady-state parallel step: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestSerialStepZeroAlloc: the serial stepper's steady state is
+// allocation-free too — the path pool and value-typed pending slots are
+// shared with the parallel path.
+func TestSerialStepZeroAlloc(t *testing.T) {
+	const n = 16
+	inj := make([]Injector, n)
+	for p := range inj {
+		inj[p] = newFixedInjector(p, n)
+	}
+	sim := NewSim(Config{Procs: n}, inj)
+	sim.Run(512)
+	if allocs := testing.AllocsPerRun(200, func() { sim.Step() }); allocs != 0 {
+		t.Errorf("steady-state serial step: %.1f allocs/op, want 0", allocs)
+	}
+}

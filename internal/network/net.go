@@ -299,14 +299,31 @@ type Sim struct {
 	inj    []Injector
 
 	// pending holds a request accepted from an injector but not yet
-	// admitted into stage 0 (backpressure at the processor port).
-	pending []*fwdMsg
+	// admitted into stage 0 (backpressure at the processor port);
+	// hasPending marks the occupied slots.  Values, not pointers: the
+	// message is copied in and out so the steady-state injection path
+	// never forces a heap escape.
+	pending    []fwdMsg
+	hasPending []bool
+	// pathFree recycles delivered replies' path headers back to the
+	// injection path (getPath/putPath).  Every array holds capacity for
+	// all k stages, so the appends along the forward path never regrow
+	// one — the steady-state cycle path allocates nothing.  Only
+	// single-goroutine phases touch it (injection, worker-0 delivery
+	// commit).
+	pathFree [][]uint8
 	// meta preserves message metadata across the memory module, which
 	// only transports core requests.  It is sharded per module: entry
 	// meta[mod][id] is written by the stage-(k−1) switch feeding module
 	// mod and consumed when that module's reply emerges, so under the
-	// parallel stepper each shard has exactly one owner per phase.
-	meta []map[word.ReqID]fwdMsg
+	// parallel stepper each shard has exactly one owner per phase.  The
+	// values are boxed: fwdMsg is larger than a map's inline-value limit,
+	// so storing it directly would heap-allocate a hidden box on every
+	// insert — instead metaFree recycles the boxes per module (same
+	// single-owner sharding as meta itself), keeping the steady-state
+	// memory handoff allocation-free.
+	meta     []map[word.ReqID]*fwdMsg
+	metaFree [][]*fwdMsg
 
 	cycle int64
 	stats Stats
@@ -348,12 +365,16 @@ type Sim struct {
 	revLimbo []heldRev
 
 	// Parallel stepper state (Config.Workers > 1, nil/empty otherwise):
-	// the worker pool and phase barrier, one stats shard per worker merged
+	// the worker pool (persistent workers bracketed by Run/Drain), the
+	// phase barrier, the phase function handed to the pool each cycle
+	// (bound once at construction so the cycle loop allocates no
+	// closures), one cache-line-padded stats shard per worker merged
 	// serially after the phases, and the per-rotation-position stage-0
 	// delivery buffers replayed in serial order by worker 0.  See
 	// parallel.go and DESIGN.md §6.
 	pool     *par.Pool
-	bar      *par.Barrier
+	bar      par.Barrier
+	stepFn   func(w int)
 	shards   []netShard
 	delivBuf [][]delivery
 	// Conflict-group partitions per stage, derived from the wiring at
@@ -398,22 +419,24 @@ func NewSim(cfg Config, inj []Injector) *Sim {
 			memOpts = append(memOpts, memory.WithNoDedupCanary())
 		}
 	}
-	meta := make([]map[word.ReqID]fwdMsg, n)
+	meta := make([]map[word.ReqID]*fwdMsg, n)
 	for i := range meta {
-		meta[i] = make(map[word.ReqID]fwdMsg)
+		meta[i] = make(map[word.ReqID]*fwdMsg)
 	}
 	s := &Sim{
-		cfg:     cfg,
-		topo:    topo,
-		n:       n,
-		k:       k,
-		radix:   radix,
-		stages:  stages,
-		mem:     memory.NewArray(n, memOpts...),
-		inj:     inj,
-		pending: make([]*fwdMsg, n),
-		meta:    meta,
-		wd:      flow.NewWatchdog(cfg.WatchdogCycles),
+		cfg:        cfg,
+		topo:       topo,
+		n:          n,
+		k:          k,
+		radix:      radix,
+		stages:     stages,
+		mem:        memory.NewArray(n, memOpts...),
+		inj:        inj,
+		pending:    make([]fwdMsg, n),
+		hasPending: make([]bool, n),
+		meta:       meta,
+		metaFree:   make([][]*fwdMsg, n),
+		wd:         flow.NewWatchdog(cfg.WatchdogCycles),
 	}
 	if cfg.Faults != nil {
 		s.flt = faults.NewInjector(*cfg.Faults)
@@ -446,6 +469,7 @@ func NewSim(cfg Config, inj []Injector) *Sim {
 	if cfg.Workers > 1 {
 		s.pool = par.NewPool(cfg.Workers)
 		s.bar = par.NewBarrier(s.pool.Workers())
+		s.stepFn = s.phaseWorker
 		s.shards = make([]netShard, s.pool.Workers())
 		s.delivBuf = make([][]delivery, n/radix)
 		s.fwdGroups = make([][][]int, k)
@@ -493,7 +517,7 @@ func (s *Sim) Step() {
 		}
 		for _, p := range s.trk.Expired(s.cycle) {
 			s.retry[p.Proc] = append(s.retry[p.Proc],
-				fwdMsg{req: p.Req, issueCycle: p.IssueCycle, hot: p.Hot})
+				fwdMsg{req: p.Req, path: s.getPath(), issueCycle: p.IssueCycle, hot: p.Hot})
 		}
 		if s.adv {
 			s.drainLimbo()
@@ -629,6 +653,23 @@ func (s *Sim) StallReport() string {
 	return flow.StallReport("network", s.wd, s.InFlight(), crashed, detail)
 }
 
+// metaInsert files a request's metadata under its module shard, reusing a
+// recycled box so the steady-state insert allocates nothing.  The free
+// list shares meta's ownership partition: the stage-(k−1) switch phase
+// and the memory phase split over the same index range, so module mod's
+// list is only ever touched by the worker owning switch mod/radix.
+func (s *Sim) metaInsert(mod int, m fwdMsg) {
+	var box *fwdMsg
+	if free := s.metaFree[mod]; len(free) > 0 {
+		box = free[len(free)-1]
+		s.metaFree[mod] = free[:len(free)-1]
+	} else {
+		box = new(fwdMsg)
+	}
+	*box = m
+	s.meta[mod][m.req.ID] = box
+}
+
 // metaCount sums the per-module metadata shards (requests in memory).
 func (s *Sim) metaCount() int {
 	n := 0
@@ -640,8 +681,8 @@ func (s *Sim) metaCount() int {
 
 func (s *Sim) pendingCount() int {
 	n := 0
-	for _, p := range s.pending {
-		if p != nil {
+	for _, occupied := range s.hasPending {
+		if occupied {
 			n++
 		}
 	}
@@ -650,8 +691,15 @@ func (s *Sim) pendingCount() int {
 
 // Run advances the machine the given number of cycles, stopping early if
 // the progress watchdog trips (a stalled machine makes no further progress
-// by definition; callers check Stalled / StallReport).
+// by definition; callers check Stalled / StallReport).  A parallel machine
+// starts its persistent workers here, once per Run — not once per cycle —
+// and retires them on return; a bare Step outside Run still works through
+// the pool's spawn fallback.
 func (s *Sim) Run(cycles int) {
+	if s.pool != nil {
+		s.pool.Start()
+		defer s.pool.Stop()
+	}
 	for i := 0; i < cycles; i++ {
 		if s.wd.Tripped() {
 			return
@@ -785,14 +833,16 @@ func (s *Sim) memEnter(mod int, m fwdMsg, st *Stats) {
 		return // quarantined: equivalent to a detected drop on this link
 	}
 	st.MemRequests++
-	s.meta[mod][wire.ID] = m
+	s.metaInsert(mod, m)
 	s.mem.Module(mod).Enqueue(wire)
 	if s.flt.Duplicate(site, wire.ID, wire.Attempt) && s.mem.Module(mod).CanEnqueue() {
 		// Network-born duplicate: the link re-emits a message the sender
 		// never retransmitted.  The reply cache answers the second copy
 		// from its leaf values; its reply finds no metadata and orphans.
+		// The copy deep-copies its Srcs/Reps slices — a shallow second
+		// enqueue would share backing arrays with the first.
 		st.MemRequests++
-		s.mem.Module(mod).Enqueue(wire)
+		s.mem.Module(mod).Enqueue(wire.Clone())
 	}
 }
 
@@ -869,12 +919,22 @@ func (s *Sim) deliverVerified(proc int, r revMsg) {
 	}
 	r.rep = wire
 	if s.flt.Duplicate(site, wire.ID, wire.Attempt) {
-		s.deliverCommon(proc, r)
+		// The duplicate must own its storage: a shallow copy would share
+		// the path array (recycled per delivery by deliverCommon) and the
+		// Leaves map with the original, so delivering the same revMsg
+		// twice corrupts whichever copy is processed second.
+		s.deliverCommon(proc, r.cloneForDup())
 	}
 	s.deliverCommon(proc, r)
 }
 
 func (s *Sim) deliverCommon(proc int, r revMsg) {
+	// The reply has left the network: its path header (empty by now —
+	// stage 0 popped the last entry) returns to the injection pool.  This
+	// runs before the duplicate-suppression check on purpose: a suppressed
+	// copy's header recycles too, and post-clone every copy owns its own
+	// array.
+	s.putPath(r.path)
 	if s.trk != nil {
 		if _, ok := s.trk.Deliver(r.rep.ID, s.cycle); !ok {
 			return // duplicate of an already-delivered reply; suppressed
@@ -943,7 +1003,7 @@ func (s *Sim) tickModule(mod int, st *Stats, orphans *int64) {
 		return
 	}
 	st.MemAcks++
-	m, found := s.meta[mod][rep.ID]
+	box, found := s.meta[mod][rep.ID]
 	if !found {
 		if s.flt != nil {
 			// Expected under retransmission: when an original and a
@@ -955,6 +1015,9 @@ func (s *Sim) tickModule(mod int, st *Stats, orphans *int64) {
 		panic(fmt.Sprintf("network: cycle %d, module %d: reply id %d (%v) with no request metadata",
 			s.cycle, mod, rep.ID, rep))
 	}
+	m := *box
+	*box = fwdMsg{}
+	s.metaFree[mod] = append(s.metaFree[mod], box)
 	delete(s.meta[mod], rep.ID)
 	if s.cfg.Trace != nil {
 		s.cfg.Trace(Event{Cycle: s.cycle, Kind: EvMemServe,
@@ -1039,7 +1102,7 @@ func (s *Sim) fwdSwitch(stage, idx int, st *Stats) {
 				continue
 			}
 			st.MemRequests++
-			s.meta[outLine][m.req.ID] = m
+			s.metaInsert(outLine, m)
 			s.mem.Module(outLine).Enqueue(m.req)
 			continue
 		}
@@ -1063,6 +1126,28 @@ func (s *Sim) fwdSwitch(stage, idx int, st *Stats) {
 	}
 }
 
+// getPath returns an empty path header with capacity for all k stages,
+// reusing storage recycled by deliverCommon: at steady state the
+// inject→deliver loop cycles a fixed set of arrays and allocates nothing.
+func (s *Sim) getPath() []uint8 {
+	if n := len(s.pathFree); n > 0 {
+		p := s.pathFree[n-1]
+		s.pathFree = s.pathFree[:n-1]
+		return p
+	}
+	return make([]uint8, 0, s.k)
+}
+
+// putPath recycles a path header whose message left the machine.
+// Undersized arrays (grown by append on messages that entered without a
+// pooled header) are dropped so getPath's capacity guarantee holds.
+func (s *Sim) putPath(p []uint8) {
+	if cap(p) < s.k {
+		return
+	}
+	s.pathFree = append(s.pathFree, p[:0])
+}
+
 // injectAll offers each processor's next request to stage 0, in rotating
 // order so no processor port permanently outranks another.
 func (s *Sim) injectAll() {
@@ -1081,6 +1166,7 @@ func (s *Sim) injectAll() {
 			}
 			if s.flt.DropForward(faults.Site(0, line/s.radix, line%s.radix), m.req.ID, m.req.Attempt) ||
 				s.flt.DropLinkFwd(0, line/s.radix, s.cycle) {
+				s.putPath(m.path)
 				s.retry[proc] = s.retry[proc][1:]
 				continue
 			}
@@ -1093,7 +1179,7 @@ func (s *Sim) injectAll() {
 			}
 			continue
 		}
-		if s.pending[proc] == nil {
+		if !s.hasPending[proc] {
 			inj, ok := s.inj[proc].Next(s.cycle)
 			if !ok {
 				continue
@@ -1107,15 +1193,15 @@ func (s *Sim) injectAll() {
 				}
 				s.trk.Track(proc, req, inj.Hot, s.cycle)
 			}
-			m := fwdMsg{req: req, issueCycle: s.cycle, hot: inj.Hot}
-			s.pending[proc] = &m
+			s.pending[proc] = fwdMsg{req: req, path: s.getPath(), issueCycle: s.cycle, hot: inj.Hot}
+			s.hasPending[proc] = true
 			s.stats.Issued++
 			if s.cfg.Trace != nil {
 				s.cfg.Trace(Event{Cycle: s.cycle, Kind: EvInject,
 					ID: req.ID, Addr: req.Addr, Stage: -1, Switch: proc})
 			}
 		}
-		m := s.pending[proc]
+		m := &s.pending[proc]
 		if s.trk != nil && m.req.Attempt == 0 && s.trk.HeldBack(proc, m.req.Addr) {
 			// An earlier request to the same address is undelivered; hold
 			// this one at the port so a drop cannot reorder the
@@ -1129,13 +1215,16 @@ func (s *Sim) injectAll() {
 		if s.flt != nil && (s.flt.DropForward(
 			faults.Site(0, line/s.radix, line%s.radix), m.req.ID, m.req.Attempt) ||
 			s.flt.DropLinkFwd(0, line/s.radix, s.cycle)) {
-			s.pending[proc] = nil // lost on the processor-to-stage-0 link
+			// Lost on the processor-to-stage-0 link; the header never
+			// entered the network, so it recycles immediately.
+			s.putPath(m.path)
+			s.hasPending[proc] = false
 			continue
 		}
 		sw := s.stages[0][line/s.radix]
 		dst := s.destModule(m.req.Addr)
 		if sw.tryAccept(*m, s.outPortFor(0, dst), uint8(line%s.radix), &s.stats) {
-			s.pending[proc] = nil
+			s.hasPending[proc] = false
 			s.stats.FwdHops++
 			s.stats.FwdSlots += int64(core.ValueSlots(m.req.Op))
 		}
@@ -1226,8 +1315,8 @@ func (s *Sim) InFlight() int {
 		return s.trk.Outstanding()
 	}
 	n := 0
-	for _, p := range s.pending {
-		if p != nil {
+	for _, occupied := range s.hasPending {
+		if occupied {
 			n++
 		}
 	}
@@ -1249,6 +1338,10 @@ func (s *Sim) InFlight() int {
 // willing, i.e. they stop offering traffic), up to the given cycle bound.
 // It reports whether the machine fully drained.
 func (s *Sim) Drain(maxCycles int) bool {
+	if s.pool != nil {
+		s.pool.Start()
+		defer s.pool.Stop()
+	}
 	for i := 0; i < maxCycles; i++ {
 		if s.wd.Tripped() {
 			return false // stalled: no amount of further cycles drains it

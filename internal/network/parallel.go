@@ -35,10 +35,14 @@ import (
 )
 
 // netShard is one worker's private slice of the per-cycle statistics,
-// merged into Sim.stats by mergeShards after the phases.
+// merged into Sim.stats by mergeShards after the phases.  The trailing
+// pad keeps adjacent shards off one cache line: the shards live in a
+// contiguous slice and every worker writes its own on every phase, so
+// unpadded neighbors would false-share at the boundaries.
 type netShard struct {
 	st      Stats
 	orphans int64
+	_       [64]byte
 }
 
 // delivery is a stage-0 reply buffered during the parallel reverse phase
@@ -50,83 +54,91 @@ type delivery struct {
 
 // runPhases is the parallel equivalent of drainReverse + tickMemory +
 // drainForward.  injectAll stays outside: injectors and the retry tracker
-// are single-goroutine by contract.
+// are single-goroutine by contract.  The pool is handed the phase function
+// bound once at construction (Sim.stepFn), so the cycle loop builds no
+// closures; the workers themselves persist across cycles (started by
+// Run/Drain), so the steady-state cost of a cycle is the channel dispatch
+// and the phase barriers — nothing allocates.
 func (s *Sim) runPhases() {
+	s.pool.Run(s.stepFn)
+	s.mergeShards()
+}
+
+// phaseWorker is the per-worker body of one parallel cycle.
+func (s *Sim) phaseWorker(w int) {
 	rot := int(s.cycle)
 	workers := s.pool.Workers()
-	s.pool.Run(func(w int) {
-		sh := &s.shards[w]
+	sh := &s.shards[w]
 
-		// Reverse, stage 0: split over rotation slots so each worker owns
-		// its delivery buffers; each switch is its own conflict group.
-		n0 := len(s.stages[0])
-		lo, hi := par.Split(n0, workers, w)
-		for si := lo; si < hi; si++ {
-			s.delivBuf[si] = s.delivBuf[si][:0]
-			s.revSwitch0((si+rot)%n0, &sh.st, &s.delivBuf[si])
-		}
-		s.bar.Sync()
+	// Reverse, stage 0: split over rotation slots so each worker owns
+	// its delivery buffers; each switch is its own conflict group.
+	n0 := len(s.stages[0])
+	lo, hi := par.Split(n0, workers, w)
+	for si := lo; si < hi; si++ {
+		s.delivBuf[si] = s.delivBuf[si][:0]
+		s.revSwitch0((si+rot)%n0, &sh.st, &s.delivBuf[si])
+	}
+	s.bar.Sync(w)
 
-		// Delivery commit: worker 0 replays the buffered deliveries in
-		// serial (rotation-slot) order on the caller's goroutine.  This
-		// overlaps the next phases safely — deliveries touch injectors,
-		// the retry ledger and the completion stats, none of which the
-		// switch sweeps read or write.
-		if w == 0 {
-			for si := 0; si < n0; si++ {
-				for _, d := range s.delivBuf[si] {
-					s.deliver(d.proc, d.r)
-				}
+	// Delivery commit: worker 0 replays the buffered deliveries in
+	// serial (rotation-slot) order on the caller's goroutine.  This
+	// overlaps the next phases safely — deliveries touch injectors,
+	// the retry ledger and the completion stats, none of which the
+	// switch sweeps read or write; TestDeliveryCommitOverlap pins the
+	// claim under the race detector.
+	if w == 0 {
+		for si := 0; si < n0; si++ {
+			for _, d := range s.delivBuf[si] {
+				s.deliver(d.proc, d.r)
 			}
 		}
+	}
 
-		// Reverse, stages ≥ 1, in ascending stage order as in serial; the
-		// barrier between stages keeps stage s+1's credit checks from
-		// observing stage s mid-sweep.
-		for stage := 1; stage < s.k; stage++ {
-			groups := s.revGroups[stage]
-			glo, ghi := par.Split(len(groups), workers, w)
-			for g := glo; g < ghi; g++ {
-				s.runRevGroup(stage, groups[g], rot, &sh.st)
-			}
-			s.bar.Sync()
+	// Reverse, stages ≥ 1, in ascending stage order as in serial; the
+	// barrier between stages keeps stage s+1's credit checks from
+	// observing stage s mid-sweep.
+	for stage := 1; stage < s.k; stage++ {
+		groups := s.revGroups[stage]
+		glo, ghi := par.Split(len(groups), workers, w)
+		for g := glo; g < ghi; g++ {
+			s.runRevGroup(stage, groups[g], rot, &sh.st)
 		}
+		s.bar.Sync(w)
+	}
 
-		// Memory: the radix modules behind one last-stage switch form a
-		// group (they share that switch's reverse credits).
-		ngm := s.n / s.radix
-		mlo, mhi := par.Split(ngm, workers, w)
-		for b := mlo; b < mhi; b++ {
-			for j := 0; j < s.radix; j++ {
-				s.tickModule(b*s.radix+j, &sh.st, &sh.orphans)
-			}
+	// Memory: the radix modules behind one last-stage switch form a
+	// group (they share that switch's reverse credits).
+	ngm := s.n / s.radix
+	mlo, mhi := par.Split(ngm, workers, w)
+	for b := mlo; b < mhi; b++ {
+		for j := 0; j < s.radix; j++ {
+			s.tickModule(b*s.radix+j, &sh.st, &sh.orphans)
 		}
-		s.bar.Sync()
+	}
+	s.bar.Sync(w)
 
-		// Forward, stage k−1: each switch owns its modules and metadata
-		// shards outright, so switch order is free.
-		nsLast := len(s.stages[s.k-1])
-		flo, fhi := par.Split(nsLast, workers, w)
-		for idx := flo; idx < fhi; idx++ {
-			s.fwdSwitch(s.k-1, idx, &sh.st)
-		}
-		if s.k > 1 {
-			s.bar.Sync()
-		}
+	// Forward, stage k−1: each switch owns its modules and metadata
+	// shards outright, so switch order is free.
+	nsLast := len(s.stages[s.k-1])
+	flo, fhi := par.Split(nsLast, workers, w)
+	for idx := flo; idx < fhi; idx++ {
+		s.fwdSwitch(s.k-1, idx, &sh.st)
+	}
+	if s.k > 1 {
+		s.bar.Sync(w)
+	}
 
-		// Forward, stages k−2 … 0, in descending stage order as in serial.
-		for stage := s.k - 2; stage >= 0; stage-- {
-			groups := s.fwdGroups[stage]
-			glo, ghi := par.Split(len(groups), workers, w)
-			for g := glo; g < ghi; g++ {
-				s.runFwdGroup(stage, groups[g], rot, &sh.st)
-			}
-			if stage > 0 {
-				s.bar.Sync()
-			}
+	// Forward, stages k−2 … 0, in descending stage order as in serial.
+	for stage := s.k - 2; stage >= 0; stage-- {
+		groups := s.fwdGroups[stage]
+		glo, ghi := par.Split(len(groups), workers, w)
+		for g := glo; g < ghi; g++ {
+			s.runFwdGroup(stage, groups[g], rot, &sh.st)
 		}
-	})
-	s.mergeShards()
+		if stage > 0 {
+			s.bar.Sync(w)
+		}
+	}
 }
 
 // runRevGroup processes one reverse conflict group of a stage ≥ 1 in the

@@ -105,6 +105,13 @@ func BenchmarkParallelStep(b *testing.B) {
 					}, 5)
 				}
 				sim := NewSim(Config{Procs: n, Workers: w}, inj)
+				if sim.pool != nil {
+					// Bare Step() bypasses Run's pool bracket; start the
+					// workers here so the loop measures persistent dispatch,
+					// not goroutine spawns.
+					sim.pool.Start()
+					defer sim.pool.Stop()
+				}
 				sim.Run(64) // fill the pipeline before timing
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {

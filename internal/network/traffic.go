@@ -85,6 +85,15 @@ type Stochastic struct {
 	// uniform draw lands in (zipfCDF[r-1], zipfCDF[r]].
 	zipfCDF []float64
 
+	// faa is the default fetch-and-add(1) operation boxed once: storing a
+	// 16-byte rmw.Assoc into an interface per request would otherwise
+	// heap-allocate on the steady-state injection path.  srcs is likewise
+	// the one-element source set every request of this injector shares —
+	// safe because nothing in the machine grows a Srcs slice in place
+	// (combining always merges into fresh storage; see core.mergeSrcs).
+	faa  rmw.Mapping
+	srcs []word.ProcID
+
 	// Hot and Cold count issued requests by class.
 	Hot, Cold int64
 }
@@ -115,6 +124,8 @@ func NewStochastic(proc, nprocs int, cfg TrafficConfig, seed uint64) *Stochastic
 		rng:    rand.New(rand.NewPCG(seed, uint64(proc)*0x9e3779b97f4a7c15+1)),
 		ids:    word.Partition(proc, nprocs),
 		nprocs: nprocs,
+		faa:    rmw.FetchAdd(1),
+		srcs:   []word.ProcID{word.ProcID(proc)},
 	}
 	if cfg.AddrSpace == 0 {
 		s.cfg.AddrSpace = word.Addr(64 * nprocs)
@@ -190,7 +201,7 @@ func (s *Stochastic) Next(cycle int64) (Injection, bool) {
 			}
 		}
 	}
-	var op rmw.Mapping = rmw.FetchAdd(1)
+	op := s.faa
 	if s.cfg.MakeOp != nil {
 		op = s.cfg.MakeOp(s.rng, hot)
 	}
@@ -204,7 +215,10 @@ func (s *Stochastic) Next(cycle int64) (Injection, bool) {
 	if s.issued != nil {
 		s.issued[id] = cycle
 	}
-	return Injection{Req: core.NewRequest(id, addr, op, s.proc), Hot: hot}, true
+	// Built literally rather than through core.NewRequest so the request
+	// reuses the injector's shared one-element Srcs instead of allocating
+	// a fresh set per request.
+	return Injection{Req: core.Request{ID: id, Addr: addr, Op: op, Srcs: s.srcs}, Hot: hot}, true
 }
 
 // Deliver releases a window slot and, under Adaptive, feeds the round-trip

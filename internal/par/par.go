@@ -14,14 +14,20 @@
 // single-threaded stepper no matter how many workers run or how the runtime
 // schedules them.  DESIGN.md §6 carries the full argument.
 //
-// A Pool spawns its workers fresh on every Run and joins them before
-// returning: there are no persistent goroutines to leak, no Close to
-// forget, and a Workers=8 pool stepped once costs eight goroutine starts,
-// not eight idle spinners for the life of the simulation.  Worker 0 runs on
-// the caller's goroutine, so engine phases that must stay single-threaded
-// (injector callbacks, delivery commits) can simply be guarded with
-// `if w == 0` and still satisfy APIs that assume the simulator's own
-// goroutine.
+// A Pool's workers are persistent: Start parks Workers-1 goroutines on
+// per-worker wake channels (the Go runtime parks a blocked channel receive
+// on a futex, so an idle pool costs nothing), each Run hands them the same
+// function value and joins them on a reused WaitGroup, and Stop retires
+// them.  The engines bracket their Run/Drain loops with Start/Stop, so a
+// million-cycle run costs Workers-1 goroutine starts total — not per cycle —
+// and the per-cycle dispatch (channel send, channel receive, WaitGroup
+// add/wait) allocates nothing.  Start/Stop nest by refcount.  A pool that
+// was never started still works: Run falls back to spawning its workers for
+// that one call, so a bare Step outside an engine Run stays correct, just
+// slower.  Worker 0 always runs on the caller's goroutine, so engine phases
+// that must stay single-threaded (injector callbacks, delivery commits) can
+// simply be guarded with `if w == 0` and still satisfy APIs that assume the
+// simulator's own goroutine.
 package par
 
 import (
@@ -31,7 +37,14 @@ import (
 )
 
 // Pool runs a function on a fixed set of workers.
-type Pool struct{ workers int }
+type Pool struct {
+	workers int
+	refs    int // Start/Stop nesting depth; managed by the owning goroutine
+	fn      func(w int)
+	wg      sync.WaitGroup
+	wake    []chan struct{}
+	stop    chan struct{}
+}
 
 // NewPool returns a pool of the given width; widths below 1 clamp to 1.
 func NewPool(workers int) *Pool {
@@ -44,76 +57,336 @@ func NewPool(workers int) *Pool {
 // Workers reports the pool width.
 func (p *Pool) Workers() int { return p.workers }
 
+// Started reports whether persistent workers are currently parked.
+func (p *Pool) Started() bool { return p.refs > 0 }
+
+// Start spawns the pool's persistent workers (idempotent by refcount: each
+// Start must be matched by one Stop, and only the outermost pair spawns and
+// retires goroutines).  Start and Stop must be called from the goroutine
+// that calls Run — the same single-threaded discipline Run itself requires.
+func (p *Pool) Start() {
+	if p.workers == 1 {
+		return
+	}
+	p.refs++
+	if p.refs > 1 {
+		return
+	}
+	p.stop = make(chan struct{})
+	if p.wake == nil {
+		p.wake = make([]chan struct{}, p.workers)
+		for w := 1; w < p.workers; w++ {
+			p.wake[w] = make(chan struct{}, 1)
+		}
+	}
+	for w := 1; w < p.workers; w++ {
+		go p.worker(w, p.wake[w], p.stop)
+	}
+}
+
+// Stop retires the persistent workers started by the matching Start.  Any
+// Run in flight has already joined its workers, so the workers are parked
+// and exit on the closed stop channel.
+func (p *Pool) Stop() {
+	if p.workers == 1 || p.refs == 0 {
+		return
+	}
+	p.refs--
+	if p.refs > 0 {
+		return
+	}
+	close(p.stop)
+	p.stop = nil
+}
+
+func (p *Pool) worker(w int, wake <-chan struct{}, stop <-chan struct{}) {
+	for {
+		select {
+		case <-wake:
+			p.fn(w)
+			p.wg.Done()
+		case <-stop:
+			return
+		}
+	}
+}
+
 // Run executes fn(w) for every worker index w in [0, Workers) concurrently
 // and returns when all have finished.  fn(0) runs on the calling goroutine.
+// Between Start and Stop the persistent workers are dispatched — the wake
+// send happens-before the worker's read of fn, and the WaitGroup join
+// happens-after its call — and the dispatch allocates nothing.  Outside
+// Start/Stop the workers are spawned fresh for this one call.
 func (p *Pool) Run(fn func(w int)) {
 	if p.workers == 1 {
 		fn(0)
 		return
 	}
-	var wg sync.WaitGroup
-	wg.Add(p.workers - 1)
+	if p.refs == 0 {
+		var wg sync.WaitGroup
+		wg.Add(p.workers - 1)
+		for w := 1; w < p.workers; w++ {
+			go func(w int) {
+				defer wg.Done()
+				fn(w)
+			}(w)
+		}
+		fn(0)
+		wg.Wait()
+		return
+	}
+	p.fn = fn
+	p.wg.Add(p.workers - 1)
 	for w := 1; w < p.workers; w++ {
-		go func(w int) {
-			defer wg.Done()
-			fn(w)
-		}(w)
+		p.wake[w] <- struct{}{}
 	}
 	fn(0)
-	wg.Wait()
+	p.wg.Wait()
+	p.fn = nil
 }
 
 // Barrier is a reusable phase barrier for exactly n participants: every
-// caller of Sync blocks until all n have arrived, then all proceed.  It is
-// a counting (sense-via-phase-number) barrier: waiters spin briefly — phase
-// gaps inside a simulated cycle are sub-microsecond — and fall back to
-// yielding the processor, so oversubscribed pools make progress too.
-type Barrier struct {
-	n     int32
-	spin  int
-	count atomic.Int32
-	phase atomic.Uint64
-}
-
-// NewBarrier returns a barrier for n participants (n ≥ 1).
-func NewBarrier(n int) *Barrier {
-	if n < 1 {
-		n = 1
-	}
-	b := &Barrier{n: int32(n), spin: spinLimit}
-	if n > runtime.GOMAXPROCS(0) {
-		// Oversubscribed: the stragglers this waiter is spinning for may
-		// need this very processor to run, so spinning only delays them.
-		b.spin = 0
-	}
-	return b
+// caller of Sync blocks until all n have arrived, then all proceed.  Sync
+// takes the caller's worker index so implementations can keep per-worker
+// local state (a local sense, dissemination round flags) that is read and
+// written without cross-worker contention.
+//
+// All implementations re-evaluate their spin-versus-yield policy against
+// runtime.GOMAXPROCS on every barrier episode (not once at construction):
+// when the barrier is wider than the processors available, the stragglers a
+// waiter is spinning for may need the waiter's own processor to run, so
+// waiters yield immediately instead of burning the spin budget.
+type Barrier interface {
+	// Sync blocks worker w until all n participants have arrived at the
+	// current phase.  Each participant must pass its own fixed index in
+	// [0, n); no index may be used by two goroutines concurrently.
+	Sync(w int)
 }
 
 // spinLimit bounds the pure spin before a waiter starts yielding.
 const spinLimit = 256
 
+// spinPolicy is the shared spin-versus-yield budget, re-evaluated against
+// GOMAXPROCS once per barrier episode by whichever participant the
+// implementation designates (the last arriver for central barriers, worker
+// 0 for dissemination) so a GOMAXPROCS change mid-run takes effect by the
+// next Sync without every waiter hammering the scheduler lock.
+type spinPolicy struct {
+	n      int32
+	budget atomic.Int32
+}
+
+func (s *spinPolicy) init(n int) {
+	s.n = int32(n)
+	s.refresh()
+}
+
+func (s *spinPolicy) refresh() {
+	if int(s.n) > runtime.GOMAXPROCS(0) {
+		s.budget.Store(0)
+	} else {
+		s.budget.Store(spinLimit)
+	}
+}
+
+func (s *spinPolicy) spinBudget() int32 { return s.budget.Load() }
+
+// NewBarrier returns a barrier for n participants (n ≥ 1): a no-op for one
+// participant, a cache-line-padded central sense-reversing barrier for the
+// narrow widths the engines actually run (arrival is one fetch-and-add on a
+// line nothing else shares, release is one store every waiter reads), and a
+// dissemination barrier past 8 participants, where ⌈log₂ n⌉ pairwise
+// rounds beat n arrivals serialized on one counter line.
+func NewBarrier(n int) Barrier {
+	switch {
+	case n <= 1:
+		return noopBarrier{}
+	case n <= 8:
+		return NewSenseBarrier(n)
+	default:
+		return NewDisseminationBarrier(n)
+	}
+}
+
+// noopBarrier synchronizes a single participant: nothing to wait for.
+type noopBarrier struct{}
+
+func (noopBarrier) Sync(int) {}
+
+// cacheLine is the coherence-granule size the padded barrier state is
+// spaced by; 64 bytes covers the common cases (x86-64, most arm64).
+const cacheLine = 64
+
+type paddedInt32 struct {
+	v atomic.Int32
+	_ [cacheLine - 4]byte
+}
+
+type paddedUint32 struct {
+	v uint32
+	_ [cacheLine - 4]byte
+}
+
+type paddedUint64 struct {
+	v atomic.Uint64
+	_ [cacheLine - 8]byte
+}
+
+// CountingBarrier is the spawn-era barrier kept for comparison: a shared
+// count and a monotonically increasing phase number on adjacent fields.
+// Every arrival and every release-wait hits the same cache line, so it
+// serializes on the coherence protocol as width grows — the baseline the
+// BenchmarkBarrier microbenchmark measures the padded barriers against.
+type CountingBarrier struct {
+	spinPolicy
+	count atomic.Int32
+	phase atomic.Uint64
+}
+
+// NewCountingBarrier returns a counting barrier for n participants (n ≥ 1).
+func NewCountingBarrier(n int) *CountingBarrier {
+	if n < 1 {
+		n = 1
+	}
+	b := &CountingBarrier{}
+	b.init(n)
+	return b
+}
+
 // Sync blocks until all n participants have called it for the current
 // phase.  The phase counter never repeats, so a fast worker racing ahead
 // into the next Sync cannot be confused with a slow one still leaving the
-// last (no ABA, unlike a flipping sense bit with a reused counter).
-func (b *Barrier) Sync() {
+// last.
+func (b *CountingBarrier) Sync(int) {
 	if b.n == 1 {
 		return
 	}
 	p := b.phase.Load()
 	if b.count.Add(1) == b.n {
-		// Last arriver: reset the count for the next phase, then open the
-		// gate.  The order matters — the count must be ready before any
-		// released waiter can add to it again.
+		// Last arriver: refresh the spin policy, reset the count for the
+		// next phase, then open the gate.  The order matters — the count
+		// must be ready before any released waiter can add to it again.
+		b.refresh()
 		b.count.Store(0)
 		b.phase.Add(1)
 		return
 	}
-	for spins := 0; b.phase.Load() == p; spins++ {
-		if spins >= b.spin {
+	spin := b.spinBudget()
+	for spins := int32(0); b.phase.Load() == p; spins++ {
+		if spins >= spin {
 			runtime.Gosched()
 		}
 	}
+}
+
+// SenseBarrier is a central sense-reversing barrier with cache-line-padded
+// state: the arrival count, the release sense, and each worker's local
+// sense all live on their own lines, so arrivals contend only on the count
+// and release waiters spin on a line that is written exactly once per
+// episode.  A straggler still waiting for the current release blocks the
+// count from refilling (it has not arrived at the next episode), so the
+// sense cannot flip back underneath it — the classic argument for why a
+// one-bit sense needs no ABA-proof phase number.
+type SenseBarrier struct {
+	spinPolicy
+	_     [cacheLine]byte
+	count paddedInt32
+	sense paddedUint32 // written by the last arriver, read by waiters
+	local []paddedUint32
+}
+
+// NewSenseBarrier returns a sense-reversing barrier for n participants
+// (n ≥ 1).
+func NewSenseBarrier(n int) *SenseBarrier {
+	if n < 1 {
+		n = 1
+	}
+	b := &SenseBarrier{local: make([]paddedUint32, n)}
+	b.init(n)
+	return b
+}
+
+// Sync blocks worker w until all n participants have arrived.
+func (b *SenseBarrier) Sync(w int) {
+	if b.n == 1 {
+		return
+	}
+	s := b.local[w].v ^ 1
+	b.local[w].v = s
+	if b.count.v.Add(1) == b.n {
+		b.refresh()
+		b.count.v.Store(0)
+		atomic.StoreUint32(&b.sense.v, s)
+		return
+	}
+	spin := b.spinBudget()
+	for spins := int32(0); atomic.LoadUint32(&b.sense.v) != s; spins++ {
+		if spins >= spin {
+			runtime.Gosched()
+		}
+	}
+}
+
+// DisseminationBarrier synchronizes n participants in ⌈log₂ n⌉ pairwise
+// rounds: in round r worker w signals worker (w+2ʳ) mod n and waits for the
+// signal from (w−2ʳ) mod n.  After the last round every worker transitively
+// depends on every other, with no central counter to serialize on.  Each
+// flag is written by exactly one peer and read by exactly one owner, on its
+// own cache line; flags carry the owner's monotonically increasing episode
+// number (a waiter proceeds once its flag reaches the episode it is in), so
+// a fast worker signalling two episodes ahead can never be mistaken for the
+// current round's peer.
+type DisseminationBarrier struct {
+	spinPolicy
+	rounds int
+	flags  [][]paddedUint64 // [worker][round], written by the round-r peer
+	phase  []paddedUint64   // per-worker episode number, owner-only
+}
+
+// NewDisseminationBarrier returns a dissemination barrier for n
+// participants (n ≥ 1).
+func NewDisseminationBarrier(n int) *DisseminationBarrier {
+	if n < 1 {
+		n = 1
+	}
+	rounds := 0
+	for 1<<rounds < n {
+		rounds++
+	}
+	b := &DisseminationBarrier{rounds: rounds}
+	b.init(n)
+	b.flags = make([][]paddedUint64, n)
+	for w := range b.flags {
+		b.flags[w] = make([]paddedUint64, rounds)
+	}
+	b.phase = make([]paddedUint64, n)
+	return b
+}
+
+// Sync blocks worker w until all n participants have arrived.
+func (b *DisseminationBarrier) Sync(w int) {
+	if b.n == 1 {
+		return
+	}
+	if w == 0 {
+		b.refresh()
+	}
+	n := int(b.n)
+	p := b.phase[w].v.Load() + 1
+	spin := b.spinBudget()
+	for r := 0; r < b.rounds; r++ {
+		peer := w + 1<<r
+		if peer >= n {
+			peer -= n
+		}
+		b.flags[peer][r].v.Store(p)
+		for spins := int32(0); b.flags[w][r].v.Load() < p; spins++ {
+			if spins >= spin {
+				runtime.Gosched()
+			}
+		}
+	}
+	b.phase[w].v.Store(p)
 }
 
 // Split partitions n work items into contiguous per-worker ranges,

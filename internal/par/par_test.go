@@ -1,6 +1,8 @@
 package par
 
 import (
+	"fmt"
+	"runtime"
 	"sync/atomic"
 	"testing"
 )
@@ -46,35 +48,180 @@ func TestPoolWorkerZeroOnCaller(t *testing.T) {
 	}
 }
 
-// TestBarrierPhases drives many barrier rounds and asserts no worker ever
-// observes a straggler from an earlier phase — the property the engines'
-// per-stage synchronization rests on.
-func TestBarrierPhases(t *testing.T) {
-	const workers = 4
-	const rounds = 2000
-	p := NewPool(workers)
-	b := NewBarrier(workers)
-	var counters [workers]atomic.Int64
-	p.Run(func(w int) {
-		for r := 0; r < rounds; r++ {
-			counters[w].Add(1)
-			b.Sync()
-			// After the barrier every worker must have completed round r.
-			for i := range counters {
-				if got := counters[i].Load(); got < int64(r+1) {
-					t.Errorf("round %d: worker %d at %d after barrier", r, i, got)
-					return
-				}
-			}
-			b.Sync()
+// TestPoolPersistentWorkers drives many Runs through started workers and
+// checks every dispatch reaches every worker exactly once — the engine
+// cycle loop in miniature.
+func TestPoolPersistentWorkers(t *testing.T) {
+	for _, workers := range []int{2, 3, 4, 8} {
+		p := NewPool(workers)
+		p.Start()
+		if !p.Started() {
+			t.Fatalf("workers=%d: pool not started after Start", workers)
 		}
-	})
+		seen := make([]atomic.Int32, workers)
+		const runs = 500
+		for i := 0; i < runs; i++ {
+			p.Run(func(w int) { seen[w].Add(1) })
+		}
+		p.Stop()
+		if p.Started() {
+			t.Fatalf("workers=%d: pool still started after Stop", workers)
+		}
+		for w := range seen {
+			if got := seen[w].Load(); got != runs {
+				t.Fatalf("workers=%d: worker %d ran %d times, want %d", workers, w, got, runs)
+			}
+		}
+		// A stopped pool must still work via the spawn fallback.
+		p.Run(func(w int) { seen[w].Add(1) })
+		for w := range seen {
+			if got := seen[w].Load(); got != runs+1 {
+				t.Fatalf("workers=%d: worker %d at %d after fallback Run, want %d", workers, w, got, runs+1)
+			}
+		}
+	}
+}
+
+// TestPoolStartStopNesting checks Start/Stop pair by refcount: inner pairs
+// neither respawn nor retire the workers.
+func TestPoolStartStopNesting(t *testing.T) {
+	p := NewPool(4)
+	p.Start()
+	p.Start()
+	p.Stop()
+	if !p.Started() {
+		t.Fatal("inner Stop retired the workers")
+	}
+	var n atomic.Int32
+	p.Run(func(int) { n.Add(1) })
+	if got := n.Load(); got != 4 {
+		t.Fatalf("ran %d workers, want 4", got)
+	}
+	p.Stop()
+	if p.Started() {
+		t.Fatal("outer Stop did not retire the workers")
+	}
+}
+
+// TestPoolRestart checks a pool can be started again after a full stop.
+func TestPoolRestart(t *testing.T) {
+	p := NewPool(3)
+	for round := 0; round < 3; round++ {
+		p.Start()
+		var n atomic.Int32
+		p.Run(func(int) { n.Add(1) })
+		p.Stop()
+		if got := n.Load(); got != 3 {
+			t.Fatalf("round %d: ran %d workers, want 3", round, got)
+		}
+	}
+}
+
+// TestPoolRunAllocFree asserts the steady-state persistent dispatch
+// allocates nothing: the zero-allocation cycle path rests on it.
+func TestPoolRunAllocFree(t *testing.T) {
+	if runtime.GOMAXPROCS(0) == 1 {
+		// With one processor every dispatch parks the caller and wakes it
+		// again; allocation accounting stays valid but the test is slow.
+		t.Log("GOMAXPROCS=1: dispatch is fully serialized")
+	}
+	p := NewPool(4)
+	p.Start()
+	defer p.Stop()
+	b := NewBarrier(4)
+	fn := func(w int) { b.Sync(w) }
+	p.Run(fn) // warm the wake path
+	if avg := testing.AllocsPerRun(100, func() { p.Run(fn) }); avg != 0 {
+		t.Fatalf("persistent Run allocates %.1f objects per dispatch, want 0", avg)
+	}
+}
+
+func barrierKinds(n int) map[string]Barrier {
+	return map[string]Barrier{
+		"auto":          NewBarrier(n),
+		"counting":      NewCountingBarrier(n),
+		"sense":         NewSenseBarrier(n),
+		"dissemination": NewDisseminationBarrier(n),
+	}
+}
+
+// TestBarrierPhases drives many barrier rounds at widths 1–16 for every
+// implementation and asserts no worker ever observes a straggler from an
+// earlier phase — the property the engines' per-stage synchronization
+// rests on.
+func TestBarrierPhases(t *testing.T) {
+	for workers := 1; workers <= 16; workers++ {
+		rounds := 2000
+		if workers > 8 {
+			rounds = 500 // oversubscribed on small hosts; keep the test quick
+		}
+		for name, b := range barrierKinds(workers) {
+			p := NewPool(workers)
+			p.Start()
+			counters := make([]atomic.Int64, workers)
+			p.Run(func(w int) {
+				for r := 0; r < rounds; r++ {
+					counters[w].Add(1)
+					b.Sync(w)
+					// After the barrier every worker must have completed round r.
+					for i := range counters {
+						if got := counters[i].Load(); got < int64(r+1) {
+							t.Errorf("%s width %d round %d: worker %d at %d after barrier", name, workers, r, i, got)
+							return
+						}
+					}
+					b.Sync(w)
+				}
+			})
+			p.Stop()
+			if t.Failed() {
+				return
+			}
+		}
+	}
 }
 
 func TestBarrierSingleParticipant(t *testing.T) {
-	b := NewBarrier(1)
-	for i := 0; i < 10; i++ {
-		b.Sync() // must not block
+	for name, b := range barrierKinds(1) {
+		for i := 0; i < 10; i++ {
+			b.Sync(0) // must not block
+		}
+		_ = name
+	}
+}
+
+// TestBarrierSpinPolicyTracksGOMAXPROCS pins the fix for the stale spin
+// policy: the barrier must re-evaluate GOMAXPROCS on Sync, not snapshot it
+// at construction.
+func TestBarrierSpinPolicyTracksGOMAXPROCS(t *testing.T) {
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+
+	const width = 4
+	runtime.GOMAXPROCS(1) // oversubscribed: budget must be 0
+	for name, b := range barrierKinds(width) {
+		pol, ok := b.(interface{ spinBudget() int32 })
+		if !ok {
+			t.Fatalf("%s: no spin policy", name)
+		}
+		if got := pol.spinBudget(); got != 0 {
+			t.Fatalf("%s built under GOMAXPROCS(1): spin budget %d, want 0", name, got)
+		}
+		runtime.GOMAXPROCS(width) // now fully provisioned…
+		p := NewPool(width)
+		p.Start()
+		p.Run(func(w int) { b.Sync(w) }) // …one episode re-evaluates
+		p.Stop()
+		if got := pol.spinBudget(); got != spinLimit {
+			t.Fatalf("%s after GOMAXPROCS(%d) and one Sync: spin budget %d, want %d", name, width, got, spinLimit)
+		}
+		runtime.GOMAXPROCS(1)
+		p.Start()
+		p.Run(func(w int) { b.Sync(w) })
+		p.Stop()
+		if got := pol.spinBudget(); got != 0 {
+			t.Fatalf("%s after GOMAXPROCS(1) and one Sync: spin budget %d, want 0", name, got)
+		}
 	}
 }
 
@@ -101,6 +248,72 @@ func TestSplitCoversExactly(t *testing.T) {
 					t.Fatalf("n=%d workers=%d: item %d covered %d times", n, workers, i, c)
 				}
 			}
+		}
+	}
+}
+
+// TestSplitEdgeCases pins the boundary behaviour the engines rely on:
+// more workers than items leaves the extra workers with empty ranges,
+// zero items gives every worker an empty range, and a single item lands
+// on exactly one worker.
+func TestSplitEdgeCases(t *testing.T) {
+	// workers > n: every range is well-formed, sizes are 0 or 1.
+	for w := 0; w < 8; w++ {
+		lo, hi := Split(3, 8, w)
+		if lo > hi || hi-lo > 1 {
+			t.Fatalf("Split(3,8,%d) = [%d,%d): malformed", w, lo, hi)
+		}
+	}
+	// n = 0: all ranges empty.
+	for w := 0; w < 4; w++ {
+		if lo, hi := Split(0, 4, w); lo != 0 || hi != 0 {
+			t.Fatalf("Split(0,4,%d) = [%d,%d), want [0,0)", w, lo, hi)
+		}
+	}
+	// n = 1: exactly one worker owns the item.
+	owners := 0
+	for w := 0; w < 5; w++ {
+		if lo, hi := Split(1, 5, w); hi > lo {
+			owners++
+			if lo != 0 || hi != 1 {
+				t.Fatalf("Split(1,5,%d) = [%d,%d)", w, lo, hi)
+			}
+		}
+	}
+	if owners != 1 {
+		t.Fatalf("single item owned by %d workers, want 1", owners)
+	}
+	// workers = 1 spans everything.
+	if lo, hi := Split(17, 1, 0); lo != 0 || hi != 17 {
+		t.Fatalf("Split(17,1,0) = [%d,%d), want [0,17)", lo, hi)
+	}
+}
+
+// BenchmarkBarrier compares the three barrier implementations at the
+// widths the engines run (the E15 microbenchmark; `make parbench`).  Each
+// op is one full barrier episode across all workers.
+func BenchmarkBarrier(b *testing.B) {
+	for _, workers := range []int{2, 4, 8, 16} {
+		kinds := []struct {
+			name string
+			bar  Barrier
+		}{
+			{"counting", NewCountingBarrier(workers)},
+			{"sense", NewSenseBarrier(workers)},
+			{"dissemination", NewDisseminationBarrier(workers)},
+		}
+		for _, k := range kinds {
+			b.Run(fmt.Sprintf("%s/w%d", k.name, workers), func(b *testing.B) {
+				p := NewPool(workers)
+				p.Start()
+				defer p.Stop()
+				b.ResetTimer()
+				p.Run(func(w int) {
+					for i := 0; i < b.N; i++ {
+						k.bar.Sync(w)
+					}
+				})
+			})
 		}
 	}
 }
