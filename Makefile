@@ -1,15 +1,17 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all check test race bench bench-smoke benchcmp gobench experiments soak parbench profile fmt vet cover
+.PHONY: all check test race bench bench-smoke benchcmp gobench experiments soak syncbench parbench profile fmt vet cover
 
 all: vet test
 
 # check is the CI gate: build everything, vet, lint (when staticcheck is
 # on PATH; CI installs it, local runs skip it silently otherwise), run
 # the full test suite under the race detector, then the crash–restart
-# soak (checkpointed recovery on every wiring, crash-only and crash+drop)
-# and the chaos fuzzer (randomized adversarial fault plans on all six
-# wirings, with the vacuous-pass guard).
+# soak (checkpointed recovery on every wiring, crash-only and crash+drop),
+# the chaos fuzzer (randomized adversarial fault plans on all six
+# wirings, with the vacuous-pass guard), and the pkg/sync library soak
+# (MCS lock, tournament barrier, sharded counter at 100k goroutines,
+# differentially checked against the serial oracle).
 check:
 	go build ./...
 	go vet ./...
@@ -18,6 +20,7 @@ check:
 	go test -race ./...
 	go run -race ./cmd/check -quick -crash
 	go run -race ./cmd/check -quick -chaos
+	go run -race ./cmd/check -quick -synclib
 
 test:
 	go test ./...
@@ -50,6 +53,14 @@ experiments:
 
 soak:
 	go run ./cmd/check -rounds 200 -faults -overload -parallel -crash
+
+# syncbench runs the pkg/sync microbenchmarks against their stdlib
+# baselines (sharded counter vs bare atomic vs mutex; MCS vs sync.Mutex;
+# tournament barrier vs WaitGroup fork-join).  The wall-clock sweeps that
+# land in BENCH_combining.json's sync_primitives section come from
+# cmd/experiments (`make bench`).
+syncbench:
+	go test -bench=BenchmarkSync -benchmem ./pkg/sync/
 
 # parbench runs the parallel-stepper and barrier microbenchmarks (E15
 # curve; the full sweeps also land in BENCH_combining.json under

@@ -46,6 +46,8 @@ var metricFields = map[string]bool{
 	"ns_per_cycle":            true,
 	"speedup_vs_serial":       true,
 	"ns_per_sync":             true,
+	"ns_per_op":               true,
+	"ops_per_sec":             true,
 }
 
 // ignoredFields are neither identity nor metric: nested objects and

@@ -43,6 +43,7 @@ type benchReport struct {
 	Bursty      []burstyPoint      `json:"bursty_sweep"`
 	Adversarial []adversarialPoint `json:"adversarial_degradation"`
 	Barrier     []barrierPoint     `json:"barrier_microbench"`
+	SyncPrims   []syncPoint        `json:"sync_primitives"`
 }
 
 // barrierPoint is one cell of the barrier microbenchmark: ns per
@@ -608,6 +609,8 @@ func runBench() {
 		}
 	}
 
+	rep.SyncPrims = benchSyncPrimitives(*quick)
+
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		panic(err)
@@ -617,8 +620,8 @@ func runBench() {
 		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("bench baseline written to %s (%d hot-spot points, %d permutations, %d async runs, %d degradation points, %d saturation points, %d parallel points, %d topology points, %d recovery points, %d RME points, %d zipf points, %d bursty points, %d adversarial points, %d barrier points)\n",
-		*benchOut, len(rep.Hotspot), len(rep.Permutation), len(rep.AsyncFAA), len(rep.Degradation), len(rep.Saturation), len(rep.Parallel), len(rep.Topology), len(rep.Recovery), len(rep.RMEAcquire), len(rep.Zipf), len(rep.Bursty), len(rep.Adversarial), len(rep.Barrier))
+	fmt.Printf("bench baseline written to %s (%d hot-spot points, %d permutations, %d async runs, %d degradation points, %d saturation points, %d parallel points, %d topology points, %d recovery points, %d RME points, %d zipf points, %d bursty points, %d adversarial points, %d barrier points, %d sync-primitive points)\n",
+		*benchOut, len(rep.Hotspot), len(rep.Permutation), len(rep.AsyncFAA), len(rep.Degradation), len(rep.Saturation), len(rep.Parallel), len(rep.Topology), len(rep.Recovery), len(rep.RMEAcquire), len(rep.Zipf), len(rep.Bursty), len(rep.Adversarial), len(rep.Barrier), len(rep.SyncPrims))
 }
 
 // recoveryPoint is one cell of the E16 recovery curve: hot-spot traffic with

@@ -1,0 +1,17 @@
+package main
+
+import "fmt"
+
+// Example_synclibTotals is the tier-1 hook for the library-side hot spot:
+// the sharded combining counter and the mutex baseline run the identical
+// workload and must agree on the total exactly.
+func Example_synclibTotals() {
+	counter, mutex := synclibTotals(256, 100)
+	fmt.Println("counter total:", counter)
+	fmt.Println("mutex total:", mutex)
+	fmt.Println("agree:", counter == mutex)
+	// Output:
+	// counter total: 25600
+	// mutex total: 25600
+	// agree: true
+}

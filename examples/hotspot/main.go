@@ -41,4 +41,6 @@ func main() {
 	fmt.Printf("  no hot spot:                 %6.1f cycles\n", base.Stats.ColdMeanLatency())
 	fmt.Printf("  h=0.25, no combining:        %6.1f cycles  (everyone suffers)\n", sat.Stats.ColdMeanLatency())
 	fmt.Printf("  h=0.25, combining:           %6.1f cycles  (restored)\n", rel.Stats.ColdMeanLatency())
+
+	synclibSection()
 }

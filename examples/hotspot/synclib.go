@@ -1,0 +1,72 @@
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	csync "combining/pkg/sync"
+)
+
+// The library-side rendition of the same experiment: a real Go hot spot.
+// Many goroutines hammer one shared tally; the pkg/sync sharded combining
+// counter decomposes the hot cell the way the paper's network combines
+// simultaneous fetch-and-adds, while the mutex-guarded integer is the
+// serialized baseline every arrival queues behind.
+
+// hotTally runs goroutines × opsPer increments of one shared tally through
+// add and returns the wall-clock elapsed.  The workload is the software
+// image of the h=1 column above: every reference targets the hot cell.
+func hotTally(goroutines, opsPer int, add func(int64)) time.Duration {
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	start := time.Now()
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < opsPer; i++ {
+				add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	return time.Since(start)
+}
+
+// synclibTotals runs the identical hot-spot workload against the sharded
+// combining counter and a mutex-guarded integer and returns both finals.
+// Both must equal goroutines × opsPer — the totals are the deterministic
+// part; the timings are host-dependent and printed only by main.
+func synclibTotals(goroutines, opsPer int) (counterTotal, mutexTotal int64) {
+	c := csync.NewCounter()
+	hotTally(goroutines, opsPer, c.Add)
+
+	var mu sync.Mutex
+	var v int64
+	hotTally(goroutines, opsPer, func(d int64) {
+		mu.Lock()
+		v += d
+		mu.Unlock()
+	})
+	return c.Read(), v
+}
+
+// synclibSection prints the pkg/sync comparison with timings.
+func synclibSection() {
+	const goroutines, opsPer = 1024, 1000
+	fmt.Printf("\npkg/sync on the same hot spot: %d goroutines × %d adds to one tally\n", goroutines, opsPer)
+
+	c := csync.NewCounter()
+	dc := hotTally(goroutines, opsPer, c.Add)
+
+	var mu sync.Mutex
+	var v int64
+	dm := hotTally(goroutines, opsPer, func(d int64) {
+		mu.Lock()
+		v += d
+		mu.Unlock()
+	})
+
+	fmt.Printf("  combining counter (%d shards): total %d in %v\n", c.Shards(), c.Read(), dc.Round(time.Millisecond))
+	fmt.Printf("  sync.Mutex + int64:            total %d in %v\n", v, dm.Round(time.Millisecond))
+}

@@ -163,34 +163,6 @@ type Barrier interface {
 	Sync(w int)
 }
 
-// spinLimit bounds the pure spin before a waiter starts yielding.
-const spinLimit = 256
-
-// spinPolicy is the shared spin-versus-yield budget, re-evaluated against
-// GOMAXPROCS once per barrier episode by whichever participant the
-// implementation designates (the last arriver for central barriers, worker
-// 0 for dissemination) so a GOMAXPROCS change mid-run takes effect by the
-// next Sync without every waiter hammering the scheduler lock.
-type spinPolicy struct {
-	n      int32
-	budget atomic.Int32
-}
-
-func (s *spinPolicy) init(n int) {
-	s.n = int32(n)
-	s.refresh()
-}
-
-func (s *spinPolicy) refresh() {
-	if int(s.n) > runtime.GOMAXPROCS(0) {
-		s.budget.Store(0)
-	} else {
-		s.budget.Store(spinLimit)
-	}
-}
-
-func (s *spinPolicy) spinBudget() int32 { return s.budget.Load() }
-
 // NewBarrier returns a barrier for n participants (n ≥ 1): a no-op for one
 // participant, a cache-line-padded central sense-reversing barrier for the
 // narrow widths the engines actually run (arrival is one fetch-and-add on a
@@ -213,23 +185,19 @@ type noopBarrier struct{}
 
 func (noopBarrier) Sync(int) {}
 
-// cacheLine is the coherence-granule size the padded barrier state is
-// spaced by; 64 bytes covers the common cases (x86-64, most arm64).
-const cacheLine = 64
-
 type paddedInt32 struct {
 	v atomic.Int32
-	_ [cacheLine - 4]byte
+	_ [CacheLine - 4]byte
 }
 
 type paddedUint32 struct {
 	v uint32
-	_ [cacheLine - 4]byte
+	_ [CacheLine - 4]byte
 }
 
 type paddedUint64 struct {
 	v atomic.Uint64
-	_ [cacheLine - 8]byte
+	_ [CacheLine - 8]byte
 }
 
 // CountingBarrier is the spawn-era barrier kept for comparison: a shared
@@ -238,7 +206,7 @@ type paddedUint64 struct {
 // serializes on the coherence protocol as width grows — the baseline the
 // BenchmarkBarrier microbenchmark measures the padded barriers against.
 type CountingBarrier struct {
-	spinPolicy
+	SpinPolicy
 	count atomic.Int32
 	phase atomic.Uint64
 }
@@ -249,7 +217,7 @@ func NewCountingBarrier(n int) *CountingBarrier {
 		n = 1
 	}
 	b := &CountingBarrier{}
-	b.init(n)
+	b.Init(n)
 	return b
 }
 
@@ -266,12 +234,12 @@ func (b *CountingBarrier) Sync(int) {
 		// Last arriver: refresh the spin policy, reset the count for the
 		// next phase, then open the gate.  The order matters — the count
 		// must be ready before any released waiter can add to it again.
-		b.refresh()
+		b.Refresh()
 		b.count.Store(0)
 		b.phase.Add(1)
 		return
 	}
-	spin := b.spinBudget()
+	spin := b.SpinBudget()
 	for spins := int32(0); b.phase.Load() == p; spins++ {
 		if spins >= spin {
 			runtime.Gosched()
@@ -288,8 +256,8 @@ func (b *CountingBarrier) Sync(int) {
 // sense cannot flip back underneath it — the classic argument for why a
 // one-bit sense needs no ABA-proof phase number.
 type SenseBarrier struct {
-	spinPolicy
-	_     [cacheLine]byte
+	SpinPolicy
+	_     [CacheLine]byte
 	count paddedInt32
 	sense paddedUint32 // written by the last arriver, read by waiters
 	local []paddedUint32
@@ -302,7 +270,7 @@ func NewSenseBarrier(n int) *SenseBarrier {
 		n = 1
 	}
 	b := &SenseBarrier{local: make([]paddedUint32, n)}
-	b.init(n)
+	b.Init(n)
 	return b
 }
 
@@ -314,12 +282,12 @@ func (b *SenseBarrier) Sync(w int) {
 	s := b.local[w].v ^ 1
 	b.local[w].v = s
 	if b.count.v.Add(1) == b.n {
-		b.refresh()
+		b.Refresh()
 		b.count.v.Store(0)
 		atomic.StoreUint32(&b.sense.v, s)
 		return
 	}
-	spin := b.spinBudget()
+	spin := b.SpinBudget()
 	for spins := int32(0); atomic.LoadUint32(&b.sense.v) != s; spins++ {
 		if spins >= spin {
 			runtime.Gosched()
@@ -337,7 +305,7 @@ func (b *SenseBarrier) Sync(w int) {
 // a fast worker signalling two episodes ahead can never be mistaken for the
 // current round's peer.
 type DisseminationBarrier struct {
-	spinPolicy
+	SpinPolicy
 	rounds int
 	flags  [][]paddedUint64 // [worker][round], written by the round-r peer
 	phase  []paddedUint64   // per-worker episode number, owner-only
@@ -354,7 +322,7 @@ func NewDisseminationBarrier(n int) *DisseminationBarrier {
 		rounds++
 	}
 	b := &DisseminationBarrier{rounds: rounds}
-	b.init(n)
+	b.Init(n)
 	b.flags = make([][]paddedUint64, n)
 	for w := range b.flags {
 		b.flags[w] = make([]paddedUint64, rounds)
@@ -369,11 +337,11 @@ func (b *DisseminationBarrier) Sync(w int) {
 		return
 	}
 	if w == 0 {
-		b.refresh()
+		b.Refresh()
 	}
 	n := int(b.n)
 	p := b.phase[w].v.Load() + 1
-	spin := b.spinBudget()
+	spin := b.SpinBudget()
 	for r := 0; r < b.rounds; r++ {
 		peer := w + 1<<r
 		if peer >= n {

@@ -200,11 +200,11 @@ func TestBarrierSpinPolicyTracksGOMAXPROCS(t *testing.T) {
 	const width = 4
 	runtime.GOMAXPROCS(1) // oversubscribed: budget must be 0
 	for name, b := range barrierKinds(width) {
-		pol, ok := b.(interface{ spinBudget() int32 })
+		pol, ok := b.(interface{ SpinBudget() int32 })
 		if !ok {
 			t.Fatalf("%s: no spin policy", name)
 		}
-		if got := pol.spinBudget(); got != 0 {
+		if got := pol.SpinBudget(); got != 0 {
 			t.Fatalf("%s built under GOMAXPROCS(1): spin budget %d, want 0", name, got)
 		}
 		runtime.GOMAXPROCS(width) // now fully provisioned…
@@ -212,14 +212,14 @@ func TestBarrierSpinPolicyTracksGOMAXPROCS(t *testing.T) {
 		p.Start()
 		p.Run(func(w int) { b.Sync(w) }) // …one episode re-evaluates
 		p.Stop()
-		if got := pol.spinBudget(); got != spinLimit {
+		if got := pol.SpinBudget(); got != spinLimit {
 			t.Fatalf("%s after GOMAXPROCS(%d) and one Sync: spin budget %d, want %d", name, width, got, spinLimit)
 		}
 		runtime.GOMAXPROCS(1)
 		p.Start()
 		p.Run(func(w int) { b.Sync(w) })
 		p.Stop()
-		if got := pol.spinBudget(); got != 0 {
+		if got := pol.SpinBudget(); got != 0 {
 			t.Fatalf("%s after GOMAXPROCS(1) and one Sync: spin budget %d, want 0", name, got)
 		}
 	}

@@ -1,0 +1,157 @@
+package sync_test
+
+import (
+	"sort"
+	stdsync "sync"
+	"sync/atomic"
+	"testing"
+
+	"combining/internal/core"
+	"combining/internal/par"
+	"combining/internal/rmw"
+	"combining/internal/word"
+	csync "combining/pkg/sync"
+)
+
+// TestBarrierLockstep checks the defining property at a spread of widths,
+// including non-powers-of-two (byes in the bracket): between episodes no
+// participant is ever more than one phase ahead of any other, and
+// everything written before an episode's Wait is visible after it.
+func TestBarrierLockstep(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 9, 16, 31, 64} {
+		const episodes = 200
+		b := csync.NewBarrier(n)
+		phase := make([]atomic.Int64, n)
+		var wg stdsync.WaitGroup
+		failed := atomic.Bool{}
+		for w := 0; w < n; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for e := int64(1); e <= episodes; e++ {
+					phase[w].Store(e)
+					b.Wait(w)
+					for j := 0; j < n; j++ {
+						p := phase[j].Load()
+						if p < e || p > e+1 {
+							failed.Store(true)
+							return
+						}
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		if failed.Load() {
+			t.Fatalf("width %d: lockstep violated — a participant left an episode early", n)
+		}
+	}
+}
+
+// TestBarrierDifferentialFAA validates the barrier as the paper's combined
+// faa-and-test: each arrival performs a fetch-and-add on one hot cell, and
+// the barrier's episode structure must partition the replies exactly as
+// the serial oracle partitions the trace — episode e sees replies
+// [e·n, (e+1)·n), and the full sorted reply set equals
+// core.SerialReplies on the same fetch-and-add chain.
+func TestBarrierDifferentialFAA(t *testing.T) {
+	const n, episodes = 8, 100
+	b := csync.NewBarrier(n)
+	var ctr atomic.Int64
+	replies := make([][]int64, n)
+	var wg stdsync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for e := 0; e < episodes; e++ {
+				r := ctr.Add(1) - 1 // fetch-and-add(1): the arrival
+				replies[w] = append(replies[w], r)
+				b.Wait(w)
+				if r < int64(e*n) || r >= int64((e+1)*n) {
+					t.Errorf("participant %d episode %d drew arrival %d outside [%d,%d)",
+						w, e, r, e*n, (e+1)*n)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	ops := make([]rmw.Mapping, n*episodes)
+	for i := range ops {
+		ops[i] = rmw.FetchAdd(1)
+	}
+	want, final := core.SerialReplies(word.W(0), ops)
+	var all []int64
+	for _, rs := range replies {
+		all = append(all, rs...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	for i, v := range all {
+		if v != want[i].Val {
+			t.Fatalf("sorted arrival %d = %d, serial oracle says %d (lost or duplicated arrival)", i, v, want[i].Val)
+		}
+	}
+	if got := ctr.Load(); got != final.Val {
+		t.Fatalf("final arrival count %d, serial oracle says %d", got, final.Val)
+	}
+}
+
+// TestBarrierWide pushes the bracket depth: 8192 participants, several
+// episodes, every goroutine spinning only on its own flags.
+func TestBarrierWide(t *testing.T) {
+	const n, episodes = 8192, 4
+	b := csync.NewBarrier(n)
+	var arrived atomic.Int64
+	var wg stdsync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for e := 0; e < episodes; e++ {
+				arrived.Add(1)
+				b.Wait(w)
+				if got := arrived.Load(); got < int64((e+1)*n) {
+					t.Errorf("participant %d released in episode %d with only %d arrivals", w, e, got)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestBarrierIsParBarrier pins the interface contract: a pkg/sync Barrier
+// drops into code written against the internal/par phase-barrier shape.
+func TestBarrierIsParBarrier(t *testing.T) {
+	var b par.Barrier = csync.NewBarrier(4)
+	pool := par.NewPool(4)
+	pool.Start()
+	defer pool.Stop()
+	var hits atomic.Int64
+	pool.Run(func(w int) {
+		for i := 0; i < 50; i++ {
+			hits.Add(1)
+			b.Sync(w)
+		}
+	})
+	if hits.Load() != 200 {
+		t.Fatalf("hits %d, want 200", hits.Load())
+	}
+}
+
+// TestBarrierWidthClamp: constructor clamps to one participant, and a
+// single participant never blocks.
+func TestBarrierWidthClamp(t *testing.T) {
+	b := csync.NewBarrier(0)
+	if b.Participants() != 1 {
+		t.Fatalf("participants %d, want 1", b.Participants())
+	}
+	for i := 0; i < 5; i++ {
+		b.Wait(0)
+	}
+}

@@ -1,0 +1,106 @@
+package sync_test
+
+import (
+	stdsync "sync"
+	"sync/atomic"
+	"testing"
+
+	csync "combining/pkg/sync"
+)
+
+// Stdlib-baseline benchmarks for the three primitives.  CI runs these in
+// smoke mode (-benchtime=1x); cmd/experiments runs the real wall-clock
+// sweeps that land in BENCH_combining.json's sync_primitives section.
+
+func BenchmarkSyncCounterAdd(b *testing.B) {
+	c := csync.NewCounter()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Add(1)
+		}
+	})
+}
+
+func BenchmarkSyncAtomicAdd(b *testing.B) {
+	var v atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			v.Add(1)
+		}
+	})
+}
+
+func BenchmarkSyncMutexCounterAdd(b *testing.B) {
+	var mu stdsync.Mutex
+	var v int64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			mu.Lock()
+			v++
+			mu.Unlock()
+		}
+	})
+	_ = v
+}
+
+func BenchmarkSyncMCSLock(b *testing.B) {
+	var l csync.MCSLock
+	var v int64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			q := l.Lock()
+			v++
+			l.Unlock(q)
+		}
+	})
+}
+
+func BenchmarkSyncStdMutexLock(b *testing.B) {
+	var mu stdsync.Mutex
+	var v int64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			mu.Lock()
+			v++
+			mu.Unlock()
+		}
+	})
+}
+
+func BenchmarkSyncBarrier(b *testing.B) {
+	const n = 4
+	bar := csync.NewBarrier(n)
+	var wg stdsync.WaitGroup
+	start := make(chan struct{})
+	for w := 1; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < b.N; i++ {
+				bar.Wait(w)
+			}
+		}(w)
+	}
+	b.ResetTimer()
+	close(start)
+	for i := 0; i < b.N; i++ {
+		bar.Wait(0)
+	}
+	b.StopTimer()
+	wg.Wait()
+}
+
+func BenchmarkSyncWaitGroupForkJoin(b *testing.B) {
+	// The stdlib has no reusable barrier; the idiomatic equivalent of one
+	// barrier episode is forking n-1 goroutines and joining them.
+	const n = 4
+	for i := 0; i < b.N; i++ {
+		var wg stdsync.WaitGroup
+		for w := 1; w < n; w++ {
+			wg.Add(1)
+			go func() { defer wg.Done() }()
+		}
+		wg.Wait()
+	}
+}

@@ -1,0 +1,45 @@
+// Package sync provides contention-free synchronization primitives for
+// real Go programs, built from the combinable read-modify-write vocabulary
+// of Kruskal, Rudolph and Snir (PODC 1986) the rest of this repository
+// simulates.
+//
+// The paper's combining networks make hot-spot synchronization scale by
+// merging concurrent RMWs to one location inside the interconnect, so the
+// hot memory module sees O(log n) traffic instead of O(n).  Mellor-Crummey
+// and Scott showed the same idea lands in software: locks and barriers in
+// which every waiter spins on its own locally-accessible flag, and a single
+// remote write by some other processor ends the spin.  This package is that
+// translation, in pure Go, with each primitive named by the combinable
+// mapping it implements (DESIGN.md §9 carries the full correspondence):
+//
+//   - MCSLock — the queue lock built on one atomic swap per acquisition
+//     (the paper's I_v constant mapping with the old value returned).  Each
+//     waiter spins on its own cache-line-padded queue node; handoff is one
+//     remote store.  O(1) remote references per acquisition regardless of
+//     contention.
+//
+//   - Barrier — a tournament (combining-tree) barrier with statically
+//     assigned winners.  Each arrival is the software image of a combined
+//     fetch-and-add propagating up a combining tree: a loser's arrival
+//     flag is "combined" into its subtree winner, the champion plays the
+//     memory module and releases the tree top-down.  Local-spin flags
+//     only; reusable via sense reversal.
+//
+//   - Counter — a sharded combining counter: adds land on per-processor
+//     cache-line-padded shards (fetch-and-add on a line nothing else
+//     writes), and Read software-combines the shards pairwise up a binary
+//     tree, mirroring the paper's combine-at-switch semantics.  The
+//     steady-state Add path is allocation-free.
+//
+//   - FECell — a full/empty-bit synchronization cell (the paper's §5.5
+//     two-state tables, as in the Denelcor HEP): conditional stores fail
+//     on a full cell, consuming loads empty it, and the blocking variants
+//     give producer/consumer handoff without a lock.
+//
+// Every primitive is validated two ways in this repository: differentially
+// against the simulator's serial oracle (core.SerialReplies on the
+// equivalent RMW trace) and with race-detector soaks at 100k+ goroutines
+// on hot-spot workloads (`cmd/check -synclib`).  Benchmarks against the
+// stdlib baselines (sync.Mutex, sync.WaitGroup, bare atomic.AddInt64) are
+// in BENCH_combining.json under sync_primitives.
+package sync

@@ -1,0 +1,117 @@
+package sync
+
+import (
+	"sync/atomic"
+
+	"combining/internal/par"
+)
+
+// FECell states.  The transient feBusy state excludes the value word while
+// an owner moves it; every visible state is feEmpty or feFull, matching
+// the two-state tables of the paper's §5.5.
+const (
+	feEmpty uint32 = iota
+	feFull
+	feBusy
+)
+
+// FECell is a full/empty-bit synchronization cell, the software form of
+// the paper's §5.5 data-level synchronization (as in the Denelcor HEP):
+// one word of data plus a full/empty flag, with loads and stores
+// conditioned on the flag.  Each method names the two-state table it
+// implements in internal/rmw (fe-store-if-clear-and-set,
+// fe-load-and-clear-if-set, fe-store-and-set), and a failed conditional
+// returns false — the software image of the NAK the paper recovers from
+// the old tag at decombining time.
+//
+// The blocking variants (Put, Take) give producer/consumer handoff without
+// a lock: each value stored is consumed by exactly one Take.  Waiters use
+// the GOMAXPROCS-aware backoff from internal/par, so oversubscribed
+// spinners yield instead of burning the processor the producer needs.
+//
+// The zero value is an empty cell.
+type FECell struct {
+	state atomic.Uint32
+	_     [par.CacheLine - 4]byte
+	val   int64 // guarded by state: written only empty→full, read only full→empty
+}
+
+// TryPut is fe-store-if-clear-and-set: store v and set the flag only when
+// the cell is empty; on a full cell it fails and reports false (the NAK).
+func (c *FECell) TryPut(v int64) bool {
+	for {
+		switch c.state.Load() {
+		case feFull:
+			return false
+		case feEmpty:
+			if c.state.CompareAndSwap(feEmpty, feBusy) {
+				c.val = v
+				c.state.Store(feFull)
+				return true
+			}
+		default:
+			// Another owner is mid-transition; its critical section is
+			// two instructions, so a bare re-read suffices.
+		}
+	}
+}
+
+// TryTake is fe-load-and-clear-if-set (the queueing consumer operation):
+// on a full cell it returns the value and empties the cell; on an empty
+// cell it fails.
+func (c *FECell) TryTake() (int64, bool) {
+	for {
+		switch c.state.Load() {
+		case feEmpty:
+			return 0, false
+		case feFull:
+			if c.state.CompareAndSwap(feFull, feBusy) {
+				v := c.val
+				c.state.Store(feEmpty)
+				return v, true
+			}
+		default:
+		}
+	}
+}
+
+// Set is fe-store-and-set: store v and set the flag regardless of the
+// cell's previous state.
+func (c *FECell) Set(v int64) {
+	bo := par.NewBackoff()
+	for {
+		s := c.state.Load()
+		if s != feBusy && c.state.CompareAndSwap(s, feBusy) {
+			c.val = v
+			c.state.Store(feFull)
+			return
+		}
+		bo.Pause()
+	}
+}
+
+// Put blocks until the cell is empty, then stores v and sets the flag —
+// the producer half of the HEP handoff.
+func (c *FECell) Put(v int64) {
+	bo := par.NewBackoff()
+	for !c.TryPut(v) {
+		bo.Pause()
+	}
+}
+
+// Take blocks until the cell is full, then returns the value and empties
+// the cell — the consumer half.  Each value Put is returned by exactly one
+// Take.
+func (c *FECell) Take() int64 {
+	bo := par.NewBackoff()
+	for {
+		if v, ok := c.TryTake(); ok {
+			return v
+		}
+		bo.Pause()
+	}
+}
+
+// Full reports whether the cell currently holds a value.  Like any
+// flag read concurrent with producers and consumers it is advisory.
+func (c *FECell) Full() bool { return c.state.Load() == feFull }
